@@ -1,0 +1,161 @@
+"""A1/A3/A4/A5 — ablations of TROD's design choices (DESIGN.md §3).
+
+* A1: dependency-filtered vs full snapshot restore during replay (§3.5's
+  "only restore those data items used in replayed transactions").
+* A3: ring-buffered tracing vs per-event synchronous provenance inserts
+  (§3.7's "high-performance in-memory buffer").
+* A4: transaction- vs statement-granularity scheduling cost.
+* A5: replay under snapshot isolation (reenactment) vs serializable.
+"""
+
+import time
+
+from repro.core import Trod
+from repro.db import Database, IsolationLevel
+from repro.runtime import Request, Runtime
+from repro.workload.generators import ForumWorkload
+from repro.workload.harness import render_table
+
+from conftest import fresh_moodle, racy_scenario
+from repro.apps import build_moodle_app
+
+
+def test_a1_dependency_filtered_vs_full_restore(benchmark, emit):
+    db, runtime, trod = racy_scenario(fresh_moodle())
+    # Bulk up the untouched tables so the filter has something to skip.
+    for i in range(300):
+        runtime.submit("createCourse", f"C{i}", f"Course {i}", [f"F{i % 7}"])
+    trod.flush()
+
+    def timed_replay(dependency_filter):
+        start = time.perf_counter_ns()
+        result = trod.replayer.replay_request(
+            "R1", dependency_filter=dependency_filter
+        )
+        elapsed_ms = (time.perf_counter_ns() - start) / 1e6
+        assert result.fidelity, result.divergences
+        return elapsed_ms, result
+
+    full_ms, full_result = timed_replay(False)
+    filtered_ms, filtered_result = timed_replay(True)
+    benchmark(lambda: trod.replayer.replay_request("R1", dependency_filter=True))
+
+    emit(
+        "",
+        "=== A1: replay restore — dependency-filtered vs full ===",
+        render_table(
+            ["mode", "ms", "tables restored"],
+            [
+                ["full restore", full_ms, len(full_result.dev_db.catalog.table_names())],
+                ["dependency-filtered", filtered_ms,
+                 len(filtered_result.dev_db.catalog.table_names())],
+            ],
+        ),
+        "",
+    )
+    # The filtered replay restores strictly fewer tables...
+    assert len(filtered_result.dev_db.catalog.table_names()) < len(
+        full_result.dev_db.catalog.table_names()
+    )
+    # ...and both reproduce the bug identically.
+    assert (
+        filtered_result.dev_db.table_rows("forum_sub")
+        == full_result.dev_db.table_rows("forum_sub")
+    )
+
+
+def test_a3_buffered_vs_unbuffered_tracing(benchmark, emit):
+    def run_traced(buffer_capacity: int) -> float:
+        db = Database()
+        runtime = Runtime(db)
+        names = build_moodle_app(db, runtime)
+        Trod(db, event_names=names, buffer_capacity=buffer_capacity).attach(
+            runtime
+        )
+        start = time.perf_counter_ns()
+        for i in range(150):
+            runtime.submit("subscribeUser", f"U{i}", f"F{i % 5}")
+        return (time.perf_counter_ns() - start) / 1e6
+
+    buffered_ms = run_traced(buffer_capacity=65536)
+    unbuffered_ms = run_traced(buffer_capacity=1)  # flush on every event
+
+    db, runtime, trod = fresh_moodle()
+    counter = iter(range(10**9))
+    benchmark(lambda: runtime.submit("subscribeUser", f"U{next(counter)}", "F1"))
+
+    emit(
+        "=== A3: tracing with ring buffer vs per-event provenance insert ===",
+        render_table(
+            ["mode", "150 requests ms", "ms/request"],
+            [
+                ["buffered (cap 65536)", buffered_ms, buffered_ms / 150],
+                ["unbuffered (cap 1)", unbuffered_ms, unbuffered_ms / 150],
+            ],
+        ),
+        "paper: the in-memory buffer is what keeps always-on tracing <15%",
+        "",
+    )
+    # The buffer must help (generous bound: at least no slower).
+    assert buffered_ms <= unbuffered_ms * 1.2
+
+
+def test_a4_scheduler_granularity_cost(benchmark, emit):
+    def run_batch(granularity: str) -> float:
+        db, runtime, _trod = fresh_moodle(attach_trod=False)
+        requests = [
+            Request("subscribeUser", (f"U{i}", f"F{i % 3}")) for i in range(12)
+        ]
+        start = time.perf_counter_ns()
+        results = runtime.run_concurrent(requests, seed=3, granularity=granularity)
+        assert all(r.ok for r in results)
+        return (time.perf_counter_ns() - start) / 1e6
+
+    txn_ms = run_batch("txn")
+    stmt_ms = run_batch("statement")
+    benchmark.pedantic(lambda: run_batch("txn"), rounds=3, iterations=1)
+
+    emit(
+        "=== A4: scheduler granularity — transaction vs statement ===",
+        render_table(
+            ["granularity", "12-request batch ms"],
+            [["txn", txn_ms], ["statement", stmt_ms]],
+        ),
+        "statement granularity adds yield points (and possible lock waits)"
+        " inside transactions; txn granularity is the default and matches"
+        " the paper's strict-serializability model (absolute costs are"
+        " thread-scheduling noise at this scale)",
+        "",
+    )
+    assert txn_ms > 0 and stmt_ms > 0
+
+
+def test_a5_si_reenactment_replay(benchmark, emit):
+    """Replay fidelity and cost under SNAPSHOT isolation reenactment."""
+    db = Database()
+    runtime = Runtime(db, isolation=IsolationLevel.SNAPSHOT)
+    names = build_moodle_app(db, runtime)
+    trod = Trod(db, event_names=names).attach(runtime)
+    runtime.run_concurrent(
+        ForumWorkload.racy_pair(), schedule=ForumWorkload.RACY_SCHEDULE
+    )
+    runtime.submit("fetchSubscribers", "F2")
+    trod.flush()
+
+    result = benchmark.pedantic(
+        lambda: trod.replayer.replay_request("R1"), rounds=5, iterations=1
+    )
+
+    isolation = trod.query(
+        "SELECT DISTINCT Isolation FROM Executions WHERE Status = 'Committed'"
+    ).column("Isolation")
+    emit(
+        "=== A5: GProM-style reenactment — replay under SNAPSHOT isolation ===",
+        f"  traced isolation levels: {isolation}",
+        f"  replay fidelity: {result.fidelity} "
+        f"(injection bound = recorded snapshot CSN per txn)",
+        "",
+    )
+    assert isolation == ["SNAPSHOT"]
+    assert result.fidelity, result.divergences
+    assert len(result.dev_db.table_rows("forum_sub")) == 2

@@ -1,0 +1,215 @@
+"""E10–E14 — §4 case studies: MediaWiki, Moodle regression, security.
+
+Each case runs the bug's scenario, then the TROD workflow that the paper
+describes for it (declarative location, replay, retroactive validation,
+or provenance-based security analysis), timing the TROD operation.
+"""
+
+from repro.apps.mediawiki import edit_page_fixed
+from repro.apps.moodle import subscribe_user_fixed
+from repro.runtime import Request
+from repro.workload.generators import ForumWorkload
+from repro.workload.harness import render_table
+
+from conftest import fresh_ecommerce, fresh_mediawiki, fresh_moodle, fresh_profiles
+
+RACY_EDITS_SCHEDULE = [0, 1, 0, 1, 0, 1]
+
+
+def build_mw_scenario():
+    db, runtime, trod = fresh_mediawiki()
+    runtime.submit("createPage", "P1", "Title", "hello")  # R1
+    runtime.run_concurrent(
+        [
+            Request("editPage", ("P1", "hello world", "http://x.org")),
+            Request("editPage", ("P1", "hello!", "http://x.org")),
+        ],
+        schedule=RACY_EDITS_SCHEDULE,
+    )  # R2, R3
+    runtime.submit("fetchSiteLinks", "P1")  # R4: the error report
+    trod.flush()
+    return db, runtime, trod
+
+
+def test_e10_mw44325_duplicate_sitelinks(benchmark, emit):
+    db, runtime, trod = build_mw_scenario()
+
+    def locate_and_validate():
+        dupes = trod.debugger.duplicate_inserts("site_links", ["PageId", "Url"])
+        replay = trod.replayer.replay_request("R2")
+        retro = trod.retroactive.run(
+            ["R2", "R3"],
+            patches={"editPage": edit_page_fixed},
+            followups=["R4"],
+        )
+        return dupes, replay, retro
+
+    dupes, replay, retro = benchmark.pedantic(
+        locate_and_validate, rounds=3, iterations=1
+    )
+
+    emit(
+        "",
+        "=== E10: MW-44325 — duplicate sitelinks from concurrent edits ===",
+        f"  provenance located duplicate {dupes[0]['key']} inserted by "
+        f"{[w['ReqId'] for w in dupes[0]['writers']]}",
+        f"  replay of R2 faithful: {replay.fidelity}",
+        f"  retroactive fix: {retro.explored} orderings, all pass: "
+        f"{retro.all_ok}",
+        "",
+    )
+    assert len(dupes) == 1
+    assert {w["ReqId"] for w in dupes[0]["writers"]} == {"R2", "R3"}
+    assert replay.fidelity, replay.divergences
+    assert retro.all_ok
+    for outcome in retro.outcomes:
+        assert outcome.final_state["site_links"] == [("P1", "http://x.org")]
+
+
+def test_e11_mw39225_wrong_size_deltas(benchmark, emit):
+    db, runtime, trod = fresh_mediawiki()
+    runtime.submit("createPage", "P1", "Title", "hello")  # R1, size 5
+    runtime.run_concurrent(
+        [
+            Request("editPage", ("P1", "hello world", None)),
+            Request("editPage", ("P1", "hello!", None)),
+        ],
+        schedule=RACY_EDITS_SCHEDULE,
+    )  # R2, R3
+    check = runtime.submit("checkSizeConsistency", "P1", 5)  # R4: detects
+    trod.flush()
+    assert not check.ok
+
+    def debug_workflow():
+        # Which requests wrote revisions with which deltas?
+        writers = trod.debugger.find_writers("revisions", kind="Insert")
+        interleaved = trod.debugger.interleaved_writes("R2")
+        retro = trod.retroactive.run(
+            ["R2", "R3"],
+            patches={"editPage": edit_page_fixed},
+            followups=["R4"],
+        )
+        return writers, interleaved, retro
+
+    writers, interleaved, retro = benchmark.pedantic(
+        debug_workflow, rounds=3, iterations=1
+    )
+
+    emit(
+        "=== E11: MW-39225 — wrong article size changes ===",
+        f"  revision writers: {sorted(set(writers.column('ReqId')))}",
+        f"  writes interleaved into R2: "
+        f"{[(w['ReqId'], w['Type'], w['_table']) for w in interleaved]}",
+        f"  retroactive fix all orderings pass: {retro.all_ok}",
+        "",
+    )
+    assert set(writers.column("ReqId")) == {"R2", "R3"}
+    assert any(w["ReqId"] == "R3" for w in interleaved)
+    assert retro.all_ok  # atomic edit keeps the size history consistent
+
+
+def test_e12_mdl60669_patch_regression(benchmark, emit):
+    db, runtime, trod = fresh_moodle()
+    runtime.submit("createCourse", "C1", "Intro", ["F2"])  # R1
+    runtime.run_concurrent(
+        ForumWorkload.racy_pair(), schedule=ForumWorkload.RACY_SCHEDULE
+    )  # R2, R3 create the duplicates
+    runtime.submit("deleteCourse", "C1")  # R4
+    restore = runtime.submit("restoreCourse", "C1")  # R5 fails in prod
+    trod.flush()
+    assert not restore.ok
+
+    def validate_patch_widely():
+        narrow = trod.retroactive.run(
+            ["R2", "R3"], patches={"subscribeUser": subscribe_user_fixed}
+        )
+        wide = trod.retroactive.run(
+            ["R2", "R3"],
+            orderings=[[0, 1, 1, 0]],  # reproduce the original duplicates
+            followups=["R4", "R5"],
+        )
+        return narrow, wide
+
+    narrow, wide = benchmark.pedantic(validate_patch_widely, rounds=3, iterations=1)
+
+    emit(
+        "=== E12: MDL-60669 — the MDL-59854 patch regression ===",
+        f"  narrow retroactive test (patched subscriptions only) passes: "
+        f"{narrow.all_ok}",
+        f"  wide test incl. course restore over original duplicates "
+        f"fails: {not wide.all_ok}",
+        f"  restore error: {wide.outcomes[0].followups[-1].error}",
+        "",
+    )
+    assert narrow.all_ok  # the patch looks fine in isolation...
+    assert not wide.all_ok  # ...but the wide test catches the regression
+    assert "duplicate" in wide.outcomes[0].followups[-1].error
+
+
+def test_e13_user_profiles_pattern(benchmark, emit):
+    db, runtime, trod = fresh_profiles()
+    runtime.submit("createProfile", "alice", "a@x.com", auth_user="alice")
+    runtime.submit("updateProfile", "alice", "hi", auth_user="alice")
+    runtime.submit("updateProfileInsecure", "alice", "pwn", auth_user="mallory")
+    runtime.submit("sendMessage", "M1", "alice", "s3cret", auth_user="bob")
+    runtime.submit("readMessages", "alice")  # unauthenticated
+    trod.flush()
+
+    violations = benchmark(
+        lambda: (
+            trod.security.user_profiles("profiles"),
+            trod.security.authentication("messages"),
+        )
+    )
+    profile_violations, auth_violations = violations
+
+    emit(
+        "=== E13: §4.2 access-control patterns ===",
+        render_table(
+            ["pattern", "request", "handler"],
+            [
+                [v.pattern, v.req_id, v.handler]
+                for v in profile_violations + auth_violations
+            ],
+        ),
+        "",
+    )
+    assert [v.handler for v in profile_violations] == ["updateProfileInsecure"]
+    assert [v.handler for v in auth_violations] == ["readMessages"]
+
+
+def test_e14_exfiltration_through_workflows(benchmark, emit):
+    db, runtime, trod = fresh_ecommerce()
+    runtime.submit("registerUser", "U1", "u1@x.com", "4111-1111")
+    runtime.submit("registerUser", "U2", "u2@x.com", "4222-2222")
+    runtime.submit("restock", "SKU1", 10)
+    runtime.submit("addToCart", "C1", "U1", "SKU1", 1, 9.0)
+    runtime.submit("checkout", "C1", "U1")  # benign workflow with email
+    runtime.submit("harvestData", "steal-1")  # reads users -> staging
+    runtime.submit("exportReport", "steal-1")  # staging -> export channel
+    runtime.submit("weeklyReport")  # benign email
+    trod.flush()
+
+    flows = benchmark(lambda: trod.taint.find_flows(["users"]))
+
+    emit(
+        "=== E14: §4.2 data exfiltration through workflows ===",
+        render_table(
+            ["request", "handler", "hops", "tainted sources", "sink"],
+            [
+                [
+                    f.req_id,
+                    f.handler,
+                    f.hops,
+                    ",".join(f.sources),
+                    f.sinks[0]["Channel"],
+                ]
+                for f in flows
+            ],
+        ),
+        "  (the benign checkout/weeklyReport emails are not flagged)",
+        "",
+    )
+    assert len(flows) == 1
+    assert flows[0].handler == "exportReport"
+    assert flows[0].hops == 2  # lateral movement via the staging table

@@ -1,0 +1,97 @@
+"""E8 — §3.7 declarative debugging query latency vs event count.
+
+Paper: "We also run declarative debugging queries over billions of events
+and get results in <5 seconds."
+
+A pure-Python row store cannot hold 10^9 events, so we sweep 10^3..5x10^4
+synthetic provenance events, measure the paper's duplicate-hunting join
+query and the §4.2 security query, verify near-linear scaling, and
+extrapolate the per-event cost to the paper's scale (documenting that the
+paper's number comes from a vectorized analytical engine).
+"""
+
+import time
+
+from repro.workload.generators import ProvenanceFiller
+from repro.workload.harness import render_table
+
+from conftest import fresh_moodle
+
+SWEEP = [1_000, 10_000, 50_000]
+
+DUPLICATE_QUERY = (
+    "SELECT Timestamp, ReqId, HandlerName"
+    " FROM Executions as E, ForumEvents as F"
+    " ON E.TxnId = F.TxnId"
+    " WHERE F.UserId = 'U1' AND F.Forum = 'F2' AND F.Type = 'Insert'"
+    " ORDER BY Timestamp ASC"
+)
+
+SECURITY_QUERY = (
+    "SELECT COUNT(*)"
+    " FROM Executions as E, ForumEvents as F"
+    " ON E.TxnId = F.TxnId"
+    " WHERE E.AuthUser != F.UserId AND F.Type = 'Insert'"
+)
+
+AGGREGATE_QUERY = (
+    "SELECT F.Forum, COUNT(*) AS n FROM ForumEvents AS F"
+    " WHERE F.Type = 'Insert' GROUP BY F.Forum ORDER BY n DESC LIMIT 5"
+)
+
+
+def time_query(trod, sql) -> tuple[float, int]:
+    start = time.perf_counter_ns()
+    result = trod.provenance.query(sql)
+    elapsed_ms = (time.perf_counter_ns() - start) / 1e6
+    return elapsed_ms, len(result)
+
+
+def test_query_latency_scaling(benchmark, emit):
+    rows = []
+    trods = {}
+    for n_events in SWEEP:
+        _db, _runtime, trod = fresh_moodle()
+        filler = ProvenanceFiller(trod.provenance.db, event_table="ForumEvents")
+        filler.fill(n_events, duplicate_every=max(100, n_events // 50))
+        dup_ms, dup_rows = time_query(trod, DUPLICATE_QUERY)
+        sec_ms, _ = time_query(trod, SECURITY_QUERY)
+        agg_ms, _ = time_query(trod, AGGREGATE_QUERY)
+        rows.append(
+            [n_events, dup_ms, sec_ms, agg_ms, 1000.0 * dup_ms / n_events]
+        )
+        trods[n_events] = (trod, dup_rows)
+
+    # Benchmark the paper's query at the largest sweep point.
+    big_trod, _ = trods[SWEEP[-1]]
+    benchmark(lambda: big_trod.provenance.query(DUPLICATE_QUERY))
+
+    per_event_us = rows[-1][4]
+    extrapolated_s = per_event_us * 1e9 / 1e6  # us/event * 1e9 events -> s
+    emit(
+        "",
+        "=== E8: §3.7 declarative query latency vs traced event count ===",
+        render_table(
+            [
+                "events", "dup query ms", "security query ms",
+                "aggregate ms", "per-event us",
+            ],
+            rows,
+        ),
+        f"per-event cost at n={SWEEP[-1]}: {per_event_us:.2f}us; naive"
+        f" extrapolation to 1e9 events: {extrapolated_s:,.0f}s on this"
+        " pure-Python engine",
+        "paper: <5s over billions of events on a vectorized analytical"
+        " store — the shape reproduced here is near-linear scan scaling"
+        " with interactive latencies at debugging scale",
+        "",
+    )
+
+    # Shape assertions: query returns the injected duplicates, latency is
+    # interactive at the largest size, and scaling is near-linear (not
+    # quadratic): 50x more events must cost far less than 50^2.
+    _trod, dup_rows = trods[SWEEP[-1]]
+    assert dup_rows > 0
+    assert rows[-1][1] < 5_000  # <5s at 5e4 events, interactive
+    ratio = rows[-1][1] / max(rows[0][1], 0.001)
+    assert ratio < 500, f"duplicate query scaled superlinearly: {ratio:.0f}x"

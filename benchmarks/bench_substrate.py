@@ -1,0 +1,114 @@
+"""S0 — substrate characterization (context for every other benchmark).
+
+Not a paper experiment: this measures the raw throughput of the database
+engine this reproduction is built on (inserts, point queries with and
+without an index, scans, hash joins, commits), so readers can interpret
+the absolute numbers in E7/E8 relative to the substrate's speed.
+"""
+
+import time
+
+from repro.db import Database
+from repro.workload.harness import render_table
+
+N_ROWS = 5_000
+
+
+def build_db() -> Database:
+    db = Database()
+    db.execute("CREATE TABLE items (id INTEGER, grp TEXT, val FLOAT)")
+    txn = db.begin()
+    for i in range(N_ROWS):
+        db.execute(
+            "INSERT INTO items VALUES (?, ?, ?)",
+            (i, f"g{i % 50}", float(i % 97)),
+            txn=txn,
+        )
+    txn.commit()
+    db.execute("CREATE TABLE grps (grp TEXT, label TEXT)")
+    txn = db.begin()
+    for g in range(50):
+        db.execute(
+            "INSERT INTO grps VALUES (?, ?)", (f"g{g}", f"label-{g}"), txn=txn
+        )
+    txn.commit()
+    return db
+
+
+def _rate(fn, iterations: int) -> float:
+    start = time.perf_counter_ns()
+    for _ in range(iterations):
+        fn()
+    elapsed_s = (time.perf_counter_ns() - start) / 1e9
+    return iterations / elapsed_s
+
+
+def test_substrate_throughput(benchmark, emit):
+    db = build_db()
+    db_indexed = build_db()
+    db_indexed.execute("CREATE INDEX ix_id ON items (id)")
+
+    counter = iter(range(10**9))
+    rows = [
+        [
+            "autocommit insert (1 row)",
+            _rate(
+                lambda: db.execute(
+                    "INSERT INTO items VALUES (?, 'gx', 0.0)",
+                    (N_ROWS + next(counter),),
+                ),
+                300,
+            ),
+        ],
+        [
+            "point query (full scan)",
+            _rate(lambda: db.execute("SELECT * FROM items WHERE id = 2500"), 30),
+        ],
+        [
+            "point query (index probe)",
+            _rate(
+                lambda: db_indexed.execute("SELECT * FROM items WHERE id = 2500"),
+                300,
+            ),
+        ],
+        [
+            "aggregate scan (5k rows)",
+            _rate(
+                lambda: db.execute("SELECT grp, AVG(val) FROM items GROUP BY grp"),
+                10,
+            ),
+        ],
+        [
+            "hash join (5k x 50)",
+            _rate(
+                lambda: db.execute(
+                    "SELECT COUNT(*) FROM items i JOIN grps g ON i.grp = g.grp"
+                ),
+                10,
+            ),
+        ],
+        [
+            "read-only txn commit",
+            _rate(lambda: db.begin().commit(), 2000),
+        ],
+    ]
+
+    benchmark(
+        lambda: db_indexed.execute("SELECT * FROM items WHERE id = 2500")
+    )
+
+    emit(
+        "",
+        f"=== S0: substrate characterization ({N_ROWS}-row table) ===",
+        render_table(["operation", "ops/sec"], rows),
+        "",
+    )
+
+    rates = {name: rate for name, rate in rows}
+    # The index probe must beat the full scan by a wide margin.
+    assert (
+        rates["point query (index probe)"] > rates["point query (full scan)"] * 5
+    )
+    # Sanity floors (very conservative; flags pathological regressions).
+    assert rates["autocommit insert (1 row)"] > 500
+    assert rates["read-only txn commit"] > 5_000

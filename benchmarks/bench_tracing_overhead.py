@@ -1,0 +1,110 @@
+"""E7 — §3.7 always-on tracing overhead.
+
+Paper: "the overall tracing overhead is <100µs per request. This causes a
+relative overhead of <15% when using the in-memory database VoltDB and
+negligible overhead when using the on-disk database Postgres."
+
+We run identical checkout-workflow request streams with and without TROD
+attached, on the in-memory ("voltdb") and on-disk ("postgres") simulated
+backend profiles, and report:
+
+* interposition self-time per request (the <100µs figure),
+* end-to-end per-request latency traced vs untraced,
+* relative overhead per backend (the <15% / negligible figure).
+"""
+
+import time
+
+from repro.workload.generators import CheckoutWorkload
+from repro.workload.harness import render_table
+
+from conftest import fresh_ecommerce
+
+N_CHECKOUTS = 120
+
+
+def run_stream(backend_name: str, attach_trod: bool) -> dict:
+    """Per-request latencies, summarized by the median.
+
+    This machine class shows multi-millisecond OS-scheduler stalls;
+    totals (or means) over a 240-request stream would let one stall
+    swamp a ~70µs effect, while the median is stall-immune.
+    """
+    db, runtime, trod = fresh_ecommerce(backend_name, attach_trod=attach_trod)
+    workload = CheckoutWorkload(n_users=20, n_skus=10, seed=7)
+    workload.seed_database(runtime)
+    requests = list(workload.requests(N_CHECKOUTS))
+    samples_us = []
+    for request in requests:
+        start = time.perf_counter_ns()
+        result = runtime.execute_request(request)
+        samples_us.append((time.perf_counter_ns() - start) / 1000.0)
+        assert result.ok, result.error
+    samples_us.sort()
+    median_us = samples_us[len(samples_us) // 2]
+    tracer_us = (
+        trod.overhead_stats()["tracing_overhead_us_per_request"]
+        if trod is not None
+        else 0.0
+    )
+    return {"per_request_us": median_us, "tracer_us": tracer_us}
+
+
+def test_tracing_overhead_voltdb_vs_postgres(benchmark, emit):
+    results = {}
+    for backend in ("voltdb", "postgres"):
+        untraced = run_stream(backend, attach_trod=False)
+        traced = run_stream(backend, attach_trod=True)
+        overhead_us = traced["per_request_us"] - untraced["per_request_us"]
+        relative = overhead_us / untraced["per_request_us"]
+        results[backend] = {
+            "untraced_us": untraced["per_request_us"],
+            "traced_us": traced["per_request_us"],
+            "overhead_us": overhead_us,
+            "relative_pct": 100.0 * relative,
+            "interposition_us": traced["tracer_us"],
+        }
+
+    # The benchmarked operation: one traced request on the fast backend.
+    db, runtime, trod = fresh_ecommerce("voltdb", attach_trod=True)
+    workload = CheckoutWorkload(n_users=20, n_skus=10, seed=7)
+    workload.seed_database(runtime)
+    requests = iter(workload.requests(100_000))
+    benchmark(lambda: runtime.execute_request(next(requests)))
+
+    emit(
+        "",
+        "=== E7: §3.7 always-on tracing overhead "
+        f"({N_CHECKOUTS} checkout workflows, 2 requests each) ===",
+        render_table(
+            [
+                "backend", "untraced us/req (median)", "traced us/req (median)",
+                "overhead us/req", "relative %", "interposition us/req",
+            ],
+            [
+                [
+                    name,
+                    row["untraced_us"],
+                    row["traced_us"],
+                    row["overhead_us"],
+                    row["relative_pct"],
+                    row["interposition_us"],
+                ]
+                for name, row in results.items()
+            ],
+        ),
+        "paper: <100us interposition/request; <15% on VoltDB-class,"
+        " negligible on Postgres-class backends",
+        "",
+    )
+
+    voltdb = results["voltdb"]
+    postgres = results["postgres"]
+    # Shape assertions (generous bounds for noisy CI machines):
+    # interposition cost is tens of microseconds per request;
+    assert voltdb["interposition_us"] < 500
+    # relative overhead on the fast backend is bounded (paper: <15%);
+    assert voltdb["relative_pct"] < 50
+    # and the slow (durable-commit) backend makes it far smaller.
+    assert postgres["relative_pct"] < voltdb["relative_pct"]
+    assert postgres["relative_pct"] < 12

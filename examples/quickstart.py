@@ -1,0 +1,96 @@
+"""Quickstart: trace an application, query provenance, replay a request.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Trod, report
+from repro.db import Database
+from repro.runtime import Runtime
+
+
+def main() -> None:
+    # 1. A database and a runtime (the TROD principles: all shared state
+    #    in the database, accessed only through transactions).
+    db = Database()
+    db.execute(
+        "CREATE TABLE accounts (owner TEXT NOT NULL, balance INTEGER NOT NULL)"
+    )
+    runtime = Runtime(db)
+
+    # 2. Deterministic request handlers.
+    def open_account(ctx, owner, amount):
+        with ctx.txn(label="openAccount") as t:
+            t.execute(
+                "INSERT INTO accounts (owner, balance) VALUES (?, ?)",
+                (owner, amount),
+            )
+        return owner
+
+    def transfer(ctx, source, target, amount):
+        with ctx.txn(label="transfer") as t:
+            balance = t.execute(
+                "SELECT balance FROM accounts WHERE owner = ?", (source,)
+            ).scalar()
+            if balance < amount:
+                ctx.fail(f"insufficient funds: {balance} < {amount}")
+            t.execute(
+                "UPDATE accounts SET balance = balance - ? WHERE owner = ?",
+                (amount, source),
+            )
+            t.execute(
+                "UPDATE accounts SET balance = balance + ? WHERE owner = ?",
+                (amount, target),
+            )
+        return amount
+
+    runtime.register("openAccount", open_account)
+    runtime.register("transfer", transfer)
+
+    # 3. Attach TROD: always-on tracing starts now.
+    trod = Trod(db).attach(runtime)
+
+    # 4. Serve requests.
+    runtime.submit("openAccount", "alice", 100)
+    runtime.submit("openAccount", "bob", 10)
+    runtime.submit("transfer", "alice", "bob", 30)
+    failed = runtime.submit("transfer", "bob", "alice", 1000)  # fails
+
+    # 5. Declarative debugging: plain SQL over the provenance database.
+    print("=== Invocations (the paper's Table 1) ===")
+    print(report.render_table1(trod))
+
+    print("\n=== Who updated the accounts table? ===")
+    print(
+        trod.query(
+            "SELECT E.ReqId AS ReqId, E.HandlerName AS HandlerName,"
+            " A.Type AS Kind, A.Owner AS Owner, A.Balance AS Balance"
+            " FROM Executions AS E, AccountsEvents AS A ON E.TxnId = A.TxnId"
+            " WHERE A.Type != 'Snapshot' AND A.Type != 'Read'"
+            " ORDER BY A.Seq"
+        ).pretty()
+    )
+
+    print("\n=== Failed requests ===")
+    for row in trod.debugger.failed_requests():
+        print(f"  {row['ReqId']} {row['HandlerName']}: {row['Error']}")
+
+    # 6. Faithful replay of the successful transfer, in a dev database
+    #    reconstructed purely from provenance.
+    result = trod.replayer.replay_request("R3")
+    print(f"\n=== Replay of R3 (fidelity: {result.fidelity}) ===")
+    print("  dev accounts after replay:", result.dev_db.table_rows("accounts"))
+
+    # 7. Retroactive programming: would a 2x fee have bounced R3?
+    def transfer_with_fee(ctx, source, target, amount):
+        return transfer(ctx, source, target, amount * 2)
+
+    retro = trod.retroactive.run(["R3"], patches={"transfer": transfer_with_fee})
+    outcome = retro.outcomes[0].requests[0]
+    print("\n=== Retroactive: transfer with a 2x fee ===")
+    print(f"  original output: {outcome.original_output}")
+    print(f"  patched output:  {outcome.output_repr} (error: {outcome.error})")
+    print(f"  final state: {retro.outcomes[0].final_state['accounts']}")
+
+
+if __name__ == "__main__":
+    main()

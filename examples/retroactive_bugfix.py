@@ -1,0 +1,102 @@
+"""Retroactive programming in depth, including the MDL-60669 regression.
+
+§4.1: "Sometimes, fixes to these bugs cause more bugs." The MDL-59854
+patch later broke course restore (MDL-60669) because pre-existing
+duplicates in deleted courses were not considered. This example shows how
+a *narrow* retroactive test of the patch passes while the *wide* test the
+paper recommends — re-running "other requests that may touch the same
+table" — exposes the regression before production.
+
+Run:  python examples/retroactive_bugfix.py
+"""
+
+from repro.apps import build_moodle_app
+from repro.apps.moodle import subscribe_user_fixed
+from repro.core import Trod
+from repro.db import Database
+from repro.runtime import Runtime
+from repro.workload.generators import ForumWorkload
+
+
+def main() -> None:
+    db = Database()
+    runtime = Runtime(db)
+    event_names = build_moodle_app(db, runtime)
+    trod = Trod(db, event_names=event_names).attach(runtime)
+
+    # Production history: a course whose forum accumulates duplicates via
+    # the MDL-59854 race, then gets deleted and (fatally) restored.
+    runtime.submit("createCourse", "C1", "Databases 101", ["F2"])  # R1
+    runtime.run_concurrent(  # R2, R3: the race
+        ForumWorkload.racy_pair(), schedule=ForumWorkload.RACY_SCHEDULE
+    )
+    runtime.submit("deleteCourse", "C1")  # R4
+    restore = runtime.submit("restoreCourse", "C1")  # R5
+    print("== Production history ==")
+    print(f"   restoreCourse(C1) failed: {restore.error}")
+
+    trod.flush()
+
+    # --- The developer tests the subscription patch narrowly -------------
+    print("\n== Narrow retroactive test: just the two subscriptions ==")
+    narrow = trod.retroactive.run(
+        ["R2", "R3"], patches={"subscribeUser": subscribe_user_fixed}
+    )
+    print(f"   {narrow.summary()}")
+    print("   -> ships it. (This is what happened in real life.)")
+
+    # --- The paper's advice: widen the test to the same table -------------
+    print("\n== Wide retroactive test: include course delete/restore ==")
+    wide = trod.retroactive.run(
+        ["R2", "R3"],
+        patches={"subscribeUser": subscribe_user_fixed},
+        followups=["R4", "R5"],
+    )
+    print(f"   patched world: all orderings pass = {wide.all_ok}")
+    print("   (the patch prevents NEW duplicates, so restore succeeds)")
+
+    print("\n== But replaying the patch against the ORIGINAL history ==")
+    # Keep the buggy subscriptions (reproducing the duplicates already in
+    # production) and re-run the restore path on top.
+    against_history = trod.retroactive.run(
+        ["R2", "R3"],
+        orderings=[[0, 1, 1, 0]],  # the racy ordering that already happened
+        followups=["R4", "R5"],
+    )
+    outcome = against_history.outcomes[0]
+    print(f"   restore followup error: {outcome.followups[-1].error}")
+    print(
+        "   -> MDL-60669 found before production: the patch must also"
+        " handle duplicates that already exist in deleted courses."
+    )
+
+    # --- Invariant-based validation ---------------------------------------
+    print("\n== Invariant-driven retroactive sweep ==")
+
+    def no_duplicate_subscriptions(dev_db):
+        rows = dev_db.execute(
+            "SELECT userId, forum, COUNT(*) FROM forum_sub"
+            " GROUP BY userId, forum HAVING COUNT(*) > 1"
+        ).rows
+        return [f"duplicate subscription {row[:2]}" for row in rows]
+
+    buggy = trod.retroactive.run(
+        ["R2", "R3"], invariant=no_duplicate_subscriptions
+    )
+    fixed = trod.retroactive.run(
+        ["R2", "R3"],
+        patches={"subscribeUser": subscribe_user_fixed},
+        invariant=no_duplicate_subscriptions,
+    )
+    print(
+        f"   buggy handler: {sum(1 for o in buggy.outcomes if not o.ok)}"
+        f"/{buggy.explored} orderings violate the invariant"
+    )
+    print(
+        f"   fixed handler: {sum(1 for o in fixed.outcomes if not o.ok)}"
+        f"/{fixed.explored} orderings violate the invariant"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""§4.2's security case studies: access-control patterns and exfiltration.
+
+* The **User Profiles** pattern query (verbatim from the paper) finds an
+  insecure handler that let another user rewrite alice's profile.
+* The **Authentication** pattern finds unauthenticated reads of a
+  protected table.
+* Workflow taint tracking follows stolen credit-card data through a
+  two-hop lateral movement (users -> staging -> export channel) that a
+  single-request analysis would miss.
+
+Run:  python examples/security_forensics.py
+"""
+
+from repro.apps import build_ecommerce_app, build_profiles_app
+from repro.core import Trod
+from repro.db import Database
+from repro.runtime import Runtime
+
+
+def profiles_demo() -> None:
+    db = Database()
+    runtime = Runtime(db)
+    event_names = build_profiles_app(db, runtime)
+    trod = Trod(db, event_names=event_names).attach(runtime)
+
+    runtime.submit("createProfile", "alice", "alice@x.com", auth_user="alice")
+    runtime.submit("updateProfile", "alice", "hello!", auth_user="alice")
+    runtime.submit(
+        "updateProfileInsecure", "alice", "hacked bio", auth_user="mallory"
+    )
+    runtime.submit("sendMessage", "M1", "alice", "the secret", auth_user="bob")
+    runtime.submit("readMessages", "alice")  # no auth_user: anonymous!
+
+    print("== User Profiles pattern (the paper's query, verbatim) ==")
+    rs = trod.query(
+        "SELECT Timestamp, ReqId, HandlerName\n"
+        "FROM Executions as E, ProfileEvents as P\n"
+        "ON E.TxnId = P.TxnId\n"
+        "WHERE P.UserName != P.UpdatedBy AND P.Type = 'Update'"
+    )
+    print(rs.pretty())
+
+    print("\n== Built-in pattern checkers ==")
+    for violation in trod.security.user_profiles("profiles"):
+        print(
+            f"   [{violation.pattern}] {violation.req_id}"
+            f" via {violation.handler}"
+        )
+    for violation in trod.security.authentication("messages"):
+        print(
+            f"   [{violation.pattern}] {violation.req_id}"
+            f" via {violation.handler} (AuthUser is NULL)"
+        )
+
+
+def exfiltration_demo() -> None:
+    db = Database()
+    runtime = Runtime(db)
+    event_names = build_ecommerce_app(db, runtime)
+    trod = Trod(db, event_names=event_names).attach(runtime)
+
+    runtime.submit("registerUser", "U1", "u1@x.com", "4111-1111-1111-1111")
+    runtime.submit("registerUser", "U2", "u2@x.com", "4222-2222-2222-2222")
+    runtime.submit("restock", "SKU1", 10)
+    runtime.submit("addToCart", "C1", "U1", "SKU1", 1, 19.99)
+    runtime.submit("checkout", "C1", "U1")  # benign workflow (emails receipt)
+    runtime.submit("weeklyReport")  # benign reporting email
+
+    # The attack: one compromised handler stages the card numbers in an
+    # innocuous table; a separate, legitimate-looking report exports them.
+    runtime.submit("harvestData", "Q3-metrics")
+    runtime.submit("exportReport", "Q3-metrics")
+
+    print("\n== Workflow taint tracking over the users table ==")
+    state = trod.taint.compute_taint(["users"])
+    print(f"   tainted tables:   {sorted(state.tainted_tables)}")
+    print(f"   tainted requests: {dict(sorted(state.tainted_requests.items()))}")
+
+    print("\n== Exfiltration flows (sinks: export/email/http) ==")
+    for flow in trod.taint.find_flows(["users"]):
+        print(
+            f"   {flow.req_id} {flow.handler}: {flow.hops}-hop flow from"
+            f" {flow.sources} to channel {flow.sinks[0]['Channel']!r}"
+        )
+        print(f"      exported payload: {flow.sinks[0]['Payload'][:70]}...")
+
+    print("\n== Forensics: everything the harvesting request touched ==")
+    record = trod.taint.track_request("R7")
+    print(f"   workflow: {record['workflow']}")
+    print(f"   read:     {record['tables_read']}")
+    print(f"   wrote:    {record['tables_written']}")
+    print(
+        "   note: benign checkout/report emails were NOT flagged —"
+        " only the tainted chain."
+    )
+
+
+if __name__ == "__main__":
+    profiles_demo()
+    exfiltration_demo()

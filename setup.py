@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs fail with "invalid command 'bdist_wheel'".
+This shim lets ``pip install -e . --no-use-pep517`` use the legacy
+``setup.py develop`` path instead. Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

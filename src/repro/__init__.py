@@ -1,0 +1,13 @@
+"""repro — a reproduction of "Transactions Make Debugging Easy" (CIDR'23).
+
+The package is layered exactly like the paper's system:
+
+* :mod:`repro.db` — the transactional SQL substrate (P1/P2)
+* :mod:`repro.runtime` — the DBOS-style deterministic handler runtime (P3)
+* :mod:`repro.core` — TROD itself: tracing, provenance, declarative
+  debugging, bug replay, and retroactive programming
+* :mod:`repro.apps` — the paper's case-study applications
+* :mod:`repro.workload` — workload generators and measurement harness
+"""
+
+__version__ = "1.0.0"

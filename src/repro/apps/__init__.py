@@ -1,0 +1,27 @@
+"""Case-study applications from the paper's evaluation (§2, §4).
+
+Each module builds a database schema and registers request handlers —
+including the *buggy* handlers reconstructed from the cited bug reports
+and their fixed variants used for retroactive testing:
+
+* :mod:`repro.apps.moodle` — forum subscriptions (MDL-59854 TOCTOU race)
+  and course restore (MDL-60669 patch regression)
+* :mod:`repro.apps.mediawiki` — concurrent page edits (MW-44325 duplicate
+  sitelinks, MW-39225 wrong article size deltas)
+* :mod:`repro.apps.ecommerce` — checkout microservice workflow, used for
+  the tracing-overhead benchmark and the exfiltration case study
+* :mod:`repro.apps.profiles` — user-profile service for the §4.2
+  access-control patterns
+"""
+
+from repro.apps.moodle import build_moodle_app
+from repro.apps.mediawiki import build_mediawiki_app
+from repro.apps.ecommerce import build_ecommerce_app
+from repro.apps.profiles import build_profiles_app
+
+__all__ = [
+    "build_ecommerce_app",
+    "build_mediawiki_app",
+    "build_moodle_app",
+    "build_profiles_app",
+]

@@ -1,0 +1,248 @@
+"""E-commerce microservices application (§3.1, §4.2).
+
+The checkout path is a *workflow* of handler invocations — the paper's
+motivating application shape ("to serve a single user request, a request
+handler may invoke multiple other request handlers through RPCs"). It is
+used by two experiments:
+
+* **E7 (tracing overhead)** — checkout exercises four handlers and five
+  transactions per request, a realistic per-request trace volume;
+* **E14 (exfiltration)** — ``harvestData`` reads the sensitive ``users``
+  table and stages it in an innocuous table; a *separate* request
+  (``exportReport``) later reads the staging table and emits it on an
+  external channel. Catching this requires the multi-hop workflow taint
+  tracking of §4.2.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import Database
+from repro.runtime.context import RequestContext
+from repro.runtime.workflow import Runtime
+
+EVENT_NAMES = {
+    "users": "UserEvents",
+    "carts": "CartEvents",
+    "cart_items": "CartItemEvents",
+    "inventory": "InventoryEvents",
+    "orders": "OrderEvents",
+    "payments": "PaymentEvents",
+    "staging": "StagingEvents",
+}
+
+
+def create_schema(db: Database) -> None:
+    db.execute(
+        "CREATE TABLE users ("
+        " userId TEXT NOT NULL, email TEXT NOT NULL, creditCard TEXT)"
+    )
+    db.execute(
+        "CREATE TABLE carts (cartId TEXT NOT NULL, userId TEXT NOT NULL)"
+    )
+    db.execute(
+        "CREATE TABLE cart_items ("
+        " cartId TEXT NOT NULL, sku TEXT NOT NULL,"
+        " qty INTEGER NOT NULL, price FLOAT NOT NULL)"
+    )
+    db.execute(
+        "CREATE TABLE inventory (sku TEXT NOT NULL, stock INTEGER NOT NULL)"
+    )
+    db.execute(
+        "CREATE TABLE orders ("
+        " orderId TEXT NOT NULL, cartId TEXT NOT NULL,"
+        " userId TEXT NOT NULL, total FLOAT NOT NULL, status TEXT NOT NULL)"
+    )
+    db.execute(
+        "CREATE TABLE payments ("
+        " paymentId TEXT NOT NULL, orderId TEXT NOT NULL,"
+        " amount FLOAT NOT NULL, status TEXT NOT NULL)"
+    )
+    db.execute("CREATE TABLE staging (key TEXT NOT NULL, value TEXT)")
+
+
+# ---------------------------------------------------------------------------
+# Setup handlers
+# ---------------------------------------------------------------------------
+
+
+def register_user(ctx: RequestContext, user_id: str, email: str, credit_card: str) -> str:
+    with ctx.txn(label="insertUser") as t:
+        t.execute(
+            "INSERT INTO users (userId, email, creditCard) VALUES (?, ?, ?)",
+            (user_id, email, credit_card),
+        )
+    return user_id
+
+
+def restock(ctx: RequestContext, sku: str, amount: int) -> int:
+    with ctx.txn(label="restock") as t:
+        existing = t.execute(
+            "SELECT stock FROM inventory WHERE sku = ?", (sku,)
+        )
+        if existing.rows:
+            new_stock = existing.rows[0][0] + amount
+            t.execute(
+                "UPDATE inventory SET stock = ? WHERE sku = ?", (new_stock, sku)
+            )
+        else:
+            new_stock = amount
+            t.execute(
+                "INSERT INTO inventory (sku, stock) VALUES (?, ?)", (sku, amount)
+            )
+    return new_stock
+
+
+def add_to_cart(
+    ctx: RequestContext, cart_id: str, user_id: str, sku: str, qty: int, price: float
+) -> str:
+    with ctx.txn(label="addToCart") as t:
+        existing = t.execute(
+            "SELECT * FROM carts WHERE cartId = ?", (cart_id,)
+        )
+        if not existing.rows:
+            t.execute(
+                "INSERT INTO carts (cartId, userId) VALUES (?, ?)",
+                (cart_id, user_id),
+            )
+        t.execute(
+            "INSERT INTO cart_items (cartId, sku, qty, price)"
+            " VALUES (?, ?, ?, ?)",
+            (cart_id, sku, qty, price),
+        )
+    return cart_id
+
+
+# ---------------------------------------------------------------------------
+# Checkout workflow (the RPC chain)
+# ---------------------------------------------------------------------------
+
+
+def checkout(ctx: RequestContext, cart_id: str, user_id: str) -> dict:
+    """Root handler: validate -> reserve -> charge -> order, all via RPC."""
+    total = ctx.call("validateCart", cart_id, user_id)
+    ctx.call("reserveInventory", cart_id)
+    order_id = f"order-{cart_id}"
+    payment_id = ctx.call("chargePayment", order_id, total)
+    ctx.call("createOrder", order_id, cart_id, user_id, total)
+    ctx.emit("email", {"to": user_id, "subject": f"receipt for {order_id}"})
+    return {"orderId": order_id, "paymentId": payment_id, "total": total}
+
+
+def validate_cart(ctx: RequestContext, cart_id: str, user_id: str) -> float:
+    with ctx.txn(label="validateCart") as t:
+        carts = t.execute(
+            "SELECT userId FROM carts WHERE cartId = ?", (cart_id,)
+        )
+        if not carts.rows:
+            ctx.fail(f"no such cart {cart_id!r}")
+        if carts.rows[0][0] != user_id:
+            ctx.fail(f"cart {cart_id!r} does not belong to {user_id!r}")
+        total = t.execute(
+            "SELECT COALESCE(SUM(qty * price), 0.0) FROM cart_items"
+            " WHERE cartId = ?",
+            (cart_id,),
+        ).scalar()
+    return float(total)
+
+
+def reserve_inventory(ctx: RequestContext, cart_id: str) -> int:
+    with ctx.txn(label="reserveInventory") as t:
+        items = t.execute(
+            "SELECT sku, qty FROM cart_items WHERE cartId = ?", (cart_id,)
+        ).rows
+        for sku, qty in items:
+            stock_rows = t.execute(
+                "SELECT stock FROM inventory WHERE sku = ?", (sku,)
+            ).rows
+            stock = stock_rows[0][0] if stock_rows else 0
+            if stock < qty:
+                ctx.fail(f"insufficient stock for {sku!r}: {stock} < {qty}")
+            t.execute(
+                "UPDATE inventory SET stock = ? WHERE sku = ?",
+                (stock - qty, sku),
+            )
+    return len(items)
+
+
+def charge_payment(ctx: RequestContext, order_id: str, amount: float) -> str:
+    payment_id = f"pay-{order_id}"
+    with ctx.txn(label="chargePayment") as t:
+        t.execute(
+            "INSERT INTO payments (paymentId, orderId, amount, status)"
+            " VALUES (?, ?, ?, 'charged')",
+            (payment_id, order_id, amount),
+        )
+    return payment_id
+
+
+def create_order(
+    ctx: RequestContext, order_id: str, cart_id: str, user_id: str, total: float
+) -> str:
+    with ctx.txn(label="createOrder") as t:
+        t.execute(
+            "INSERT INTO orders (orderId, cartId, userId, total, status)"
+            " VALUES (?, ?, ?, ?, 'placed')",
+            (order_id, cart_id, user_id, total),
+        )
+    return order_id
+
+
+def order_status(ctx: RequestContext, order_id: str) -> str | None:
+    with ctx.txn(label="orderStatus") as t:
+        rows = t.execute(
+            "SELECT status FROM orders WHERE orderId = ?", (order_id,)
+        ).rows
+    return rows[0][0] if rows else None
+
+
+# ---------------------------------------------------------------------------
+# Attack path (E14): lateral movement through the database
+# ---------------------------------------------------------------------------
+
+
+def harvest_data(ctx: RequestContext, tag: str) -> int:
+    """Compromised handler: copies sensitive data into an innocuous table."""
+    with ctx.txn(label="readUsers") as t:
+        rows = t.execute("SELECT userId, creditCard FROM users").rows
+    with ctx.txn(label="stageData") as t:
+        for user_id, card in rows:
+            t.execute(
+                "INSERT INTO staging (key, value) VALUES (?, ?)",
+                (f"{tag}:{user_id}", card),
+            )
+    return len(rows)
+
+
+def export_report(ctx: RequestContext, tag: str) -> int:
+    """Seemingly valid reporting workflow that exfiltrates staged data."""
+    with ctx.txn(label="readStaging") as t:
+        rows = t.execute(
+            "SELECT key, value FROM staging WHERE key LIKE ?", (f"{tag}:%",)
+        ).rows
+    ctx.emit("export", {"tag": tag, "rows": [list(r) for r in rows]})
+    return len(rows)
+
+
+def weekly_report(ctx: RequestContext) -> int:
+    """Benign reporting workflow (control for the taint analysis)."""
+    with ctx.txn(label="countOrders") as t:
+        count = t.execute("SELECT COUNT(*) FROM orders").scalar()
+    ctx.emit("email", {"to": "ops", "subject": f"{count} orders this week"})
+    return count
+
+
+def build_ecommerce_app(db: Database, runtime: Runtime) -> dict[str, str]:
+    create_schema(db)
+    runtime.register("registerUser", register_user)
+    runtime.register("restock", restock)
+    runtime.register("addToCart", add_to_cart)
+    runtime.register("checkout", checkout)
+    runtime.register("validateCart", validate_cart)
+    runtime.register("reserveInventory", reserve_inventory)
+    runtime.register("chargePayment", charge_payment)
+    runtime.register("createOrder", create_order)
+    runtime.register("orderStatus", order_status)
+    runtime.register("harvestData", harvest_data)
+    runtime.register("exportReport", export_report)
+    runtime.register("weeklyReport", weekly_report)
+    return dict(EVENT_NAMES)

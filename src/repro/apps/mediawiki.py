@@ -1,0 +1,217 @@
+"""MediaWiki-like page editing application (§4.1).
+
+Reimplements the transaction structure of two real MediaWiki bugs:
+
+* **MW-44325** — concurrent edits of the same page can create duplicate
+  site-URL links, violating an application-level uniqueness requirement.
+  The cause is a non-atomic update: the edit handler checks for an
+  existing link in one transaction and inserts it in a later one.
+* **MW-39225** — the edit handler computes the revision's size delta from
+  a page size read in an *earlier* transaction; interleaved edits make
+  the stored deltas inconsistent with the actual size changes, so page
+  histories show wrong article size changes.
+
+``edit_page`` exhibits both bugs at once (they share the non-atomic
+structure); ``edit_page_fixed`` performs the whole edit in one
+transaction.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import Database
+from repro.runtime.context import RequestContext
+from repro.runtime.workflow import Runtime
+
+EVENT_NAMES = {
+    "pages": "PageEvents",
+    "site_links": "SiteLinkEvents",
+    "revisions": "RevisionEvents",
+}
+
+
+def create_schema(db: Database) -> None:
+    db.execute(
+        "CREATE TABLE pages ("
+        " pageId TEXT NOT NULL, title TEXT, content TEXT,"
+        " size INTEGER NOT NULL)"
+    )
+    # Uniqueness of (pageId, url) is an application-level requirement,
+    # not a constraint — exactly why MW-44325 corrupts silently.
+    db.execute(
+        "CREATE TABLE site_links (pageId TEXT NOT NULL, url TEXT NOT NULL)"
+    )
+    db.execute(
+        "CREATE TABLE revisions ("
+        " revId INTEGER NOT NULL, pageId TEXT NOT NULL,"
+        " newSize INTEGER NOT NULL, sizeDelta INTEGER NOT NULL)"
+    )
+
+
+def create_page(ctx: RequestContext, page_id: str, title: str, content: str) -> str:
+    with ctx.txn(label="createPage") as t:
+        t.execute(
+            "INSERT INTO pages (pageId, title, content, size) VALUES (?, ?, ?, ?)",
+            (page_id, title, content, len(content)),
+        )
+    return page_id
+
+
+def edit_page(
+    ctx: RequestContext,
+    page_id: str,
+    new_content: str,
+    link_url: str | None = None,
+) -> dict:
+    """The buggy, non-atomic edit (MW-44325 + MW-39225).
+
+    Transaction 1 reads the current size and checks the link; transaction
+    2 updates the page; transaction 3 records a revision whose delta uses
+    the *stale* size from transaction 1 and inserts the link based on the
+    stale existence check.
+    """
+    with ctx.txn(label="readPage") as t:
+        rows = t.execute("SELECT size FROM pages WHERE pageId = ?", (page_id,))
+        if not rows.rows:
+            ctx.fail(f"no such page {page_id!r}")
+        old_size = rows.rows[0][0]
+        link_missing = False
+        if link_url is not None:
+            links = t.execute(
+                "SELECT * FROM site_links WHERE pageId = ? AND url = ?",
+                (page_id, link_url),
+            )
+            link_missing = len(links) == 0
+        next_rev = (
+            t.execute(
+                "SELECT COALESCE(MAX(revId), 0) + 1 FROM revisions"
+                " WHERE pageId = ?",
+                (page_id,),
+            ).scalar()
+        )
+    new_size = len(new_content)
+    with ctx.txn(label="writePage") as t:
+        t.execute(
+            "UPDATE pages SET content = ?, size = ? WHERE pageId = ?",
+            (new_content, new_size, page_id),
+        )
+    with ctx.txn(label="recordRevision") as t:
+        t.execute(
+            "INSERT INTO revisions (revId, pageId, newSize, sizeDelta)"
+            " VALUES (?, ?, ?, ?)",
+            (next_rev, page_id, new_size, new_size - old_size),
+        )
+        if link_url is not None and link_missing:
+            t.execute(
+                "INSERT INTO site_links (pageId, url) VALUES (?, ?)",
+                (page_id, link_url),
+            )
+    return {"revId": next_rev, "sizeDelta": new_size - old_size}
+
+
+def edit_page_fixed(
+    ctx: RequestContext,
+    page_id: str,
+    new_content: str,
+    link_url: str | None = None,
+) -> dict:
+    """The atomic edit: read, update, revision, and link in one transaction."""
+    with ctx.txn(label="editPageAtomic") as t:
+        rows = t.execute("SELECT size FROM pages WHERE pageId = ?", (page_id,))
+        if not rows.rows:
+            ctx.fail(f"no such page {page_id!r}")
+        old_size = rows.rows[0][0]
+        new_size = len(new_content)
+        t.execute(
+            "UPDATE pages SET content = ?, size = ? WHERE pageId = ?",
+            (new_content, new_size, page_id),
+        )
+        next_rev = (
+            t.execute(
+                "SELECT COALESCE(MAX(revId), 0) + 1 FROM revisions"
+                " WHERE pageId = ?",
+                (page_id,),
+            ).scalar()
+        )
+        t.execute(
+            "INSERT INTO revisions (revId, pageId, newSize, sizeDelta)"
+            " VALUES (?, ?, ?, ?)",
+            (next_rev, page_id, new_size, new_size - old_size),
+        )
+        if link_url is not None:
+            links = t.execute(
+                "SELECT * FROM site_links WHERE pageId = ? AND url = ?",
+                (page_id, link_url),
+            )
+            if len(links) == 0:
+                t.execute(
+                    "INSERT INTO site_links (pageId, url) VALUES (?, ?)",
+                    (page_id, link_url),
+                )
+    return {"revId": next_rev, "sizeDelta": new_size - old_size}
+
+
+def fetch_site_links(ctx: RequestContext, page_id: str) -> list[str]:
+    """Raises on duplicate links — the MW-44325 symptom."""
+    with ctx.txn(label="fetchSiteLinks") as t:
+        rows = t.execute(
+            "SELECT url FROM site_links WHERE pageId = ?", (page_id,)
+        )
+    urls = [row[0] for row in rows]
+    if len(urls) != len(set(urls)):
+        ctx.fail(f"duplicate site links for page {page_id!r}: {sorted(urls)}")
+    return urls
+
+
+def page_history(ctx: RequestContext, page_id: str) -> list[dict]:
+    with ctx.txn(label="pageHistory") as t:
+        rows = t.execute(
+            "SELECT revId, newSize, sizeDelta FROM revisions"
+            " WHERE pageId = ? ORDER BY revId",
+            (page_id,),
+        )
+    return [
+        {"revId": r[0], "newSize": r[1], "sizeDelta": r[2]} for r in rows
+    ]
+
+
+def check_size_consistency(ctx: RequestContext, page_id: str, initial_size: int) -> bool:
+    """MW-39225 detector: do the recorded deltas add up to the final size?
+
+    Consistent histories satisfy ``initial + sum(deltas) == final size``
+    and each revision's ``newSize - sizeDelta`` equals the previous
+    revision's ``newSize``.
+    """
+    with ctx.txn(label="checkSizes") as t:
+        history = t.execute(
+            "SELECT revId, newSize, sizeDelta FROM revisions"
+            " WHERE pageId = ? ORDER BY revId",
+            (page_id,),
+        ).rows
+        current = t.execute(
+            "SELECT size FROM pages WHERE pageId = ?", (page_id,)
+        ).scalar()
+    running = initial_size
+    for _rev_id, new_size, delta in history:
+        if running + delta != new_size:
+            ctx.fail(
+                f"inconsistent size history for {page_id!r}: revision "
+                f"expected base {new_size - delta}, actual {running}"
+            )
+        running = new_size
+    if running != current:
+        ctx.fail(
+            f"size history of {page_id!r} ends at {running}, "
+            f"but page size is {current}"
+        )
+    return True
+
+
+def build_mediawiki_app(db: Database, runtime: Runtime) -> dict[str, str]:
+    create_schema(db)
+    runtime.register("createPage", create_page)
+    runtime.register("editPage", edit_page)
+    runtime.register("editPageFixed", edit_page_fixed)
+    runtime.register("fetchSiteLinks", fetch_site_links)
+    runtime.register("pageHistory", page_history)
+    runtime.register("checkSizeConsistency", check_size_consistency)
+    return dict(EVENT_NAMES)

@@ -1,0 +1,179 @@
+"""Moodle-like forum application (§2, §4.1).
+
+Reimplements the transaction structure of two real Moodle bugs:
+
+* **MDL-59854** — ``subscribeUser`` checks for an existing subscription in
+  one transaction and inserts in a second one; two interleaved requests
+  for the same (user, forum) both pass the check and both insert,
+  creating duplicates that only surface later when ``fetchSubscribers``
+  trips over them. ``subscribe_user_fixed`` wraps check+insert in one
+  transaction (the fix one developer suggested in the bug thread).
+* **MDL-60669** — the regression caused by the MDL-59854 patch: restoring
+  a deleted course fails when duplicate subscriptions already exist in
+  its forums. ``restore_course`` raises exactly in that corner case, so
+  retroactive testing of the subscription fix against requests that touch
+  the same table exposes it before production would.
+
+The ``forum_sub`` table deliberately has **no** unique constraint — as in
+Moodle, uniqueness was an application-level assumption, which is why the
+race corrupts data silently.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import Database
+from repro.runtime.context import RequestContext
+from repro.runtime.workflow import Runtime
+
+#: Event-table names matching the paper's examples (Table 2 uses
+#: "ForumEvents" for the forum subscription table).
+EVENT_NAMES = {
+    "forum_sub": "ForumEvents",
+    "courses": "CourseEvents",
+    "course_forums": "CourseForumEvents",
+}
+
+
+def create_schema(db: Database) -> None:
+    db.execute(
+        "CREATE TABLE forum_sub (userId TEXT NOT NULL, forum TEXT NOT NULL)"
+    )
+    db.execute(
+        "CREATE TABLE courses ("
+        " courseId TEXT NOT NULL, name TEXT, status TEXT NOT NULL)"
+    )
+    db.execute(
+        "CREATE TABLE course_forums ("
+        " courseId TEXT NOT NULL, forum TEXT NOT NULL)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Handlers (buggy originals)
+# ---------------------------------------------------------------------------
+
+
+def subscribe_user(ctx: RequestContext, user_id: str, forum: str) -> bool:
+    """The MDL-59854 TOCTOU bug: check and insert in separate transactions."""
+    with ctx.txn(label="isSubscribed") as t:
+        existing = t.execute(
+            "SELECT * FROM forum_sub WHERE userId = ? AND forum = ?",
+            (user_id, forum),
+        )
+        if len(existing) > 0:
+            return True
+    with ctx.txn(label="DB.insert") as t:
+        t.execute(
+            "INSERT INTO forum_sub (userId, forum) VALUES (?, ?)",
+            (user_id, forum),
+        )
+    return True
+
+
+def subscribe_user_fixed(ctx: RequestContext, user_id: str, forum: str) -> bool:
+    """The fix: isSubscribed and DB.insert wrapped in one transaction."""
+    with ctx.txn(label="subscribeAtomic") as t:
+        existing = t.execute(
+            "SELECT * FROM forum_sub WHERE userId = ? AND forum = ?",
+            (user_id, forum),
+        )
+        if len(existing) == 0:
+            t.execute(
+                "INSERT INTO forum_sub (userId, forum) VALUES (?, ?)",
+                (user_id, forum),
+            )
+    return True
+
+
+def unsubscribe_user(ctx: RequestContext, user_id: str, forum: str) -> int:
+    with ctx.txn(label="DB.delete") as t:
+        result = t.execute(
+            "DELETE FROM forum_sub WHERE userId = ? AND forum = ?",
+            (user_id, forum),
+        )
+    return result.rowcount
+
+
+def fetch_subscribers(ctx: RequestContext, forum: str) -> list[str]:
+    """Raises when it sees duplicates — the error MDL-59854 reports."""
+    with ctx.txn(label="DB.executeQuery") as t:
+        rows = t.execute(
+            "SELECT userId FROM forum_sub WHERE forum = ?", (forum,)
+        )
+    users = [row[0] for row in rows]
+    if len(users) != len(set(users)):
+        ctx.fail(f"duplicated values in column userId: {sorted(users)}")
+    return users
+
+
+# ---------------------------------------------------------------------------
+# Course lifecycle (MDL-60669)
+# ---------------------------------------------------------------------------
+
+
+def create_course(ctx: RequestContext, course_id: str, name: str, forums: list[str]) -> str:
+    with ctx.txn(label="createCourse") as t:
+        t.execute(
+            "INSERT INTO courses (courseId, name, status) VALUES (?, ?, 'active')",
+            (course_id, name),
+        )
+        for forum in forums:
+            t.execute(
+                "INSERT INTO course_forums (courseId, forum) VALUES (?, ?)",
+                (course_id, forum),
+            )
+    return course_id
+
+
+def delete_course(ctx: RequestContext, course_id: str) -> bool:
+    """Soft-delete; subscriptions are deliberately left behind (as Moodle does)."""
+    with ctx.txn(label="deleteCourse") as t:
+        result = t.execute(
+            "UPDATE courses SET status = 'deleted' WHERE courseId = ?",
+            (course_id,),
+        )
+    return result.rowcount > 0
+
+
+def restore_course(ctx: RequestContext, course_id: str) -> bool:
+    """MDL-60669: restore fails when a course forum holds duplicate subs.
+
+    The MDL-59854 patch added strictness that this path did not expect;
+    restoring a course whose forums contain pre-existing duplicates now
+    raises in production.
+    """
+    with ctx.txn(label="restoreCourse") as t:
+        forums = t.execute(
+            "SELECT forum FROM course_forums WHERE courseId = ?", (course_id,)
+        )
+        for (forum,) in forums:
+            subs = t.execute(
+                "SELECT userId FROM forum_sub WHERE forum = ?", (forum,)
+            )
+            users = [row[0] for row in subs]
+            if len(users) != len(set(users)):
+                ctx.fail(
+                    f"course restore failed: duplicate subscriptions in "
+                    f"forum {forum!r}: {sorted(users)}"
+                )
+        t.execute(
+            "UPDATE courses SET status = 'active' WHERE courseId = ?",
+            (course_id,),
+        )
+    return True
+
+
+# ---------------------------------------------------------------------------
+
+
+def build_moodle_app(db: Database, runtime: Runtime) -> dict[str, str]:
+    """Create the schema, register handlers; returns TROD event-name map."""
+    create_schema(db)
+    runtime.register("subscribeUser", subscribe_user)
+    runtime.register("subscribeUserFixed", subscribe_user_fixed)
+    runtime.register("unsubscribeUser", unsubscribe_user)
+    runtime.register("fetchSubscribers", fetch_subscribers)
+    runtime.register("createCourse", create_course)
+    runtime.register("deleteCourse", delete_course)
+    runtime.register("restoreCourse", restore_course)
+    return dict(EVENT_NAMES)

@@ -1,0 +1,126 @@
+"""User-profile service for the §4.2 access-control patterns.
+
+Near & Jackson's patterns, as the paper demonstrates them:
+
+* **User Profiles** — only users themselves can update their profiles.
+  ``update_profile`` enforces this; ``update_profile_insecure`` does not,
+  and the paper's SQL query over ``ProfileEvents`` finds its traces.
+* **Authentication** — only logged-in users may read certain objects.
+  ``read_messages`` forgets the check; unauthenticated reads show up as
+  ``Executions`` rows with a NULL ``AuthUser`` joined to read events.
+
+The ``profiles`` table uses the paper's exact column names (``UserName``,
+``UpdatedBy``) so the §4.2 query runs verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import Database
+from repro.runtime.context import RequestContext
+from repro.runtime.workflow import Runtime
+
+EVENT_NAMES = {
+    "profiles": "ProfileEvents",
+    "messages": "MessageEvents",
+}
+
+
+def create_schema(db: Database) -> None:
+    db.execute(
+        "CREATE TABLE profiles ("
+        " UserName TEXT NOT NULL, Email TEXT, Bio TEXT, UpdatedBy TEXT)"
+    )
+    db.execute(
+        "CREATE TABLE messages ("
+        " msgId TEXT NOT NULL, recipient TEXT NOT NULL, body TEXT)"
+    )
+
+
+def create_profile(ctx: RequestContext, user_name: str, email: str) -> str:
+    with ctx.txn(label="createProfile") as t:
+        t.execute(
+            "INSERT INTO profiles (UserName, Email, Bio, UpdatedBy)"
+            " VALUES (?, ?, '', ?)",
+            (user_name, email, user_name),
+        )
+    return user_name
+
+
+def update_profile(ctx: RequestContext, user_name: str, bio: str) -> bool:
+    """Secure variant: enforces the User Profiles pattern."""
+    if ctx.auth_user != user_name:
+        ctx.fail(
+            f"user {ctx.auth_user!r} may not update profile of {user_name!r}"
+        )
+    with ctx.txn(label="updateProfile") as t:
+        t.execute(
+            "UPDATE profiles SET Bio = ?, UpdatedBy = ? WHERE UserName = ?",
+            (bio, ctx.auth_user, user_name),
+        )
+    return True
+
+
+def update_profile_insecure(ctx: RequestContext, user_name: str, bio: str) -> bool:
+    """Buggy variant: any authenticated user can update any profile."""
+    with ctx.txn(label="updateProfile") as t:
+        t.execute(
+            "UPDATE profiles SET Bio = ?, UpdatedBy = ? WHERE UserName = ?",
+            (bio, ctx.auth_user, user_name),
+        )
+    return True
+
+
+def view_profile(ctx: RequestContext, user_name: str) -> dict | None:
+    with ctx.txn(label="viewProfile") as t:
+        rows = t.execute(
+            "SELECT UserName, Email, Bio FROM profiles WHERE UserName = ?",
+            (user_name,),
+        ).rows
+    if not rows:
+        return None
+    return {"UserName": rows[0][0], "Email": rows[0][1], "Bio": rows[0][2]}
+
+
+def send_message(ctx: RequestContext, msg_id: str, recipient: str, body: str) -> str:
+    with ctx.txn(label="sendMessage") as t:
+        t.execute(
+            "INSERT INTO messages (msgId, recipient, body) VALUES (?, ?, ?)",
+            (msg_id, recipient, body),
+        )
+    return msg_id
+
+
+def read_messages(ctx: RequestContext, recipient: str) -> list[str]:
+    """Buggy variant: no login check — the Authentication pattern's target.
+
+    A correct implementation would reject ``ctx.auth_user is None``.
+    """
+    with ctx.txn(label="readMessages") as t:
+        rows = t.execute(
+            "SELECT body FROM messages WHERE recipient = ?", (recipient,)
+        ).rows
+    return [row[0] for row in rows]
+
+
+def read_messages_secure(ctx: RequestContext, recipient: str) -> list[str]:
+    if ctx.auth_user is None:
+        ctx.fail("authentication required")
+    if ctx.auth_user != recipient:
+        ctx.fail(f"user {ctx.auth_user!r} may not read {recipient!r}'s messages")
+    with ctx.txn(label="readMessages") as t:
+        rows = t.execute(
+            "SELECT body FROM messages WHERE recipient = ?", (recipient,)
+        ).rows
+    return [row[0] for row in rows]
+
+
+def build_profiles_app(db: Database, runtime: Runtime) -> dict[str, str]:
+    create_schema(db)
+    runtime.register("createProfile", create_profile)
+    runtime.register("updateProfile", update_profile)
+    runtime.register("updateProfileInsecure", update_profile_insecure)
+    runtime.register("viewProfile", view_profile)
+    runtime.register("sendMessage", send_message)
+    runtime.register("readMessages", read_messages)
+    runtime.register("readMessagesSecure", read_messages_secure)
+    return dict(EVENT_NAMES)

@@ -1,0 +1,72 @@
+"""High-performance in-memory trace buffer.
+
+§3.7: "we implement always-on tracing using a high-performance in-memory
+buffer". Appends must be as close to free as possible because they sit on
+the request hot path; draining to the provenance database happens out of
+band. The buffer is a bounded ring: when full, it either signals that a
+flush is needed or (in ``drop_oldest`` mode) overwrites the oldest
+entries, counting the drops.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class TraceBuffer:
+    """Bounded append-only event buffer with O(1) append."""
+
+    def __init__(self, capacity: int = 65536, drop_oldest: bool = False):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.drop_oldest = drop_oldest
+        self._items: list[Any] = []
+        self.appended = 0
+        self.dropped = 0
+        self.flushes = 0
+
+    def append(self, event: Any) -> bool:
+        """Add one event; returns True when the buffer wants a flush."""
+        self.appended += 1
+        if len(self._items) >= self.capacity:
+            if self.drop_oldest:
+                self._items.pop(0)
+                self.dropped += 1
+            else:
+                self._items.append(event)
+                return True
+        self._items.append(event)
+        return len(self._items) >= self.capacity
+
+    def extend(self, events: list[Any]) -> bool:
+        need_flush = False
+        for event in events:
+            need_flush = self.append(event) or need_flush
+        return need_flush
+
+    def drain(self) -> list[Any]:
+        """Remove and return everything buffered (oldest first)."""
+        items = self._items
+        self._items = []
+        self.flushes += 1
+        return items
+
+    def peek(self) -> list[Any]:
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def high_water(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "buffered": len(self._items),
+            "appended": self.appended,
+            "dropped": self.dropped,
+            "flushes": self.flushes,
+            "capacity": self.capacity,
+        }

@@ -1,0 +1,135 @@
+"""Interleaving enumeration for retroactive programming (§3.6).
+
+"Naively, there are a prohibitively large number of possible ways to
+interleave instructions among concurrent executions. However, since TROD
+requires handlers only share state through transactions, TROD can identify
+relevant transactions and enumerate possible re-execution orderings."
+
+A request's execution is a sequence of transaction *steps*; an ordering of
+a request set is an interleaving of those sequences. The naive count is the
+multinomial coefficient; conflict-based pruning generates only canonical
+representatives of Mazurkiewicz trace-equivalence classes: two adjacent
+steps that do not conflict (no shared table with a write) commute, so any
+interleaving can be normalized by sorting adjacent independent pairs by
+request index — we enumerate exactly the sequences with no adjacent
+independent inversion. Every equivalence class keeps at least one
+representative (repeatedly sorting adjacent independent inversions
+terminates), so pruning never loses a distinguishable behaviour at
+transaction granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import factorial
+from typing import Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class TxnStep:
+    """One transaction of one request, with its table footprint."""
+
+    req_index: int
+    ordinal: int  # 0-based position within its request
+    reads: frozenset[str] = frozenset()
+    writes: frozenset[str] = frozenset()
+
+    def conflicts_with(self, other: "TxnStep") -> bool:
+        """Steps conflict when one writes a table the other touches."""
+        if self.writes & (other.reads | other.writes):
+            return True
+        if other.writes & (self.reads | self.writes):
+            return True
+        return False
+
+
+def naive_interleaving_count(lengths: Sequence[int]) -> int:
+    """Number of interleavings of sequences with the given lengths."""
+    total = sum(lengths)
+    count = factorial(total)
+    for length in lengths:
+        count //= factorial(length)
+    return count
+
+
+def enumerate_interleavings(
+    seqs: Sequence[Sequence[TxnStep]],
+    prune: bool = True,
+    cap: int | None = None,
+) -> tuple[list[list[int]], bool]:
+    """All interleavings of ``seqs`` as lists of request indices.
+
+    With ``prune`` (the default), only canonical representatives of
+    conflict-equivalence classes are produced. ``cap`` bounds the output;
+    the second return value reports whether the enumeration was truncated.
+    """
+    results: list[list[int]] = []
+    truncated = False
+    for ordering in iter_interleavings(seqs, prune=prune):
+        if cap is not None and len(results) >= cap:
+            truncated = True
+            break
+        results.append(ordering)
+    return results, truncated
+
+
+def iter_interleavings(
+    seqs: Sequence[Sequence[TxnStep]], prune: bool = True
+) -> Iterator[list[int]]:
+    """Generator behind :func:`enumerate_interleavings`."""
+    n = len(seqs)
+    lengths = [len(s) for s in seqs]
+    total = sum(lengths)
+    if total == 0:
+        yield []
+        return
+    positions = [0] * n
+    chosen: list[int] = []
+    prev_steps: list[TxnStep | None] = [None]
+
+    def dfs() -> Iterator[list[int]]:
+        if len(chosen) == total:
+            yield list(chosen)
+            return
+        previous = prev_steps[-1]
+        for req in range(n):
+            pos = positions[req]
+            if pos >= lengths[req]:
+                continue
+            step = seqs[req][pos]
+            if (
+                prune
+                and previous is not None
+                and previous.req_index > req
+                and not previous.conflicts_with(step)
+            ):
+                # The swapped ordering (this step first) is equivalent and
+                # already enumerated; skip the non-canonical twin.
+                continue
+            positions[req] += 1
+            chosen.append(req)
+            prev_steps.append(step)
+            yield from dfs()
+            prev_steps.pop()
+            chosen.pop()
+            positions[req] -= 1
+
+    yield from dfs()
+
+
+def steps_from_footprints(
+    footprints: Sequence[Sequence[tuple[frozenset[str], frozenset[str]]]],
+) -> list[list[TxnStep]]:
+    """Build step sequences from per-request (reads, writes) footprints."""
+    return [
+        [
+            TxnStep(
+                req_index=req,
+                ordinal=i,
+                reads=frozenset(reads),
+                writes=frozenset(writes),
+            )
+            for i, (reads, writes) in enumerate(request)
+        ]
+        for req, request in enumerate(footprints)
+    ]

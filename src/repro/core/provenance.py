@@ -1,0 +1,478 @@
+"""TROD's provenance database (§3.4).
+
+Captured traces land in an *analytical* database — itself an instance of
+our engine — with the schema of the paper:
+
+* ``Executions`` (aliased as ``Invocations``, the name Table 1 uses):
+  one row per transaction, with request metadata.
+* ``<Table>Events``: one row per data operation on each traced app table
+  (Table 2), carrying the app table's own columns so reads and writes are
+  directly queryable. Base snapshots captured at attach time are stored as
+  ``Type = 'Snapshot'`` rows, which makes a past database state
+  reconstructible *from provenance alone* — the property bug replay needs.
+* ``Requests``, ``WorkflowEdges``, ``SideEffects``: request lifecycles,
+  RPC workflow edges, and recorded external effects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.core.events import (
+    DataEvent,
+    RequestEvent,
+    SideEffectEvent,
+    TraceEvent,
+    TxnEvent,
+    WorkflowEdgeEvent,
+)
+from repro.db.database import Database
+from repro.db.result import ResultSet
+from repro.db.schema import Column, TableSchema
+from repro.db.types import ColumnType
+from repro.errors import ProvenanceError
+
+#: Metadata columns prepended to every event table.
+_EVENT_META = [
+    ("TxnId", ColumnType.TEXT),
+    ("TxnNum", ColumnType.INTEGER),
+    ("Type", ColumnType.TEXT),
+    ("Query", ColumnType.TEXT),
+    ("Csn", ColumnType.INTEGER),
+    ("Seq", ColumnType.INTEGER),
+    ("RowId", ColumnType.INTEGER),
+]
+
+_WRITE_KINDS = ("Insert", "Update", "Delete")
+
+
+def default_event_table_name(table: str) -> str:
+    """forum_sub -> ForumSubEvents."""
+    camel = "".join(part.capitalize() for part in table.split("_"))
+    return f"{camel}Events"
+
+
+class ProvenanceStore:
+    """Ingests trace events and answers declarative debugging queries."""
+
+    def __init__(self, db: Database | None = None):
+        self.db = db or Database(name="provenance")
+        self._next_seq = 1
+        #: app table (canonical) -> event table name
+        self._event_tables: dict[str, str] = {}
+        #: app table (canonical) -> app TableSchema
+        self._app_schemas: dict[str, TableSchema] = {}
+        #: app table -> {app column -> event-table column}
+        self._column_maps: dict[str, dict[str, str]] = {}
+        self._create_base_tables()
+
+    # ------------------------------------------------------------------
+    # Schema management
+    # ------------------------------------------------------------------
+
+    def _create_base_tables(self) -> None:
+        self.db.execute(
+            "CREATE TABLE Executions ("
+            " TxnId TEXT NOT NULL, TxnNum INTEGER NOT NULL,"
+            " Timestamp INTEGER, HandlerName TEXT, ReqId TEXT,"
+            " Metadata TEXT, Isolation TEXT, Status TEXT,"
+            " Csn INTEGER, SnapshotCsn INTEGER, AuthUser TEXT)"
+        )
+        # The paper's Table 1 calls this table "Invocations" while its SQL
+        # queries say "Executions"; both names work here.
+        self.db.add_table_alias("Invocations", "Executions")
+        self.db.execute(
+            "CREATE TABLE Requests ("
+            " ReqId TEXT NOT NULL, HandlerName TEXT NOT NULL,"
+            " ArgsJson TEXT, KwargsJson TEXT, AuthUser TEXT,"
+            " StartTs INTEGER, EndTs INTEGER,"
+            " Status TEXT, Output TEXT, Error TEXT)"
+        )
+        self.db.execute(
+            "CREATE TABLE WorkflowEdges ("
+            " ReqId TEXT NOT NULL, Caller TEXT, Callee TEXT,"
+            " Seq INTEGER, Timestamp INTEGER)"
+        )
+        self.db.execute(
+            "CREATE TABLE SideEffects ("
+            " ReqId TEXT NOT NULL, HandlerName TEXT, Channel TEXT,"
+            " Payload TEXT, Timestamp INTEGER)"
+        )
+        self.db.execute(
+            "CREATE TABLE TraceSchemas ("
+            " TableName TEXT NOT NULL, EventTable TEXT NOT NULL, Ddl TEXT)"
+        )
+        self.db.create_index("ix_exec_txn", "Executions", ["TxnId"])
+        self.db.create_index("ix_exec_req", "Executions", ["ReqId"])
+        self.db.create_index("ix_req_id", "Requests", ["ReqId"])
+        self.db.create_index("ix_edges_req", "WorkflowEdges", ["ReqId"])
+
+    def register_app_table(
+        self, schema: TableSchema, event_table: str | None = None
+    ) -> str:
+        """Create the ``<Table>Events`` table for one traced app table."""
+        canonical = schema.name.lower()
+        if canonical in self._event_tables:
+            return self._event_tables[canonical]
+        name = event_table or default_event_table_name(schema.name)
+        meta_names = {m.lower() for m, _t in _EVENT_META}
+        column_map: dict[str, str] = {}
+        columns = [
+            Column(name=cname, col_type=ctype, nullable=(cname != "TxnId"))
+            for cname, ctype in _EVENT_META
+        ]
+        for col in schema.columns:
+            out_name = col.name
+            if out_name.lower() in meta_names:
+                out_name = f"{col.name}_"
+            column_map[col.name] = out_name
+            columns.append(Column(name=out_name, col_type=col.col_type, nullable=True))
+        self.db.create_table(TableSchema(name, columns))
+        self.db.create_index(f"ix_{name}_txn".lower(), name, ["TxnId"])
+        self._event_tables[canonical] = name
+        self._app_schemas[canonical] = schema
+        self._column_maps[canonical] = column_map
+        self.db.execute(
+            "INSERT INTO TraceSchemas (TableName, EventTable, Ddl) VALUES (?, ?, ?)",
+            (schema.name, name, schema.ddl()),
+        )
+        return name
+
+    def event_table_of(self, table: str) -> str:
+        try:
+            return self._event_tables[table.lower()]
+        except KeyError:
+            raise ProvenanceError(
+                f"table {table!r} is not traced (known: "
+                f"{sorted(self._event_tables)})"
+            ) from None
+
+    def app_schema(self, table: str) -> TableSchema:
+        try:
+            return self._app_schemas[table.lower()]
+        except KeyError:
+            raise ProvenanceError(f"table {table!r} is not traced") from None
+
+    def traced_tables(self) -> list[str]:
+        return [self._app_schemas[k].name for k in sorted(self._app_schemas)]
+
+    def create_app_tables_in(self, target: Database) -> None:
+        """Recreate every traced app table's schema in ``target`` (dev DB)."""
+        for key in sorted(self._app_schemas):
+            schema = self._app_schemas[key]
+            if not target.catalog.has_table(schema.name):
+                target.create_table(schema)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def capture_snapshot(
+        self, table: str, rows: Iterable[tuple[int, tuple]], csn: int
+    ) -> int:
+        """Record the full content of ``table`` as Type='Snapshot' events."""
+        schema = self.app_schema(table)
+        event_table = self.event_table_of(table)
+        column_map = self._column_maps[table.lower()]
+        txn = self.db.begin()
+        count = 0
+        try:
+            for row_id, values in rows:
+                record: dict[str, Any] = {
+                    "TxnId": "SNAPSHOT",
+                    "TxnNum": 0,
+                    "Type": "Snapshot",
+                    "Query": "base snapshot",
+                    "Csn": csn,
+                    "Seq": self._next_seq,
+                    "RowId": row_id,
+                }
+                self._next_seq += 1
+                for col, value in zip(schema.column_names, values):
+                    record[column_map[col]] = value
+                self.db.insert_row(event_table, record, txn=txn)
+                count += 1
+            txn.commit()
+        except Exception:
+            txn.abort()
+            raise
+        return count
+
+    def ingest(self, events: list[TraceEvent]) -> int:
+        """Store a batch of drained trace events in one transaction."""
+        if not events:
+            return 0
+        txn = self.db.begin()
+        try:
+            for event in events:
+                if isinstance(event, TxnEvent):
+                    self._ingest_txn(event, txn)
+                elif isinstance(event, DataEvent):
+                    self._ingest_data(event, txn)
+                elif isinstance(event, RequestEvent):
+                    self._ingest_request(event, txn)
+                elif isinstance(event, WorkflowEdgeEvent):
+                    self._ingest_edge(event, txn)
+                elif isinstance(event, SideEffectEvent):
+                    self._ingest_side_effect(event, txn)
+                else:  # pragma: no cover - event union is closed
+                    raise ProvenanceError(f"unknown event type {type(event)}")
+            txn.commit()
+        except Exception:
+            txn.abort()
+            raise
+        return len(events)
+
+    def _ingest_txn(self, event: TxnEvent, txn) -> None:
+        metadata = f"func:{event.label}" if event.label else ""
+        self.db.insert_row(
+            "Executions",
+            {
+                "TxnId": event.txn_name,
+                "TxnNum": event.txn_num,
+                "Timestamp": event.ts,
+                "HandlerName": event.handler,
+                "ReqId": event.req_id,
+                "Metadata": metadata,
+                "Isolation": event.isolation,
+                "Status": event.status,
+                "Csn": event.csn,
+                "SnapshotCsn": event.snapshot_csn,
+                "AuthUser": event.auth_user,
+            },
+            txn=txn,
+        )
+
+    def _ingest_data(self, event: DataEvent, txn) -> None:
+        table = event.table.lower()
+        if table not in self._event_tables:
+            # Untraced table (e.g. created after attach without a hook):
+            # skip rather than fail the whole batch.
+            return
+        record: dict[str, Any] = {
+            "TxnId": event.txn_name,
+            "TxnNum": event.txn_num,
+            "Type": event.kind,
+            "Query": event.query,
+            "Csn": event.csn,
+            "Seq": self._next_seq,
+            "RowId": event.row_id,
+        }
+        self._next_seq += 1
+        if event.values is not None:
+            column_map = self._column_maps[table]
+            for col, value in event.values.items():
+                record[column_map[col]] = value
+        self.db.insert_row(self._event_tables[table], record, txn=txn)
+
+    def _ingest_request(self, event: RequestEvent, txn) -> None:
+        self.db.insert_row(
+            "Requests",
+            {
+                "ReqId": event.req_id,
+                "HandlerName": event.handler,
+                "ArgsJson": json.dumps(list(event.args), default=repr),
+                "KwargsJson": json.dumps(event.kwargs, default=repr),
+                "AuthUser": event.auth_user,
+                "StartTs": event.start_ts,
+                "EndTs": event.end_ts,
+                "Status": event.status,
+                "Output": event.output_repr,
+                "Error": event.error,
+            },
+            txn=txn,
+        )
+
+    def _ingest_edge(self, event: WorkflowEdgeEvent, txn) -> None:
+        self.db.insert_row(
+            "WorkflowEdges",
+            {
+                "ReqId": event.req_id,
+                "Caller": event.caller,
+                "Callee": event.callee,
+                "Seq": event.seq,
+                "Timestamp": event.ts,
+            },
+            txn=txn,
+        )
+
+    def _ingest_side_effect(self, event: SideEffectEvent, txn) -> None:
+        self.db.insert_row(
+            "SideEffects",
+            {
+                "ReqId": event.req_id,
+                "HandlerName": event.handler,
+                "Channel": event.channel,
+                "Payload": event.payload_repr,
+                "Timestamp": event.ts,
+            },
+            txn=txn,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, sql: str, params: tuple = ()) -> ResultSet:
+        return self.db.execute(sql, params)
+
+    def txns_of_request(self, req_id: str, committed_only: bool = True) -> list[dict]:
+        """This request's transactions in commit order."""
+        sql = (
+            "SELECT TxnId, TxnNum, Timestamp, HandlerName, Metadata, Csn,"
+            " SnapshotCsn, Isolation, Status"
+            " FROM Executions WHERE ReqId = ?"
+        )
+        if committed_only:
+            sql += " AND Status = 'Committed'"
+        sql += " ORDER BY Csn ASC, TxnNum ASC"
+        return self.query(sql, (req_id,)).as_dicts()
+
+    def request_row(self, req_id: str) -> dict:
+        rows = self.query(
+            "SELECT * FROM Requests WHERE ReqId = ?", (req_id,)
+        ).as_dicts()
+        if not rows:
+            raise ProvenanceError(f"no traced request {req_id!r}")
+        return rows[0]
+
+    def request_args(self, req_id: str) -> tuple[str, tuple, dict, str | None]:
+        """(handler, args, kwargs, auth_user) needed to re-execute a request."""
+        row = self.request_row(req_id)
+        args = tuple(json.loads(row["ArgsJson"] or "[]"))
+        kwargs = dict(json.loads(row["KwargsJson"] or "{}"))
+        return row["HandlerName"], args, kwargs, row["AuthUser"]
+
+    def writes_between(
+        self,
+        low_csn: int,
+        high_csn: int,
+        tables: Iterable[str] | None = None,
+        exclude_req: str | None = None,
+    ) -> list[dict]:
+        """Committed write events with ``low_csn < Csn <= high_csn``.
+
+        This is the §3.5 injection set: the state changes a replayed
+        transaction depends on. ``tables`` restricts to the data the
+        transaction actually uses (ablation A1); ``exclude_req`` drops the
+        replayed request's own writes (re-execution recreates them).
+        """
+        names = (
+            [t.lower() for t in tables]
+            if tables is not None
+            else sorted(self._event_tables)
+        )
+        out: list[dict] = []
+        for table in names:
+            if table not in self._event_tables:
+                continue
+            event_table = self._event_tables[table]
+            rows = self.query(
+                f"SELECT E.ReqId AS ReqId, F.* FROM {event_table} AS F"
+                " LEFT JOIN Executions AS E ON F.TxnId = E.TxnId"
+                " WHERE F.Csn > ? AND F.Csn <= ?"
+                " AND F.Type IN ('Insert', 'Update', 'Delete')",
+                (low_csn, high_csn),
+            ).as_dicts()
+            for row in rows:
+                if exclude_req is not None and row.get("ReqId") == exclude_req:
+                    continue
+                if row.get("Query") == "[redacted]":
+                    # Erased under the privacy extension: replay proceeds
+                    # from partial data (§5) rather than leaking values.
+                    continue
+                row["_table"] = self._app_schemas[table].name
+                out.append(row)
+        out.sort(key=lambda r: (r["Csn"], r["Seq"]))
+        return out
+
+    def tables_used_by_txn(self, txn_name: str) -> set[str]:
+        """App tables a transaction read or wrote (canonical names)."""
+        used: set[str] = set()
+        for table, event_table in self._event_tables.items():
+            count = self.query(
+                f"SELECT COUNT(*) FROM {event_table} WHERE TxnId = ?",
+                (txn_name,),
+            ).scalar()
+            if count:
+                used.add(table)
+        return used
+
+    def data_events_of_txn(self, txn_name: str, table: str) -> list[dict]:
+        event_table = self.event_table_of(table)
+        return self.query(
+            f"SELECT * FROM {event_table} WHERE TxnId = ? ORDER BY Seq",
+            (txn_name,),
+        ).as_dicts()
+
+    # ------------------------------------------------------------------
+    # State reconstruction (replay's substrate)
+    # ------------------------------------------------------------------
+
+    def reconstruct_rows(self, table: str, upto_csn: int) -> list[tuple[int, tuple]]:
+        """Rows of ``table`` as of ``upto_csn``, from provenance alone.
+
+        Applies the base snapshot and then every committed write event
+        with ``Csn <= upto_csn`` in (Csn, Seq) order.
+        """
+        schema = self.app_schema(table)
+        event_table = self.event_table_of(table)
+        column_map = self._column_maps[table.lower()]
+        rows = self.query(
+            f"SELECT * FROM {event_table}"
+            " WHERE Type = 'Snapshot' OR (Csn <= ? AND"
+            " Type IN ('Insert', 'Update', 'Delete'))"
+            " ORDER BY Csn ASC, Seq ASC",
+            (upto_csn,),
+        ).as_dicts()
+        snapshot_csns = [r["Csn"] for r in rows if r["Type"] == "Snapshot"]
+        if snapshot_csns and min(snapshot_csns) > upto_csn:
+            raise ProvenanceError(
+                f"cannot reconstruct {table!r} at csn {upto_csn}: base "
+                f"snapshot was taken at csn {min(snapshot_csns)}"
+            )
+        state: dict[int, tuple] = {}
+        for row in rows:
+            kind = row["Type"]
+            row_id = row["RowId"]
+            if kind == "Delete":
+                state.pop(row_id, None)
+                continue
+            if row.get("Query") == "[redacted]":
+                # The row's values were erased; reconstruction proceeds
+                # from partial data — the row is simply absent.
+                state.pop(row_id, None)
+                continue
+            values = tuple(
+                row[column_map[col]] for col in schema.column_names
+            )
+            state[row_id] = values
+        return sorted(state.items())
+
+    def restore_into(
+        self, target: Database, upto_csn: int, tables: Iterable[str] | None = None
+    ) -> dict[str, int]:
+        """Materialize traced tables at ``upto_csn`` into a dev database."""
+        names = (
+            [t.lower() for t in tables]
+            if tables is not None
+            else sorted(self._app_schemas)
+        )
+        counts: dict[str, int] = {}
+        for table in names:
+            schema = self.app_schema(table)
+            if not target.catalog.has_table(schema.name):
+                target.create_table(schema)
+            rows = self.reconstruct_rows(table, upto_csn)
+            target.bulk_load(schema.name, rows)
+            counts[schema.name] = len(rows)
+        return counts
+
+    @property
+    def event_count(self) -> int:
+        """Total rows across all provenance tables (benchmark E8's x-axis)."""
+        total = 0
+        for name in self.db.catalog.table_names():
+            total += self.db.store(name).row_count(None)
+        return total

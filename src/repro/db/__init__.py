@@ -1,0 +1,54 @@
+"""The transactional database substrate (paper principles P1/P2).
+
+Public surface:
+
+* :class:`Database` — embedded multi-version SQL database
+* :class:`TableSchema` / :class:`Column` / :class:`ColumnType` — schemas
+* :class:`IsolationLevel` / :class:`Transaction` — transaction control
+* :class:`ResultSet` — query results
+* :class:`SimulatedBackend` and the latency profiles — backend cost models
+"""
+
+from repro.db.backend import (
+    NULL_PROFILE,
+    POSTGRES_PROFILE,
+    PROFILES,
+    VOLTDB_PROFILE,
+    LatencyProfile,
+    SimulatedBackend,
+)
+from repro.db.cdc import CdcStream, ChangeRecord
+from repro.db.database import Database, StatementTrace
+from repro.db.result import ResultSet
+from repro.db.schema import Catalog, Column, TableSchema
+from repro.db.timetravel import TimeTravel
+from repro.db.txn.manager import (
+    IsolationLevel,
+    ReadRecord,
+    Transaction,
+    TransactionStatus,
+)
+from repro.db.types import ColumnType
+
+__all__ = [
+    "Catalog",
+    "CdcStream",
+    "ChangeRecord",
+    "Column",
+    "ColumnType",
+    "Database",
+    "IsolationLevel",
+    "LatencyProfile",
+    "NULL_PROFILE",
+    "POSTGRES_PROFILE",
+    "PROFILES",
+    "ReadRecord",
+    "ResultSet",
+    "SimulatedBackend",
+    "StatementTrace",
+    "TableSchema",
+    "TimeTravel",
+    "Transaction",
+    "TransactionStatus",
+    "VOLTDB_PROFILE",
+]

@@ -1,0 +1,102 @@
+"""Change data capture.
+
+Every committed row change is published as a :class:`ChangeRecord` on the
+database's :class:`CdcStream`, in commit order, with before- and
+after-images. The paper's §3.4 observes that write provenance can
+"leverage the change data capture feature provided by most databases" —
+TROD's interposition layer is exactly such a CDC subscriber.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+
+@dataclass(frozen=True)
+class ChangeRecord:
+    """One committed row change."""
+
+    seq: int  # global CDC sequence number (total order)
+    csn: int  # commit sequence number of the owning transaction
+    txn_id: int
+    table: str  # canonical table name
+    op: str  # 'insert' | 'update' | 'delete'
+    row_id: int
+    values: tuple | None  # after-image (None for delete)
+    old_values: tuple | None  # before-image (None for insert)
+
+
+class CdcStream:
+    """In-order stream of committed changes with subscriber fan-out.
+
+    Subscribers are called synchronously at commit time (still inside the
+    committing worker's turn, so they observe a consistent database).
+    History is retained so late consumers can catch up via :meth:`since`.
+    """
+
+    def __init__(self, retain: int | None = None):
+        self._history: list[ChangeRecord] = []
+        self._subscribers: list[Callable[[ChangeRecord], None]] = []
+        self._next_seq = 1
+        self._retain = retain
+        self._dropped = 0
+
+    def subscribe(self, callback: Callable[[ChangeRecord], None]) -> Callable[[], None]:
+        """Register ``callback``; returns an unsubscribe function."""
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def emit(
+        self,
+        csn: int,
+        txn_id: int,
+        table: str,
+        op: str,
+        row_id: int,
+        values: tuple | None,
+        old_values: tuple | None,
+    ) -> ChangeRecord:
+        record = ChangeRecord(
+            seq=self._next_seq,
+            csn=csn,
+            txn_id=txn_id,
+            table=table,
+            op=op,
+            row_id=row_id,
+            values=values,
+            old_values=old_values,
+        )
+        self._next_seq += 1
+        self._history.append(record)
+        if self._retain is not None and len(self._history) > self._retain:
+            overflow = len(self._history) - self._retain
+            del self._history[:overflow]
+            self._dropped += overflow
+        for subscriber in list(self._subscribers):
+            subscriber(record)
+        return record
+
+    def since(self, seq: int = 0) -> Iterator[ChangeRecord]:
+        """Records with sequence number > ``seq`` still retained."""
+        for record in self._history:
+            if record.seq > seq:
+                yield record
+
+    def history(self) -> list[ChangeRecord]:
+        return list(self._history)
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted from history by the retention limit."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._history)

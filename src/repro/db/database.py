@@ -1,0 +1,328 @@
+"""The top-level Database object tying the substrate together.
+
+A :class:`Database` owns the catalog, the versioned table stores and their
+indexes, the transaction manager, the WAL, and the CDC stream. SQL comes in
+through :meth:`execute`; TROD's interposition layer observes transaction
+and statement events through the observer interface, which is the paper's
+"interposes on every handler and database query" hook (§3.1), database side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.db.backend import SimulatedBackend
+from repro.db.cdc import CdcStream
+from repro.db.index import IndexSet
+from repro.db.result import ResultSet
+from repro.db.schema import Catalog, TableSchema
+from repro.db.sql.executor import execute_statement
+from repro.db.sql.nodes import (
+    CreateIndexStmt,
+    CreateTableStmt,
+    DeleteStmt,
+    DropTableStmt,
+    InsertStmt,
+    SelectStmt,
+    Statement,
+    UpdateStmt,
+)
+from repro.db.sql.parser import parse_sql
+from repro.db.storage import TableStore
+from repro.db.timetravel import TimeTravel
+from repro.db.txn.manager import (
+    IsolationLevel,
+    ReadRecord,
+    Transaction,
+    TransactionManager,
+)
+from repro.db.txn.wal import WriteAheadLog, recover_into
+from repro.errors import ExecutionError
+
+_STMT_CACHE_LIMIT = 1024
+
+
+@dataclass
+class StatementTrace:
+    """What one executed statement did; handed to observers.
+
+    Reads are per-row :class:`ReadRecord` entries; writes are
+    ``(op, table, row_id)`` triples so TROD can later attach the query
+    text to the CDC records the commit will emit.
+    """
+
+    sql: str
+    kind: str  # 'select' | 'insert' | 'update' | 'delete' | 'ddl'
+    reads: list[ReadRecord] = field(default_factory=list)
+    writes: list[tuple[str, str, int]] = field(default_factory=list)
+    rowcount: int = 0
+
+
+class Database:
+    """An embedded, transactional, multi-version SQL database."""
+
+    def __init__(
+        self,
+        name: str = "db",
+        backend: SimulatedBackend | None = None,
+        wal_path: str | None = None,
+        cdc_retain: int | None = None,
+    ):
+        self.name = name
+        self.backend = backend
+        self.catalog = Catalog()
+        self.wal = WriteAheadLog(wal_path)
+        self.cdc = CdcStream(retain=cdc_retain)
+        self.txn_manager = TransactionManager(self)
+        self.observers: list[Any] = []
+        #: When True, SELECTs record per-row read provenance on their
+        #: transaction. TROD switches this on when it attaches.
+        self.track_reads = False
+        self.history_horizon = 0
+        self._stores: dict[str, TableStore] = {}
+        self._indexes: dict[str, IndexSet] = {}
+        self._stmt_cache: dict[str, Statement] = {}
+
+    # -- schema management ---------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        self.catalog.create_table(schema)
+        key = self.catalog.resolve(schema.name)
+        self._stores[key] = TableStore(schema)
+        self._indexes[key] = IndexSet(schema)
+        self.notify("table_created", schema)
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        if if_exists and not self.catalog.has_table(name):
+            return
+        key = self.catalog.resolve(name)
+        self.catalog.drop_table(name)
+        del self._stores[key]
+        del self._indexes[key]
+
+    def add_table_alias(self, alias: str, table: str) -> None:
+        self.catalog.add_alias(alias, table)
+
+    def create_index(
+        self,
+        name: str,
+        table: str,
+        columns: Sequence[str],
+        unique: bool = False,
+        sorted_index: bool = False,
+    ) -> None:
+        key = self.catalog.resolve(table)
+        index_set = self._indexes[key]
+        if sorted_index:
+            index = index_set.create_sorted_index(name, columns)
+        else:
+            index = index_set.create_hash_index(name, columns, unique=unique)
+        for row_id, values in self._stores[key].scan(None):
+            index.add(row_id, values)
+
+    def store(self, table: str) -> TableStore:
+        return self._stores[self.catalog.resolve(table)]
+
+    def index_set(self, table: str) -> IndexSet:
+        return self._indexes[self.catalog.resolve(table)]
+
+    # -- transactions -----------------------------------------------------------
+
+    def begin(
+        self,
+        isolation: IsolationLevel = IsolationLevel.SERIALIZABLE,
+        info: dict[str, Any] | None = None,
+    ) -> Transaction:
+        if self.backend is not None:
+            self.backend.on_begin()
+        return self.txn_manager.begin(isolation=isolation, info=info)
+
+    # -- SQL --------------------------------------------------------------------
+
+    def _parse(self, sql: str) -> Statement:
+        cached = self._stmt_cache.get(sql)
+        if cached is not None:
+            return cached
+        stmt = parse_sql(sql)
+        if len(self._stmt_cache) >= _STMT_CACHE_LIMIT:
+            self._stmt_cache.clear()
+        self._stmt_cache[sql] = stmt
+        return stmt
+
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        txn: Transaction | None = None,
+    ) -> ResultSet:
+        """Execute one statement, autocommitting when no txn is passed."""
+        stmt = self._parse(sql)
+        if isinstance(stmt, (CreateTableStmt, DropTableStmt, CreateIndexStmt)):
+            # DDL is non-transactional, as in most engines.
+            return execute_statement(self, None, stmt, params, sql)  # type: ignore[arg-type]
+        autocommit = txn is None
+        active = txn if txn is not None else self.begin()
+        try:
+            if self.backend is not None:
+                self.backend.on_statement()
+            active.begin_statement()
+            result = execute_statement(self, active, stmt, params, sql)
+            trace = StatementTrace(
+                sql=sql,
+                kind=result.kind,
+                reads=active.statement_reads(),
+                writes=self._writes_of(stmt, result),
+                rowcount=result.rowcount,
+            )
+            self.notify("statement_executed", active, trace)
+            if autocommit:
+                active.commit()
+            return result
+        except Exception:
+            if autocommit:
+                self.txn_manager.abort(active)
+            raise
+
+    def _writes_of(
+        self, stmt: Statement, result: ResultSet
+    ) -> list[tuple[str, str, int]]:
+        if isinstance(stmt, InsertStmt):
+            table = self.catalog.resolve(stmt.table)
+            return [("insert", table, rid) for rid in result.row_ids]
+        if isinstance(stmt, UpdateStmt):
+            table = self.catalog.resolve(stmt.table.table)
+            return [("update", table, rid) for rid in result.row_ids]
+        if isinstance(stmt, DeleteStmt):
+            table = self.catalog.resolve(stmt.table.table)
+            return [("delete", table, rid) for rid in result.row_ids]
+        return []
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        """Read-only convenience wrapper around :meth:`execute`."""
+        return self.execute(sql, params)
+
+    def explain(self, sql: str) -> list[str]:
+        """The plan tree a SELECT would execute (root first, indented).
+
+        Useful for verifying pushdown, join algorithm, and index-probe
+        decisions; only SELECT statements have plans.
+        """
+        from repro.db.sql.executor import build_select_plan
+        from repro.db.sql.nodes import SelectStmt
+
+        stmt = self._parse(sql)
+        if not isinstance(stmt, SelectStmt):
+            raise ExecutionError("EXPLAIN supports SELECT statements only")
+        txn = self.txn_manager.begin()
+        try:
+            plan, _names = build_select_plan(stmt, self, txn)
+            return plan.explain()
+        finally:
+            self.txn_manager.abort(txn)
+
+    # -- direct (non-SQL) access -----------------------------------------------
+
+    def insert_row(
+        self,
+        table: str,
+        values: dict[str, Any],
+        txn: Transaction | None = None,
+    ) -> int:
+        """Programmatic INSERT used by tooling (bypasses SQL parsing)."""
+        schema = self.catalog.get(table)
+        coerced = schema.coerce_row(values)
+        autocommit = txn is None
+        active = txn if txn is not None else self.begin()
+        try:
+            row_id = active.insert(table, coerced)
+            if autocommit:
+                active.commit()
+            return row_id
+        except Exception:
+            if autocommit:
+                self.txn_manager.abort(active)
+            raise
+
+    def table_rows(self, table: str, csn: int | None = None) -> list[dict[str, Any]]:
+        """Committed rows of a table as dicts (latest or as-of ``csn``)."""
+        schema = self.catalog.get(table)
+        return [
+            schema.row_dict(values)
+            for _row_id, values in self.store(table).scan(csn)
+        ]
+
+    def bulk_load(self, table: str, rows: Sequence[tuple[int, tuple]]) -> None:
+        """Load pre-validated rows directly at CSN 0 (restore path).
+
+        Row ids are preserved; indexes are maintained. Only meaningful on
+        a table with no committed history of its own.
+        """
+        store = self.store(table)
+        indexes = self.index_set(table)
+        for row_id, values in rows:
+            store.apply_insert(values, 0, row_id=row_id)
+            indexes.on_insert(row_id, values)
+
+    # -- maintenance ----------------------------------------------------------
+
+    def vacuum(self, keep_after_csn: int) -> int:
+        """Garbage-collect row versions older than ``keep_after_csn``."""
+        removed = 0
+        for store in self._stores.values():
+            removed += store.vacuum(keep_after_csn)
+        self.history_horizon = max(self.history_horizon, keep_after_csn)
+        return removed
+
+    @property
+    def time_travel(self) -> TimeTravel:
+        return TimeTravel(self)
+
+    @property
+    def last_csn(self) -> int:
+        return self.txn_manager.last_csn
+
+    # -- observers ---------------------------------------------------------------
+
+    def add_observer(self, observer: Any) -> None:
+        self.observers.append(observer)
+
+    def remove_observer(self, observer: Any) -> None:
+        try:
+            self.observers.remove(observer)
+        except ValueError:
+            pass
+
+    def notify(self, event: str, *args: Any) -> None:
+        for observer in self.observers:
+            hook = getattr(observer, event, None)
+            if hook is not None:
+                hook(*args)
+
+    # -- recovery ------------------------------------------------------------------
+
+    @staticmethod
+    def recover(schemas: Sequence[TableSchema], wal_path: str) -> "Database":
+        """Rebuild a database from its schema definitions plus a WAL file."""
+        db = Database(name="recovered")
+        for schema in schemas:
+            db.create_table(schema)
+        wal = WriteAheadLog.load(wal_path)
+        stores = {db.catalog.resolve(s.name): db.store(s.name) for s in schemas}
+        last = recover_into(stores, wal.commits())
+        db.txn_manager.last_csn = last
+        for key, store in stores.items():
+            db._indexes[key].populate(store.scan(None))
+        for commit in wal.commits():
+            db.txn_manager.commit_index[commit.txn_id] = commit.csn
+            db.txn_manager.csn_index[commit.csn] = commit.txn_id
+            db.txn_manager._next_txn_id = max(
+                db.txn_manager._next_txn_id, commit.txn_id + 1
+            )
+        return db
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Database {self.name!r} tables={len(self._stores)} "
+            f"csn={self.txn_manager.last_csn}>"
+        )

@@ -1,0 +1,178 @@
+"""Secondary indexes over the latest committed state of a table.
+
+Two index kinds are provided: :class:`HashIndex` for equality lookups and
+:class:`SortedIndex` for range scans. Indexes track only the *live* version
+of each row; historical reads (time travel) always go through the version
+store. The transaction manager keeps indexes in sync by calling the
+``on_*`` hooks as it applies a commit, and uses unique indexes to enforce
+PRIMARY KEY / UNIQUE constraints at commit time.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable
+
+from repro.db.schema import TableSchema
+from repro.db.types import row_sort_key
+from repro.errors import IntegrityError, SchemaError
+
+
+class HashIndex:
+    """Equality index mapping a column-tuple key to a set of row ids."""
+
+    def __init__(self, name: str, schema: TableSchema, columns: Iterable[str], unique: bool = False):
+        self.name = name
+        self.schema = schema
+        self.columns = tuple(schema.column(c).name for c in columns)
+        self._positions = tuple(schema.index_of(c) for c in self.columns)
+        self.unique = unique
+        self._map: dict[tuple, set[int]] = {}
+
+    def key_of(self, values: tuple) -> tuple:
+        return tuple(values[i] for i in self._positions)
+
+    def add(self, row_id: int, values: tuple) -> None:
+        key = self.key_of(values)
+        bucket = self._map.setdefault(key, set())
+        if self.unique and bucket and row_id not in bucket and None not in key:
+            raise IntegrityError(
+                f"unique violation on {self.schema.name}({', '.join(self.columns)}): "
+                f"key {key!r}"
+            )
+        bucket.add(row_id)
+
+    def remove(self, row_id: int, values: tuple) -> None:
+        key = self.key_of(values)
+        bucket = self._map.get(key)
+        if bucket:
+            bucket.discard(row_id)
+            if not bucket:
+                del self._map[key]
+
+    def lookup(self, key: tuple) -> set[int]:
+        return set(self._map.get(tuple(key), ()))
+
+    def would_violate(self, values: tuple, ignore_row_id: int | None = None) -> bool:
+        """Whether inserting ``values`` would break uniqueness."""
+        if not self.unique:
+            return False
+        key = self.key_of(values)
+        if None in key:
+            return False
+        bucket = self._map.get(key)
+        if not bucket:
+            return False
+        return any(rid != ignore_row_id for rid in bucket)
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._map.values())
+
+
+class SortedIndex:
+    """Ordered index supporting range scans over a column tuple."""
+
+    def __init__(self, name: str, schema: TableSchema, columns: Iterable[str]):
+        self.name = name
+        self.schema = schema
+        self.columns = tuple(schema.column(c).name for c in columns)
+        self._positions = tuple(schema.index_of(c) for c in self.columns)
+        # Entries are (sort_key, row_id); sort_key wraps values in SortKey
+        # so NULLs and mixed types order deterministically.
+        self._entries: list[tuple[tuple, int]] = []
+
+    def key_of(self, values: tuple) -> tuple:
+        return row_sort_key(tuple(values[i] for i in self._positions))
+
+    def add(self, row_id: int, values: tuple) -> None:
+        bisect.insort(self._entries, (self.key_of(values), row_id))
+
+    def remove(self, row_id: int, values: tuple) -> None:
+        key = self.key_of(values)
+        lo = bisect.bisect_left(self._entries, (key, row_id))
+        if lo < len(self._entries) and self._entries[lo] == (key, row_id):
+            self._entries.pop(lo)
+
+    def scan_between(self, low: tuple | None, high: tuple | None) -> list[int]:
+        """Row ids with low <= key <= high (either bound may be None)."""
+        out = []
+        low_key = row_sort_key(tuple(low)) if low is not None else None
+        high_key = row_sort_key(tuple(high)) if high is not None else None
+        for sort_key, row_id in self._entries:
+            if low_key is not None and sort_key < low_key:
+                continue
+            if high_key is not None and sort_key > high_key:
+                break
+            out.append(row_id)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class IndexSet:
+    """All indexes of one table, with constraint enforcement helpers."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.indexes: dict[str, HashIndex | SortedIndex] = {}
+        # One unique hash index per declared unique constraint.
+        for i, constraint in enumerate(schema.unique_constraints):
+            name = f"uq_{schema.name}_{i}_{'_'.join(constraint)}".lower()
+            self.indexes[name] = HashIndex(name, schema, constraint, unique=True)
+
+    def create_hash_index(self, name: str, columns: Iterable[str], unique: bool = False) -> HashIndex:
+        if name.lower() in self.indexes:
+            raise SchemaError(f"index {name!r} already exists")
+        index = HashIndex(name, self.schema, columns, unique=unique)
+        self.indexes[name.lower()] = index
+        return index
+
+    def create_sorted_index(self, name: str, columns: Iterable[str]) -> SortedIndex:
+        if name.lower() in self.indexes:
+            raise SchemaError(f"index {name!r} already exists")
+        index = SortedIndex(name, self.schema, columns)
+        self.indexes[name.lower()] = index
+        return index
+
+    def populate(self, rows: Iterable[tuple[int, tuple]]) -> None:
+        for row_id, values in rows:
+            self.on_insert(row_id, values)
+
+    # -- maintenance hooks (called while a commit applies) ---------------
+
+    def on_insert(self, row_id: int, values: tuple) -> None:
+        for index in self.indexes.values():
+            index.add(row_id, values)
+
+    def on_update(self, row_id: int, old_values: tuple, new_values: tuple) -> None:
+        for index in self.indexes.values():
+            index.remove(row_id, old_values)
+            index.add(row_id, new_values)
+
+    def on_delete(self, row_id: int, values: tuple) -> None:
+        for index in self.indexes.values():
+            index.remove(row_id, values)
+
+    # -- constraint checks ------------------------------------------------
+
+    def check_insert(self, values: tuple, ignore_row_id: int | None = None) -> None:
+        """Raise :class:`IntegrityError` if ``values`` breaks a unique index."""
+        for index in self.indexes.values():
+            if isinstance(index, HashIndex) and index.would_violate(values, ignore_row_id):
+                raise IntegrityError(
+                    f"unique violation on {self.schema.name}"
+                    f"({', '.join(index.columns)}): key {index.key_of(values)!r}"
+                )
+
+    def equality_index_for(self, columns: set[str]) -> HashIndex | None:
+        """A hash index whose column set is covered by ``columns``, if any."""
+        lowered = {c.lower() for c in columns}
+        best: HashIndex | None = None
+        for index in self.indexes.values():
+            if not isinstance(index, HashIndex):
+                continue
+            if {c.lower() for c in index.columns} <= lowered:
+                if best is None or len(index.columns) > len(best.columns):
+                    best = index
+        return best

@@ -1,0 +1,179 @@
+"""Cross-store transactions with aligned commit logs (§5).
+
+"Modern web applications and microservices may use multiple data stores
+... It is challenging for these applications to use TROD because some
+data stores do not support transactions, and transaction logs of
+different stores are usually not aligned. However, recent work has
+proposed transaction managers that support transactions across
+heterogeneous data stores. Such transaction managers can also provide
+aligned transaction logs."
+
+The :class:`MultiStoreCoordinator` is such a manager for our engine: a
+global transaction spans several :class:`~repro.db.database.Database`
+instances, commits atomically via two-phase commit (every store's
+transaction is *prepared* — fully validated — before any store applies),
+and every global commit is stamped with a global CSN recorded in an
+aligned log mapping it to each store's local CSN. That aligned log is
+exactly what lets TROD order events across stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.db.database import Database
+from repro.db.result import ResultSet
+from repro.db.txn.manager import IsolationLevel, Transaction, TransactionStatus
+from repro.errors import TransactionError
+
+
+@dataclass(frozen=True)
+class AlignedCommit:
+    """One global commit and its per-store local commit positions."""
+
+    global_csn: int
+    txn_id: int  # global transaction id
+    local_csns: dict[str, int] = field(hash=False, default_factory=dict)
+
+
+class GlobalTransaction:
+    """A transaction spanning multiple stores (lazily joined)."""
+
+    def __init__(
+        self,
+        coordinator: "MultiStoreCoordinator",
+        txn_id: int,
+        isolation: IsolationLevel,
+        info: dict[str, Any] | None,
+    ):
+        self._coordinator = coordinator
+        self.txn_id = txn_id
+        self.isolation = isolation
+        self.info = dict(info or {})
+        self.status = TransactionStatus.ACTIVE
+        self._branches: dict[str, Transaction] = {}
+
+    @property
+    def name(self) -> str:
+        return f"GTXN{self.txn_id}"
+
+    def on(self, store: str) -> Transaction:
+        """The local transaction branch for ``store`` (begun on demand)."""
+        self._check_active()
+        if store not in self._branches:
+            database = self._coordinator.store(store)
+            self._branches[store] = database.begin(
+                isolation=self.isolation,
+                info={**self.info, "global_txn": self.name},
+            )
+        return self._branches[store]
+
+    def execute(self, store: str, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        """Run a statement on one store within this global transaction."""
+        database = self._coordinator.store(store)
+        return database.execute(sql, params, txn=self.on(store))
+
+    def stores_joined(self) -> list[str]:
+        return sorted(self._branches)
+
+    def commit(self) -> int:
+        """Two-phase commit across every joined store.
+
+        Phase 1 prepares (validates) every branch; any failure aborts all
+        branches and re-raises, leaving no store changed. Phase 2 commits
+        branches in deterministic store order and records the aligned
+        commit under a new global CSN.
+        """
+        self._check_active()
+        branches = sorted(self._branches.items())
+        prepared: list[tuple[str, Transaction]] = []
+        try:
+            for store, txn in branches:
+                self._coordinator.store(store).txn_manager.prepare(txn)
+                prepared.append((store, txn))
+        except Exception:
+            for _store, txn in branches:
+                if txn.status in (
+                    TransactionStatus.ACTIVE,
+                    TransactionStatus.PREPARED,
+                ):
+                    txn.abort()
+            self.status = TransactionStatus.ABORTED
+            raise
+        local_csns: dict[str, int] = {}
+        for store, txn in prepared:
+            local_csns[store] = txn.commit()
+        self.status = TransactionStatus.COMMITTED
+        return self._coordinator._record_commit(self, local_csns)
+
+    def abort(self) -> None:
+        for txn in self._branches.values():
+            txn.abort()
+        self.status = TransactionStatus.ABORTED
+
+    def _check_active(self) -> None:
+        if self.status is not TransactionStatus.ACTIVE:
+            raise TransactionError(
+                f"{self.name} is {self.status.value}; no further operations"
+            )
+
+
+class MultiStoreCoordinator:
+    """Coordinates transactions and aligned logs across named stores."""
+
+    def __init__(self, stores: dict[str, Database]):
+        if not stores:
+            raise TransactionError("coordinator needs at least one store")
+        self._stores = dict(stores)
+        self._next_txn_id = 1
+        self.global_csn = 0
+        self.aligned_log: list[AlignedCommit] = []
+
+    def store(self, name: str) -> Database:
+        try:
+            return self._stores[name]
+        except KeyError:
+            raise TransactionError(
+                f"unknown store {name!r} (known: {sorted(self._stores)})"
+            ) from None
+
+    def store_names(self) -> list[str]:
+        return sorted(self._stores)
+
+    def begin(
+        self,
+        isolation: IsolationLevel = IsolationLevel.SERIALIZABLE,
+        info: dict[str, Any] | None = None,
+    ) -> GlobalTransaction:
+        gtxn = GlobalTransaction(self, self._next_txn_id, isolation, info)
+        self._next_txn_id += 1
+        return gtxn
+
+    def _record_commit(
+        self, gtxn: GlobalTransaction, local_csns: dict[str, int]
+    ) -> int:
+        self.global_csn += 1
+        self.aligned_log.append(
+            AlignedCommit(
+                global_csn=self.global_csn,
+                txn_id=gtxn.txn_id,
+                local_csns=dict(local_csns),
+            )
+        )
+        return self.global_csn
+
+    # -- cross-store ordering queries (the provenance-alignment surface) --
+
+    def global_csn_for(self, store: str, local_csn: int) -> int | None:
+        """Which global commit produced a store's local commit, if any."""
+        for commit in self.aligned_log:
+            if commit.local_csns.get(store) == local_csn:
+                return commit.global_csn
+        return None
+
+    def commits_between(self, low: int, high: int) -> list[AlignedCommit]:
+        """Aligned commits with ``low < global_csn <= high``."""
+        return [
+            c for c in self.aligned_log if low < c.global_csn <= high
+        ]

@@ -1,0 +1,88 @@
+"""Query results."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.db.types import render_value
+from repro.errors import ExecutionError
+
+
+class ResultSet:
+    """Rows returned by a statement.
+
+    SELECTs populate ``columns`` and ``rows``; DML statements leave those
+    empty and report ``rowcount`` (and, for INSERT, the new ``row_ids``).
+    """
+
+    def __init__(
+        self,
+        columns: list[str] | None = None,
+        rows: list[tuple] | None = None,
+        rowcount: int = 0,
+        kind: str = "select",
+        row_ids: list[int] | None = None,
+    ):
+        self.columns = columns or []
+        self.rows = rows or []
+        self.kind = kind
+        self.rowcount = rowcount if kind != "select" else len(self.rows)
+        self.row_ids = row_ids or []
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows) or self.rowcount > 0
+
+    def first(self) -> tuple | None:
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        """The single value of a single-row, single-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"scalar() needs a 1x1 result, got "
+                f"{len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one output column."""
+        lowered = [c.lower() for c in self.columns]
+        try:
+            index = lowered.index(name.lower())
+        except ValueError:
+            raise ExecutionError(f"no output column {name!r}") from None
+        return [row[index] for row in self.rows]
+
+    def pretty(self, max_rows: int | None = None) -> str:
+        """Render as an aligned text table (used by examples and benches)."""
+        shown = self.rows if max_rows is None else self.rows[:max_rows]
+        cells = [[render_value(v) for v in row] for row in shown]
+        headers = list(self.columns)
+        widths = [len(h) for h in headers]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        lines.extend(
+            " | ".join(c.ljust(w) for c, w in zip(row, widths)) for row in cells
+        )
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.kind == "select":
+            return f"<ResultSet {len(self.rows)} rows x {len(self.columns)} cols>"
+        return f"<ResultSet {self.kind} rowcount={self.rowcount}>"

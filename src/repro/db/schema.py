@@ -1,0 +1,231 @@
+"""Table schemas and the database catalog.
+
+A :class:`TableSchema` is an ordered list of typed :class:`Column` objects
+plus integrity metadata (primary key, unique constraints). The
+:class:`Catalog` maps case-insensitive table names (and aliases — TROD's
+provenance store exposes its execution log both as ``Invocations``, the name
+used by Table 1 of the paper, and ``Executions``, the name used by the
+paper's SQL) to schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.db.types import ColumnType, coerce
+from repro.errors import IntegrityError, SchemaError, TypeCoercionError
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column definition.
+
+    ``default`` is used when an INSERT omits the column; a missing column
+    with no default becomes NULL (and fails validation if not nullable).
+    """
+
+    name: str
+    col_type: ColumnType
+    nullable: bool = True
+    primary_key: bool = False
+    unique: bool = False
+    default: Any = None
+
+    def __post_init__(self):
+        # Quoted identifiers may contain spaces etc.; reject only names
+        # that cannot round-trip through the lexer's quoting.
+        if not self.name or '"' in self.name or "\n" in self.name:
+            raise SchemaError(f"invalid column name: {self.name!r}")
+
+
+class TableSchema:
+    """An immutable description of one table.
+
+    Column order matters: rows are stored as tuples in schema order.
+    Lookups by name are case-insensitive, matching common SQL engines.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        unique_constraints: Iterable[Sequence[str]] = (),
+    ):
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        self.name = name
+        self.columns: tuple[Column, ...] = tuple(columns)
+        self._by_name: dict[str, int] = {}
+        for idx, col in enumerate(self.columns):
+            key = col.name.lower()
+            if key in self._by_name:
+                raise SchemaError(f"duplicate column {col.name!r} in table {name!r}")
+            self._by_name[key] = idx
+        self.primary_key: tuple[str, ...] = tuple(
+            c.name for c in self.columns if c.primary_key
+        )
+        uniques: list[tuple[str, ...]] = []
+        for constraint in unique_constraints:
+            cols = tuple(self.column(c).name for c in constraint)
+            if not cols:
+                raise SchemaError("empty unique constraint")
+            uniques.append(cols)
+        for col in self.columns:
+            if col.unique and not col.primary_key:
+                uniques.append((col.name,))
+        if self.primary_key:
+            uniques.insert(0, self.primary_key)
+        self.unique_constraints: tuple[tuple[str, ...], ...] = tuple(uniques)
+
+    # -- column access ------------------------------------------------
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._by_name
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._by_name[name.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.index_of(name)]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cols = ", ".join(f"{c.name} {c.col_type}" for c in self.columns)
+        return f"TableSchema({self.name}: {cols})"
+
+    # -- row validation -------------------------------------------------
+
+    def coerce_row(self, values: Mapping[str, Any] | Sequence[Any]) -> tuple:
+        """Validate and coerce a row into a storage tuple in schema order.
+
+        Accepts either a mapping of column name -> value (missing columns
+        take their defaults) or a sequence in schema order (must be the
+        exact arity). NOT NULL violations raise :class:`IntegrityError`.
+        """
+        if isinstance(values, Mapping):
+            lowered = {k.lower(): v for k, v in values.items()}
+            unknown = set(lowered) - set(self._by_name)
+            if unknown:
+                raise SchemaError(
+                    f"unknown column(s) {sorted(unknown)} for table {self.name!r}"
+                )
+            raw = [
+                lowered.get(col.name.lower(), col.default) for col in self.columns
+            ]
+        else:
+            raw = list(values)
+            if len(raw) != len(self.columns):
+                raise SchemaError(
+                    f"table {self.name!r} expects {len(self.columns)} values, "
+                    f"got {len(raw)}"
+                )
+        out = []
+        for col, value in zip(self.columns, raw):
+            try:
+                coerced = coerce(value, col.col_type)
+            except TypeCoercionError as exc:
+                raise TypeCoercionError(
+                    f"{self.name}.{col.name}: {exc}"
+                ) from None
+            if coerced is None and not col.nullable:
+                raise IntegrityError(
+                    f"NOT NULL violation: {self.name}.{col.name}"
+                )
+            out.append(coerced)
+        return tuple(out)
+
+    def row_dict(self, row: Sequence[Any]) -> dict[str, Any]:
+        """Convert a storage tuple back to a column-name-keyed dict."""
+        return dict(zip(self.column_names, row))
+
+    def key_for(self, constraint: Sequence[str], row: Sequence[Any]) -> tuple:
+        """Extract the values of ``constraint`` columns from a row tuple."""
+        return tuple(row[self.index_of(c)] for c in constraint)
+
+    def ddl(self) -> str:
+        """Render this schema back to a CREATE TABLE statement.
+
+        TROD stores this in the provenance database so a development
+        database can be reconstructed without access to production.
+        """
+        parts = []
+        for col in self.columns:
+            bits = [col.name, col.col_type.value]
+            if col.primary_key:
+                bits.append("PRIMARY KEY")
+            if not col.nullable and not col.primary_key:
+                bits.append("NOT NULL")
+            if col.unique and not col.primary_key:
+                bits.append("UNIQUE")
+            parts.append(" ".join(bits))
+        for constraint in self.unique_constraints:
+            if constraint == self.primary_key:
+                continue
+            if len(constraint) == 1 and self.column(constraint[0]).unique:
+                continue
+            parts.append(f"UNIQUE ({', '.join(constraint)})")
+        return f"CREATE TABLE {self.name} ({', '.join(parts)})"
+
+
+class Catalog:
+    """Case-insensitive registry of table schemas and name aliases."""
+
+    def __init__(self):
+        self._tables: dict[str, TableSchema] = {}
+        self._aliases: dict[str, str] = {}
+
+    def create_table(self, schema: TableSchema) -> None:
+        key = schema.name.lower()
+        if key in self._tables or key in self._aliases:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        self._tables[key] = schema
+
+    def drop_table(self, name: str) -> TableSchema:
+        key = self.resolve(name)
+        schema = self._tables.pop(key)
+        self._aliases = {a: t for a, t in self._aliases.items() if t != key}
+        return schema
+
+    def add_alias(self, alias: str, table: str) -> None:
+        """Register ``alias`` as another name for ``table``."""
+        target = self.resolve(table)
+        key = alias.lower()
+        if key in self._tables:
+            raise SchemaError(f"alias {alias!r} collides with an existing table")
+        self._aliases[key] = target
+
+    def resolve(self, name: str) -> str:
+        """Return the canonical (lowercase) table key for ``name``."""
+        key = name.lower()
+        key = self._aliases.get(key, key)
+        if key not in self._tables:
+            raise SchemaError(f"no such table: {name!r}")
+        return key
+
+    def has_table(self, name: str) -> bool:
+        key = name.lower()
+        return key in self._tables or key in self._aliases
+
+    def get(self, name: str) -> TableSchema:
+        return self._tables[self.resolve(name)]
+
+    def table_names(self) -> list[str]:
+        """Canonical table names, in creation order."""
+        return [schema.name for schema in self._tables.values()]
+
+    def __contains__(self, name: str) -> bool:
+        return self.has_table(name)

@@ -1,0 +1,25 @@
+"""SQL front end: lexing, parsing, planning, execution."""
+
+from repro.db.sql.parser import parse_sql
+from repro.db.sql.nodes import (
+    CreateIndexStmt,
+    CreateTableStmt,
+    DeleteStmt,
+    DropTableStmt,
+    InsertStmt,
+    SelectStmt,
+    Statement,
+    UpdateStmt,
+)
+
+__all__ = [
+    "parse_sql",
+    "CreateIndexStmt",
+    "CreateTableStmt",
+    "DeleteStmt",
+    "DropTableStmt",
+    "InsertStmt",
+    "SelectStmt",
+    "Statement",
+    "UpdateStmt",
+]

@@ -1,0 +1,1036 @@
+"""Plan construction and execution.
+
+``execute_statement`` is the single entry point the database uses after
+parsing. SELECTs are compiled into a small tree of pull-based plan nodes
+(scan -> join -> filter -> aggregate -> sort -> project -> limit); DML and
+DDL execute directly against the transaction / catalog.
+
+Read provenance: every row a scan produces (after pushed-down filtering)
+is recorded on the transaction as a :class:`ReadRecord`; when a statement
+scans a table but matches nothing, a single null read is recorded — this
+is exactly the shape of the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
+
+from repro.db.expr import Expr, Literal, split_conjuncts
+from repro.db.result import ResultSet
+from repro.db.schema import Column, TableSchema
+from repro.db.sql import planner
+from repro.db.sql.functions import make_accumulator
+from repro.db.sql.nodes import (
+    CreateIndexStmt,
+    CreateTableStmt,
+    DeleteStmt,
+    DropTableStmt,
+    InsertStmt,
+    SelectItem,
+    SelectStmt,
+    Statement,
+    TableRef,
+    UpdateStmt,
+)
+from repro.db.sql.planner import CompiledExpr, Layout, compile_expr
+from repro.db.types import SortKey, coerce, type_from_sql_name
+from repro.db.expr import ColumnRef, FuncCall
+from repro.errors import (
+    ExecutionError,
+    IntegrityError,
+    PlanningError,
+    SchemaError,
+    TypeCoercionError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.database import Database
+    from repro.db.txn.manager import Transaction
+
+
+@dataclass
+class ExecContext:
+    """Everything plan nodes need while producing rows."""
+
+    database: "Database"
+    txn: "Transaction"
+    params: Sequence[Any]
+    query_text: str
+    track_reads: bool
+    #: table name -> number of read records emitted by scans this statement.
+    read_counts: dict[str, int] = field(default_factory=dict)
+    scanned_tables: set[str] = field(default_factory=set)
+
+
+class PlanNode:
+    layout: Layout
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def children_nodes(self) -> list["PlanNode"]:
+        return []
+
+    def explain(self, depth: int = 0) -> list[str]:
+        """Indented plan tree, root first (the EXPLAIN output)."""
+        lines = ["  " * depth + self.describe()]
+        for child in self.children_nodes():
+            lines.extend(child.explain(depth + 1))
+        return lines
+
+
+class SingleRowNode(PlanNode):
+    """FROM-less SELECT: one empty row."""
+
+    def __init__(self):
+        self.layout = Layout()
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        yield ()
+
+    def describe(self) -> str:
+        return "SingleRow"
+
+
+class ScanNode(PlanNode):
+    """Table scan (or index probe) with an optional pushed-down filter."""
+
+    def __init__(
+        self,
+        table: str,
+        binding: str,
+        schema: TableSchema,
+        filter_fn: CompiledExpr | None,
+        probe: tuple[Any, list[CompiledExpr]] | None = None,
+    ):
+        self.table = table
+        self.binding = binding
+        self.schema = schema
+        self.filter_fn = filter_fn
+        self.probe = probe  # (HashIndex, key expr fns evaluated without rows)
+        self.layout = Layout.for_table(binding, schema.column_names)
+        #: Human-readable filter text for EXPLAIN (set by the planner).
+        self.filter_sql: str | None = None
+
+    def describe(self) -> str:
+        parts = [f"Scan({self.table}"]
+        if self.binding.lower() != self.table.lower():
+            parts.append(f" AS {self.binding}")
+        parts.append(")")
+        if self.probe is not None:
+            kind, index = self.probe[0], self.probe[1]
+            label = "probe" if kind == "hash" else "range"
+            parts.append(f" {label}={index.name}[{', '.join(index.columns)}]")
+        if self.filter_sql:
+            parts.append(f" filter[{self.filter_sql}]")
+        return "".join(parts)
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        ctx.scanned_tables.add(self.table)
+        track = ctx.track_reads
+        filter_fn = self.filter_fn
+        if self.probe is not None:
+            candidates = self._probe_candidates(ctx)
+            candidates.update(rid for rid, _ in ctx.txn.pending_rows(self.table))
+            source: Iterator[tuple[int, tuple]] = (
+                (rid, values)
+                for rid in sorted(candidates)
+                if (values := ctx.txn.get(self.table, rid)) is not None
+            )
+        else:
+            source = ctx.txn.scan(self.table)
+        for row_id, values in source:
+            if filter_fn is not None and filter_fn(values, ctx.params) is not True:
+                continue
+            if track:
+                ctx.txn.record_read(self.table, row_id, values, ctx.query_text)
+                ctx.read_counts[self.table] = ctx.read_counts.get(self.table, 0) + 1
+            yield values
+
+    def _probe_candidates(self, ctx: ExecContext) -> set[int]:
+        if self.probe[0] == "hash":
+            _kind, index, key_fns = self.probe
+            key = tuple(fn((), ctx.params) for fn in key_fns)
+            return set(index.lookup(key))
+        _kind, index, low_fn, high_fn = self.probe
+        low = (low_fn((), ctx.params),) if low_fn is not None else None
+        high = (high_fn((), ctx.params),) if high_fn is not None else None
+        if (low is not None and low[0] is None) or (
+            high is not None and high[0] is None
+        ):
+            return set()  # NULL bound: comparison can never be TRUE
+        return set(index.scan_between(low, high))
+
+
+class FilterNode(PlanNode):
+    def __init__(self, child: PlanNode, predicate: CompiledExpr, sql: str = ""):
+        self.child = child
+        self.predicate = predicate
+        self.layout = child.layout
+        self.sql = sql
+
+    def describe(self) -> str:
+        return f"Filter[{self.sql}]" if self.sql else "Filter"
+
+    def children_nodes(self) -> list["PlanNode"]:
+        return [self.child]
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        predicate = self.predicate
+        for row in self.child.rows(ctx):
+            if predicate(row, ctx.params) is True:
+                yield row
+
+
+class HashJoinNode(PlanNode):
+    """Equi-join; builds on the right child, probes from the left."""
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        left_keys: list[CompiledExpr],
+        right_keys: list[CompiledExpr],
+        residual: CompiledExpr | None,
+        kind: str,
+    ):
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+        self.kind = kind
+        self.layout = left.layout.concat(right.layout)
+        self._right_width = len(right.layout)
+
+    def describe(self) -> str:
+        return f"HashJoin({self.kind}, {len(self.left_keys)} key(s))"
+
+    def children_nodes(self) -> list["PlanNode"]:
+        return [self.left, self.right]
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        table: dict[tuple, list[tuple]] = {}
+        for row in self.right.rows(ctx):
+            key = tuple(fn(row, ctx.params) for fn in self.right_keys)
+            if None in key:
+                continue  # NULL never equi-joins
+            table.setdefault(key, []).append(row)
+        null_right = (None,) * self._right_width
+        for left_row in self.left.rows(ctx):
+            key = tuple(fn(left_row, ctx.params) for fn in self.left_keys)
+            matched = False
+            if None not in key:
+                for right_row in table.get(key, ()):
+                    combined = left_row + right_row
+                    if (
+                        self.residual is not None
+                        and self.residual(combined, ctx.params) is not True
+                    ):
+                        continue
+                    matched = True
+                    yield combined
+            if not matched and self.kind == "left":
+                yield left_row + null_right
+
+
+class NestedLoopJoinNode(PlanNode):
+    """General join for non-equi conditions (and cross joins)."""
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        condition: CompiledExpr | None,
+        kind: str,
+    ):
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.kind = kind
+        self.layout = left.layout.concat(right.layout)
+        self._right_width = len(right.layout)
+
+    def describe(self) -> str:
+        return f"NestedLoopJoin({self.kind})"
+
+    def children_nodes(self) -> list["PlanNode"]:
+        return [self.left, self.right]
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        right_rows = list(self.right.rows(ctx))
+        null_right = (None,) * self._right_width
+        for left_row in self.left.rows(ctx):
+            matched = False
+            for right_row in right_rows:
+                combined = left_row + right_row
+                if (
+                    self.condition is not None
+                    and self.condition(combined, ctx.params) is not True
+                ):
+                    continue
+                matched = True
+                yield combined
+            if not matched and self.kind == "left":
+                yield left_row + null_right
+
+
+@dataclass
+class AggSpec:
+    name: str
+    star: bool
+    distinct: bool
+    arg: CompiledExpr | None
+
+
+class AggregateNode(PlanNode):
+    """GROUP BY: output rows are (group key values..., aggregate values...)."""
+
+    def __init__(
+        self,
+        child: PlanNode,
+        key_fns: list[CompiledExpr],
+        agg_specs: list[AggSpec],
+        global_group: bool,
+    ):
+        self.child = child
+        self.key_fns = key_fns
+        self.agg_specs = agg_specs
+        self.global_group = global_group
+        self.layout = Layout()
+        for i in range(len(key_fns) + len(agg_specs)):
+            self.layout.add(None, f"_agg{i}")
+
+    def describe(self) -> str:
+        aggs = ", ".join(s.name for s in self.agg_specs)
+        return f"Aggregate(groups={len(self.key_fns)}, aggs=[{aggs}])"
+
+    def children_nodes(self) -> list["PlanNode"]:
+        return [self.child]
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        groups: dict[tuple, list] = {}
+        order: list[tuple] = []
+        for row in self.child.rows(ctx):
+            key = tuple(fn(row, ctx.params) for fn in self.key_fns)
+            hashable = tuple(SortKey(v) for v in key)
+            accs = groups.get(hashable)
+            if accs is None:
+                accs = [
+                    make_accumulator(s.name, s.star, s.distinct)
+                    for s in self.agg_specs
+                ]
+                groups[hashable] = accs
+                order.append(key)
+            for spec, acc in zip(self.agg_specs, accs):
+                if spec.star:
+                    acc.add(None)
+                else:
+                    acc.add(spec.arg(row, ctx.params))
+        if not groups and self.global_group:
+            accs = [
+                make_accumulator(s.name, s.star, s.distinct) for s in self.agg_specs
+            ]
+            yield tuple(a.result() for a in accs)
+            return
+        for key in order:
+            hashable = tuple(SortKey(v) for v in key)
+            accs = groups[hashable]
+            yield key + tuple(a.result() for a in accs)
+
+
+class SortNode(PlanNode):
+    def __init__(self, child: PlanNode, keys: list[tuple[CompiledExpr, bool]]):
+        self.child = child
+        self.keys = keys
+        self.layout = child.layout
+
+    def describe(self) -> str:
+        dirs = ", ".join("asc" if asc else "desc" for _fn, asc in self.keys)
+        return f"Sort({dirs})"
+
+    def children_nodes(self) -> list["PlanNode"]:
+        return [self.child]
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        materialized = list(self.child.rows(ctx))
+        # Stable multi-key sort: apply keys from last to first.
+        for fn, ascending in reversed(self.keys):
+            materialized.sort(
+                key=lambda row: SortKey(fn(row, ctx.params)), reverse=not ascending
+            )
+        yield from materialized
+
+
+class ProjectNode(PlanNode):
+    def __init__(self, child: PlanNode, exprs: list[CompiledExpr], names: list[str]):
+        self.child = child
+        self.exprs = exprs
+        self.names = names
+        self.layout = Layout()
+        for name in names:
+            try:
+                self.layout.add(None, name)
+            except PlanningError:
+                # Duplicate output names are legal in SQL; keep positional.
+                self.layout.add(None, f"{name}#{len(self.layout)}")
+
+    def describe(self) -> str:
+        return f"Project({', '.join(self.names)})"
+
+    def children_nodes(self) -> list["PlanNode"]:
+        return [self.child]
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        exprs = self.exprs
+        for row in self.child.rows(ctx):
+            yield tuple(fn(row, ctx.params) for fn in exprs)
+
+
+class DistinctNode(PlanNode):
+    def __init__(self, child: PlanNode):
+        self.child = child
+        self.layout = child.layout
+
+    def describe(self) -> str:
+        return "Distinct"
+
+    def children_nodes(self) -> list["PlanNode"]:
+        return [self.child]
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        for row in self.child.rows(ctx):
+            key = tuple(SortKey(v) for v in row)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield row
+
+
+class LimitNode(PlanNode):
+    def __init__(
+        self,
+        child: PlanNode,
+        limit: CompiledExpr | None,
+        offset: CompiledExpr | None,
+    ):
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+        self.layout = child.layout
+
+    def describe(self) -> str:
+        return "Limit"
+
+    def children_nodes(self) -> list["PlanNode"]:
+        return [self.child]
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        limit = self.limit((), ctx.params) if self.limit is not None else None
+        offset = self.offset((), ctx.params) if self.offset is not None else 0
+        if limit is not None and (not isinstance(limit, int) or limit < 0):
+            raise ExecutionError(f"LIMIT must be a non-negative integer, got {limit!r}")
+        if not isinstance(offset, int) or offset < 0:
+            raise ExecutionError(f"OFFSET must be a non-negative integer, got {offset!r}")
+        produced = 0
+        skipped = 0
+        for row in self.child.rows(ctx):
+            if skipped < offset:
+                skipped += 1
+                continue
+            if limit is not None and produced >= limit:
+                return
+            produced += 1
+            yield row
+
+
+# ---------------------------------------------------------------------------
+# SELECT planning
+# ---------------------------------------------------------------------------
+
+
+def build_select_plan(
+    stmt: SelectStmt, database: "Database", txn: "Transaction"
+) -> tuple[PlanNode, list[str]]:
+    if stmt.from_table is None:
+        if stmt.joins:
+            raise PlanningError("JOIN without FROM")
+        return _plan_projection(stmt, SingleRowNode(), Layout())
+
+    refs = stmt.table_refs()
+    bindings: list[tuple[str, str, TableSchema]] = []  # (binding, canonical, schema)
+    seen_bindings: set[str] = set()
+    for ref in refs:
+        canonical = database.catalog.resolve(ref.table)
+        schema = database.catalog.get(ref.table)
+        binding = ref.binding
+        if binding.lower() in seen_bindings:
+            raise PlanningError(f"duplicate table binding {binding!r}")
+        seen_bindings.add(binding.lower())
+        bindings.append((binding, canonical, schema))
+
+    full_layout = Layout()
+    for binding, _canonical, schema in bindings:
+        for column in schema.column_names:
+            full_layout.add(binding, column)
+
+    conjuncts = split_conjuncts(stmt.where)
+    consumed: set[int] = set()
+
+    # Classify single-table conjuncts for pushdown (inner-join tables only;
+    # pushing WHERE below a LEFT join's null-extended side changes results).
+    left_join_bindings = {
+        join.table.binding.lower() for join in stmt.joins if join.kind == "left"
+    }
+    pushed: dict[str, list[Expr]] = {}
+    for i, conjunct in enumerate(conjuncts):
+        used = planner.bindings_used(conjunct, full_layout)
+        if used is not None and len(used) == 1:
+            owner = next(iter(used))
+            if owner not in left_join_bindings:
+                pushed.setdefault(owner, []).append(conjunct)
+                consumed.add(i)
+
+    def make_scan(binding: str, canonical: str, schema: TableSchema) -> ScanNode:
+        own_layout = Layout.for_table(binding, schema.column_names)
+        own_conjuncts = pushed.get(binding.lower(), [])
+        filter_fn = None
+        if own_conjuncts:
+            merged: Expr | None = None
+            for conjunct in own_conjuncts:
+                from repro.db.expr import BinaryOp
+
+                merged = (
+                    conjunct if merged is None else BinaryOp("AND", merged, conjunct)
+                )
+            filter_fn = compile_expr(merged, own_layout)
+        probe = _find_probe(database, canonical, schema, own_conjuncts, binding, txn)
+        scan = ScanNode(canonical, binding, schema, filter_fn, probe)
+        if own_conjuncts:
+            scan.filter_sql = " AND ".join(c.sql() for c in own_conjuncts)
+        return scan
+
+    binding0, canonical0, schema0 = bindings[0]
+    plan: PlanNode = make_scan(binding0, canonical0, schema0)
+    accumulated = {binding0.lower()}
+
+    for join, (binding, canonical, schema) in zip(stmt.joins, bindings[1:]):
+        right = make_scan(binding, canonical, schema)
+        join_conjuncts: list[Expr] = []
+        if join.on is not None:
+            join_conjuncts.extend(split_conjuncts(join.on))
+        if join.kind != "left":
+            # WHERE conjuncts spanning exactly the joined tables can serve
+            # as additional join predicates for inner joins.
+            for i, conjunct in enumerate(conjuncts):
+                if i in consumed:
+                    continue
+                used = planner.bindings_used(conjunct, full_layout)
+                if (
+                    used is not None
+                    and binding.lower() in used
+                    and used <= accumulated | {binding.lower()}
+                ):
+                    join_conjuncts.append(conjunct)
+                    consumed.add(i)
+        pairs, residual = planner.extract_equi_pairs(
+            join_conjuncts, accumulated, {binding.lower()}, full_layout
+        )
+        combined_layout = plan.layout.concat(right.layout)
+        residual_fn = None
+        if residual:
+            merged = None
+            for conjunct in residual:
+                from repro.db.expr import BinaryOp
+
+                merged = (
+                    conjunct if merged is None else BinaryOp("AND", merged, conjunct)
+                )
+            residual_fn = compile_expr(merged, combined_layout)
+        if pairs:
+            left_keys = [compile_expr(l, plan.layout) for l, _ in pairs]
+            right_keys = [compile_expr(r, right.layout) for _, r in pairs]
+            # A cross join that gained equi keys from WHERE is an inner join.
+            kind = "inner" if join.kind == "cross" else join.kind
+            plan = HashJoinNode(
+                plan, right, left_keys, right_keys, residual_fn, kind
+            )
+        else:
+            plan = NestedLoopJoinNode(plan, right, residual_fn, join.kind)
+        accumulated.add(binding.lower())
+
+    remaining = [c for i, c in enumerate(conjuncts) if i not in consumed]
+    if remaining:
+        merged = None
+        for conjunct in remaining:
+            from repro.db.expr import BinaryOp
+
+            merged = conjunct if merged is None else BinaryOp("AND", merged, conjunct)
+        plan = FilterNode(
+            plan, compile_expr(merged, plan.layout), sql=merged.sql()
+        )
+
+    return _plan_projection(stmt, plan, plan.layout)
+
+
+def _find_probe(
+    database: "Database",
+    canonical: str,
+    schema: TableSchema,
+    own_conjuncts: list[Expr],
+    binding: str,
+    txn: "Transaction",
+) -> tuple | None:
+    """Choose an index access path from the pushed-down conjuncts.
+
+    Equality conjuncts binding a hash index's columns yield a hash probe
+    ``("hash", index, key_fns)``; range conjuncts (<, <=, >, >=, BETWEEN)
+    on a single-column sorted index yield a range probe
+    ``("sorted", index, low_fn, high_fn)``.
+
+    Probes apply only under SERIALIZABLE isolation: shared indexes
+    reflect the latest committed state, which is exactly what a 2PL
+    reader sees; under SNAPSHOT/READ_COMMITTED a probe could miss rows
+    whose old version matches, so those isolation levels scan.
+    """
+    from repro.db.expr import Between, BinaryOp, ColumnRef, Literal, Param
+    from repro.db.index import SortedIndex
+    from repro.db.txn.manager import IsolationLevel
+
+    if txn.isolation is not IsolationLevel.SERIALIZABLE:
+        return None
+    empty = Layout()
+
+    eq_values: dict[str, Expr] = {}
+    bounds: dict[str, dict[str, Expr]] = {}  # col -> {"low": e, "high": e}
+
+    def note_bound(column: str, side: str, expr: Expr) -> None:
+        bounds.setdefault(column, {}).setdefault(side, expr)
+
+    for conjunct in own_conjuncts:
+        if isinstance(conjunct, Between) and isinstance(
+            conjunct.operand, ColumnRef
+        ) and not conjunct.negated:
+            column = conjunct.operand.column.lower()
+            if (
+                schema.has_column(column)
+                and isinstance(conjunct.low, (Literal, Param))
+                and isinstance(conjunct.high, (Literal, Param))
+            ):
+                note_bound(column, "low", conjunct.low)
+                note_bound(column, "high", conjunct.high)
+            continue
+        if not isinstance(conjunct, BinaryOp):
+            continue
+        sides = [
+            (conjunct.left, conjunct.right, conjunct.op),
+            (conjunct.right, conjunct.left, _flip_cmp(conjunct.op)),
+        ]
+        for col_side, val_side, op in sides:
+            if op is None:
+                continue
+            if not (
+                isinstance(col_side, ColumnRef)
+                and isinstance(val_side, (Literal, Param))
+                and schema.has_column(col_side.column)
+            ):
+                continue
+            column = col_side.column.lower()
+            if op in ("=", "=="):
+                eq_values.setdefault(column, val_side)
+            elif op in ("<", "<="):
+                note_bound(column, "high", val_side)
+            elif op in (">", ">="):
+                note_bound(column, "low", val_side)
+            break
+
+    if eq_values:
+        index = database.index_set(canonical).equality_index_for(set(eq_values))
+        if index is not None:
+            key_fns = [
+                compile_expr(eq_values[c.lower()], empty) for c in index.columns
+            ]
+            return ("hash", index, key_fns)
+
+    for column, sides in bounds.items():
+        for index in database.index_set(canonical).indexes.values():
+            if (
+                isinstance(index, SortedIndex)
+                and len(index.columns) == 1
+                and index.columns[0].lower() == column
+            ):
+                low = compile_expr(sides["low"], empty) if "low" in sides else None
+                high = (
+                    compile_expr(sides["high"], empty) if "high" in sides else None
+                )
+                return ("sorted", index, low, high)
+    return None
+
+
+def _flip_cmp(op: str) -> str | None:
+    """Mirror a comparison when the column is on the right-hand side."""
+    return {
+        "=": "=", "==": "==", "<": ">", "<=": ">=", ">": "<", ">=": "<=",
+    }.get(op)
+
+
+def _plan_projection(
+    stmt: SelectStmt, plan: PlanNode, input_layout: Layout
+) -> tuple[PlanNode, list[str]]:
+    # Expand stars into concrete expressions.
+    proj: list[tuple[Expr, str]] = []
+    for item in stmt.items:
+        if item.star:
+            qualifiers = (
+                [item.star_qualifier]
+                if item.star_qualifier
+                else sorted(
+                    input_layout.qualifiers(),
+                    key=lambda q: min(
+                        slot for _c, slot in input_layout.columns_of(q)
+                    ),
+                )
+            )
+            if not qualifiers and item.star_qualifier is None:
+                raise PlanningError("SELECT * requires a FROM clause")
+            for qualifier in qualifiers:
+                columns = input_layout.columns_of(qualifier)
+                if not columns:
+                    raise PlanningError(f"unknown table alias {qualifier!r}")
+                for column, _slot in columns:
+                    proj.append((ColumnRef(column, qualifier=qualifier), column))
+        else:
+            name = item.alias or _default_name(item.expr)
+            proj.append((item.expr, name))
+
+    out_names = [name for _, name in proj]
+    has_aggregates = bool(stmt.group_by) or any(
+        planner.find_aggregates([e]) for e, _ in proj
+    ) or (stmt.having is not None)
+
+    if has_aggregates:
+        plan = _plan_aggregate(stmt, plan, input_layout, proj)
+        # Sorting for aggregate queries references output columns.
+        plan = _plan_order_distinct_limit(stmt, plan, out_names, aggregated=True)
+        return plan, out_names
+
+    # Non-aggregate path: sort before projection when the ORDER BY
+    # references input columns; otherwise after, by output names.
+    order_fns: list[tuple[CompiledExpr, bool]] = []
+    order_on_input = True
+    for item in stmt.order_by:
+        try:
+            order_fns.append((compile_expr(item.expr, input_layout), item.ascending))
+        except PlanningError:
+            order_on_input = False
+            break
+    if stmt.order_by and order_on_input and not stmt.distinct:
+        plan = SortNode(plan, order_fns)
+        sort_done = True
+    else:
+        sort_done = False
+
+    exprs = [compile_expr(e, input_layout) for e, _ in proj]
+    plan = ProjectNode(plan, exprs, out_names)
+    if stmt.distinct:
+        plan = DistinctNode(plan)
+    if stmt.order_by and not sort_done:
+        out_layout = plan.layout
+        fns = [
+            (compile_expr(item.expr, out_layout), item.ascending)
+            for item in stmt.order_by
+        ]
+        plan = SortNode(plan, fns)
+    if stmt.limit is not None or stmt.offset is not None:
+        empty = Layout()
+        plan = LimitNode(
+            plan,
+            compile_expr(stmt.limit, empty) if stmt.limit is not None else None,
+            compile_expr(stmt.offset, empty) if stmt.offset is not None else None,
+        )
+    return plan, out_names
+
+
+def _plan_aggregate(
+    stmt: SelectStmt,
+    plan: PlanNode,
+    input_layout: Layout,
+    proj: list[tuple[Expr, str]],
+) -> PlanNode:
+    group_exprs = list(stmt.group_by)
+    group_slots = {e.sql(): i for i, e in enumerate(group_exprs)}
+    all_exprs: list[Expr | None] = [e for e, _ in proj]
+    all_exprs.append(stmt.having)
+    all_exprs.extend(item.expr for item in stmt.order_by)
+    aggregates = planner.find_aggregates(all_exprs)
+    agg_slots = {
+        agg.sql(): len(group_exprs) + i for i, agg in enumerate(aggregates)
+    }
+
+    key_fns = [compile_expr(e, input_layout) for e in group_exprs]
+    agg_specs = []
+    for agg in aggregates:
+        arg = None
+        if not agg.star:
+            if len(agg.args) != 1:
+                raise PlanningError(f"{agg.name}() takes exactly one argument")
+            arg = compile_expr(agg.args[0], input_layout)
+        agg_specs.append(
+            AggSpec(name=agg.name, star=agg.star, distinct=agg.distinct, arg=arg)
+        )
+    plan = AggregateNode(plan, key_fns, agg_specs, global_group=not group_exprs)
+    agg_layout = plan.layout
+
+    if stmt.having is not None:
+        rewritten = planner.rewrite_aggregate_expr(stmt.having, group_slots, agg_slots)
+        plan = FilterNode(plan, compile_expr(rewritten, agg_layout))
+
+    out_exprs = []
+    alias_rewrites: dict[str, Expr] = {}
+    for expr, name in proj:
+        rewritten = planner.rewrite_aggregate_expr(expr, group_slots, agg_slots)
+        alias_rewrites.setdefault(name.lower(), rewritten)
+        out_exprs.append(compile_expr(rewritten, agg_layout))
+
+    # ORDER BY for aggregate queries: rewrite over the agg row, then sort
+    # before projection (so it may reference non-projected aggregates).
+    # A bare column name that matches an output alias sorts by that output.
+    if stmt.order_by:
+        fns = []
+        for item in stmt.order_by:
+            if (
+                isinstance(item.expr, ColumnRef)
+                and item.expr.qualifier is None
+                and item.expr.column.lower() in alias_rewrites
+            ):
+                rewritten = alias_rewrites[item.expr.column.lower()]
+            else:
+                rewritten = planner.rewrite_aggregate_expr(
+                    item.expr, group_slots, agg_slots
+                )
+            fns.append((compile_expr(rewritten, agg_layout), item.ascending))
+        plan = SortNode(plan, fns)
+
+    return ProjectNode(plan, out_exprs, [name for _, name in proj])
+
+
+def _plan_order_distinct_limit(
+    stmt: SelectStmt, plan: PlanNode, out_names: list[str], aggregated: bool
+) -> PlanNode:
+    if stmt.distinct:
+        plan = DistinctNode(plan)
+    if stmt.limit is not None or stmt.offset is not None:
+        empty = Layout()
+        plan = LimitNode(
+            plan,
+            compile_expr(stmt.limit, empty) if stmt.limit is not None else None,
+            compile_expr(stmt.offset, empty) if stmt.offset is not None else None,
+        )
+    return plan
+
+
+def _default_name(expr: Expr) -> str:
+    if isinstance(expr, ColumnRef):
+        return expr.column
+    if isinstance(expr, FuncCall):
+        return expr.sql()
+    return expr.sql()
+
+
+# ---------------------------------------------------------------------------
+# Statement execution
+# ---------------------------------------------------------------------------
+
+
+def execute_statement(
+    database: "Database",
+    txn: "Transaction",
+    stmt: Statement,
+    params: Sequence[Any],
+    query_text: str,
+) -> ResultSet:
+    if stmt.param_count != len(params):
+        raise ExecutionError(
+            f"statement expects {stmt.param_count} parameter(s), "
+            f"got {len(params)}"
+        )
+    if isinstance(stmt, SelectStmt):
+        return _execute_select(database, txn, stmt, params, query_text)
+    if isinstance(stmt, InsertStmt):
+        return _execute_insert(database, txn, stmt, params)
+    if isinstance(stmt, UpdateStmt):
+        return _execute_update(database, txn, stmt, params)
+    if isinstance(stmt, DeleteStmt):
+        return _execute_delete(database, txn, stmt, params)
+    if isinstance(stmt, CreateTableStmt):
+        return _execute_create_table(database, stmt, params)
+    if isinstance(stmt, DropTableStmt):
+        database.drop_table(stmt.name, if_exists=stmt.if_exists)
+        return ResultSet(kind="ddl")
+    if isinstance(stmt, CreateIndexStmt):
+        database.create_index(
+            stmt.name,
+            stmt.table,
+            stmt.columns,
+            unique=stmt.unique,
+            sorted_index=stmt.sorted_index,
+        )
+        return ResultSet(kind="ddl")
+    raise ExecutionError(f"cannot execute {type(stmt).__name__}")  # pragma: no cover
+
+
+def _execute_select(
+    database: "Database",
+    txn: "Transaction",
+    stmt: SelectStmt,
+    params: Sequence[Any],
+    query_text: str,
+) -> ResultSet:
+    plan, out_names = build_select_plan(stmt, database, txn)
+    ctx = ExecContext(
+        database=database,
+        txn=txn,
+        params=params,
+        query_text=query_text,
+        track_reads=database.track_reads,
+    )
+    rows = list(plan.rows(ctx))
+    if ctx.track_reads:
+        # A table that was consulted but matched nothing still yields one
+        # null read record (Table 2's "Check if (U1, F2) exists" rows).
+        for table in sorted(ctx.scanned_tables):
+            if not ctx.read_counts.get(table):
+                txn.record_read(table, None, None, query_text)
+    return ResultSet(columns=out_names, rows=rows, kind="select")
+
+
+def _execute_insert(
+    database: "Database", txn: "Transaction", stmt: InsertStmt, params: Sequence[Any]
+) -> ResultSet:
+    schema = database.catalog.get(stmt.table)
+    columns = stmt.columns or list(schema.column_names)
+    for column in columns:
+        schema.column(column)  # validates existence
+    if stmt.select is not None:
+        plan, out_names = build_select_plan(stmt.select, database, txn)
+        if len(out_names) != len(columns):
+            raise ExecutionError(
+                f"INSERT ... SELECT supplies {len(out_names)} column(s) "
+                f"for {len(columns)}"
+            )
+        ctx = ExecContext(
+            database=database,
+            txn=txn,
+            params=params,
+            query_text="",
+            track_reads=database.track_reads,
+        )
+        # Materialize first: the SELECT may read the target table, and
+        # inserting while scanning would mutate the txn's overlay mid-walk.
+        source_rows = list(plan.rows(ctx))
+        row_ids = []
+        for source_row in source_rows:
+            coerced = schema.coerce_row(dict(zip(columns, source_row)))
+            row_ids.append(txn.insert(stmt.table, coerced))
+        return ResultSet(kind="insert", rowcount=len(row_ids), row_ids=row_ids)
+    empty = Layout()
+    row_ids = []
+    for row_exprs in stmt.rows:
+        if len(row_exprs) != len(columns):
+            raise ExecutionError(
+                f"INSERT supplies {len(row_exprs)} values for "
+                f"{len(columns)} column(s)"
+            )
+        values = {
+            column: compile_expr(expr, empty)((), params)
+            for column, expr in zip(columns, row_exprs)
+        }
+        coerced = schema.coerce_row(values)
+        row_ids.append(txn.insert(stmt.table, coerced))
+    return ResultSet(kind="insert", rowcount=len(row_ids), row_ids=row_ids)
+
+
+def _execute_update(
+    database: "Database", txn: "Transaction", stmt: UpdateStmt, params: Sequence[Any]
+) -> ResultSet:
+    schema = database.catalog.get(stmt.table.table)
+    binding = stmt.table.binding
+    layout = Layout.for_table(binding, schema.column_names)
+    where_fn = compile_expr(stmt.where, layout) if stmt.where is not None else None
+    assign = []
+    for column, expr in stmt.assignments:
+        col = schema.column(column)
+        assign.append((schema.index_of(column), col, compile_expr(expr, layout)))
+    matches = [
+        (row_id, values)
+        for row_id, values in txn.scan(stmt.table.table)
+        if where_fn is None or where_fn(values, params) is True
+    ]
+    for row_id, values in matches:
+        new_values = list(values)
+        for index, col, fn in assign:
+            try:
+                new_values[index] = coerce(fn(values, params), col.col_type)
+            except TypeCoercionError as exc:
+                raise TypeCoercionError(f"{schema.name}.{col.name}: {exc}") from None
+            if new_values[index] is None and not col.nullable:
+                raise IntegrityError(f"NOT NULL violation: {schema.name}.{col.name}")
+        txn.update(stmt.table.table, row_id, tuple(new_values))
+    return ResultSet(
+        kind="update",
+        rowcount=len(matches),
+        row_ids=[row_id for row_id, _ in matches],
+    )
+
+
+def _execute_delete(
+    database: "Database", txn: "Transaction", stmt: DeleteStmt, params: Sequence[Any]
+) -> ResultSet:
+    schema = database.catalog.get(stmt.table.table)
+    layout = Layout.for_table(stmt.table.binding, schema.column_names)
+    where_fn = compile_expr(stmt.where, layout) if stmt.where is not None else None
+    matches = [
+        row_id
+        for row_id, values in txn.scan(stmt.table.table)
+        if where_fn is None or where_fn(values, params) is True
+    ]
+    for row_id in matches:
+        txn.delete(stmt.table.table, row_id)
+    return ResultSet(kind="delete", rowcount=len(matches), row_ids=matches)
+
+
+def _execute_create_table(
+    database: "Database", stmt: CreateTableStmt, params: Sequence[Any]
+) -> ResultSet:
+    if stmt.if_not_exists and database.catalog.has_table(stmt.name):
+        return ResultSet(kind="ddl")
+    table_pk = {c.lower() for c in (stmt.primary_key or [])}
+    empty = Layout()
+    columns = []
+    for cdef in stmt.columns:
+        default = None
+        if cdef.default is not None:
+            default = compile_expr(cdef.default, empty)((), params)
+        is_pk = cdef.primary_key or cdef.name.lower() in table_pk
+        columns.append(
+            Column(
+                name=cdef.name,
+                col_type=type_from_sql_name(cdef.type_name),
+                nullable=not (cdef.not_null or is_pk),
+                primary_key=is_pk,
+                unique=cdef.unique,
+                default=default,
+            )
+        )
+    known = {c.name.lower() for c in columns}
+    for pk_col in table_pk:
+        if pk_col not in known:
+            raise SchemaError(f"PRIMARY KEY references unknown column {pk_col!r}")
+    schema = TableSchema(stmt.name, columns, unique_constraints=stmt.unique_constraints)
+    database.create_table(schema)
+    return ResultSet(kind="ddl")

@@ -1,0 +1,225 @@
+"""Scalar and aggregate SQL functions."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.db.types import compare_values
+from repro.errors import ExecutionError
+
+# ---------------------------------------------------------------------------
+# Scalar functions
+# ---------------------------------------------------------------------------
+
+
+def _upper(value: Any) -> Any:
+    return None if value is None else str(value).upper()
+
+
+def _lower(value: Any) -> Any:
+    return None if value is None else str(value).lower()
+
+
+def _length(value: Any) -> Any:
+    return None if value is None else len(str(value))
+
+
+def _abs(value: Any) -> Any:
+    return None if value is None else abs(value)
+
+
+def _round(value: Any, digits: Any = 0) -> Any:
+    if value is None:
+        return None
+    result = round(float(value), int(digits))
+    return int(result) if digits == 0 else result
+
+
+def _coalesce(*args: Any) -> Any:
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _nullif(a: Any, b: Any) -> Any:
+    if a is not None and b is not None and compare_values(a, b) == 0:
+        return None
+    return a
+
+
+def _ifnull(a: Any, b: Any) -> Any:
+    return b if a is None else a
+
+
+def _substr(value: Any, start: Any, length: Any = None) -> Any:
+    """1-based SUBSTR, matching common SQL engines."""
+    if value is None or start is None:
+        return None
+    text = str(value)
+    begin = int(start) - 1
+    if begin < 0:
+        begin = 0
+    if length is None:
+        return text[begin:]
+    return text[begin : begin + int(length)]
+
+
+def _trim(value: Any) -> Any:
+    return None if value is None else str(value).strip()
+
+
+def _replace(value: Any, old: Any, new: Any) -> Any:
+    if value is None or old is None or new is None:
+        return None
+    return str(value).replace(str(old), str(new))
+
+
+def _concat(*args: Any) -> Any:
+    return "".join("" if a is None else str(a) for a in args)
+
+
+def _typeof(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "BOOLEAN"
+    if isinstance(value, int):
+        return "INTEGER"
+    if isinstance(value, float):
+        return "FLOAT"
+    return "TEXT"
+
+
+#: name -> (callable, min arity, max arity or None for variadic)
+_SCALARS: dict[str, tuple[Callable[..., Any], int, int | None]] = {
+    "UPPER": (_upper, 1, 1),
+    "LOWER": (_lower, 1, 1),
+    "LENGTH": (_length, 1, 1),
+    "ABS": (_abs, 1, 1),
+    "ROUND": (_round, 1, 2),
+    "COALESCE": (_coalesce, 1, None),
+    "NULLIF": (_nullif, 2, 2),
+    "IFNULL": (_ifnull, 2, 2),
+    "SUBSTR": (_substr, 2, 3),
+    "SUBSTRING": (_substr, 2, 3),
+    "TRIM": (_trim, 1, 1),
+    "REPLACE": (_replace, 3, 3),
+    "CONCAT": (_concat, 1, None),
+    "TYPEOF": (_typeof, 1, 1),
+}
+
+
+def is_scalar_function(name: str) -> bool:
+    return name.upper() in _SCALARS
+
+
+def call_scalar(name: str, args: Sequence[Any]) -> Any:
+    try:
+        fn, lo, hi = _SCALARS[name.upper()]
+    except KeyError:
+        raise ExecutionError(f"unknown function {name}()") from None
+    if len(args) < lo or (hi is not None and len(args) > hi):
+        raise ExecutionError(
+            f"{name}() takes {lo}{'+' if hi is None else f'..{hi}'} "
+            f"arguments, got {len(args)}"
+        )
+    return fn(*args)
+
+
+# ---------------------------------------------------------------------------
+# Aggregate functions
+# ---------------------------------------------------------------------------
+
+AGGREGATE_NAMES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+class Accumulator:
+    """Streaming accumulator for one aggregate over one group."""
+
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class _CountAcc(Accumulator):
+    def __init__(self, star: bool, distinct: bool):
+        self._star = star
+        self._distinct = distinct
+        self._count = 0
+        self._seen: set[Any] = set()
+
+    def add(self, value: Any) -> None:
+        if self._star:
+            self._count += 1
+            return
+        if value is None:
+            return
+        if self._distinct:
+            self._seen.add(value)
+        else:
+            self._count += 1
+
+    def result(self) -> int:
+        return len(self._seen) if self._distinct else self._count
+
+
+class _SumAcc(Accumulator):
+    def __init__(self, distinct: bool, average: bool):
+        self._distinct = distinct
+        self._average = average
+        self._values: list[Any] = []
+        self._seen: set[Any] = set()
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._distinct:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self._values.append(value)
+
+    def result(self) -> Any:
+        if not self._values:
+            return None
+        total = sum(self._values)
+        if self._average:
+            return total / len(self._values)
+        return total
+
+
+class _MinMaxAcc(Accumulator):
+    def __init__(self, want_max: bool):
+        self._want_max = want_max
+        self._best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._best is None:
+            self._best = value
+            return
+        cmp = compare_values(value, self._best)
+        if (cmp > 0) if self._want_max else (cmp < 0):
+            self._best = value
+
+    def result(self) -> Any:
+        return self._best
+
+
+def make_accumulator(name: str, star: bool, distinct: bool) -> Accumulator:
+    upper = name.upper()
+    if upper == "COUNT":
+        return _CountAcc(star=star, distinct=distinct)
+    if upper == "SUM":
+        return _SumAcc(distinct=distinct, average=False)
+    if upper == "AVG":
+        return _SumAcc(distinct=distinct, average=True)
+    if upper == "MIN":
+        return _MinMaxAcc(want_max=False)
+    if upper == "MAX":
+        return _MinMaxAcc(want_max=True)
+    raise ExecutionError(f"unknown aggregate {name}()")  # pragma: no cover

@@ -1,0 +1,148 @@
+"""Hand-written SQL tokenizer.
+
+Produces a flat token list for the recursive-descent parser. Keywords are
+not distinguished from identifiers here — the parser checks identifier
+tokens against its keyword expectations, which keeps the lexer trivial and
+lets column names shadow non-reserved words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # IDENT | STRING | NUMBER | OP | PARAM | EOF
+    value: str | int | float
+    pos: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind}, {self.value!r})"
+
+
+#: Multi-character operators, longest first so matching is greedy.
+_MULTI_OPS = ("<=", ">=", "<>", "!=", "==", "||")
+_SINGLE_OPS = set("=<>+-*/%(),.;")
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch == "-" and sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "/" and sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end == -1:
+                raise SqlSyntaxError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if ch == "'":
+            value, i = _read_string(sql, i)
+            tokens.append(Token("STRING", value, i))
+            continue
+        if ch == '"':
+            value, i = _read_quoted_ident(sql, i)
+            tokens.append(Token("IDENT", value, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            value, i = _read_number(sql, i)
+            tokens.append(Token("NUMBER", value, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            tokens.append(Token("IDENT", sql[start:i], start))
+            continue
+        if ch == "?":
+            tokens.append(Token("PARAM", "?", i))
+            i += 1
+            continue
+        matched = False
+        for op in _MULTI_OPS:
+            if sql.startswith(op, i):
+                tokens.append(Token("OP", op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_OPS:
+            tokens.append(Token("OP", ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("EOF", "", n))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string with '' as the escape for a quote."""
+    i = start + 1
+    out: list[str] = []
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                out.append("'")
+                i += 2
+                continue
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    raise SqlSyntaxError("unterminated string literal", start)
+
+
+def _read_quoted_ident(sql: str, start: int) -> tuple[str, int]:
+    end = sql.find('"', start + 1)
+    if end == -1:
+        raise SqlSyntaxError("unterminated quoted identifier", start)
+    name = sql[start + 1 : end]
+    if not name:
+        raise SqlSyntaxError("empty quoted identifier", start)
+    return name, end + 1
+
+
+def _read_number(sql: str, start: int) -> tuple[int | float, int]:
+    i = start
+    n = len(sql)
+    saw_dot = False
+    saw_exp = False
+    while i < n:
+        ch = sql[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not saw_dot and not saw_exp:
+            saw_dot = True
+            i += 1
+        elif ch in "eE" and not saw_exp and i > start:
+            nxt = i + 1
+            if nxt < n and sql[nxt] in "+-":
+                nxt += 1
+            if nxt < n and sql[nxt].isdigit():
+                saw_exp = True
+                i = nxt
+            else:
+                break
+        else:
+            break
+    text = sql[start:i]
+    try:
+        if saw_dot or saw_exp:
+            return float(text), i
+        return int(text), i
+    except ValueError:  # pragma: no cover - defensive
+        raise SqlSyntaxError(f"bad numeric literal {text!r}", start) from None

@@ -1,0 +1,140 @@
+"""Parsed-statement AST nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.expr import Expr
+
+
+class Statement:
+    """Base class for parsed statements."""
+
+    #: Number of ``?`` placeholders, assigned by the parser.
+    param_count: int = 0
+
+
+@dataclass
+class TableRef:
+    """A table reference in FROM/UPDATE/DELETE, with optional alias."""
+
+    table: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The qualifier rows from this table bind under."""
+        return self.alias or self.table
+
+
+@dataclass
+class Join:
+    """One join step; ``kind`` is 'inner', 'left', or 'cross'.
+
+    The paper's queries use the ``FROM A as E, B as F ON E.x = F.x`` idiom;
+    the parser turns that into an inner join so they run verbatim.
+    """
+
+    kind: str
+    table: TableRef
+    on: Expr | None
+
+
+@dataclass
+class SelectItem:
+    """One projection: an expression, ``*``, or ``alias.*``."""
+
+    expr: Expr | None
+    alias: str | None = None
+    star: bool = False
+    star_qualifier: str | None = None
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class SelectStmt(Statement):
+    items: list[SelectItem] = field(default_factory=list)
+    distinct: bool = False
+    from_table: TableRef | None = None
+    joins: list[Join] = field(default_factory=list)
+    where: Expr | None = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Expr | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Expr | None = None
+    offset: Expr | None = None
+    param_count: int = 0
+
+    def table_refs(self) -> list[TableRef]:
+        refs = []
+        if self.from_table is not None:
+            refs.append(self.from_table)
+        refs.extend(join.table for join in self.joins)
+        return refs
+
+
+@dataclass
+class InsertStmt(Statement):
+    table: str = ""
+    columns: list[str] | None = None
+    rows: list[list[Expr]] = field(default_factory=list)
+    #: INSERT INTO ... SELECT form (mutually exclusive with ``rows``).
+    select: "SelectStmt | None" = None
+    param_count: int = 0
+
+
+@dataclass
+class UpdateStmt(Statement):
+    table: TableRef = field(default_factory=lambda: TableRef(""))
+    assignments: list[tuple[str, Expr]] = field(default_factory=list)
+    where: Expr | None = None
+    param_count: int = 0
+
+
+@dataclass
+class DeleteStmt(Statement):
+    table: TableRef = field(default_factory=lambda: TableRef(""))
+    where: Expr | None = None
+    param_count: int = 0
+
+
+@dataclass
+class ColumnDef:
+    name: str
+    type_name: str
+    primary_key: bool = False
+    not_null: bool = False
+    unique: bool = False
+    default: Expr | None = None
+
+
+@dataclass
+class CreateTableStmt(Statement):
+    name: str = ""
+    columns: list[ColumnDef] = field(default_factory=list)
+    primary_key: list[str] | None = None  # table-level PRIMARY KEY (...)
+    unique_constraints: list[list[str]] = field(default_factory=list)
+    if_not_exists: bool = False
+    param_count: int = 0
+
+
+@dataclass
+class DropTableStmt(Statement):
+    name: str = ""
+    if_exists: bool = False
+    param_count: int = 0
+
+
+@dataclass
+class CreateIndexStmt(Statement):
+    name: str = ""
+    table: str = ""
+    columns: list[str] = field(default_factory=list)
+    unique: bool = False
+    sorted_index: bool = False  # CREATE SORTED INDEX -> range-scan index
+    param_count: int = 0

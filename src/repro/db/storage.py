@@ -1,0 +1,181 @@
+"""Multi-version row storage.
+
+Every committed write creates a :class:`RowVersion` stamped with the commit
+sequence number (CSN) at which it became visible (``begin``) and, once
+superseded or deleted, the CSN at which it stopped being visible (``end``).
+Keeping every version is what gives the engine time travel: TROD's replay
+engine reconstructs "the database as of CSN *c*" directly from this store.
+
+The store itself is oblivious to transactions: the transaction manager
+buffers writes privately and calls the ``apply_*`` methods only at commit,
+in commit order, so versions here are always committed data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.db.schema import TableSchema
+from repro.errors import DatabaseError
+
+#: CSN value meaning "still visible".
+INFINITY = None
+
+
+@dataclass
+class RowVersion:
+    """One committed version of one row."""
+
+    row_id: int
+    begin: int
+    end: int | None
+    values: tuple
+
+    def visible_at(self, csn: int) -> bool:
+        """Whether this version is the live one in the snapshot at ``csn``."""
+        if self.begin > csn:
+            return False
+        return self.end is None or self.end > csn
+
+
+class TableStore:
+    """Versioned storage for one table.
+
+    ``row_id`` is a surrogate identity that survives updates (an UPDATE
+    creates a new version of the same row_id). It is also what provenance
+    events use to name rows, so replayed databases preserve row identity by
+    passing explicit row ids to :meth:`apply_insert`.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._versions: dict[int, list[RowVersion]] = {}
+        self._next_row_id = 1
+
+    # -- write path (called by the transaction manager at commit) --------
+
+    def reserve_row_id(self) -> int:
+        row_id = self._next_row_id
+        self._next_row_id += 1
+        return row_id
+
+    def apply_insert(self, values: tuple, csn: int, row_id: int | None = None) -> int:
+        """Install a new row visible from ``csn``; returns its row id."""
+        if row_id is None:
+            row_id = self.reserve_row_id()
+        else:
+            if row_id >= self._next_row_id:
+                self._next_row_id = row_id + 1
+            chain = self._versions.get(row_id)
+            if chain and chain[-1].end is None:
+                raise DatabaseError(
+                    f"{self.schema.name}: row {row_id} already live at insert"
+                )
+        self._versions.setdefault(row_id, []).append(
+            RowVersion(row_id=row_id, begin=csn, end=None, values=values)
+        )
+        return row_id
+
+    def apply_update(self, row_id: int, values: tuple, csn: int) -> tuple:
+        """Supersede the live version of ``row_id``; returns the old values."""
+        current = self._live_version(row_id)
+        current.end = csn
+        self._versions[row_id].append(
+            RowVersion(row_id=row_id, begin=csn, end=None, values=values)
+        )
+        return current.values
+
+    def apply_delete(self, row_id: int, csn: int) -> tuple:
+        """End the live version of ``row_id``; returns the deleted values."""
+        current = self._live_version(row_id)
+        current.end = csn
+        return current.values
+
+    def _live_version(self, row_id: int) -> RowVersion:
+        chain = self._versions.get(row_id)
+        if not chain or chain[-1].end is not None:
+            raise DatabaseError(
+                f"{self.schema.name}: row {row_id} is not live"
+            )
+        return chain[-1]
+
+    # -- read path --------------------------------------------------------
+
+    def get(self, row_id: int, csn: int | None = None) -> tuple | None:
+        """The values of ``row_id`` visible at ``csn`` (latest if None)."""
+        chain = self._versions.get(row_id)
+        if not chain:
+            return None
+        if csn is None:
+            last = chain[-1]
+            return last.values if last.end is None else None
+        for version in reversed(chain):
+            if version.visible_at(csn):
+                return version.values
+        return None
+
+    def scan(self, csn: int | None = None) -> Iterator[tuple[int, tuple]]:
+        """Yield ``(row_id, values)`` for rows visible at ``csn``.
+
+        Iteration order is row-id order, which is insertion order for
+        engine-assigned ids — deterministic, which the scheduler and the
+        replay fidelity checks rely on.
+        """
+        for row_id in sorted(self._versions):
+            values = self.get(row_id, csn)
+            if values is not None:
+                yield row_id, values
+
+    def row_count(self, csn: int | None = None) -> int:
+        return sum(1 for _ in self.scan(csn))
+
+    def last_change_csn(self, row_id: int) -> int | None:
+        """CSN of the most recent change to ``row_id`` (None if unknown).
+
+        Used by snapshot isolation's first-committer-wins check: a writer
+        conflicts if someone changed the row after its snapshot.
+        """
+        chain = self._versions.get(row_id)
+        if not chain:
+            return None
+        last = chain[-1]
+        return last.begin if last.end is None else last.end
+
+    def version_count(self) -> int:
+        """Total stored versions (used by GC tests and stats)."""
+        return sum(len(chain) for chain in self._versions.values())
+
+    def live_row_ids(self) -> list[int]:
+        return [rid for rid, _ in self.scan(None)]
+
+    # -- maintenance -------------------------------------------------------
+
+    def vacuum(self, keep_after_csn: int) -> int:
+        """Drop versions not visible at or after ``keep_after_csn``.
+
+        Returns the number of versions removed. Time travel to points
+        earlier than ``keep_after_csn`` becomes impossible afterwards;
+        the database tracks the resulting horizon.
+        """
+        removed = 0
+        for row_id in list(self._versions):
+            chain = self._versions[row_id]
+            kept = [
+                v
+                for v in chain
+                if v.end is None or v.end > keep_after_csn
+            ]
+            removed += len(chain) - len(kept)
+            if kept:
+                self._versions[row_id] = kept
+            else:
+                del self._versions[row_id]
+        return removed
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "live_rows": self.row_count(None),
+            "versions": self.version_count(),
+            "next_row_id": self._next_row_id,
+        }

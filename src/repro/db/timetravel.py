@@ -1,0 +1,103 @@
+"""Time travel: reconstructing past database states from the version store.
+
+Replay (§3.5) needs "the database as of right before transaction T". Every
+commit stamps versions with its CSN, so any historical state up to the
+vacuum horizon can be materialized, either wholesale or restricted to the
+tables a replay actually touches (the paper's "only restore those data
+items used in replayed transactions" optimization — ablation A1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.errors import TimeTravelError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.database import Database
+
+
+class TimeTravel:
+    """Historical reads and restores over one database."""
+
+    def __init__(self, database: "Database"):
+        self._db = database
+
+    def _check_horizon(self, csn: int) -> None:
+        if csn < self._db.history_horizon:
+            raise TimeTravelError(
+                f"csn {csn} predates the vacuum horizon "
+                f"({self._db.history_horizon})"
+            )
+        if csn > self._db.txn_manager.last_csn:
+            raise TimeTravelError(
+                f"csn {csn} is in the future (last committed is "
+                f"{self._db.txn_manager.last_csn})"
+            )
+
+    def rows_as_of(self, table: str, csn: int) -> list[tuple[int, tuple]]:
+        """``(row_id, values)`` pairs of ``table`` as of commit ``csn``."""
+        self._check_horizon(csn)
+        return list(self._db.store(table).scan(csn))
+
+    def state_as_of(
+        self, csn: int, tables: Iterable[str] | None = None
+    ) -> dict[str, list[dict[str, Any]]]:
+        """Full snapshot (as column dicts) of selected tables at ``csn``."""
+        self._check_horizon(csn)
+        names = (
+            [self._db.catalog.resolve(t) for t in tables]
+            if tables is not None
+            else [n.lower() for n in self._db.catalog.table_names()]
+        )
+        out: dict[str, list[dict[str, Any]]] = {}
+        for name in names:
+            schema = self._db.catalog.get(name)
+            out[schema.name] = [
+                schema.row_dict(values)
+                for _row_id, values in self._db.store(name).scan(csn)
+            ]
+        return out
+
+    def csn_before_txn(self, txn_id: int) -> int:
+        """The CSN of the state a committed transaction started from.
+
+        With strict serializability, "the snapshot right before TXN"
+        (§3.5's replay starting point) is simply its commit CSN minus one.
+        """
+        csn = self._db.txn_manager.csn_of(txn_id)
+        if csn is None:
+            raise TimeTravelError(f"txn {txn_id} never committed")
+        return csn - 1
+
+    def restore_into(
+        self,
+        target: "Database",
+        csn: int,
+        tables: Iterable[str] | None = None,
+        create_schemas: bool = True,
+    ) -> dict[str, int]:
+        """Materialize the state at ``csn`` into ``target`` (a dev database).
+
+        Row ids are preserved so provenance row references stay valid in
+        the restored database. Returns per-table restored row counts.
+        """
+        self._check_horizon(csn)
+        names = (
+            [self._db.catalog.resolve(t) for t in tables]
+            if tables is not None
+            else [n.lower() for n in self._db.catalog.table_names()]
+        )
+        counts: dict[str, int] = {}
+        for name in names:
+            schema = self._db.catalog.get(name)
+            if not target.catalog.has_table(name):
+                if not create_schemas:
+                    raise TimeTravelError(
+                        f"target database is missing table {schema.name!r}"
+                    )
+                target.create_table(schema)
+            rows = list(self._db.store(name).scan(csn))
+            target.bulk_load(schema.name, rows)
+            counts[schema.name] = len(rows)
+        return counts

@@ -1,0 +1,533 @@
+"""Transaction lifecycle: isolation levels, write buffering, commit.
+
+The design matches the paper's assumptions (§3.1): the default isolation
+level is SERIALIZABLE via strict two-phase locking, and commits are stamped
+with a monotonically increasing commit sequence number (CSN) so that
+"transactions are serializable and serialized in commit order" — strict
+serializability. SNAPSHOT and READ_COMMITTED are also implemented because
+§3.1 claims TROD extends to weak isolation via reenactment; the replay
+engine exercises that path using the snapshot CSN recorded here.
+
+Writes are buffered privately inside the transaction (read-your-own-writes
+is provided by overlaying the buffer on the committed view) and applied to
+the version store only at commit, which makes every version in storage
+committed data and keeps CDC/WAL emission trivially in commit order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.db.txn.locks import LockManager, LockMode
+from repro.db.txn.wal import WalChange, WalCommit
+from repro.errors import (
+    IntegrityError,
+    SerializationError,
+    TransactionAborted,
+    TransactionError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.database import Database
+
+
+class IsolationLevel(enum.Enum):
+    SERIALIZABLE = "SERIALIZABLE"
+    SNAPSHOT = "SNAPSHOT"
+    READ_COMMITTED = "READ_COMMITTED"
+
+
+class TransactionStatus(enum.Enum):
+    ACTIVE = "ACTIVE"
+    PREPARED = "PREPARED"  # validated, awaiting a coordinator's decision
+    COMMITTED = "COMMITTED"
+    ABORTED = "ABORTED"
+
+
+#: Sentinel marking a row deleted in a transaction's private overlay.
+_DELETED = object()
+
+
+@dataclass
+class WriteOp:
+    """One buffered write, applied at commit in execution order."""
+
+    op: str  # 'insert' | 'update' | 'delete'
+    table: str  # canonical name
+    row_id: int
+    values: tuple | None  # new values (None for delete)
+
+
+@dataclass
+class ReadRecord:
+    """Provenance of one row read (or one empty result) by a statement.
+
+    ``row_id``/``values`` are None when a query matched nothing — the
+    paper's Table 2 logs such reads with null data columns, and replay's
+    dependency analysis still needs to know the table was consulted.
+    """
+
+    table: str
+    row_id: int | None
+    values: tuple | None
+    query: str
+
+
+class Transaction:
+    """A single transaction; created via :meth:`TransactionManager.begin`."""
+
+    def __init__(
+        self,
+        manager: "TransactionManager",
+        txn_id: int,
+        isolation: IsolationLevel,
+        snapshot_csn: int,
+        info: dict[str, Any] | None = None,
+    ):
+        self._manager = manager
+        self.txn_id = txn_id
+        self.isolation = isolation
+        self.snapshot_csn = snapshot_csn
+        self.status = TransactionStatus.ACTIVE
+        #: Free-form metadata attached by the runtime (req_id, handler,
+        #: function label) and consumed by TROD's interposition layer.
+        self.info: dict[str, Any] = dict(info or {})
+        self.write_ops: list[WriteOp] = []
+        self.read_records: list[ReadRecord] = []
+        self._overlay: dict[str, dict[int, Any]] = {}  # table -> row_id -> values|_DELETED
+        self._inserted: dict[str, list[int]] = {}  # table -> ordered new row ids
+        self._statement_reads: list[ReadRecord] = []
+        self._statement_csn = snapshot_csn
+        self.commit_csn: int | None = None
+
+    # -- naming --------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Display name used throughout provenance ("TXN7")."""
+        return f"TXN{self.txn_id}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Transaction {self.name} {self.isolation.value} {self.status.value}>"
+
+    # -- statement lifecycle ---------------------------------------------------
+
+    def begin_statement(self) -> None:
+        """Mark a statement boundary (refreshes READ_COMMITTED's view)."""
+        self._check_active()
+        self._statement_reads = []
+        if self.isolation is IsolationLevel.READ_COMMITTED:
+            self._statement_csn = self._manager.last_csn
+
+    def statement_reads(self) -> list[ReadRecord]:
+        return list(self._statement_reads)
+
+    def _read_csn(self) -> int | None:
+        """The committed snapshot this transaction reads (None = latest)."""
+        if self.isolation is IsolationLevel.SERIALIZABLE:
+            return None  # 2PL: reading latest committed is safe
+        if self.isolation is IsolationLevel.SNAPSHOT:
+            return self.snapshot_csn
+        return self._statement_csn
+
+    # -- data access (called by the SQL executor) ------------------------------
+
+    def scan(self, table: str) -> Iterator[tuple[int, tuple]]:
+        """All rows visible to this transaction: committed view + own writes."""
+        self._check_active()
+        canonical = self._manager.database.catalog.resolve(table)
+        if self.isolation is IsolationLevel.SERIALIZABLE:
+            self._lock(canonical, LockMode.SHARED)
+        store = self._manager.database.store(canonical)
+        overlay = self._overlay.get(canonical, {})
+        read_csn = self._read_csn()
+        for row_id, values in store.scan(read_csn):
+            if row_id in overlay:
+                patched = overlay[row_id]
+                if patched is not _DELETED:
+                    yield row_id, patched
+            else:
+                yield row_id, values
+        for row_id in self._inserted.get(canonical, ()):
+            patched = overlay.get(row_id)
+            if patched is not None and patched is not _DELETED:
+                yield row_id, patched
+
+    def get(self, table: str, row_id: int) -> tuple | None:
+        """One row by id under this transaction's visibility rules."""
+        self._check_active()
+        canonical = self._manager.database.catalog.resolve(table)
+        overlay = self._overlay.get(canonical, {})
+        if row_id in overlay:
+            patched = overlay[row_id]
+            return None if patched is _DELETED else patched
+        store = self._manager.database.store(canonical)
+        return store.get(row_id, self._read_csn())
+
+    def insert(self, table: str, values: tuple) -> int:
+        """Buffer an insert; returns the new row id (visible to self)."""
+        self._check_active()
+        canonical = self._manager.database.catalog.resolve(table)
+        if self.isolation is IsolationLevel.SERIALIZABLE:
+            self._lock(canonical, LockMode.EXCLUSIVE)
+        self._check_unique_locally(canonical, values, ignore_row_id=None)
+        store = self._manager.database.store(canonical)
+        row_id = store.reserve_row_id()
+        self._overlay.setdefault(canonical, {})[row_id] = values
+        self._inserted.setdefault(canonical, []).append(row_id)
+        self.write_ops.append(
+            WriteOp(op="insert", table=canonical, row_id=row_id, values=values)
+        )
+        return row_id
+
+    def insert_with_id(self, table: str, values: tuple, row_id: int) -> int:
+        """Insert preserving an explicit row id.
+
+        Used by TROD's replay injector so that rows restored into a dev
+        database keep their provenance row identity. The id must not be
+        live in this transaction's view.
+        """
+        self._check_active()
+        canonical = self._manager.database.catalog.resolve(table)
+        if self.isolation is IsolationLevel.SERIALIZABLE:
+            self._lock(canonical, LockMode.EXCLUSIVE)
+        if self.get(canonical, row_id) is not None:
+            raise TransactionError(
+                f"{self.name}: row {row_id} already live in {canonical}"
+            )
+        self._check_unique_locally(canonical, values, ignore_row_id=None)
+        store = self._manager.database.store(canonical)
+        if row_id >= store._next_row_id:
+            store._next_row_id = row_id + 1
+        self._overlay.setdefault(canonical, {})[row_id] = values
+        self._inserted.setdefault(canonical, []).append(row_id)
+        self.write_ops.append(
+            WriteOp(op="insert", table=canonical, row_id=row_id, values=values)
+        )
+        return row_id
+
+    def update(self, table: str, row_id: int, values: tuple) -> None:
+        self._check_active()
+        canonical = self._manager.database.catalog.resolve(table)
+        if self.isolation is IsolationLevel.SERIALIZABLE:
+            self._lock(canonical, LockMode.EXCLUSIVE)
+        if self.get(canonical, row_id) is None:
+            raise TransactionError(
+                f"{self.name}: cannot update missing row {row_id} in {canonical}"
+            )
+        self._check_unique_locally(canonical, values, ignore_row_id=row_id)
+        self._overlay.setdefault(canonical, {})[row_id] = values
+        self.write_ops.append(
+            WriteOp(op="update", table=canonical, row_id=row_id, values=values)
+        )
+
+    def delete(self, table: str, row_id: int) -> None:
+        self._check_active()
+        canonical = self._manager.database.catalog.resolve(table)
+        if self.isolation is IsolationLevel.SERIALIZABLE:
+            self._lock(canonical, LockMode.EXCLUSIVE)
+        if self.get(canonical, row_id) is None:
+            raise TransactionError(
+                f"{self.name}: cannot delete missing row {row_id} in {canonical}"
+            )
+        self._overlay.setdefault(canonical, {})[row_id] = _DELETED
+        self.write_ops.append(
+            WriteOp(op="delete", table=canonical, row_id=row_id, values=None)
+        )
+
+    def pending_rows(self, table: str) -> list[tuple[int, tuple]]:
+        """Rows this transaction has written (and not deleted), by row id.
+
+        Index probes merge these with committed index hits, because
+        uncommitted writes are never reflected in shared indexes.
+        """
+        canonical = self._manager.database.catalog.resolve(table)
+        overlay = self._overlay.get(canonical, {})
+        return [
+            (row_id, values)
+            for row_id, values in sorted(overlay.items())
+            if values is not _DELETED
+        ]
+
+    def record_read(
+        self, table: str, row_id: int | None, values: tuple | None, query: str
+    ) -> None:
+        canonical = self._manager.database.catalog.resolve(table)
+        record = ReadRecord(table=canonical, row_id=row_id, values=values, query=query)
+        self.read_records.append(record)
+        self._statement_reads.append(record)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def commit(self) -> int:
+        return self._manager.commit(self)
+
+    def abort(self) -> None:
+        self._manager.abort(self)
+
+    @property
+    def tables_written(self) -> set[str]:
+        return {op.table for op in self.write_ops}
+
+    @property
+    def tables_read(self) -> set[str]:
+        return {r.table for r in self.read_records}
+
+    # -- internals --------------------------------------------------------------
+
+    def _check_active(self) -> None:
+        if self.status is not TransactionStatus.ACTIVE:
+            raise TransactionAborted(
+                f"{self.name} is {self.status.value}; no further operations allowed"
+            )
+
+    def _lock(self, canonical: str, mode: LockMode) -> None:
+        self._manager.acquire_lock(self, f"table:{canonical}", mode)
+
+    def _check_unique_locally(
+        self, canonical: str, values: tuple, ignore_row_id: int | None
+    ) -> None:
+        """Enforce unique constraints against this transaction's own view.
+
+        Under 2PL the table X lock makes this authoritative; under SNAPSHOT
+        isolation a cross-transaction re-check happens again at commit.
+        """
+        schema = self._manager.database.catalog.get(canonical)
+        if not schema.unique_constraints:
+            return
+        for constraint in schema.unique_constraints:
+            key = schema.key_for(constraint, values)
+            if None in key:
+                continue
+            for row_id, existing in self.scan(canonical):
+                if row_id == ignore_row_id:
+                    continue
+                if schema.key_for(constraint, existing) == key:
+                    raise IntegrityError(
+                        f"unique violation on {canonical}({', '.join(constraint)}): "
+                        f"key {key!r}"
+                    )
+
+
+class TransactionManager:
+    """Begins, commits, and aborts transactions for one database."""
+
+    def __init__(self, database: "Database"):
+        self.database = database
+        self.locks = LockManager()
+        self._next_txn_id = 1
+        self.last_csn = 0
+        self.active: dict[int, Transaction] = {}
+        #: txn_id -> commit csn for every committed transaction; TROD's
+        #: provenance and the time-travel layer use this mapping.
+        self.commit_index: dict[int, int] = {}
+        self.csn_index: dict[int, int] = {}  # csn -> txn_id
+        #: Called when a lock acquisition must wait; the runtime points this
+        #: at the scheduler so other workers can make progress.
+        self.wait_hook: Callable[[Transaction, str], None] | None = None
+        self.stats = {"begun": 0, "committed": 0, "aborted": 0}
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def begin(
+        self,
+        isolation: IsolationLevel = IsolationLevel.SERIALIZABLE,
+        info: dict[str, Any] | None = None,
+    ) -> Transaction:
+        txn = Transaction(
+            manager=self,
+            txn_id=self._next_txn_id,
+            isolation=isolation,
+            snapshot_csn=self.last_csn,
+            info=info,
+        )
+        self._next_txn_id += 1
+        self.active[txn.txn_id] = txn
+        self.stats["begun"] += 1
+        self.database.notify("txn_began", txn)
+        return txn
+
+    def prepare(self, txn: Transaction) -> None:
+        """First phase of two-phase commit: validate without applying.
+
+        A PREPARED transaction is guaranteed to commit successfully (its
+        conflicts and constraints were checked); the cross-store
+        coordinator uses this to make multi-database commits atomic.
+        Validation failure aborts the transaction.
+        """
+        if txn.status is not TransactionStatus.ACTIVE:
+            raise TransactionError(
+                f"{txn.name} cannot prepare from {txn.status.value}"
+            )
+        try:
+            self._validate_commit(txn)
+        except Exception:
+            self.abort(txn)
+            raise
+        txn.status = TransactionStatus.PREPARED
+
+    def commit(self, txn: Transaction) -> int:
+        if txn.status is TransactionStatus.COMMITTED:
+            raise TransactionError(f"{txn.name} already committed")
+        if txn.status is TransactionStatus.ABORTED:
+            raise TransactionAborted(f"{txn.name} already aborted")
+        if txn.status is TransactionStatus.PREPARED:
+            txn.status = TransactionStatus.ACTIVE  # validated; fall through
+        else:
+            try:
+                self._validate_commit(txn)
+            except Exception:
+                self.abort(txn)
+                raise
+        csn = self.last_csn + 1
+        changes = self._apply(txn, csn)
+        if self.database.backend is not None:
+            self.database.backend.on_commit(len(changes))
+        self.last_csn = csn
+        txn.status = TransactionStatus.COMMITTED
+        txn.commit_csn = csn
+        self.commit_index[txn.txn_id] = csn
+        self.csn_index[csn] = txn.txn_id
+        self.active.pop(txn.txn_id, None)
+        if changes:
+            self.database.wal.append(
+                WalCommit(
+                    csn=csn,
+                    txn_id=txn.txn_id,
+                    changes=tuple(
+                        WalChange(
+                            op=c.op,
+                            table=c.table,
+                            row_id=c.row_id,
+                            values=c.values,
+                            old_values=c.old_values,
+                        )
+                        for c in changes
+                    ),
+                )
+            )
+        cdc_records = [
+            self.database.cdc.emit(
+                csn=csn,
+                txn_id=txn.txn_id,
+                table=c.table,
+                op=c.op,
+                row_id=c.row_id,
+                values=c.values,
+                old_values=c.old_values,
+            )
+            for c in changes
+        ]
+        self.locks.release_all(txn.txn_id)
+        self.stats["committed"] += 1
+        self.database.notify("txn_committed", txn, csn, cdc_records)
+        return csn
+
+    def abort(self, txn: Transaction) -> None:
+        if txn.status not in (TransactionStatus.ACTIVE, TransactionStatus.PREPARED):
+            return
+        txn.status = TransactionStatus.ABORTED
+        self.active.pop(txn.txn_id, None)
+        self.locks.release_all(txn.txn_id)
+        self.stats["aborted"] += 1
+        self.database.notify("txn_aborted", txn)
+
+    # -- commit internals ---------------------------------------------------------
+
+    def _validate_commit(self, txn: Transaction) -> None:
+        if txn.isolation is IsolationLevel.SNAPSHOT:
+            self._first_committer_check(txn)
+        self._unique_check_vs_committed(txn)
+
+    def _first_committer_check(self, txn: Transaction) -> None:
+        """SI write-write conflict detection (first committer wins)."""
+        own_inserts = {
+            (op.table, op.row_id) for op in txn.write_ops if op.op == "insert"
+        }
+        for op in txn.write_ops:
+            if op.op == "insert" or (op.table, op.row_id) in own_inserts:
+                continue
+            store = self.database.store(op.table)
+            changed = store.last_change_csn(op.row_id)
+            if changed is not None and changed > txn.snapshot_csn:
+                raise SerializationError(
+                    f"{txn.name}: write-write conflict on "
+                    f"{op.table} row {op.row_id} (changed at csn {changed}, "
+                    f"snapshot was {txn.snapshot_csn})"
+                )
+
+    def _unique_check_vs_committed(self, txn: Transaction) -> None:
+        """Re-check unique constraints against the latest committed state.
+
+        Needed for SNAPSHOT/READ_COMMITTED where a concurrent committer may
+        have inserted a conflicting key after this transaction's local
+        check. Own rows (replaced by this txn's updates) are excluded.
+        Known limitation: a single commit swapping unique keys between two
+        existing rows is rejected, because each new key is checked against
+        the pre-commit index state.
+        """
+        final_values: dict[tuple[str, int], tuple | None] = {}
+        for op in txn.write_ops:
+            final_values[(op.table, op.row_id)] = op.values
+        for (table, row_id), values in final_values.items():
+            if values is None:
+                continue
+            self.database.index_set(table).check_insert(values, ignore_row_id=row_id)
+
+    def _apply(self, txn: Transaction, csn: int) -> list["_AppliedChange"]:
+        applied: list[_AppliedChange] = []
+        for op in txn.write_ops:
+            store = self.database.store(op.table)
+            indexes = self.database.index_set(op.table)
+            if op.op == "insert":
+                store.apply_insert(op.values, csn, row_id=op.row_id)
+                indexes.on_insert(op.row_id, op.values)
+                applied.append(
+                    _AppliedChange("insert", op.table, op.row_id, op.values, None)
+                )
+            elif op.op == "update":
+                old = store.apply_update(op.row_id, op.values, csn)
+                indexes.on_update(op.row_id, old, op.values)
+                applied.append(
+                    _AppliedChange("update", op.table, op.row_id, op.values, old)
+                )
+            else:
+                old = store.apply_delete(op.row_id, csn)
+                indexes.on_delete(op.row_id, old)
+                applied.append(
+                    _AppliedChange("delete", op.table, op.row_id, None, old)
+                )
+        return applied
+
+    # -- locks -------------------------------------------------------------------
+
+    def acquire_lock(self, txn: Transaction, resource: str, mode: LockMode) -> None:
+        def wait() -> None:
+            if self.wait_hook is not None:
+                self.wait_hook(txn, resource)
+
+        self.locks.acquire(
+            txn.txn_id,
+            resource,
+            mode,
+            wait=wait if self.wait_hook is not None else None,
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    def csn_of(self, txn_id: int) -> int | None:
+        return self.commit_index.get(txn_id)
+
+    def txn_at_csn(self, csn: int) -> int | None:
+        return self.csn_index.get(csn)
+
+
+@dataclass
+class _AppliedChange:
+    op: str
+    table: str
+    row_id: int
+    values: tuple | None
+    old_values: tuple | None

@@ -1,0 +1,149 @@
+"""Write-ahead log (redo-only).
+
+The engine buffers all writes privately until commit, so the WAL only needs
+commit records: each :class:`WalCommit` carries the commit sequence number
+and the full ordered list of row changes. Replaying commits in CSN order
+reconstructs the database exactly — :func:`recover_into` does this and is
+exercised by the crash-recovery tests.
+
+The log lives in memory and can optionally mirror to a JSONL file, which is
+how the durability simulation (the "Postgres-like" backend profile) models
+its fsync cost.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from repro.errors import WalError
+
+
+@dataclass(frozen=True)
+class WalChange:
+    """One row change inside a commit."""
+
+    op: str  # 'insert' | 'update' | 'delete'
+    table: str
+    row_id: int
+    values: tuple | None  # new values (None for delete)
+    old_values: tuple | None  # previous values (None for insert)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "op": self.op,
+            "table": self.table,
+            "row_id": self.row_id,
+            "values": list(self.values) if self.values is not None else None,
+            "old_values": list(self.old_values) if self.old_values is not None else None,
+        }
+
+    @staticmethod
+    def from_json(data: dict[str, Any]) -> "WalChange":
+        return WalChange(
+            op=data["op"],
+            table=data["table"],
+            row_id=data["row_id"],
+            values=tuple(data["values"]) if data["values"] is not None else None,
+            old_values=(
+                tuple(data["old_values"]) if data["old_values"] is not None else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class WalCommit:
+    """A committed transaction's redo record."""
+
+    csn: int
+    txn_id: int
+    changes: tuple[WalChange, ...]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "csn": self.csn,
+            "txn_id": self.txn_id,
+            "changes": [c.to_json() for c in self.changes],
+        }
+
+    @staticmethod
+    def from_json(data: dict[str, Any]) -> "WalCommit":
+        return WalCommit(
+            csn=data["csn"],
+            txn_id=data["txn_id"],
+            changes=tuple(WalChange.from_json(c) for c in data["changes"]),
+        )
+
+
+class WriteAheadLog:
+    """Ordered, append-only log of commits."""
+
+    def __init__(self, path: str | None = None):
+        self._commits: list[WalCommit] = []
+        self._path = path
+        self._file = open(path, "a", encoding="utf-8") if path else None
+
+    def append(self, commit: WalCommit) -> None:
+        if self._commits and commit.csn <= self._commits[-1].csn:
+            raise WalError(
+                f"out-of-order commit: csn {commit.csn} after "
+                f"{self._commits[-1].csn}"
+            )
+        self._commits.append(commit)
+        if self._file is not None:
+            self._file.write(json.dumps(commit.to_json()) + "\n")
+            self._file.flush()
+
+    def commits(self, since_csn: int = 0) -> Iterator[WalCommit]:
+        """Commits with csn > ``since_csn``, in order."""
+        for commit in self._commits:
+            if commit.csn > since_csn:
+                yield commit
+
+    def last_csn(self) -> int:
+        return self._commits[-1].csn if self._commits else 0
+
+    def __len__(self) -> int:
+        return len(self._commits)
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    @staticmethod
+    def load(path: str) -> "WriteAheadLog":
+        """Read a JSONL WAL file back into memory (no file attached)."""
+        wal = WriteAheadLog()
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    wal.append(WalCommit.from_json(json.loads(line)))
+        return wal
+
+
+def recover_into(stores: dict[str, Any], commits: Iterable[WalCommit]) -> int:
+    """Redo ``commits`` (in order) against empty table stores.
+
+    ``stores`` maps canonical table name to :class:`TableStore`. Returns
+    the last applied CSN. Used by crash-recovery: rebuild a database from
+    its schema catalog plus the WAL.
+    """
+    last = 0
+    for commit in commits:
+        for change in commit.changes:
+            store = stores.get(change.table)
+            if store is None:
+                raise WalError(f"WAL references unknown table {change.table!r}")
+            if change.op == "insert":
+                store.apply_insert(change.values, commit.csn, row_id=change.row_id)
+            elif change.op == "update":
+                store.apply_update(change.row_id, change.values, commit.csn)
+            elif change.op == "delete":
+                store.apply_delete(change.row_id, commit.csn)
+            else:  # pragma: no cover - constructed only by our code
+                raise WalError(f"unknown WAL op {change.op!r}")
+        last = commit.csn
+    return last

@@ -1,0 +1,142 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+applications can catch one base class. Subsystem bases (``DatabaseError``,
+``RuntimeError``-analogue ``AppRuntimeError``, ``TrodError``) group the
+database substrate, the serverless runtime, and the TROD debugger core.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Database substrate (repro.db)
+# ---------------------------------------------------------------------------
+
+
+class DatabaseError(ReproError):
+    """Base class for errors raised by the database engine."""
+
+
+class SchemaError(DatabaseError):
+    """Invalid schema definition or reference to an unknown table/column."""
+
+
+class TypeCoercionError(DatabaseError):
+    """A value could not be coerced to its column's declared type."""
+
+
+class SqlError(DatabaseError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class PlanningError(SqlError):
+    """A parsed statement could not be turned into an executable plan."""
+
+
+class ExecutionError(DatabaseError):
+    """A plan failed while executing (bad function arity, type mismatch...)."""
+
+
+class IntegrityError(DatabaseError):
+    """A constraint (primary key, unique, not-null) was violated."""
+
+
+class TransactionError(DatabaseError):
+    """Base class for transaction lifecycle errors."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted and can no longer be used."""
+
+
+class DeadlockError(TransactionAborted):
+    """The lock manager chose this transaction as a deadlock victim."""
+
+
+class SerializationError(TransactionAborted):
+    """A snapshot-isolation write-write conflict (first-committer-wins)."""
+
+
+class LockTimeoutError(TransactionAborted):
+    """A lock could not be acquired within the configured bound."""
+
+
+class WalError(DatabaseError):
+    """The write-ahead log is corrupt or was used incorrectly."""
+
+
+class TimeTravelError(DatabaseError):
+    """A time-travel request referenced an impossible point in history."""
+
+
+# ---------------------------------------------------------------------------
+# Serverless runtime (repro.runtime)
+# ---------------------------------------------------------------------------
+
+
+class AppRuntimeError(ReproError):
+    """Base class for errors raised by the application runtime."""
+
+
+class UnknownHandlerError(AppRuntimeError):
+    """A request or RPC referenced a handler name that is not registered."""
+
+
+class HandlerError(AppRuntimeError):
+    """A request handler raised; the original exception is ``__cause__``."""
+
+    def __init__(self, handler: str, req_id: str, cause: BaseException):
+        super().__init__(f"handler {handler!r} failed for request {req_id}: {cause!r}")
+        self.handler = handler
+        self.req_id = req_id
+        self.__cause__ = cause
+
+
+class SchedulerError(AppRuntimeError):
+    """The cooperative scheduler was driven into an invalid state."""
+
+
+class NonDeterminismError(AppRuntimeError):
+    """A determinism check found two executions of one handler diverging."""
+
+
+# ---------------------------------------------------------------------------
+# TROD core (repro.core)
+# ---------------------------------------------------------------------------
+
+
+class TrodError(ReproError):
+    """Base class for errors raised by the TROD debugger core."""
+
+
+class ProvenanceError(TrodError):
+    """The provenance database is missing data required for an operation."""
+
+
+class ReplayError(TrodError):
+    """Bug replay could not be performed (missing trace, bad request id)."""
+
+
+class ReplayDivergenceError(ReplayError):
+    """A replayed execution produced different results than the original.
+
+    Raised only when the caller asked for strict fidelity checking;
+    otherwise divergences are reported in the :class:`ReplayResult`.
+    """
+
+
+class RetroactiveError(TrodError):
+    """Retroactive programming could not be set up or executed."""

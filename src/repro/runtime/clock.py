@@ -1,0 +1,37 @@
+"""Deterministic logical clock.
+
+Handlers must be deterministic (P3), so the runtime never exposes wall
+time to application code; timestamps are logical ticks assigned in
+execution order. Because the cooperative scheduler serializes execution,
+tick order — and therefore every traced timestamp — is a pure function of
+the schedule, which is what makes replayed traces comparable.
+"""
+
+from __future__ import annotations
+
+
+class LogicalClock:
+    """Monotonic integer clock; tick() returns 1, 2, 3, ..."""
+
+    def __init__(self, start: int = 0):
+        self._now = start
+
+    def tick(self) -> int:
+        self._now += 1
+        return self._now
+
+    def now(self) -> int:
+        return self._now
+
+    def advance_to(self, value: int) -> None:
+        """Move forward to at least ``value`` (never backwards)."""
+        if value > self._now:
+            self._now = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LogicalClock({self._now})"
+
+
+def format_ts(ts: int) -> str:
+    """Render a logical timestamp the way the paper's tables do ("TS4")."""
+    return f"TS{ts}"

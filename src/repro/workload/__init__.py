@@ -1,0 +1,24 @@
+"""Workload generation and measurement utilities for the benchmarks."""
+
+from repro.workload.distributions import ZipfSampler, UniformSampler
+from repro.workload.generators import (
+    CheckoutWorkload,
+    ForumWorkload,
+    MediaWikiWorkload,
+    ProfileWorkload,
+    ProvenanceFiller,
+)
+from repro.workload.harness import Timer, render_table, summarize_us
+
+__all__ = [
+    "CheckoutWorkload",
+    "ForumWorkload",
+    "MediaWikiWorkload",
+    "ProfileWorkload",
+    "ProvenanceFiller",
+    "Timer",
+    "UniformSampler",
+    "ZipfSampler",
+    "render_table",
+    "summarize_us",
+]

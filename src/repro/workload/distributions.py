@@ -1,0 +1,57 @@
+"""Deterministic samplers for workload generation.
+
+All samplers take an explicit seed, so every benchmark run sees an
+identical request stream — a requirement for comparing traced vs untraced
+runs in the overhead experiment (E7).
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+
+
+class UniformSampler:
+    """Uniform choice over ``n`` items."""
+
+    def __init__(self, n: int, seed: int = 0):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+        self._rng = random.Random(f"uniform:{seed}")
+
+    def sample(self) -> int:
+        return self._rng.randrange(self.n)
+
+
+class ZipfSampler:
+    """Zipfian choice over ``n`` items (rank 0 is hottest).
+
+    Uses an explicit inverse-CDF table; exact and fast for the item counts
+    benchmarks use (<= 10^6).
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int = 0):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+        self.n = n
+        self.theta = theta
+        self._rng = random.Random(f"zipf:{seed}")
+        weights = [1.0 / (rank + 1) ** theta for rank in range(n)]
+        total = sum(weights)
+        self._cdf: list[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # guard against float drift
+
+    def sample(self) -> int:
+        return bisect_left(self._cdf, self._rng.random())
+
+    def pmf(self, rank: int) -> float:
+        """Probability of the item at ``rank`` (for tests)."""
+        low = self._cdf[rank - 1] if rank > 0 else 0.0
+        return self._cdf[rank] - low

@@ -1,0 +1,239 @@
+"""Request workload generators for the benchmarks.
+
+Each generator produces deterministic request streams against one of the
+case-study applications, plus helpers to seed the database. The
+:class:`ProvenanceFiller` synthesizes provenance rows directly — the E8
+query-latency benchmark needs event counts far larger than executing real
+requests would produce in reasonable bench time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.db.database import Database
+from repro.runtime.workflow import Request, Runtime
+from repro.workload.distributions import UniformSampler, ZipfSampler
+
+
+class ForumWorkload:
+    """Subscribe/fetch mix against the Moodle app, with optional racy pairs."""
+
+    def __init__(
+        self,
+        n_users: int = 100,
+        n_forums: int = 10,
+        theta: float = 0.99,
+        seed: int = 0,
+    ):
+        self.n_users = n_users
+        self.n_forums = n_forums
+        self._users = ZipfSampler(n_users, theta=theta, seed=seed)
+        self._forums = ZipfSampler(n_forums, theta=theta, seed=seed + 1)
+        self._mix = UniformSampler(100, seed=seed + 2)
+
+    def requests(self, count: int, fetch_ratio: float = 0.2) -> Iterator[Request]:
+        threshold = int(fetch_ratio * 100)
+        for _ in range(count):
+            forum = f"F{self._forums.sample()}"
+            if self._mix.sample() < threshold:
+                yield Request("fetchSubscribers", (forum,))
+            else:
+                user = f"U{self._users.sample()}"
+                yield Request("subscribeUser", (user, forum))
+
+    @staticmethod
+    def racy_pair(user: str = "U1", forum: str = "F2") -> list[Request]:
+        """Two subscriptions for the same (user, forum) — the MDL-59854 pair."""
+        return [
+            Request("subscribeUser", (user, forum)),
+            Request("subscribeUser", (user, forum)),
+        ]
+
+    #: The paper's interleaving: R1 check, R2 check, R2 insert, R1 insert.
+    RACY_SCHEDULE = [0, 1, 1, 0]
+    #: A benign interleaving: R1 completes before R2 starts.
+    SERIAL_SCHEDULE = [0, 0, 1]
+
+
+class CheckoutWorkload:
+    """Checkout workflows against the e-commerce app (4 RPC hops each)."""
+
+    def __init__(self, n_users: int = 50, n_skus: int = 20, seed: int = 0):
+        self.n_users = n_users
+        self.n_skus = n_skus
+        self._users = UniformSampler(n_users, seed=seed)
+        self._skus = ZipfSampler(n_skus, theta=0.8, seed=seed + 1)
+        self._counter = 0
+
+    def seed_database(self, runtime: Runtime) -> None:
+        """Register users and stock inventory (not part of measurements)."""
+        for user in range(self.n_users):
+            runtime.submit(
+                "registerUser",
+                f"U{user}",
+                f"u{user}@example.com",
+                f"4000-0000-0000-{user:04d}",
+            )
+        for sku in range(self.n_skus):
+            runtime.submit("restock", f"SKU{sku}", 1_000_000)
+
+    def requests(self, count: int) -> Iterator[Request]:
+        """Each request is an add-to-cart followed by a checkout."""
+        for _ in range(count):
+            self._counter += 1
+            cart = f"C{self._counter}"
+            user = f"U{self._users.sample()}"
+            sku = f"SKU{self._skus.sample()}"
+            yield Request("addToCart", (cart, user, sku, 1, 9.99))
+            yield Request("checkout", (cart, user))
+
+
+class MediaWikiWorkload:
+    """Page create/edit/read mix against the MediaWiki app."""
+
+    def __init__(self, n_pages: int = 20, seed: int = 0):
+        self.n_pages = n_pages
+        self._pages = ZipfSampler(n_pages, theta=0.9, seed=seed)
+        self._mix = UniformSampler(100, seed=seed + 1)
+        self._edit_counter = 0
+
+    def seed_database(self, runtime: Runtime) -> None:
+        for page in range(self.n_pages):
+            runtime.submit(
+                "createPage", f"P{page}", f"Page {page}", f"content of {page}"
+            )
+
+    def requests(self, count: int, read_ratio: float = 0.3) -> Iterator[Request]:
+        threshold = int(read_ratio * 100)
+        for _ in range(count):
+            page = f"P{self._pages.sample()}"
+            if self._mix.sample() < threshold:
+                yield Request("pageHistory", (page,))
+            else:
+                self._edit_counter += 1
+                yield Request(
+                    "editPage",
+                    (page, f"revision {self._edit_counter} of {page}", None),
+                )
+
+    @staticmethod
+    def racy_edit_pair(page: str = "P1", url: str = "http://x.org") -> list[Request]:
+        """Two edits of one page — the MW-44325/MW-39225 shape."""
+        return [
+            Request("editPage", (page, "edit A content", url)),
+            Request("editPage", (page, "edit B!", url)),
+        ]
+
+    #: Fully interleave the two 3-transaction edits.
+    RACY_SCHEDULE = [0, 1, 0, 1, 0, 1]
+
+
+class ProfileWorkload:
+    """Profile reads/updates with a configurable violation injection rate."""
+
+    def __init__(self, n_users: int = 20, seed: int = 0):
+        self.n_users = n_users
+        self._users = UniformSampler(n_users, seed=seed)
+        self._mix = UniformSampler(100, seed=seed + 1)
+
+    def seed_database(self, runtime: Runtime) -> None:
+        for user in range(self.n_users):
+            name = f"user{user}"
+            runtime.submit(
+                "createProfile", name, f"{name}@example.com", auth_user=name
+            )
+
+    def requests(
+        self, count: int, violation_ratio: float = 0.05
+    ) -> Iterator[Request]:
+        threshold = int(violation_ratio * 100)
+        for i in range(count):
+            victim = f"user{self._users.sample()}"
+            if self._mix.sample() < threshold:
+                yield Request(
+                    "updateProfileInsecure",
+                    (victim, f"defaced #{i}"),
+                    auth_user="attacker",
+                )
+            elif i % 3 == 0:
+                yield Request(
+                    "updateProfile", (victim, f"bio #{i}"), auth_user=victim
+                )
+            else:
+                yield Request("viewProfile", (victim,), auth_user=victim)
+
+
+class ProvenanceFiller:
+    """Bulk-synthesizes provenance rows for the query-scaling bench (E8).
+
+    Generates a realistic shape: for every synthetic transaction, one
+    ``Executions`` row plus one event row, with a zipfian user/forum
+    distribution so the paper's duplicate-hunting query has non-trivial
+    selectivity.
+    """
+
+    def __init__(self, provenance_db: Database, event_table: str = "ForumEvents"):
+        self.db = provenance_db
+        self.event_table = event_table
+
+    def fill(
+        self,
+        n_events: int,
+        n_users: int = 1000,
+        n_forums: int = 100,
+        duplicate_every: int = 1000,
+        seed: int = 0,
+    ) -> int:
+        """Insert ``n_events`` txn+event row pairs; returns rows written."""
+        users = ZipfSampler(n_users, seed=seed)
+        forums = ZipfSampler(n_forums, seed=seed + 1)
+        txn = self.db.begin()
+        written = 0
+        try:
+            for i in range(n_events):
+                txn_name = f"TXN{i + 1_000_000}"
+                user = f"U{users.sample()}"
+                forum = f"F{forums.sample()}"
+                kind = "Insert" if i % 3 else "Read"
+                if duplicate_every and i % duplicate_every == duplicate_every - 1:
+                    # Inject a duplicate pair for the detection query.
+                    user, forum, kind = "U1", "F2", "Insert"
+                self.db.insert_row(
+                    "Executions",
+                    {
+                        "TxnId": txn_name,
+                        "TxnNum": i + 1_000_000,
+                        "Timestamp": i,
+                        "HandlerName": "subscribeUser" if kind == "Insert" else "fetchSubscribers",
+                        "ReqId": f"R{i + 1_000_000}",
+                        "Metadata": "func:DB.insert" if kind == "Insert" else "func:DB.executeQuery",
+                        "Isolation": "SERIALIZABLE",
+                        "Status": "Committed",
+                        "Csn": i + 1,
+                        "SnapshotCsn": i,
+                        "AuthUser": user,
+                    },
+                    txn=txn,
+                )
+                self.db.insert_row(
+                    self.event_table,
+                    {
+                        "TxnId": txn_name,
+                        "TxnNum": i + 1_000_000,
+                        "Type": kind,
+                        "Query": "synthetic",
+                        "Csn": i + 1 if kind == "Insert" else None,
+                        "Seq": i + 1,
+                        "RowId": i + 1,
+                        "UserId": user,
+                        "Forum": forum,
+                    },
+                    txn=txn,
+                )
+                written += 2
+            txn.commit()
+        except Exception:
+            txn.abort()
+            raise
+        return written

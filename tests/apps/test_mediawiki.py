@@ -1,0 +1,143 @@
+"""MediaWiki app behaviour: MW-44325 and MW-39225 reproduce on schedule."""
+
+import pytest
+
+from repro.runtime import Request
+
+RACY_EDITS = [
+    Request("editPage", ("P1", "hello world", "http://x.org")),
+    Request("editPage", ("P1", "hello!", "http://x.org")),
+]
+#: Interleave the two 3-txn edits: both read before either writes.
+RACY_SCHEDULE = [0, 1, 0, 1, 0, 1]
+SERIAL_SCHEDULE = [0, 0, 0, 1, 1, 1]
+
+
+@pytest.fixture
+def with_page(mediawiki_env):
+    _db, runtime, _trod = mediawiki_env
+    runtime.submit("createPage", "P1", "Title", "hello")  # size 5
+    return mediawiki_env
+
+
+class TestEditPage:
+    def test_serial_edits_are_consistent(self, with_page):
+        _db, runtime, _trod = with_page
+        runtime.run_concurrent(
+            [
+                Request("editPage", ("P1", "hello world", "http://x.org")),
+                Request("editPage", ("P1", "hello!", "http://x.org")),
+            ],
+            schedule=SERIAL_SCHEDULE,
+        )
+        assert runtime.submit("fetchSiteLinks", "P1").output == ["http://x.org"]
+        assert runtime.submit("checkSizeConsistency", "P1", 5).ok
+
+    def test_racy_edits_create_duplicate_sitelinks(self, with_page):
+        """MW-44325."""
+        _db, runtime, _trod = with_page
+        runtime.run_concurrent(
+            [
+                Request("editPage", ("P1", "hello world", "http://x.org")),
+                Request("editPage", ("P1", "hello!", "http://x.org")),
+            ],
+            schedule=RACY_SCHEDULE,
+        )
+        result = runtime.submit("fetchSiteLinks", "P1")
+        assert not result.ok
+        assert "duplicate site links" in result.error
+
+    def test_racy_edits_corrupt_size_history(self, with_page):
+        """MW-39225."""
+        _db, runtime, _trod = with_page
+        runtime.run_concurrent(
+            [
+                Request("editPage", ("P1", "hello world", None)),
+                Request("editPage", ("P1", "hello!", None)),
+            ],
+            schedule=RACY_SCHEDULE,
+        )
+        result = runtime.submit("checkSizeConsistency", "P1", 5)
+        assert not result.ok
+        assert "inconsistent size history" in result.error
+
+    def test_fixed_editor_is_safe_under_any_schedule(self, with_page):
+        _db, runtime, _trod = with_page
+        runtime.run_concurrent(
+            [
+                Request("editPageFixed", ("P1", "hello world", "http://x.org")),
+                Request("editPageFixed", ("P1", "hello!", "http://x.org")),
+            ],
+            schedule=[0, 1],
+        )
+        assert runtime.submit("fetchSiteLinks", "P1").output == ["http://x.org"]
+        assert runtime.submit("checkSizeConsistency", "P1", 5).ok
+
+    def test_edit_missing_page_fails(self, mediawiki_env):
+        _db, runtime, _trod = mediawiki_env
+        result = runtime.submit("editPage", "ghost", "content", None)
+        assert not result.ok
+
+    def test_page_history_revision_numbers(self, with_page):
+        _db, runtime, _trod = with_page
+        runtime.submit("editPage", "P1", "v2 content", None)
+        runtime.submit("editPage", "P1", "v3 content!", None)
+        history = runtime.submit("pageHistory", "P1").output
+        assert [h["revId"] for h in history] == [1, 2]
+        assert history[0]["newSize"] == len("v2 content")
+
+    def test_size_deltas_correct_when_serial(self, with_page):
+        _db, runtime, _trod = with_page
+        runtime.submit("editPage", "P1", "1234567890", None)  # 5 -> 10
+        history = runtime.submit("pageHistory", "P1").output
+        assert history[0]["sizeDelta"] == 5
+
+
+class TestDebuggingTheRace:
+    def test_trod_locates_duplicate_link_writers(self, with_page):
+        _db, runtime, trod = with_page
+        runtime.run_concurrent(
+            [
+                Request("editPage", ("P1", "hello world", "http://x.org")),
+                Request("editPage", ("P1", "hello!", "http://x.org")),
+            ],
+            schedule=RACY_SCHEDULE,
+        )
+        dupes = trod.debugger.duplicate_inserts("site_links", ["PageId", "Url"])
+        assert len(dupes) == 1
+        writers = {w["ReqId"] for w in dupes[0]["writers"]}
+        assert writers == {"R2", "R3"}
+
+    def test_replay_of_racy_edit_is_faithful(self, with_page):
+        _db, runtime, trod = with_page
+        runtime.run_concurrent(
+            [
+                Request("editPage", ("P1", "hello world", "http://x.org")),
+                Request("editPage", ("P1", "hello!", "http://x.org")),
+            ],
+            schedule=RACY_SCHEDULE,
+        )
+        result = trod.replayer.replay_request("R2")
+        assert result.fidelity, result.divergences
+
+    def test_retroactive_fix_validation(self, with_page):
+        from repro.apps.mediawiki import edit_page_fixed
+
+        _db, runtime, trod = with_page
+        runtime.run_concurrent(
+            [
+                Request("editPage", ("P1", "hello world", "http://x.org")),
+                Request("editPage", ("P1", "hello!", "http://x.org")),
+            ],
+            schedule=RACY_SCHEDULE,
+        )
+        runtime.submit("fetchSiteLinks", "P1")  # R4: the error report
+        result = trod.retroactive.run(
+            ["R2", "R3"],
+            patches={"editPage": edit_page_fixed},
+            followups=["R4"],
+        )
+        assert result.all_ok
+        for outcome in result.outcomes:
+            links = outcome.final_state["site_links"]
+            assert links == [("P1", "http://x.org")]

@@ -1,0 +1,104 @@
+"""Moodle app behaviour: the MDL-59854 race and MDL-60669 regression."""
+
+import pytest
+
+from repro.runtime import Request
+from repro.workload.generators import ForumWorkload
+
+
+class TestSubscribe:
+    def test_single_subscribe(self, moodle_env):
+        db, runtime, _trod = moodle_env
+        result = runtime.submit("subscribeUser", "U1", "F1")
+        assert result.output is True
+        assert db.table_rows("forum_sub") == [{"userId": "U1", "forum": "F1"}]
+
+    def test_repeat_subscribe_is_idempotent_when_serial(self, moodle_env):
+        db, runtime, _trod = moodle_env
+        runtime.submit("subscribeUser", "U1", "F1")
+        runtime.submit("subscribeUser", "U1", "F1")
+        assert len(db.table_rows("forum_sub")) == 1
+
+    def test_racy_schedule_creates_duplicates(self, moodle_env):
+        db, runtime, _trod = moodle_env
+        results = runtime.run_concurrent(
+            ForumWorkload.racy_pair(), schedule=ForumWorkload.RACY_SCHEDULE
+        )
+        assert all(r.ok for r in results)  # silently wrong, as in the report
+        assert len(db.table_rows("forum_sub")) == 2
+
+    def test_serial_schedule_is_safe(self, moodle_env):
+        db, runtime, _trod = moodle_env
+        runtime.run_concurrent(
+            ForumWorkload.racy_pair(), schedule=ForumWorkload.SERIAL_SCHEDULE
+        )
+        assert len(db.table_rows("forum_sub")) == 1
+
+    def test_fixed_handler_is_race_free_under_racy_schedule(self, moodle_env):
+        db, runtime, _trod = moodle_env
+        requests = [
+            Request("subscribeUserFixed", ("U1", "F2")),
+            Request("subscribeUserFixed", ("U1", "F2")),
+        ]
+        # The fixed handler has one txn; any schedule serializes them.
+        runtime.run_concurrent(requests, schedule=[0, 1])
+        assert len(db.table_rows("forum_sub")) == 1
+
+    def test_fetch_subscribers_ok_without_duplicates(self, moodle_env):
+        _db, runtime, _trod = moodle_env
+        runtime.submit("subscribeUser", "U1", "F1")
+        runtime.submit("subscribeUser", "U2", "F1")
+        result = runtime.submit("fetchSubscribers", "F1")
+        assert sorted(result.output) == ["U1", "U2"]
+
+    def test_fetch_subscribers_raises_on_duplicates(self, racy_moodle):
+        _db, runtime, _trod = racy_moodle
+        result = runtime.submit("fetchSubscribers", "F2")
+        assert not result.ok
+        assert "duplicated" in result.error
+
+    def test_unsubscribe_removes_all_matching(self, racy_moodle):
+        db, runtime, _trod = racy_moodle
+        result = runtime.submit("unsubscribeUser", "U1", "F2")
+        assert result.output == 2  # removes both duplicates
+        assert db.table_rows("forum_sub") == []
+
+
+class TestCourses:
+    def test_course_lifecycle(self, moodle_env):
+        db, runtime, _trod = moodle_env
+        runtime.submit("createCourse", "C1", "Intro", ["F1", "F2"])
+        assert db.table_rows("courses")[0]["status"] == "active"
+        runtime.submit("deleteCourse", "C1")
+        assert db.table_rows("courses")[0]["status"] == "deleted"
+        result = runtime.submit("restoreCourse", "C1")
+        assert result.ok
+        assert db.table_rows("courses")[0]["status"] == "active"
+
+    def test_delete_unknown_course(self, moodle_env):
+        _db, runtime, _trod = moodle_env
+        assert runtime.submit("deleteCourse", "nope").output is False
+
+    def test_restore_fails_with_duplicate_subscriptions(self, moodle_env):
+        """MDL-60669: the patch regression scenario."""
+        _db, runtime, _trod = moodle_env
+        runtime.submit("createCourse", "C1", "Intro", ["F2"])
+        runtime.run_concurrent(
+            ForumWorkload.racy_pair(), schedule=ForumWorkload.RACY_SCHEDULE
+        )
+        runtime.submit("deleteCourse", "C1")
+        result = runtime.submit("restoreCourse", "C1")
+        assert not result.ok
+        assert "duplicate subscriptions" in result.error
+        # And the course stays deleted (the restore txn aborted).
+        db = runtime.database
+        assert db.table_rows("courses")[0]["status"] == "deleted"
+
+    def test_restore_ok_for_other_forums(self, moodle_env):
+        db, runtime, _trod = moodle_env
+        runtime.submit("createCourse", "C1", "Intro", ["F9"])
+        runtime.run_concurrent(
+            ForumWorkload.racy_pair(), schedule=ForumWorkload.RACY_SCHEDULE
+        )  # duplicates in F2, not F9
+        runtime.submit("deleteCourse", "C1")
+        assert runtime.submit("restoreCourse", "C1").ok

@@ -1,0 +1,71 @@
+"""Trace buffer tests."""
+
+import pytest
+
+from repro.core.buffer import TraceBuffer
+
+
+class TestAppend:
+    def test_append_and_drain_fifo(self):
+        buffer = TraceBuffer(capacity=10)
+        for i in range(3):
+            buffer.append(i)
+        assert buffer.drain() == [0, 1, 2]
+        assert len(buffer) == 0
+
+    def test_append_signals_flush_at_capacity(self):
+        buffer = TraceBuffer(capacity=2)
+        assert buffer.append(1) is False
+        assert buffer.append(2) is True  # reached capacity
+
+    def test_extend(self):
+        buffer = TraceBuffer(capacity=10)
+        need = buffer.extend([1, 2, 3])
+        assert need is False
+        assert len(buffer) == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=0)
+
+
+class TestDropOldest:
+    def test_overflow_drops_oldest(self):
+        buffer = TraceBuffer(capacity=3, drop_oldest=True)
+        for i in range(5):
+            buffer.append(i)
+        assert buffer.drain() == [2, 3, 4]
+        assert buffer.dropped == 2
+
+    def test_without_drop_oldest_buffer_grows_past_capacity(self):
+        buffer = TraceBuffer(capacity=2)
+        for i in range(4):
+            buffer.append(i)
+        # Nothing dropped; caller is responsible for flushing.
+        assert buffer.drain() == [0, 1, 2, 3]
+        assert buffer.dropped == 0
+
+
+class TestStats:
+    def test_stats_track_counts(self):
+        buffer = TraceBuffer(capacity=4)
+        buffer.append("x")
+        buffer.drain()
+        buffer.append("y")
+        stats = buffer.stats()
+        assert stats["appended"] == 2
+        assert stats["flushes"] == 1
+        assert stats["buffered"] == 1
+        assert stats["capacity"] == 4
+
+    def test_peek_does_not_drain(self):
+        buffer = TraceBuffer()
+        buffer.append(1)
+        assert buffer.peek() == [1]
+        assert len(buffer) == 1
+
+    def test_high_water(self):
+        buffer = TraceBuffer(capacity=1)
+        assert not buffer.high_water
+        buffer.append(1)
+        assert buffer.high_water

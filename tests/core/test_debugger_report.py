@@ -1,0 +1,128 @@
+"""Declarative debugger and report rendering tests."""
+
+import pytest
+
+from repro.core import report
+from repro.errors import ProvenanceError
+
+
+class TestPaperQuery:
+    def test_verbatim_paper_query(self, racy_moodle):
+        """The §3.3 query, character-for-character from the paper."""
+        _db, _runtime, trod = racy_moodle
+        rs = trod.query(
+            "SELECT Timestamp, ReqId, HandlerName\n"
+            "FROM Executions as E, ForumEvents as F\n"
+            "ON E.TxnId = F.TxnId\n"
+            "WHERE F.UserId = 'U1' AND F.Forum = 'F2'\n"
+            "AND F.Type = 'Insert'\n"
+            "ORDER BY Timestamp ASC;"
+        )
+        assert len(rs) == 2
+        req_ids = rs.column("ReqId")
+        handlers = rs.column("HandlerName")
+        # Two different requests, same handler: the §3.3 smoking gun.
+        assert set(req_ids) == {"R1", "R2"}
+        assert handlers == ["subscribeUser", "subscribeUser"]
+
+    def test_find_writers_builds_equivalent_query(self, racy_moodle):
+        _db, _runtime, trod = racy_moodle
+        rs = trod.debugger.find_writers("forum_sub", UserId="U1", Forum="F2")
+        assert set(rs.column("ReqId")) == {"R1", "R2"}
+
+
+class TestCannedAnalyses:
+    def test_duplicate_inserts(self, racy_moodle):
+        _db, _runtime, trod = racy_moodle
+        dupes = trod.debugger.duplicate_inserts("forum_sub", ["UserId", "Forum"])
+        assert len(dupes) == 1
+        assert dupes[0]["key"] == {"UserId": "U1", "Forum": "F2"}
+        assert dupes[0]["count"] == 2
+        assert {w["ReqId"] for w in dupes[0]["writers"]} == {"R1", "R2"}
+
+    def test_no_duplicates_in_clean_run(self, moodle_env):
+        _db, runtime, trod = moodle_env
+        runtime.submit("subscribeUser", "U1", "F1")
+        runtime.submit("subscribeUser", "U2", "F1")
+        assert trod.debugger.duplicate_inserts("forum_sub", ["UserId", "Forum"]) == []
+
+    def test_request_timeline(self, racy_moodle):
+        _db, _runtime, trod = racy_moodle
+        trod.flush()
+        timeline = trod.debugger.request_timeline("R1")
+        assert [t["Metadata"] for t in timeline] == [
+            "func:isSubscribed", "func:DB.insert",
+        ]
+
+    def test_interleaved_writes_show_the_racing_request(self, racy_moodle):
+        """§3.5: query which concurrent executions updated the database
+        between a request's transactions."""
+        _db, _runtime, trod = racy_moodle
+        interleaved = trod.debugger.interleaved_writes("R1")
+        assert len(interleaved) == 1
+        assert interleaved[0]["ReqId"] == "R2"
+        assert interleaved[0]["Type"] == "Insert"
+
+    def test_interleaved_writes_empty_for_single_txn_request(self, racy_moodle):
+        _db, _runtime, trod = racy_moodle
+        assert trod.debugger.interleaved_writes("R3") == []
+
+    def test_interleaved_writes_unknown_request(self, racy_moodle):
+        _db, _runtime, trod = racy_moodle
+        with pytest.raises(ProvenanceError):
+            trod.debugger.interleaved_writes("R99")
+
+    def test_failed_requests(self, racy_moodle):
+        _db, _runtime, trod = racy_moodle
+        failed = trod.debugger.failed_requests()
+        assert [f["ReqId"] for f in failed] == ["R3"]
+
+    def test_transactions_touching(self, racy_moodle):
+        _db, _runtime, trod = racy_moodle
+        rs = trod.debugger.transactions_touching("forum_sub", kind="Insert")
+        assert set(rs.column("ReqId")) == {"R1", "R2"}
+
+
+class TestReports:
+    def test_table1_layout(self, racy_moodle):
+        _db, _runtime, trod = racy_moodle
+        text = report.render_table1(trod)
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "TxnId"
+        # 5 committed txns -> header + rule + 5 rows.
+        assert len(lines) == 7
+        assert "func:isSubscribed" in text
+        assert "subscribeUser" in text and "fetchSubscribers" in text
+
+    def test_table1_filtered_by_request(self, racy_moodle):
+        _db, _runtime, trod = racy_moodle
+        text = report.render_table1(trod, req_ids=["R1"])
+        assert text.count("subscribeUser") == 2
+        assert "fetchSubscribers" not in text
+
+    def test_table2_layout(self, racy_moodle):
+        _db, _runtime, trod = racy_moodle
+        text = report.render_table2(trod, "forum_sub")
+        assert "Insert" in text and "Read" in text
+        assert "null" in text  # the zero-row check reads
+        assert "Snapshot" not in text
+
+    def test_table2_with_snapshot_rows(self, moodle_env):
+        database, runtime, trod = moodle_env
+        text = report.render_table2(trod, "forum_sub", include_snapshot=True)
+        assert "TxnId" in text  # renders even when empty
+
+    def test_history_diagram_lanes(self, racy_moodle):
+        _db, _runtime, trod = racy_moodle
+        diagram = report.history_diagram(trod)
+        lines = diagram.splitlines()
+        assert lines[0].startswith("R1 |")
+        assert lines[1].startswith("R2 |")
+        assert lines[2].startswith("R3 |")
+        # R1's lane holds the first and fourth transaction columns.
+        assert "[isSubscribed]" in lines[0]
+        assert "[DB.executeQuery]" in lines[2]
+
+    def test_history_diagram_empty(self, moodle_env):
+        _db, _runtime, trod = moodle_env
+        assert "no committed transactions" in report.history_diagram(trod)

@@ -1,0 +1,163 @@
+"""Interleaving enumeration tests (§3.6)."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.core.orderings import (
+    TxnStep,
+    enumerate_interleavings,
+    iter_interleavings,
+    naive_interleaving_count,
+    steps_from_footprints,
+)
+
+
+def step(req, ordinal, reads=(), writes=()):
+    return TxnStep(
+        req_index=req,
+        ordinal=ordinal,
+        reads=frozenset(reads),
+        writes=frozenset(writes),
+    )
+
+
+def seq(req, footprints):
+    return [
+        step(req, i, reads, writes) for i, (reads, writes) in enumerate(footprints)
+    ]
+
+
+class TestNaiveCount:
+    def test_multinomial(self):
+        assert naive_interleaving_count([2, 2]) == 6
+        assert naive_interleaving_count([2, 2, 1]) == 30
+        assert naive_interleaving_count([3]) == 1
+        assert naive_interleaving_count([]) == 1
+
+    def test_growth_is_prohibitive(self):
+        """The paper's point: naive interleavings explode combinatorially."""
+        assert naive_interleaving_count([5, 5, 5]) == 756_756
+
+
+class TestConflicts:
+    def test_write_write_conflict(self):
+        a = step(0, 0, writes={"t"})
+        b = step(1, 0, writes={"t"})
+        assert a.conflicts_with(b)
+
+    def test_read_write_conflict(self):
+        a = step(0, 0, reads={"t"})
+        b = step(1, 0, writes={"t"})
+        assert a.conflicts_with(b)
+        assert b.conflicts_with(a)
+
+    def test_read_read_independent(self):
+        a = step(0, 0, reads={"t"})
+        b = step(1, 0, reads={"t"})
+        assert not a.conflicts_with(b)
+
+    def test_disjoint_tables_independent(self):
+        a = step(0, 0, reads={"a"}, writes={"a"})
+        b = step(1, 0, reads={"b"}, writes={"b"})
+        assert not a.conflicts_with(b)
+
+
+class TestEnumeration:
+    def test_all_mode_is_exhaustive(self):
+        seqs = [seq(0, [((), ("t",))] * 2), seq(1, [((), ("t",))] * 2)]
+        orderings, truncated = enumerate_interleavings(seqs, prune=False)
+        assert not truncated
+        assert len(orderings) == 6
+        assert len({tuple(o) for o in orderings}) == 6
+
+    def test_each_ordering_preserves_per_request_order(self):
+        seqs = [seq(0, [((), ("t",))] * 3), seq(1, [((), ("t",))] * 2)]
+        orderings, _ = enumerate_interleavings(seqs, prune=False)
+        for ordering in orderings:
+            assert [r for r in ordering if r == 0] == [0, 0, 0]
+            assert [r for r in ordering if r == 1] == [1, 1]
+
+    def test_fully_conflicting_steps_are_not_pruned(self):
+        seqs = [seq(0, [((), ("t",))] * 2), seq(1, [((), ("t",))] * 2)]
+        pruned, _ = enumerate_interleavings(seqs, prune=True)
+        assert len(pruned) == 6  # every interleaving is distinguishable
+
+    def test_fully_independent_steps_collapse_to_one(self):
+        seqs = [seq(0, [((), ("a",))] * 2), seq(1, [((), ("b",))] * 2)]
+        pruned, _ = enumerate_interleavings(seqs, prune=True)
+        assert len(pruned) == 1  # all 6 interleavings are equivalent
+
+    def test_pruning_keeps_a_representative_per_class(self):
+        """Soundness: brute-force trace classes == pruned count for a
+        mixed conflict structure."""
+        seqs = [
+            seq(0, [((), ("a",)), ((), ("shared",))]),
+            seq(1, [((), ("shared",)), ((), ("b",))]),
+        ]
+        all_orderings, _ = enumerate_interleavings(seqs, prune=False)
+        pruned, _ = enumerate_interleavings(seqs, prune=True)
+
+        def canonical(ordering):
+            # Normalize by bubbling adjacent independent pairs into request
+            # order (Foata-style) to compute the trace class.
+            steps = []
+            positions = [0, 0]
+            for req in ordering:
+                steps.append(seqs[req][positions[req]])
+                positions[req] += 1
+            changed = True
+            while changed:
+                changed = False
+                for i in range(len(steps) - 1):
+                    a, b = steps[i], steps[i + 1]
+                    if a.req_index > b.req_index and not a.conflicts_with(b):
+                        steps[i], steps[i + 1] = b, a
+                        changed = True
+            return tuple((s.req_index, s.ordinal) for s in steps)
+
+        classes = {canonical(o) for o in all_orderings}
+        assert len(pruned) == len(classes)
+        assert {canonical(o) for o in pruned} == classes
+
+    def test_cap_truncates(self):
+        seqs = [seq(0, [((), ("t",))] * 3), seq(1, [((), ("t",))] * 3)]
+        orderings, truncated = enumerate_interleavings(seqs, prune=False, cap=5)
+        assert truncated
+        assert len(orderings) == 5
+
+    def test_empty_input(self):
+        orderings, truncated = enumerate_interleavings([])
+        assert orderings == [[]]
+        assert not truncated
+
+    def test_single_request(self):
+        seqs = [seq(0, [((), ("t",))] * 3)]
+        orderings, _ = enumerate_interleavings(seqs)
+        assert orderings == [[0, 0, 0]]
+
+    def test_three_requests_all_conflicting(self):
+        seqs = [seq(r, [((), ("t",))]) for r in range(3)]
+        orderings, _ = enumerate_interleavings(seqs, prune=False)
+        assert sorted(tuple(o) for o in orderings) == sorted(
+            set(permutations([0, 1, 2]))
+        )
+
+    def test_generator_form_is_lazy(self):
+        seqs = [seq(0, [((), ("t",))] * 4), seq(1, [((), ("t",))] * 4)]
+        gen = iter_interleavings(seqs, prune=False)
+        first = next(gen)
+        assert len(first) == 8
+
+
+class TestFootprintHelper:
+    def test_steps_from_footprints(self):
+        steps = steps_from_footprints(
+            [
+                [(frozenset({"a"}), frozenset()), (frozenset(), frozenset({"a"}))],
+                [(frozenset({"b"}), frozenset())],
+            ]
+        )
+        assert len(steps) == 2
+        assert steps[0][1].writes == {"a"}
+        assert steps[1][0].req_index == 1

@@ -1,0 +1,215 @@
+"""Provenance corner cases: name collisions, kwargs, self-containment."""
+
+import pytest
+
+from repro.core import Trod
+from repro.db import Database
+from repro.runtime import Runtime
+
+
+class TestColumnCollisions:
+    """App tables whose columns collide with event-table metadata."""
+
+    @pytest.fixture
+    def colliding_env(self):
+        db = Database()
+        # 'Type' and 'Query' collide with event metadata columns.
+        db.execute(
+            "CREATE TABLE audit (Type TEXT, Query TEXT, detail TEXT)"
+        )
+        runtime = Runtime(db)
+
+        def log_audit(ctx, kind, query, detail):
+            with ctx.txn(label="log") as t:
+                t.execute(
+                    "INSERT INTO audit (Type, Query, detail) VALUES (?, ?, ?)",
+                    (kind, query, detail),
+                )
+
+        runtime.register("logAudit", log_audit)
+        trod = Trod(db).attach(runtime)
+        return db, runtime, trod
+
+    def test_collision_columns_renamed_in_event_table(self, colliding_env):
+        _db, runtime, trod = colliding_env
+        runtime.submit("logAudit", "login", "who?", "ok")
+        rows = trod.query(
+            "SELECT Type, Type_, Query_, detail FROM AuditEvents"
+            " WHERE Type = 'Insert'"
+        ).as_dicts()
+        assert rows == [
+            {"Type": "Insert", "Type_": "login", "Query_": "who?", "detail": "ok"}
+        ]
+
+    def test_collision_replay_roundtrip(self, colliding_env):
+        _db, runtime, trod = colliding_env
+        runtime.submit("logAudit", "login", "who?", "ok")
+        result = trod.replayer.replay_request("R1")
+        assert result.fidelity, result.divergences
+        assert result.dev_db.table_rows("audit") == [
+            {"Type": "login", "Query": "who?", "detail": "ok"}
+        ]
+
+
+class TestKwargsAndAuth:
+    def test_kwargs_traced_and_reexecuted(self, moodle_env):
+        _db, runtime, trod = moodle_env
+
+        def flexible(ctx, user, forum="F-default"):
+            with ctx.txn(label="ins") as t:
+                t.execute(
+                    "INSERT INTO forum_sub (userId, forum) VALUES (?, ?)",
+                    (user, forum),
+                )
+            return forum
+
+        runtime.register("flexible", flexible)
+        runtime.submit("flexible", "U1", forum="F9")
+        trod.flush()
+        handler, args, kwargs, _auth = trod.provenance.request_args("R1")
+        assert args == ("U1",)
+        assert kwargs == {"forum": "F9"}
+        # Retroactive re-execution uses the kwargs.
+        retro = trod.retroactive.run(["R1"])
+        assert retro.outcomes[0].final_state["forum_sub"] == [("U1", "F9")]
+
+    def test_auth_user_lands_in_executions(self, profiles_env):
+        _db, runtime, trod = profiles_env
+        runtime.submit("createProfile", "alice", "a@x", auth_user="alice")
+        users = trod.query(
+            "SELECT DISTINCT AuthUser FROM Executions"
+            " WHERE Status = 'Committed'"
+        ).column("AuthUser")
+        assert users == ["alice"]
+
+
+class TestSelfContainment:
+    def test_replay_survives_production_vacuum(self, racy_moodle):
+        """§3.5's model: the dev environment needs only provenance. Even
+        after the production store garbage-collects all history, replay
+        still reconstructs the snapshot and reproduces the bug."""
+        from repro.errors import TimeTravelError
+
+        db, _runtime, trod = racy_moodle
+        trod.flush()
+        db.vacuum(keep_after_csn=db.last_csn)
+        # Production time travel to the pre-bug state is now impossible...
+        with pytest.raises(TimeTravelError):
+            db.time_travel.rows_as_of("forum_sub", 0)
+        # ...but replay never needed it: provenance is self-contained.
+        result = trod.replayer.replay_request("R1")
+        assert result.fidelity, result.divergences
+        assert len(result.dev_db.table_rows("forum_sub")) == 2
+
+    def test_retroactive_survives_production_vacuum(self, racy_moodle):
+        from repro.apps.moodle import subscribe_user_fixed
+
+        db, _runtime, trod = racy_moodle
+        trod.flush()
+        db.vacuum(keep_after_csn=db.last_csn)
+        retro = trod.retroactive.run(
+            ["R1", "R2"], patches={"subscribeUser": subscribe_user_fixed}
+        )
+        assert retro.all_ok
+
+    def test_provenance_restore_matches_timetravel_restore(self, racy_moodle):
+        """Two independent reconstruction paths must agree: the version
+        store's time travel and the provenance roll-forward."""
+        db, _runtime, trod = racy_moodle
+        trod.flush()
+        for csn in range(trod.base_csn, db.last_csn + 1):
+            via_store = {
+                rid: values for rid, values in db.store("forum_sub").scan(csn)
+            }
+            via_prov = dict(trod.provenance.reconstruct_rows("forum_sub", csn))
+            assert via_store == via_prov, f"divergence at csn {csn}"
+
+
+class TestNestedWorkflows:
+    def test_three_level_rpc_edges(self, moodle_env):
+        _db, runtime, trod = moodle_env
+
+        def top(ctx):
+            return ctx.call("middle")
+
+        def middle(ctx):
+            return ctx.call("leaf")
+
+        def leaf(ctx):
+            with ctx.txn(label="leafWork") as t:
+                t.execute(
+                    "INSERT INTO forum_sub (userId, forum) VALUES ('U', 'F')"
+                )
+            return "done"
+
+        runtime.register("top", top)
+        runtime.register("middle", middle)
+        runtime.register("leaf", leaf)
+        result = runtime.submit("top")
+        assert result.output == "done"
+        edges = trod.debugger.workflow(result.req_id)
+        assert [(e["Caller"], e["Callee"]) for e in edges] == [
+            ("top", "middle"), ("middle", "leaf"),
+        ]
+        # The leaf's transaction is attributed to the leaf handler but
+        # the request id is the root's.
+        rows = trod.query(
+            "SELECT HandlerName, ReqId FROM Executions"
+            " WHERE Status = 'Committed' AND Metadata = 'func:leafWork'"
+        ).rows
+        assert rows == [("leaf", result.req_id)]
+
+    def test_nested_workflow_replays(self, moodle_env):
+        _db, runtime, trod = moodle_env
+
+        def top(ctx, n):
+            total = 0
+            for i in range(n):
+                total += ctx.call("worker", i)
+            return total
+
+        def worker(ctx, i):
+            with ctx.txn(label=f"w{i}") as t:
+                t.execute(
+                    "INSERT INTO forum_sub (userId, forum) VALUES (?, 'W')",
+                    (f"U{i}",),
+                )
+            return i
+
+        runtime.register("top", top)
+        runtime.register("worker", worker)
+        runtime.submit("top", 3)
+        result = trod.replayer.replay_request("R1")
+        assert result.fidelity, result.divergences
+        assert result.output == 3
+        assert len(result.dev_db.table_rows("forum_sub")) == 3
+
+
+class TestAbortedTransactions:
+    def test_aborted_txns_interleave_correctly_in_executions(self, moodle_env):
+        _db, runtime, trod = moodle_env
+
+        def flaky(ctx, should_fail):
+            with ctx.txn(label="attempt") as t:
+                t.execute(
+                    "INSERT INTO forum_sub (userId, forum) VALUES ('U', 'F')"
+                )
+                if should_fail:
+                    raise ValueError("rollback!")
+            return True
+
+        runtime.register("flaky", flaky)
+        runtime.submit("flaky", False)
+        runtime.submit("flaky", True)
+        runtime.submit("flaky", False)
+        statuses = trod.query(
+            "SELECT Status FROM Executions ORDER BY TxnNum"
+        ).column("Status")
+        assert statuses == ["Committed", "Aborted", "Committed"]
+        # Aborted work contributed no write events.
+        inserts = trod.query(
+            "SELECT COUNT(*) FROM ForumSubEvents WHERE Type = 'Insert'"
+        ).scalar() if False else trod.query(
+            "SELECT COUNT(*) FROM ForumEvents WHERE Type = 'Insert'"
+        ).scalar()
+        assert inserts == 2

@@ -1,0 +1,169 @@
+"""Bug replay tests (§3.5): faithfulness, injection, breakpoints."""
+
+import pytest
+
+from repro.db import Database, IsolationLevel
+from repro.errors import ReplayDivergenceError, ReplayError
+from repro.runtime import Request
+from repro.workload.generators import ForumWorkload
+
+
+class TestFaithfulReplay:
+    def test_replay_reproduces_the_duplicate(self, racy_moodle):
+        _db, _runtime, trod = racy_moodle
+        result = trod.replayer.replay_request("R1")
+        assert result.fidelity, result.divergences
+        assert result.output is True
+        rows = result.dev_db.table_rows("forum_sub")
+        assert rows == [
+            {"userId": "U1", "forum": "F2"},
+            {"userId": "U1", "forum": "F2"},
+        ]
+
+    def test_replay_of_the_other_racer(self, racy_moodle):
+        _db, _runtime, trod = racy_moodle
+        result = trod.replayer.replay_request("R2")
+        assert result.fidelity, result.divergences
+
+    def test_replay_of_failed_request_reproduces_error(self, racy_moodle):
+        """R3 (fetchSubscribers) failed in production; replay must fail
+        identically — the Heisenbug becomes a Bohrbug."""
+        _db, _runtime, trod = racy_moodle
+        result = trod.replayer.replay_request("R3")
+        assert result.fidelity, result.divergences
+        assert result.error is not None
+        assert "duplicated" in result.error
+
+    def test_replay_does_not_touch_production(self, racy_moodle):
+        database, _runtime, trod = racy_moodle
+        before = database.table_rows("forum_sub")
+        trod.replayer.replay_request("R1")
+        assert database.table_rows("forum_sub") == before
+
+    def test_replay_without_txns_rejected(self, moodle_env):
+        _db, runtime, trod = moodle_env
+        runtime.register("pure", lambda ctx: 42)
+        runtime.submit("pure")
+        with pytest.raises(ReplayError):
+            trod.replayer.replay_request("R1")
+
+    def test_replay_unknown_request(self, moodle_env):
+        _db, _runtime, trod = moodle_env
+        with pytest.raises(ReplayError):
+            trod.replayer.replay_request("R404")
+
+
+class TestBreakpointsAndInjection:
+    def test_breakpoints_expose_interleaved_writes(self, racy_moodle):
+        _db, _runtime, trod = racy_moodle
+        breakpoints = []
+        trod.replayer.replay_request(
+            "R1", breakpoint_cb=lambda info: breakpoints.append(info)
+        )
+        assert len(breakpoints) == 2
+        first, second = breakpoints
+        assert first.label == "isSubscribed"
+        assert first.injected == []
+        assert second.label == "DB.insert"
+        assert [w.req_id for w in second.injected] == ["R2"]
+        assert second.concurrent_writers() == ["R2"]
+
+    def test_breakpoint_can_inspect_dev_state(self, racy_moodle):
+        """The 'attach GDB' surface: inspect the dev DB between txns."""
+        _db, _runtime, trod = racy_moodle
+        counts = []
+
+        def on_break(info):
+            counts.append(
+                info.dev_db.execute("SELECT COUNT(*) FROM forum_sub").scalar()
+            )
+
+        trod.replayer.replay_request("R1", breakpoint_cb=on_break)
+        # Before txn 1: empty. Before txn 2: R2's row injected.
+        assert counts == [0, 1]
+
+    def test_dependency_filter_restores_only_used_tables(self, racy_moodle):
+        _db, _runtime, trod = racy_moodle
+        result = trod.replayer.replay_request("R1", dependency_filter=True)
+        # Only forum_sub was used; courses tables are absent from dev.
+        assert result.dev_db.catalog.has_table("forum_sub")
+        assert not result.dev_db.catalog.has_table("courses")
+
+    def test_full_restore_materializes_all_tables(self, racy_moodle):
+        _db, _runtime, trod = racy_moodle
+        result = trod.replayer.replay_request("R1", dependency_filter=False)
+        assert result.dev_db.catalog.has_table("courses")
+
+    def test_replay_steps_record_txn_mapping(self, racy_moodle):
+        _db, _runtime, trod = racy_moodle
+        result = trod.replayer.replay_request("R1")
+        assert [s.label for s in result.steps] == ["isSubscribed", "DB.insert"]
+        assert all(s.replayed_txn is not None for s in result.steps)
+
+
+class TestDivergenceDetection:
+    def test_changed_handler_detected_as_divergence(self, racy_moodle):
+        """If the code changed since the trace, replay must say so rather
+        than silently produce different results."""
+        _db, runtime, trod = racy_moodle
+
+        def patched(ctx, user_id, forum):
+            with ctx.txn(label="isSubscribed") as t:
+                t.execute(
+                    "SELECT * FROM forum_sub WHERE userId = ? AND forum = ?",
+                    (user_id, forum),
+                )
+            return "changed-output"
+
+        runtime.registry.register("subscribeUser", patched)
+        result = trod.replayer.replay_request("R1")
+        assert not result.fidelity
+        assert any("output mismatch" in d for d in result.divergences)
+        assert any("transaction count" in d for d in result.divergences)
+
+    def test_strict_mode_raises(self, racy_moodle):
+        _db, runtime, trod = racy_moodle
+        runtime.registry.register("subscribeUser", lambda ctx, u, f: "nope")
+        with pytest.raises(ReplayDivergenceError):
+            trod.replayer.replay_request("R1", strict=True)
+
+    def test_write_set_divergence_detected(self, racy_moodle):
+        _db, runtime, trod = racy_moodle
+
+        def sneaky(ctx, user_id, forum):
+            with ctx.txn(label="isSubscribed") as t:
+                t.execute(
+                    "SELECT * FROM forum_sub WHERE userId = ? AND forum = ?",
+                    (user_id, forum),
+                )
+            with ctx.txn(label="DB.insert") as t:
+                t.execute(
+                    "INSERT INTO forum_sub (userId, forum) VALUES (?, ?)",
+                    ("EVIL", forum),
+                )
+            return True
+
+        runtime.registry.register("subscribeUser", sneaky)
+        result = trod.replayer.replay_request("R1")
+        assert any("write set" in d for d in result.divergences)
+
+
+class TestSnapshotIsolationReenactment:
+    def test_si_transactions_replay_against_their_snapshot(self):
+        """Ablation A5: reenactment under SNAPSHOT isolation uses the
+        recorded snapshot CSN, not the serial prefix."""
+        from repro.apps import build_moodle_app
+        from repro.core import Trod
+        from repro.runtime import Runtime
+
+        database = Database()
+        runtime = Runtime(database, isolation=IsolationLevel.SNAPSHOT)
+        names = build_moodle_app(database, runtime)
+        trod = Trod(database, event_names=names).attach(runtime)
+        runtime.run_concurrent(
+            ForumWorkload.racy_pair(), schedule=ForumWorkload.RACY_SCHEDULE
+        )
+        result = trod.replayer.replay_request("R1")
+        assert result.fidelity, result.divergences
+        rows = result.dev_db.table_rows("forum_sub")
+        assert len(rows) == 2

@@ -1,0 +1,49 @@
+"""Rendering of retroactive results (Figure 3 bottom as text)."""
+
+import pytest
+
+from repro.apps.moodle import subscribe_user_fixed
+from repro.core import report
+
+
+class TestRenderRetroactive:
+    def test_patched_run_rendering(self, racy_moodle):
+        _db, _runtime, trod = racy_moodle
+        result = trod.retroactive.run(
+            ["R1", "R2"],
+            patches={"subscribeUser": subscribe_user_fixed},
+            followups=["R3"],
+        )
+        text = report.render_retroactive(result)
+        assert "ordering [0, 1]" in text
+        assert "ordering [1, 0]" in text
+        assert "R1' subscribeUser: True (was: True)" in text
+        # R3 changed: it used to error, now returns ['U1'].
+        assert "* then R3' fetchSubscribers: ['U1']" in text
+        assert "forum_sub: [('U1', 'F2')]" in text
+
+    def test_failing_run_shows_violations(self, racy_moodle):
+        _db, _runtime, trod = racy_moodle
+
+        def no_duplicates(dev_db):
+            rows = dev_db.execute(
+                "SELECT userId, COUNT(*) FROM forum_sub"
+                " GROUP BY userId HAVING COUNT(*) > 1"
+            ).rows
+            return [f"dup {r[0]}" for r in rows]
+
+        result = trod.retroactive.run(["R1", "R2"], invariant=no_duplicates)
+        text = report.render_retroactive(result)
+        assert "invariant violations" in text
+        assert "dup U1" in text
+
+    def test_unchanged_requests_not_starred(self, racy_moodle):
+        _db, _runtime, trod = racy_moodle
+        result = trod.retroactive.run(
+            ["R1", "R2"], patches={"subscribeUser": subscribe_user_fixed}
+        )
+        text = report.render_retroactive(result)
+        # Outputs match the originals -> no change markers on requests.
+        for line in text.splitlines():
+            if "subscribeUser:" in line:
+                assert not line.strip().startswith("*")

@@ -1,0 +1,140 @@
+"""Security pattern checking and exfiltration tracking tests (§4.2)."""
+
+import pytest
+
+
+@pytest.fixture
+def attacked_profiles(profiles_env):
+    """Profiles app after legitimate use plus two violations."""
+    _db, runtime, trod = profiles_env
+    runtime.submit("createProfile", "alice", "a@x.com", auth_user="alice")  # R1
+    runtime.submit("createProfile", "bob", "b@x.com", auth_user="bob")  # R2
+    runtime.submit("updateProfile", "alice", "hi!", auth_user="alice")  # R3 ok
+    runtime.submit(
+        "updateProfileInsecure", "alice", "pwned", auth_user="mallory"
+    )  # R4: violation
+    runtime.submit("sendMessage", "M1", "alice", "secret", auth_user="bob")  # R5
+    runtime.submit("readMessages", "alice")  # R6: unauthenticated read
+    runtime.submit("readMessagesSecure", "alice", auth_user="alice")  # R7 ok
+    return profiles_env
+
+
+class TestUserProfilesPattern:
+    def test_paper_query_finds_the_insecure_update(self, attacked_profiles):
+        _db, _runtime, trod = attacked_profiles
+        violations = trod.security.user_profiles("profiles")
+        assert len(violations) == 1
+        violation = violations[0]
+        assert violation.req_id == "R4"
+        assert violation.handler == "updateProfileInsecure"
+        assert violation.pattern == "user-profiles"
+
+    def test_verbatim_paper_sql(self, attacked_profiles):
+        """The exact §4.2 query text."""
+        _db, _runtime, trod = attacked_profiles
+        rs = trod.query(
+            "SELECT Timestamp, ReqId, HandlerName\n"
+            "FROM Executions as E, ProfileEvents as P\n"
+            "ON E.TxnId = P.TxnId\n"
+            "WHERE P.UserName != P.UpdatedBy AND P.Type = 'Update'"
+        )
+        assert rs.column("ReqId") == ["R4"]
+
+    def test_secure_updates_not_flagged(self, profiles_env):
+        _db, runtime, trod = profiles_env
+        runtime.submit("createProfile", "carol", "c@x", auth_user="carol")
+        runtime.submit("updateProfile", "carol", "bio", auth_user="carol")
+        assert trod.security.user_profiles("profiles") == []
+
+    def test_rejected_insecure_attempt_leaves_no_update_event(self, profiles_env):
+        _db, runtime, trod = profiles_env
+        runtime.submit("createProfile", "dave", "d@x", auth_user="dave")
+        result = runtime.submit("updateProfile", "dave", "x", auth_user="eve")
+        assert not result.ok  # secure handler rejected it
+        assert trod.security.user_profiles("profiles") == []
+
+
+class TestAuthenticationPattern:
+    def test_unauthenticated_read_flagged(self, attacked_profiles):
+        _db, _runtime, trod = attacked_profiles
+        violations = trod.security.authentication("messages")
+        assert [v.req_id for v in violations] == ["R6"]
+        assert violations[0].handler == "readMessages"
+
+    def test_authenticated_reads_not_flagged(self, attacked_profiles):
+        _db, _runtime, trod = attacked_profiles
+        flagged = {v.req_id for v in trod.security.authentication("messages")}
+        assert "R7" not in flagged
+
+    def test_custom_pattern_registration(self, attacked_profiles):
+        _db, _runtime, trod = attacked_profiles
+        trod.security.register_pattern(
+            "bulk-writers",
+            "SELECT ReqId, HandlerName, COUNT(*) AS n FROM Executions"
+            " WHERE Status = 'Committed' GROUP BY ReqId, HandlerName"
+            " HAVING COUNT(*) > 0",
+        )
+        results = trod.security.run_all()
+        assert "bulk-writers" in results
+        assert results["bulk-writers"]
+
+
+class TestExfiltration:
+    @pytest.fixture
+    def attacked_shop(self, ecommerce_env):
+        _db, runtime, trod = ecommerce_env
+        runtime.submit("registerUser", "U1", "u1@x.com", "4111-1111")  # R1
+        runtime.submit("registerUser", "U2", "u2@x.com", "4222-2222")  # R2
+        runtime.submit("weeklyReport")  # R3: benign email
+        runtime.submit("harvestData", "ex1")  # R4: reads users -> staging
+        runtime.submit("exportReport", "ex1")  # R5: staging -> export channel
+        return ecommerce_env
+
+    def test_two_hop_flow_detected(self, attacked_shop):
+        _db, _runtime, trod = attacked_shop
+        flows = trod.taint.find_flows(["users"])
+        assert len(flows) == 1
+        flow = flows[0]
+        assert flow.req_id == "R5"
+        assert flow.handler == "exportReport"
+        assert flow.sources == ["staging"]  # tainted via lateral movement
+        assert flow.hops == 2
+        assert flow.sinks[0]["Channel"] == "export"
+
+    def test_benign_report_not_flagged(self, attacked_shop):
+        _db, _runtime, trod = attacked_shop
+        flows = trod.taint.find_flows(["users"])
+        assert all(f.req_id != "R3" for f in flows)
+
+    def test_taint_state_fixpoint(self, attacked_shop):
+        _db, _runtime, trod = attacked_shop
+        state = trod.taint.compute_taint(["users"])
+        assert "staging" in state.tainted_tables
+        assert state.tainted_requests["R4"] == 1  # read users directly
+        assert state.tainted_requests["R5"] == 2  # read tainted staging
+
+    def test_track_request_forensics(self, attacked_shop):
+        _db, _runtime, trod = attacked_shop
+        record = trod.taint.track_request("R4")
+        assert record["tables_read"] == ["users"]
+        assert record["tables_written"] == ["staging"]
+        assert record["workflow"] == ["harvestData"]
+
+    def test_workflow_chain_includes_rpc_callees(self, ecommerce_env):
+        _db, runtime, trod = ecommerce_env
+        runtime.submit("registerUser", "U1", "u@x", "4111")
+        runtime.submit("addToCart", "C1", "U1", "S1", 1, 3.0)
+        runtime.submit("restock", "S1", 5)
+        runtime.submit("checkout", "C1", "U1")
+        trod.flush()
+        chain = trod.taint.workflow_chain("R4")
+        assert chain == [
+            "checkout", "validateCart", "reserveInventory",
+            "chargePayment", "createOrder",
+        ]
+
+    def test_sensitive_read_without_sink_is_not_a_flow(self, ecommerce_env):
+        _db, runtime, trod = ecommerce_env
+        runtime.submit("registerUser", "U1", "u@x", "4111")
+        runtime.submit("harvestData", "h")  # stages but never exports
+        assert trod.taint.find_flows(["users"]) == []

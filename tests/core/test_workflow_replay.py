@@ -1,0 +1,121 @@
+"""Replay and retroactive programming over RPC *workflows*.
+
+The paper's application model is microservices: one request fans out
+through RPCs into many handlers, each with its own transactions. Replay
+must re-execute the whole workflow; these tests cover that path with the
+e-commerce checkout chain (5 transactions across 5 handlers).
+"""
+
+import pytest
+
+from repro.errors import NonDeterminismError
+from repro.runtime import Request
+
+
+@pytest.fixture
+def shop_with_history(ecommerce_env):
+    _db, runtime, trod = ecommerce_env
+    runtime.submit("registerUser", "U1", "u1@x.com", "4111")  # R1
+    runtime.submit("restock", "SKU1", 10)  # R2
+    runtime.submit("addToCart", "C1", "U1", "SKU1", 2, 5.0)  # R3
+    runtime.submit("checkout", "C1", "U1")  # R4: the workflow
+    return ecommerce_env
+
+
+class TestWorkflowReplay:
+    def test_checkout_workflow_replays_faithfully(self, shop_with_history):
+        _db, _runtime, trod = shop_with_history
+        result = trod.replayer.replay_request("R4")
+        assert result.fidelity, result.divergences
+        assert len(result.steps) == 4  # validate/reserve/charge/order
+        assert result.dev_db.table_rows("orders")[0]["status"] == "placed"
+        assert result.dev_db.table_rows("inventory")[0]["stock"] == 8
+
+    def test_workflow_step_labels_match_rpc_chain(self, shop_with_history):
+        _db, _runtime, trod = shop_with_history
+        result = trod.replayer.replay_request("R4")
+        assert [s.label for s in result.steps] == [
+            "validateCart", "reserveInventory", "chargePayment", "createOrder",
+        ]
+
+    def test_concurrent_checkout_replay_with_injection(self, ecommerce_env):
+        """Two checkouts race on shared inventory; replaying one injects
+        the other's reservation at the right boundary."""
+        db, runtime, trod = ecommerce_env
+        runtime.submit("registerUser", "U1", "u@x", "4111")
+        runtime.submit("restock", "SKU1", 10)
+        runtime.submit("addToCart", "C1", "U1", "SKU1", 3, 1.0)
+        runtime.submit("addToCart", "C2", "U1", "SKU1", 4, 1.0)
+        results = runtime.run_concurrent(
+            [Request("checkout", ("C1", "U1")), Request("checkout", ("C2", "U1"))],
+            schedule=[0, 1, 0, 1, 0, 1, 0, 1],  # interleave the workflows
+        )
+        assert all(r.ok for r in results)
+        assert db.table_rows("inventory")[0]["stock"] == 3
+
+        for result in results:
+            replay = trod.replayer.replay_request(result.req_id)
+            assert replay.fidelity, (result.req_id, replay.divergences)
+
+    def test_retroactive_over_workflow(self, shop_with_history):
+        """Patch the payment handler and re-run the checkout on history."""
+        _db, _runtime, trod = shop_with_history
+
+        def charge_with_surcharge(ctx, order_id, amount):
+            payment_id = f"pay-{order_id}"
+            with ctx.txn(label="chargePayment") as t:
+                t.execute(
+                    "INSERT INTO payments (paymentId, orderId, amount, status)"
+                    " VALUES (?, ?, ?, 'charged')",
+                    (payment_id, order_id, amount + 1.0),
+                )
+            return payment_id
+
+        retro = trod.retroactive.run(
+            ["R4"], patches={"chargePayment": charge_with_surcharge}
+        )
+        assert retro.all_ok
+        payments = retro.outcomes[0].final_state["payments"]
+        assert payments[0][2] == 11.0  # 10.0 + surcharge
+
+
+class TestDeterminismVerifier:
+    def test_deterministic_workflow_passes(self, shop_with_history):
+        _db, _runtime, trod = shop_with_history
+        assert trod.replayer.verify_determinism("R4", runs=3)
+
+    def test_deterministic_rng_handler_passes(self, moodle_env):
+        """ctx.rng is seeded per request, so 'random' handlers are fine."""
+        db, runtime, trod = moodle_env
+
+        def lottery(ctx):
+            pick = ctx.rng.randrange(100)
+            with ctx.txn(label="record") as t:
+                t.execute(
+                    "INSERT INTO forum_sub (userId, forum) VALUES (?, 'L')",
+                    (f"U{pick}",),
+                )
+            return pick
+
+        runtime.register("lottery", lottery)
+        runtime.submit("lottery")
+        assert trod.replayer.verify_determinism("R1")
+
+    def test_nondeterministic_handler_detected(self, moodle_env):
+        """A handler violating P3 (out-of-band mutable state) is caught."""
+        db, runtime, trod = moodle_env
+        counter = {"n": 0}
+
+        def sneaky(ctx):
+            counter["n"] += 1  # state outside the database!
+            with ctx.txn(label="record") as t:
+                t.execute(
+                    "INSERT INTO forum_sub (userId, forum) VALUES (?, 'X')",
+                    (f"U{counter['n']}",),
+                )
+            return counter["n"]
+
+        runtime.register("sneaky", sneaky)
+        runtime.submit("sneaky")
+        with pytest.raises(NonDeterminismError):
+            trod.replayer.verify_determinism("R1", runs=3)

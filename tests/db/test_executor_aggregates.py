@@ -1,0 +1,142 @@
+"""Aggregation execution tests: GROUP BY, HAVING, global aggregates."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import PlanningError
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.execute("CREATE TABLE sales (region TEXT, rep TEXT, amount INTEGER)")
+    rows = [
+        ("east", "a", 10),
+        ("east", "b", 20),
+        ("west", "a", 30),
+        ("west", "a", 40),
+        ("north", "c", None),
+    ]
+    for row in rows:
+        database.execute("INSERT INTO sales VALUES (?, ?, ?)", row)
+    return database
+
+
+class TestGlobalAggregates:
+    def test_count_star(self, db):
+        assert db.execute("SELECT COUNT(*) FROM sales").scalar() == 5
+
+    def test_count_column_skips_null(self, db):
+        assert db.execute("SELECT COUNT(amount) FROM sales").scalar() == 4
+
+    def test_sum_avg_min_max(self, db):
+        rs = db.execute(
+            "SELECT SUM(amount), AVG(amount), MIN(amount), MAX(amount) FROM sales"
+        )
+        assert rs.rows == [(100, 25.0, 10, 40)]
+
+    def test_count_distinct(self, db):
+        assert db.execute("SELECT COUNT(DISTINCT rep) FROM sales").scalar() == 3
+
+    def test_global_aggregate_on_empty_table(self, db):
+        db.execute("CREATE TABLE empty (x INTEGER)")
+        rs = db.execute("SELECT COUNT(*), SUM(x) FROM empty")
+        assert rs.rows == [(0, None)]
+
+    def test_aggregate_with_filter(self, db):
+        assert (
+            db.execute("SELECT COUNT(*) FROM sales WHERE region = 'east'").scalar()
+            == 2
+        )
+
+    def test_expression_over_aggregates(self, db):
+        rs = db.execute("SELECT MAX(amount) - MIN(amount) FROM sales")
+        assert rs.scalar() == 30
+
+
+class TestGroupBy:
+    def test_group_counts(self, db):
+        rs = db.execute(
+            "SELECT region, COUNT(*) AS n FROM sales GROUP BY region ORDER BY region"
+        )
+        assert rs.rows == [("east", 2), ("north", 1), ("west", 2)]
+
+    def test_group_sum(self, db):
+        rs = db.execute(
+            "SELECT region, SUM(amount) FROM sales GROUP BY region ORDER BY region"
+        )
+        assert rs.rows == [("east", 30), ("north", None), ("west", 70)]
+
+    def test_group_by_expression(self, db):
+        rs = db.execute(
+            "SELECT UPPER(region), COUNT(*) FROM sales"
+            " GROUP BY UPPER(region) ORDER BY UPPER(region)"
+        )
+        assert rs.rows == [("EAST", 2), ("NORTH", 1), ("WEST", 2)]
+
+    def test_multi_column_group(self, db):
+        rs = db.execute(
+            "SELECT region, rep, COUNT(*) FROM sales"
+            " GROUP BY region, rep ORDER BY region, rep"
+        )
+        assert ("west", "a", 2) in rs.rows
+        assert len(rs) == 4
+
+    def test_having(self, db):
+        rs = db.execute(
+            "SELECT region FROM sales GROUP BY region"
+            " HAVING COUNT(*) > 1 ORDER BY region"
+        )
+        assert rs.column("region") == ["east", "west"]
+
+    def test_having_on_aggregate_not_projected(self, db):
+        rs = db.execute(
+            "SELECT region FROM sales GROUP BY region"
+            " HAVING SUM(amount) > 50"
+        )
+        assert rs.column("region") == ["west"]
+
+    def test_order_by_aggregate(self, db):
+        rs = db.execute(
+            "SELECT region, COUNT(*) AS n FROM sales GROUP BY region"
+            " ORDER BY n DESC, region ASC"
+        )
+        assert rs.rows == [("east", 2), ("west", 2), ("north", 1)]
+
+    def test_order_by_unprojected_aggregate(self, db):
+        rs = db.execute(
+            "SELECT region FROM sales GROUP BY region ORDER BY SUM(amount) DESC"
+        )
+        # NULL sum sorts first ascending, so DESC puts it last.
+        assert rs.column("region") == ["west", "east", "north"]
+
+    def test_paper_duplicate_detection_shape(self, db):
+        db.execute("CREATE TABLE forum_sub (userId TEXT, forum TEXT)")
+        for pair in [("U1", "F2"), ("U1", "F2"), ("U2", "F2")]:
+            db.execute("INSERT INTO forum_sub VALUES (?, ?)", pair)
+        rs = db.execute(
+            "SELECT userId, forum, COUNT(*) FROM forum_sub"
+            " GROUP BY userId, forum HAVING COUNT(*) > 1"
+        )
+        assert rs.rows == [("U1", "F2", 2)]
+
+    def test_bare_column_outside_group_rejected(self, db):
+        with pytest.raises(PlanningError, match="GROUP BY"):
+            db.execute("SELECT rep, COUNT(*) FROM sales GROUP BY region")
+
+    def test_aggregate_over_join(self, db):
+        db.execute("CREATE TABLE quotas (region TEXT, quota INTEGER)")
+        db.execute("INSERT INTO quotas VALUES ('east', 25), ('west', 80)")
+        rs = db.execute(
+            "SELECT s.region, SUM(s.amount), MAX(q.quota) FROM sales s"
+            " JOIN quotas q ON s.region = q.region"
+            " GROUP BY s.region ORDER BY s.region"
+        )
+        assert rs.rows == [("east", 30, 25), ("west", 70, 80)]
+
+    def test_group_key_with_nulls(self, db):
+        db.execute("INSERT INTO sales VALUES (NULL, 'z', 5)")
+        rs = db.execute(
+            "SELECT region, COUNT(*) FROM sales GROUP BY region ORDER BY region"
+        )
+        assert (None, 1) in rs.rows

@@ -1,0 +1,156 @@
+"""INSERT / UPDATE / DELETE / DDL execution tests."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import (
+    ExecutionError,
+    IntegrityError,
+    SchemaError,
+    TypeCoercionError,
+)
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.execute(
+        "CREATE TABLE items ("
+        " id INTEGER PRIMARY KEY, name TEXT NOT NULL, qty INTEGER DEFAULT 0)"
+    )
+    return database
+
+
+class TestInsert:
+    def test_insert_reports_rowcount_and_ids(self, db):
+        rs = db.execute("INSERT INTO items (id, name) VALUES (1, 'a'), (2, 'b')")
+        assert rs.rowcount == 2
+        assert len(rs.row_ids) == 2
+
+    def test_defaults_applied(self, db):
+        db.execute("INSERT INTO items (id, name) VALUES (1, 'a')")
+        assert db.execute("SELECT qty FROM items").scalar() == 0
+
+    def test_insert_without_column_list(self, db):
+        db.execute("INSERT INTO items VALUES (1, 'a', 5)")
+        assert db.execute("SELECT qty FROM items").scalar() == 5
+
+    def test_arity_mismatch(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("INSERT INTO items (id, name) VALUES (1)")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SchemaError):
+            db.execute("INSERT INTO items (id, nope) VALUES (1, 2)")
+
+    def test_primary_key_violation(self, db):
+        db.execute("INSERT INTO items (id, name) VALUES (1, 'a')")
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO items (id, name) VALUES (1, 'b')")
+
+    def test_pk_violation_within_one_statement(self, db):
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO items (id, name) VALUES (1, 'a'), (1, 'b')")
+
+    def test_not_null_violation(self, db):
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO items (id) VALUES (1)")
+
+    def test_type_mismatch(self, db):
+        with pytest.raises(TypeCoercionError):
+            db.execute("INSERT INTO items (id, name) VALUES ('x', 'a')")
+
+    def test_failed_autocommit_insert_leaves_no_trace(self, db):
+        db.execute("INSERT INTO items (id, name) VALUES (1, 'a')")
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO items (id, name) VALUES (2, 'b'), (1, 'dup')")
+        assert db.execute("SELECT COUNT(*) FROM items").scalar() == 1
+
+
+class TestUpdate:
+    def test_update_matched_rows(self, db):
+        db.execute("INSERT INTO items VALUES (1, 'a', 1), (2, 'b', 2)")
+        rs = db.execute("UPDATE items SET qty = qty * 10 WHERE qty > 1")
+        assert rs.rowcount == 1
+        assert db.execute("SELECT qty FROM items WHERE id = 2").scalar() == 20
+
+    def test_update_all(self, db):
+        db.execute("INSERT INTO items VALUES (1, 'a', 1), (2, 'b', 2)")
+        assert db.execute("UPDATE items SET qty = 0").rowcount == 2
+
+    def test_update_self_referencing_expression(self, db):
+        db.execute("INSERT INTO items VALUES (1, 'a', 7)")
+        db.execute("UPDATE items SET qty = qty + qty")
+        assert db.execute("SELECT qty FROM items").scalar() == 14
+
+    def test_update_not_null_violation(self, db):
+        db.execute("INSERT INTO items VALUES (1, 'a', 1)")
+        with pytest.raises(IntegrityError):
+            db.execute("UPDATE items SET name = NULL")
+
+    def test_update_pk_to_conflicting_value(self, db):
+        db.execute("INSERT INTO items VALUES (1, 'a', 1), (2, 'b', 2)")
+        with pytest.raises(IntegrityError):
+            db.execute("UPDATE items SET id = 1 WHERE id = 2")
+
+    def test_update_with_params(self, db):
+        db.execute("INSERT INTO items VALUES (1, 'a', 1)")
+        db.execute("UPDATE items SET name = ? WHERE id = ?", ("z", 1))
+        assert db.execute("SELECT name FROM items").scalar() == "z"
+
+
+class TestDelete:
+    def test_delete_matched(self, db):
+        db.execute("INSERT INTO items VALUES (1, 'a', 1), (2, 'b', 2)")
+        assert db.execute("DELETE FROM items WHERE id = 1").rowcount == 1
+        assert db.execute("SELECT COUNT(*) FROM items").scalar() == 1
+
+    def test_delete_all(self, db):
+        db.execute("INSERT INTO items VALUES (1, 'a', 1), (2, 'b', 2)")
+        assert db.execute("DELETE FROM items").rowcount == 2
+        assert db.execute("SELECT COUNT(*) FROM items").scalar() == 0
+
+    def test_delete_then_reinsert_pk(self, db):
+        db.execute("INSERT INTO items VALUES (1, 'a', 1)")
+        db.execute("DELETE FROM items WHERE id = 1")
+        db.execute("INSERT INTO items VALUES (1, 'b', 2)")
+        assert db.execute("SELECT name FROM items").scalar() == "b"
+
+
+class TestDdl:
+    def test_create_if_not_exists(self, db):
+        db.execute("CREATE TABLE IF NOT EXISTS items (x INTEGER)")  # no error
+        with pytest.raises(SchemaError):
+            db.execute("CREATE TABLE items (x INTEGER)")
+
+    def test_drop_table(self, db):
+        db.execute("DROP TABLE items")
+        with pytest.raises(SchemaError):
+            db.execute("SELECT * FROM items")
+
+    def test_drop_if_exists(self, db):
+        db.execute("DROP TABLE IF EXISTS nonexistent")
+
+    def test_create_index_speeds_up_probe_path(self, db):
+        # Functional check only: results identical with an index present.
+        for i in range(50):
+            db.execute(
+                "INSERT INTO items (id, name, qty) VALUES (?, ?, ?)",
+                (i, f"n{i}", i % 5),
+            )
+        before = db.execute("SELECT COUNT(*) FROM items WHERE name = 'n7'").scalar()
+        db.execute("CREATE INDEX ix_name ON items (name)")
+        after = db.execute("SELECT COUNT(*) FROM items WHERE name = 'n7'").scalar()
+        assert before == after == 1
+
+    def test_unique_index_enforces(self, db):
+        db.execute("CREATE UNIQUE INDEX ix_name ON items (name)")
+        db.execute("INSERT INTO items (id, name) VALUES (1, 'a')")
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO items (id, name) VALUES (2, 'a')")
+
+    def test_table_level_pk(self, db):
+        db.execute("CREATE TABLE pairs (a INTEGER, b INTEGER, PRIMARY KEY (a, b))")
+        db.execute("INSERT INTO pairs VALUES (1, 1), (1, 2)")
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO pairs VALUES (1, 1)")

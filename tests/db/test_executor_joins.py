@@ -1,0 +1,144 @@
+"""Join execution tests: hash joins, nested loops, left joins."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import PlanningError
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.execute("CREATE TABLE dept (deptId INTEGER, deptName TEXT)")
+    database.execute(
+        "CREATE TABLE emp (empId INTEGER, name TEXT, deptId INTEGER, salary INTEGER)"
+    )
+    for dept_id, name in [(1, "eng"), (2, "sales"), (3, "empty")]:
+        database.execute("INSERT INTO dept VALUES (?, ?)", (dept_id, name))
+    for emp in [
+        (1, "alice", 1, 100),
+        (2, "bob", 1, 80),
+        (3, "carol", 2, 90),
+        (4, "dave", None, 70),
+    ]:
+        database.execute("INSERT INTO emp VALUES (?, ?, ?, ?)", emp)
+    return database
+
+
+class TestInnerJoins:
+    def test_explicit_join_on(self, db):
+        rs = db.execute(
+            "SELECT e.name, d.deptName FROM emp e JOIN dept d"
+            " ON e.deptId = d.deptId ORDER BY e.name"
+        )
+        assert rs.rows == [
+            ("alice", "eng"), ("bob", "eng"), ("carol", "sales"),
+        ]
+
+    def test_paper_comma_join_with_on(self, db):
+        rs = db.execute(
+            "SELECT e.name FROM emp as e, dept as d ON e.deptId = d.deptId"
+            " WHERE d.deptName = 'eng' ORDER BY e.name"
+        )
+        assert rs.column("name") == ["alice", "bob"]
+
+    def test_comma_join_with_where_acts_as_join_predicate(self, db):
+        rs = db.execute(
+            "SELECT e.name FROM emp e, dept d"
+            " WHERE e.deptId = d.deptId AND d.deptName = 'sales'"
+        )
+        assert rs.column("name") == ["carol"]
+
+    def test_null_keys_never_join(self, db):
+        rs = db.execute(
+            "SELECT e.name FROM emp e JOIN dept d ON e.deptId = d.deptId"
+        )
+        assert "dave" not in rs.column("name")
+
+    def test_join_with_residual_condition(self, db):
+        rs = db.execute(
+            "SELECT e.name FROM emp e JOIN dept d"
+            " ON e.deptId = d.deptId AND e.salary > 85 ORDER BY e.name"
+        )
+        assert rs.column("name") == ["alice", "carol"]
+
+    def test_non_equi_join_uses_nested_loop(self, db):
+        rs = db.execute(
+            "SELECT e.name, d.deptName FROM emp e JOIN dept d"
+            " ON e.deptId < d.deptId WHERE e.name = 'alice' ORDER BY d.deptName"
+        )
+        assert rs.rows == [("alice", "empty"), ("alice", "sales")]
+
+    def test_cross_join_cardinality(self, db):
+        rs = db.execute("SELECT * FROM emp CROSS JOIN dept")
+        assert len(rs) == 12
+        rs = db.execute("SELECT * FROM emp, dept")
+        assert len(rs) == 12
+
+    def test_three_way_join(self, db):
+        db.execute("CREATE TABLE loc (deptId INTEGER, city TEXT)")
+        db.execute("INSERT INTO loc VALUES (1, 'sf'), (2, 'nyc')")
+        rs = db.execute(
+            "SELECT e.name, l.city FROM emp e"
+            " JOIN dept d ON e.deptId = d.deptId"
+            " JOIN loc l ON d.deptId = l.deptId"
+            " ORDER BY e.name"
+        )
+        assert rs.rows == [("alice", "sf"), ("bob", "sf"), ("carol", "nyc")]
+
+    def test_self_join_requires_aliases(self, db):
+        rs = db.execute(
+            "SELECT a.name, b.name FROM emp a JOIN emp b"
+            " ON a.deptId = b.deptId WHERE a.name < b.name"
+        )
+        assert rs.rows == [("alice", "bob")]
+
+    def test_duplicate_binding_rejected(self, db):
+        with pytest.raises(PlanningError):
+            db.execute("SELECT * FROM emp JOIN emp ON emp.empId = emp.empId")
+
+
+class TestLeftJoins:
+    def test_left_join_null_extends(self, db):
+        rs = db.execute(
+            "SELECT e.name, d.deptName FROM emp e LEFT JOIN dept d"
+            " ON e.deptId = d.deptId ORDER BY e.name"
+        )
+        assert ("dave", None) in rs.rows
+        assert len(rs) == 4
+
+    def test_left_join_where_on_inner_side_filters_nulls(self, db):
+        rs = db.execute(
+            "SELECT e.name FROM emp e LEFT JOIN dept d ON e.deptId = d.deptId"
+            " WHERE d.deptName = 'eng' ORDER BY e.name"
+        )
+        assert rs.column("name") == ["alice", "bob"]
+
+    def test_left_join_find_unmatched(self, db):
+        rs = db.execute(
+            "SELECT e.name FROM emp e LEFT JOIN dept d ON e.deptId = d.deptId"
+            " WHERE d.deptId IS NULL"
+        )
+        assert rs.column("name") == ["dave"]
+
+    def test_left_join_preserves_all_left_rows_of_empty_right(self, db):
+        db.execute("CREATE TABLE nothing (deptId INTEGER)")
+        rs = db.execute(
+            "SELECT e.name FROM emp e LEFT JOIN nothing n ON e.deptId = n.deptId"
+        )
+        assert len(rs) == 4
+
+
+class TestAmbiguity:
+    def test_unqualified_ambiguous_column_rejected(self, db):
+        with pytest.raises(PlanningError, match="ambiguous"):
+            db.execute(
+                "SELECT deptId FROM emp e JOIN dept d ON e.deptId = d.deptId"
+            )
+
+    def test_unqualified_unique_column_resolves(self, db):
+        rs = db.execute(
+            "SELECT name, deptName FROM emp e JOIN dept d"
+            " ON e.deptId = d.deptId WHERE salary = 100"
+        )
+        assert rs.rows == [("alice", "eng")]

@@ -1,0 +1,167 @@
+"""End-to-end SELECT execution tests (single table)."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import ExecutionError, PlanningError
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.execute(
+        "CREATE TABLE people (name TEXT, age INTEGER, city TEXT)"
+    )
+    rows = [
+        ("alice", 30, "paris"),
+        ("bob", 25, "london"),
+        ("carol", 35, "paris"),
+        ("dave", None, "berlin"),
+    ]
+    for name, age, city in rows:
+        database.execute(
+            "INSERT INTO people (name, age, city) VALUES (?, ?, ?)",
+            (name, age, city),
+        )
+    return database
+
+
+class TestProjection:
+    def test_star(self, db):
+        rs = db.execute("SELECT * FROM people")
+        assert rs.columns == ["name", "age", "city"]
+        assert len(rs) == 4
+
+    def test_column_subset_and_alias(self, db):
+        rs = db.execute("SELECT name AS who, age FROM people WHERE name = 'bob'")
+        assert rs.columns == ["who", "age"]
+        assert rs.rows == [("bob", 25)]
+
+    def test_expression_projection(self, db):
+        rs = db.execute("SELECT age + 1 FROM people WHERE name = 'bob'")
+        assert rs.rows == [(26,)]
+
+    def test_scalar_function_in_projection(self, db):
+        rs = db.execute("SELECT UPPER(name) FROM people WHERE age = 30")
+        assert rs.rows == [("ALICE",)]
+
+    def test_case_in_projection(self, db):
+        rs = db.execute(
+            "SELECT name, CASE WHEN age >= 30 THEN 'old' ELSE 'young' END AS bucket"
+            " FROM people WHERE age IS NOT NULL ORDER BY name"
+        )
+        assert rs.rows == [
+            ("alice", "old"), ("bob", "young"), ("carol", "old"),
+        ]
+
+    def test_select_without_from(self, db):
+        assert db.execute("SELECT 2 + 3").scalar() == 5
+
+
+class TestFiltering:
+    def test_where_equality(self, db):
+        rs = db.execute("SELECT name FROM people WHERE city = 'paris' ORDER BY name")
+        assert rs.column("name") == ["alice", "carol"]
+
+    def test_where_with_params(self, db):
+        rs = db.execute("SELECT name FROM people WHERE age > ?", (26,))
+        assert sorted(rs.column("name")) == ["alice", "carol"]
+
+    def test_null_never_matches_comparison(self, db):
+        rs = db.execute("SELECT name FROM people WHERE age > 0")
+        assert "dave" not in rs.column("name")
+        rs = db.execute("SELECT name FROM people WHERE age IS NULL")
+        assert rs.column("name") == ["dave"]
+
+    def test_in_and_between(self, db):
+        rs = db.execute(
+            "SELECT name FROM people WHERE city IN ('paris', 'berlin')"
+            " AND (age BETWEEN 30 AND 40 OR age IS NULL) ORDER BY name"
+        )
+        assert rs.column("name") == ["alice", "carol", "dave"]
+
+    def test_like(self, db):
+        rs = db.execute("SELECT name FROM people WHERE name LIKE '%a%' ORDER BY name")
+        assert rs.column("name") == ["alice", "carol", "dave"]
+
+    def test_wrong_param_count(self, db):
+        with pytest.raises(ExecutionError, match="parameter"):
+            db.execute("SELECT * FROM people WHERE age = ?")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(PlanningError):
+            db.execute("SELECT nope FROM people")
+
+
+class TestOrdering:
+    def test_order_by_asc_desc(self, db):
+        rs = db.execute(
+            "SELECT name FROM people WHERE age IS NOT NULL ORDER BY age DESC"
+        )
+        assert rs.column("name") == ["carol", "alice", "bob"]
+
+    def test_nulls_sort_first(self, db):
+        rs = db.execute("SELECT name FROM people ORDER BY age ASC")
+        assert rs.column("name")[0] == "dave"
+
+    def test_multi_key_sort_is_stable(self, db):
+        db.execute("INSERT INTO people (name, age, city) VALUES ('erin', 25, 'paris')")
+        rs = db.execute("SELECT name FROM people ORDER BY city ASC, age DESC")
+        assert rs.column("name") == ["dave", "bob", "carol", "alice", "erin"]
+
+    def test_order_by_output_alias(self, db):
+        rs = db.execute(
+            "SELECT name, age * 2 AS doubled FROM people"
+            " WHERE age IS NOT NULL ORDER BY doubled"
+        )
+        assert rs.column("name") == ["bob", "alice", "carol"]
+
+    def test_order_by_non_projected_column(self, db):
+        rs = db.execute(
+            "SELECT name FROM people WHERE age IS NOT NULL ORDER BY age"
+        )
+        assert rs.column("name") == ["bob", "alice", "carol"]
+
+
+class TestLimitDistinct:
+    def test_limit_offset(self, db):
+        rs = db.execute("SELECT name FROM people ORDER BY name LIMIT 2")
+        assert rs.column("name") == ["alice", "bob"]
+        rs = db.execute("SELECT name FROM people ORDER BY name LIMIT 2 OFFSET 2")
+        assert rs.column("name") == ["carol", "dave"]
+
+    def test_limit_param(self, db):
+        rs = db.execute("SELECT name FROM people ORDER BY name LIMIT ?", (1,))
+        assert rs.column("name") == ["alice"]
+
+    def test_limit_validation(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT name FROM people LIMIT ?", (-1,))
+
+    def test_distinct(self, db):
+        rs = db.execute("SELECT DISTINCT city FROM people ORDER BY city")
+        assert rs.column("city") == ["berlin", "london", "paris"]
+
+    def test_distinct_with_order_by_projected(self, db):
+        rs = db.execute("SELECT DISTINCT city FROM people ORDER BY city DESC")
+        assert rs.column("city") == ["paris", "london", "berlin"]
+
+
+class TestResultSet:
+    def test_scalar_guard(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT * FROM people").scalar()
+
+    def test_as_dicts(self, db):
+        rows = db.execute(
+            "SELECT name, age FROM people WHERE name = 'bob'"
+        ).as_dicts()
+        assert rows == [{"name": "bob", "age": 25}]
+
+    def test_unknown_output_column(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT name FROM people").column("nope")
+
+    def test_pretty_renders(self, db):
+        text = db.execute("SELECT name, age FROM people ORDER BY name").pretty(max_rows=2)
+        assert "alice" in text and "more rows" in text

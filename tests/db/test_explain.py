@@ -1,0 +1,99 @@
+"""EXPLAIN output: verifying planner decisions are observable."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.execute("CREATE TABLE t (a TEXT, b INTEGER)")
+    database.execute("CREATE TABLE u (a TEXT, c INTEGER)")
+    return database
+
+
+def text_of(db, sql):
+    return "\n".join(db.explain(sql))
+
+
+class TestExplainShapes:
+    def test_simple_scan(self, db):
+        plan = text_of(db, "SELECT * FROM t")
+        assert "Scan(t)" in plan
+        assert "Project(a, b)" in plan
+
+    def test_filter_pushdown_to_scan(self, db):
+        plan = text_of(db, "SELECT a FROM t WHERE b > 1")
+        assert "filter[(t.b > 1)]" in plan or "filter[(b > 1)]" in plan
+        assert "Filter[" not in plan  # fully pushed down
+
+    def test_index_probe_chosen(self, db):
+        db.execute("CREATE INDEX ix_a ON t (a)")
+        plan = text_of(db, "SELECT * FROM t WHERE a = 'x'")
+        assert "probe=ix_a[a]" in plan
+
+    def test_no_probe_without_index(self, db):
+        plan = text_of(db, "SELECT * FROM t WHERE a = 'x'")
+        assert "probe=" not in plan
+
+    def test_equi_join_uses_hash_join(self, db):
+        plan = text_of(db, "SELECT * FROM t JOIN u ON t.a = u.a")
+        assert "HashJoin(inner, 1 key(s))" in plan
+
+    def test_paper_comma_join_is_hash_join(self, db):
+        plan = text_of(
+            db, "SELECT E.b FROM t as E, u as F ON E.a = F.a"
+        )
+        assert "HashJoin(inner" in plan
+        assert "Scan(t AS E)" in plan
+
+    def test_non_equi_join_uses_nested_loop(self, db):
+        plan = text_of(db, "SELECT * FROM t JOIN u ON t.b < u.c")
+        assert "NestedLoopJoin(inner)" in plan
+
+    def test_cross_join_is_nested_loop(self, db):
+        plan = text_of(db, "SELECT * FROM t, u")
+        assert "NestedLoopJoin(cross)" in plan
+
+    def test_left_join_kind_surfaces(self, db):
+        plan = text_of(db, "SELECT * FROM t LEFT JOIN u ON t.a = u.a")
+        assert "HashJoin(left" in plan
+
+    def test_aggregate_and_sort_nodes(self, db):
+        plan = text_of(
+            db,
+            "SELECT a, COUNT(*) FROM t GROUP BY a"
+            " HAVING COUNT(*) > 1 ORDER BY a LIMIT 3",
+        )
+        assert "Aggregate(groups=1, aggs=[COUNT])" in plan
+        assert "Sort(asc)" in plan
+        assert "Limit" in plan
+        assert "Filter" in plan  # the HAVING
+
+    def test_distinct_node(self, db):
+        plan = text_of(db, "SELECT DISTINCT a FROM t")
+        assert "Distinct" in plan
+
+    def test_where_conjunct_becomes_join_predicate(self, db):
+        plan = text_of(
+            db, "SELECT * FROM t, u WHERE t.a = u.a AND t.b = 1"
+        )
+        assert "HashJoin(inner, 1 key(s))" in plan
+        assert "filter[(t.b = 1)]" in plan
+
+    def test_explain_rejects_dml(self, db):
+        with pytest.raises(ExecutionError):
+            db.explain("INSERT INTO t VALUES ('x', 1)")
+
+    def test_explain_has_no_side_effects(self, db):
+        before = db.txn_manager.stats["aborted"]
+        db.explain("SELECT * FROM t")
+        assert db.txn_manager.stats["aborted"] == before + 1  # plan txn aborted
+        assert db.last_csn == 0  # nothing committed
+
+    def test_indentation_reflects_tree_depth(self, db):
+        lines = db.explain("SELECT a FROM t WHERE b = 1 ORDER BY a")
+        assert lines[0].startswith("Sort") or lines[0].startswith("Project")
+        assert any(line.startswith("  ") for line in lines[1:])

@@ -1,0 +1,130 @@
+"""Unit tests for hash and sorted indexes."""
+
+import pytest
+
+from repro.db.index import HashIndex, IndexSet, SortedIndex
+from repro.db.schema import Column, TableSchema
+from repro.db.types import ColumnType
+from repro.errors import IntegrityError, SchemaError
+
+
+def make_schema(unique_pair: bool = False) -> TableSchema:
+    return TableSchema(
+        "t",
+        [
+            Column("a", ColumnType.TEXT),
+            Column("b", ColumnType.INTEGER),
+            Column("c", ColumnType.TEXT),
+        ],
+        unique_constraints=[("a", "b")] if unique_pair else (),
+    )
+
+
+class TestHashIndex:
+    def test_lookup_after_add(self):
+        index = HashIndex("ix", make_schema(), ["a"])
+        index.add(1, ("x", 1, "p"))
+        index.add(2, ("x", 2, "q"))
+        index.add(3, ("y", 3, "r"))
+        assert index.lookup(("x",)) == {1, 2}
+        assert index.lookup(("y",)) == {3}
+        assert index.lookup(("z",)) == set()
+
+    def test_remove(self):
+        index = HashIndex("ix", make_schema(), ["a"])
+        index.add(1, ("x", 1, "p"))
+        index.remove(1, ("x", 1, "p"))
+        assert index.lookup(("x",)) == set()
+
+    def test_composite_key(self):
+        index = HashIndex("ix", make_schema(), ["a", "b"])
+        index.add(1, ("x", 1, "p"))
+        assert index.lookup(("x", 1)) == {1}
+        assert index.lookup(("x", 2)) == set()
+
+    def test_unique_violation_on_add(self):
+        index = HashIndex("ix", make_schema(), ["a"], unique=True)
+        index.add(1, ("x", 1, "p"))
+        with pytest.raises(IntegrityError):
+            index.add(2, ("x", 2, "q"))
+
+    def test_unique_allows_null_keys(self):
+        index = HashIndex("ix", make_schema(), ["a"], unique=True)
+        index.add(1, (None, 1, "p"))
+        index.add(2, (None, 2, "q"))  # SQL semantics: NULLs never collide
+
+    def test_would_violate_ignores_own_row(self):
+        index = HashIndex("ix", make_schema(), ["a"], unique=True)
+        index.add(1, ("x", 1, "p"))
+        assert index.would_violate(("x", 9, "z")) is True
+        assert index.would_violate(("x", 9, "z"), ignore_row_id=1) is False
+
+
+class TestSortedIndex:
+    def test_scan_between(self):
+        index = SortedIndex("ix", make_schema(), ["b"])
+        for rid, b in [(1, 5), (2, 1), (3, 3), (4, 9)]:
+            index.add(rid, ("x", b, "p"))
+        assert index.scan_between((2,), (6,)) == [3, 1]
+        assert index.scan_between(None, (3,)) == [2, 3]
+        assert index.scan_between((6,), None) == [4]
+
+    def test_remove_specific_entry(self):
+        index = SortedIndex("ix", make_schema(), ["b"])
+        index.add(1, ("x", 5, "p"))
+        index.add(2, ("x", 5, "q"))
+        index.remove(1, ("x", 5, "p"))
+        assert index.scan_between(None, None) == [2]
+
+    def test_null_keys_sort_first(self):
+        index = SortedIndex("ix", make_schema(), ["b"])
+        index.add(1, ("x", None, "p"))
+        index.add(2, ("x", 0, "q"))
+        assert index.scan_between(None, None) == [1, 2]
+
+
+class TestIndexSet:
+    def test_unique_constraints_create_indexes(self):
+        index_set = IndexSet(make_schema(unique_pair=True))
+        assert len(index_set.indexes) == 1
+
+    def test_check_insert_detects_violation(self):
+        index_set = IndexSet(make_schema(unique_pair=True))
+        index_set.on_insert(1, ("x", 1, "p"))
+        with pytest.raises(IntegrityError):
+            index_set.check_insert(("x", 1, "other"))
+        index_set.check_insert(("x", 2, "other"))  # different key: fine
+
+    def test_on_update_moves_entries(self):
+        index_set = IndexSet(make_schema(unique_pair=True))
+        index_set.on_insert(1, ("x", 1, "p"))
+        index_set.on_update(1, ("x", 1, "p"), ("y", 1, "p"))
+        index_set.check_insert(("x", 1, "q"))  # old key freed
+        with pytest.raises(IntegrityError):
+            index_set.check_insert(("y", 1, "q"))
+
+    def test_on_delete_frees_key(self):
+        index_set = IndexSet(make_schema(unique_pair=True))
+        index_set.on_insert(1, ("x", 1, "p"))
+        index_set.on_delete(1, ("x", 1, "p"))
+        index_set.check_insert(("x", 1, "q"))
+
+    def test_equality_index_for_prefers_widest_cover(self):
+        index_set = IndexSet(make_schema())
+        narrow = index_set.create_hash_index("ix_a", ["a"])
+        wide = index_set.create_hash_index("ix_ab", ["a", "b"])
+        assert index_set.equality_index_for({"a"}) is narrow
+        assert index_set.equality_index_for({"a", "b"}) is wide
+        assert index_set.equality_index_for({"c"}) is None
+
+    def test_duplicate_index_name_rejected(self):
+        index_set = IndexSet(make_schema())
+        index_set.create_hash_index("ix", ["a"])
+        with pytest.raises(SchemaError):
+            index_set.create_hash_index("IX", ["b"])
+
+    def test_populate_existing_rows(self):
+        index_set = IndexSet(make_schema())
+        index = index_set.create_hash_index("ix", ["a"])
+        index_set.populate([(1, ("x", 1, "p")), (2, ("y", 2, "q"))])
+        assert index.lookup(("x",)) == {1}

@@ -1,0 +1,154 @@
+"""INSERT INTO ... SELECT and sorted-index range probe tests."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import ExecutionError, IntegrityError
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.execute("CREATE TABLE src (name TEXT, score INTEGER)")
+    database.execute(
+        "INSERT INTO src VALUES ('a', 10), ('b', 20), ('c', 30), ('d', NULL)"
+    )
+    database.execute("CREATE TABLE dst (who TEXT, points INTEGER)")
+    return database
+
+
+class TestInsertSelect:
+    def test_copy_all(self, db):
+        result = db.execute("INSERT INTO dst SELECT name, score FROM src")
+        assert result.rowcount == 4
+        assert len(db.execute("SELECT * FROM dst").rows) == 4
+
+    def test_copy_filtered_and_transformed(self, db):
+        db.execute(
+            "INSERT INTO dst (who, points)"
+            " SELECT UPPER(name), score * 2 FROM src WHERE score >= 20"
+        )
+        rows = db.execute("SELECT who, points FROM dst ORDER BY who").rows
+        assert rows == [("B", 40), ("C", 60)]
+
+    def test_copy_with_aggregation(self, db):
+        db.execute(
+            "INSERT INTO dst (who, points)"
+            " SELECT 'total', SUM(score) FROM src"
+        )
+        assert db.execute("SELECT points FROM dst").scalar() == 60
+
+    def test_self_insert_does_not_loop(self, db):
+        db.execute("INSERT INTO src SELECT name, score + 1 FROM src")
+        assert db.execute("SELECT COUNT(*) FROM src").scalar() == 8
+
+    def test_column_count_mismatch(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("INSERT INTO dst (who) SELECT name, score FROM src")
+
+    def test_constraints_enforced(self, db):
+        db.execute("CREATE TABLE uniq (who TEXT UNIQUE)")
+        db.execute("INSERT INTO uniq VALUES ('a')")
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO uniq SELECT name FROM src")
+
+    def test_atomic_under_autocommit_failure(self, db):
+        db.execute("CREATE TABLE uniq (who TEXT UNIQUE)")
+        db.execute("INSERT INTO src VALUES ('a', 99)")  # duplicate source name
+        with pytest.raises(IntegrityError):
+            # The second 'a' violates mid-statement: everything aborts.
+            db.execute("INSERT INTO uniq SELECT name FROM src WHERE name = 'a'")
+        assert db.execute("SELECT COUNT(*) FROM uniq").scalar() == 0
+
+    def test_insert_select_with_params(self, db):
+        db.execute(
+            "INSERT INTO dst SELECT name, score FROM src WHERE score > ?",
+            (15,),
+        )
+        assert db.execute("SELECT COUNT(*) FROM dst").scalar() == 2
+
+
+class TestSortedRangeProbe:
+    @pytest.fixture
+    def indexed(self, db) -> Database:
+        db.execute("CREATE SORTED INDEX ix_score ON src (score)")
+        return db
+
+    def test_range_probe_chosen_in_plan(self, indexed):
+        plan = "\n".join(indexed.explain("SELECT name FROM src WHERE score > 15"))
+        assert "range=ix_score[score]" in plan
+
+    def test_between_uses_range_probe(self, indexed):
+        plan = "\n".join(
+            indexed.explain("SELECT name FROM src WHERE score BETWEEN 10 AND 20")
+        )
+        assert "range=ix_score[score]" in plan
+
+    def test_equality_prefers_hash_over_range(self, indexed):
+        indexed.execute("CREATE INDEX ix_name ON src (name)")
+        plan = "\n".join(
+            indexed.explain("SELECT * FROM src WHERE name = 'a' AND score > 5")
+        )
+        assert "probe=ix_name[name]" in plan
+
+    @pytest.mark.parametrize(
+        "where,expected",
+        [
+            ("score > 15", ["b", "c"]),
+            ("score >= 20", ["b", "c"]),
+            ("score < 20", ["a"]),
+            ("score <= 20", ["a", "b"]),
+            ("score BETWEEN 10 AND 20", ["a", "b"]),
+            ("15 < score", ["b", "c"]),  # column on the right
+            ("30 >= score", ["a", "b", "c"]),
+            ("score > 100", []),
+        ],
+    )
+    def test_range_results_match_semantics(self, indexed, where, expected):
+        rows = indexed.execute(
+            f"SELECT name FROM src WHERE {where} ORDER BY name"
+        ).column("name")
+        assert rows == expected
+
+    def test_results_identical_with_and_without_index(self, db):
+        queries = [
+            "SELECT name FROM src WHERE score > 15 ORDER BY name",
+            "SELECT name FROM src WHERE score BETWEEN 5 AND 25 ORDER BY name",
+            "SELECT COUNT(*) FROM src WHERE score < 30",
+        ]
+        before = [db.execute(q).rows for q in queries]
+        db.execute("CREATE SORTED INDEX ix_score ON src (score)")
+        after = [db.execute(q).rows for q in queries]
+        assert before == after
+
+    def test_probe_sees_uncommitted_rows(self, indexed):
+        txn = indexed.begin()
+        indexed.execute("INSERT INTO src VALUES ('e', 25)", txn=txn)
+        rows = indexed.execute(
+            "SELECT name FROM src WHERE score > 20 ORDER BY name", txn=txn
+        ).column("name")
+        assert rows == ["c", "e"]
+        txn.abort()
+
+    def test_probe_reflects_updates(self, indexed):
+        indexed.execute("UPDATE src SET score = 99 WHERE name = 'a'")
+        rows = indexed.execute(
+            "SELECT name FROM src WHERE score > 50"
+        ).column("name")
+        assert rows == ["a"]
+
+    def test_null_bound_param_matches_nothing(self, indexed):
+        rows = indexed.execute(
+            "SELECT name FROM src WHERE score > ?", (None,)
+        ).rows
+        assert rows == []
+
+    def test_si_transactions_do_not_probe(self, indexed):
+        from repro.db import IsolationLevel
+
+        txn = indexed.begin(IsolationLevel.SNAPSHOT)
+        rows = indexed.execute(
+            "SELECT name FROM src WHERE score > 15 ORDER BY name", txn=txn
+        ).column("name")
+        assert rows == ["b", "c"]
+        txn.commit()

@@ -1,0 +1,108 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.db.sql.lexer import tokenize
+from repro.errors import SqlSyntaxError
+
+
+def kinds(sql: str) -> list[str]:
+    return [t.kind for t in tokenize(sql)]
+
+
+def values(sql: str) -> list:
+    return [t.value for t in tokenize(sql)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_idents_and_ops(self):
+        assert values("SELECT a FROM t") == ["SELECT", "a", "FROM", "t"]
+
+    def test_eof_always_last(self):
+        assert kinds("")[-1] == "EOF"
+        assert kinds("x")[-1] == "EOF"
+
+    def test_punctuation(self):
+        assert values("(a, b.c);") == ["(", "a", ",", "b", ".", "c", ")", ";"]
+
+    def test_param(self):
+        tokens = tokenize("? + ?")
+        assert [t.kind for t in tokens[:-1]] == ["PARAM", "OP", "PARAM"]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert values("'hello'") == ["hello"]
+
+    def test_quote_escape(self):
+        assert values("'O''Brien'") == ["O'Brien"]
+
+    def test_empty_string(self):
+        assert values("''") == [""]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"Weird Name"')
+        assert tokens[0].kind == "IDENT"
+        assert tokens[0].value == "Weird Name"
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize('"oops')
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert values("42") == [42]
+
+    def test_float(self):
+        assert values("4.25") == [4.25]
+
+    def test_leading_dot(self):
+        assert values(".5") == [0.5]
+
+    def test_exponent(self):
+        assert values("1e3") == [1000.0]
+        assert values("2.5E-1") == [0.25]
+
+    def test_number_then_dot_ident_not_confused(self):
+        # "1e" with no digits is a number then an identifier start? No:
+        # our lexer stops the exponent when no digit follows.
+        assert values("1e") == [1, "e"]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("a -- comment\n b") == ["a", "b"]
+
+    def test_line_comment_at_eof(self):
+        assert values("a -- trailing") == ["a"]
+
+    def test_block_comment(self):
+        assert values("a /* x */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("a /* oops")
+
+
+class TestOperators:
+    def test_multichar_operators_are_greedy(self):
+        assert values("a <= b >= c <> d != e || f") == [
+            "a", "<=", "b", ">=", "c", "<>", "d", "!=", "e", "||", "f",
+        ]
+
+    def test_unknown_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("a @ b")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("ab @")
+        except SqlSyntaxError as exc:
+            assert exc.position == 3
+        else:  # pragma: no cover
+            pytest.fail("expected SqlSyntaxError")

@@ -1,0 +1,127 @@
+"""Unit tests for the lock manager (2PL, deadlock detection)."""
+
+import pytest
+
+from repro.db.txn.locks import LockManager, LockMode
+from repro.errors import DeadlockError, LockTimeoutError
+
+S = LockMode.SHARED
+X = LockMode.EXCLUSIVE
+
+
+class TestGrants:
+    def test_exclusive_then_conflict(self):
+        lm = LockManager()
+        lm.acquire(1, "t", X)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire(2, "t", X)
+
+    def test_shared_locks_coexist(self):
+        lm = LockManager()
+        lm.acquire(1, "t", S)
+        lm.acquire(2, "t", S)
+        assert lm.holders_of("t") == {1, 2}
+
+    def test_shared_blocks_exclusive(self):
+        lm = LockManager()
+        lm.acquire(1, "t", S)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire(2, "t", X)
+
+    def test_exclusive_blocks_shared(self):
+        lm = LockManager()
+        lm.acquire(1, "t", X)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire(2, "t", S)
+
+    def test_reentrant_acquire(self):
+        lm = LockManager()
+        lm.acquire(1, "t", X)
+        lm.acquire(1, "t", X)
+        lm.acquire(1, "t", S)  # weaker mode under X: fine
+
+    def test_upgrade_when_sole_holder(self):
+        lm = LockManager()
+        lm.acquire(1, "t", S)
+        lm.acquire(1, "t", X)
+        assert lm.mode_of("t") is X
+        assert lm.stats["upgrades"] == 1
+
+    def test_upgrade_blocked_by_other_shared_holder(self):
+        lm = LockManager()
+        lm.acquire(1, "t", S)
+        lm.acquire(2, "t", S)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire(1, "t", X)
+
+    def test_release_all_frees_resources(self):
+        lm = LockManager()
+        lm.acquire(1, "a", X)
+        lm.acquire(1, "b", S)
+        lm.release_all(1)
+        assert lm.held_by(1) == set()
+        lm.acquire(2, "a", X)
+        lm.acquire(2, "b", X)
+
+    def test_independent_resources_dont_conflict(self):
+        lm = LockManager()
+        lm.acquire(1, "a", X)
+        lm.acquire(2, "b", X)
+
+
+class TestWaiting:
+    def test_wait_callback_retries_until_release(self):
+        lm = LockManager()
+        lm.acquire(1, "t", X)
+        attempts = []
+
+        def wait():
+            attempts.append(1)
+            if len(attempts) == 2:
+                lm.release_all(1)
+
+        lm.acquire(2, "t", X, wait=wait)
+        assert lm.holders_of("t") == {2}
+        assert len(attempts) == 2
+
+    def test_starvation_guard(self):
+        lm = LockManager(max_wait_rounds=5)
+        lm.acquire(1, "t", X)
+        with pytest.raises(LockTimeoutError, match="starved"):
+            lm.acquire(2, "t", X, wait=lambda: None)
+
+
+class TestDeadlocks:
+    def test_two_party_deadlock_detected(self):
+        lm = LockManager()
+        lm.acquire(1, "a", X)
+        lm.acquire(2, "b", X)
+        # 1 waits for b (held by 2)...
+        lm._waits_for[1] = {2}
+        # ...and 2 tries to take a (held by 1): cycle.
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, "a", X, wait=lambda: None)
+        assert lm.stats["deadlocks"] == 1
+
+    def test_three_party_cycle_detected(self):
+        lm = LockManager()
+        lm.acquire(1, "a", X)
+        lm.acquire(2, "b", X)
+        lm.acquire(3, "c", X)
+        lm._waits_for[1] = {2}
+        lm._waits_for[2] = {3}
+        with pytest.raises(DeadlockError):
+            lm.acquire(3, "a", X, wait=lambda: None)
+
+    def test_chain_without_cycle_is_not_deadlock(self):
+        lm = LockManager()
+        lm.acquire(1, "a", X)
+        lm._waits_for[3] = {2}  # unrelated edge
+        calls = []
+
+        def wait():
+            calls.append(1)
+            lm.release_all(1)
+
+        lm.acquire(2, "a", X, wait=wait)
+        assert calls  # waited once, no deadlock raised

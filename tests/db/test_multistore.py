@@ -1,0 +1,204 @@
+"""Cross-store transaction coordinator tests (§5 extension)."""
+
+import pytest
+
+from repro.db import Database, IsolationLevel
+from repro.db.multistore import MultiStoreCoordinator
+from repro.errors import IntegrityError, TransactionError
+
+
+@pytest.fixture
+def coordinator() -> MultiStoreCoordinator:
+    relational = Database(name="relational")
+    relational.execute("CREATE TABLE orders (orderId TEXT UNIQUE, total FLOAT)")
+    kv = Database(name="kv")
+    kv.execute("CREATE TABLE cache (k TEXT UNIQUE, v TEXT)")
+    return MultiStoreCoordinator({"relational": relational, "kv": kv})
+
+
+class TestAtomicCommit:
+    def test_commit_spans_both_stores(self, coordinator):
+        gtxn = coordinator.begin()
+        gtxn.execute(
+            "relational", "INSERT INTO orders VALUES ('O1', 9.99)"
+        )
+        gtxn.execute("kv", "INSERT INTO cache VALUES ('order:O1', 'placed')")
+        global_csn = gtxn.commit()
+        assert global_csn == 1
+        assert coordinator.store("relational").execute(
+            "SELECT COUNT(*) FROM orders"
+        ).scalar() == 1
+        assert coordinator.store("kv").execute(
+            "SELECT v FROM cache"
+        ).scalar() == "placed"
+
+    def test_abort_discards_both_stores(self, coordinator):
+        gtxn = coordinator.begin()
+        gtxn.execute("relational", "INSERT INTO orders VALUES ('O1', 1.0)")
+        gtxn.execute("kv", "INSERT INTO cache VALUES ('k', 'v')")
+        gtxn.abort()
+        assert coordinator.store("relational").execute(
+            "SELECT COUNT(*) FROM orders"
+        ).scalar() == 0
+        assert coordinator.store("kv").execute(
+            "SELECT COUNT(*) FROM cache"
+        ).scalar() == 0
+
+    def test_prepare_failure_rolls_back_everything(self, coordinator):
+        """The 2PC guarantee: a constraint failure in ONE store leaves
+        BOTH stores unchanged."""
+        coordinator.store("kv").execute(
+            "INSERT INTO cache VALUES ('dup', 'existing')"
+        )
+        gtxn = coordinator.begin(IsolationLevel.SNAPSHOT)
+        gtxn.execute("relational", "INSERT INTO orders VALUES ('O9', 5.0)")
+        gtxn.execute("kv", "INSERT INTO cache VALUES ('dup2', 'x')")
+        # Simulate a conflicting commit landing first in the kv store.
+        other = coordinator.store("kv").begin(IsolationLevel.SNAPSHOT)
+        coordinator.store("kv").execute(
+            "INSERT INTO cache VALUES ('dup2', 'winner')", txn=other
+        )
+        other.commit()
+        with pytest.raises(IntegrityError):
+            gtxn.commit()
+        # The relational branch was rolled back too.
+        assert coordinator.store("relational").execute(
+            "SELECT COUNT(*) FROM orders"
+        ).scalar() == 0
+        assert coordinator.aligned_log == []
+
+    def test_gtxn_unusable_after_commit(self, coordinator):
+        gtxn = coordinator.begin()
+        gtxn.execute("relational", "INSERT INTO orders VALUES ('O1', 1.0)")
+        gtxn.commit()
+        with pytest.raises(TransactionError):
+            gtxn.execute("kv", "INSERT INTO cache VALUES ('k', 'v')")
+
+    def test_single_store_transactions_work(self, coordinator):
+        gtxn = coordinator.begin()
+        gtxn.execute("kv", "INSERT INTO cache VALUES ('solo', '1')")
+        assert gtxn.commit() == 1
+        assert gtxn.stores_joined() == ["kv"]
+
+
+class TestAlignedLog:
+    def test_global_csns_are_dense_and_ordered(self, coordinator):
+        for i in range(3):
+            gtxn = coordinator.begin()
+            gtxn.execute(
+                "relational", "INSERT INTO orders VALUES (?, ?)", (f"O{i}", 1.0)
+            )
+            gtxn.execute(
+                "kv", "INSERT INTO cache VALUES (?, 'x')", (f"k{i}",)
+            )
+            gtxn.commit()
+        assert [c.global_csn for c in coordinator.aligned_log] == [1, 2, 3]
+
+    def test_log_maps_global_to_local_csns(self, coordinator):
+        gtxn = coordinator.begin()
+        gtxn.execute("relational", "INSERT INTO orders VALUES ('O1', 1.0)")
+        gtxn.execute("kv", "INSERT INTO cache VALUES ('k1', 'v')")
+        gtxn.commit()
+        commit = coordinator.aligned_log[0]
+        assert set(commit.local_csns) == {"relational", "kv"}
+        # The local CSNs really exist in each store's history.
+        for store, csn in commit.local_csns.items():
+            assert coordinator.store(store).txn_manager.last_csn >= csn
+
+    def test_global_csn_lookup(self, coordinator):
+        gtxn = coordinator.begin()
+        gtxn.execute("kv", "INSERT INTO cache VALUES ('k', 'v')")
+        gtxn.commit()
+        local = coordinator.aligned_log[0].local_csns["kv"]
+        assert coordinator.global_csn_for("kv", local) == 1
+        assert coordinator.global_csn_for("kv", 999) is None
+
+    def test_commits_between(self, coordinator):
+        for i in range(4):
+            gtxn = coordinator.begin()
+            gtxn.execute("kv", "INSERT INTO cache VALUES (?, 'v')", (f"k{i}",))
+            gtxn.commit()
+        window = coordinator.commits_between(1, 3)
+        assert [c.global_csn for c in window] == [2, 3]
+
+    def test_partial_participation_recorded(self, coordinator):
+        gtxn = coordinator.begin()
+        gtxn.execute("kv", "INSERT INTO cache VALUES ('only-kv', 'v')")
+        gtxn.commit()
+        assert list(coordinator.aligned_log[0].local_csns) == ["kv"]
+
+
+class TestCoordinatorGuards:
+    def test_unknown_store(self, coordinator):
+        gtxn = coordinator.begin()
+        with pytest.raises(TransactionError, match="unknown store"):
+            gtxn.execute("mongo", "SELECT 1")
+
+    def test_empty_coordinator_rejected(self):
+        with pytest.raises(TransactionError):
+            MultiStoreCoordinator({})
+
+    def test_isolation_propagates_to_branches(self, coordinator):
+        gtxn = coordinator.begin(IsolationLevel.SNAPSHOT)
+        branch = gtxn.on("kv")
+        assert branch.isolation is IsolationLevel.SNAPSHOT
+        gtxn.abort()
+
+    def test_info_propagates_to_branches(self, coordinator):
+        gtxn = coordinator.begin(info={"req_id": "R7"})
+        branch = gtxn.on("relational")
+        assert branch.info["req_id"] == "R7"
+        assert branch.info["global_txn"] == gtxn.name
+        gtxn.abort()
+
+
+class TestPreparedStateMachine:
+    def test_prepare_then_commit(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INTEGER)")
+        txn = db.begin()
+        db.execute("INSERT INTO t VALUES (1)", txn=txn)
+        db.txn_manager.prepare(txn)
+        from repro.db import TransactionStatus
+
+        assert txn.status is TransactionStatus.PREPARED
+        txn.commit()
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_prepared_txn_rejects_new_writes(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INTEGER)")
+        txn = db.begin()
+        db.execute("INSERT INTO t VALUES (1)", txn=txn)
+        db.txn_manager.prepare(txn)
+        from repro.errors import TransactionAborted
+
+        with pytest.raises(TransactionAborted):
+            db.execute("INSERT INTO t VALUES (2)", txn=txn)
+
+    def test_prepared_txn_can_abort(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INTEGER)")
+        txn = db.begin()
+        db.execute("INSERT INTO t VALUES (1)", txn=txn)
+        db.txn_manager.prepare(txn)
+        txn.abort()
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_prepare_validation_failure_aborts(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INTEGER UNIQUE)")
+        db.execute("INSERT INTO t VALUES (1)")
+        from repro.db import IsolationLevel
+
+        txn = db.begin(IsolationLevel.SNAPSHOT)
+        # Another committed writer creates the conflict.
+        other = db.begin(IsolationLevel.SNAPSHOT)
+        db.execute("INSERT INTO t VALUES (2)", txn=other)
+        other.commit()
+        db.execute("INSERT INTO t VALUES (2)", txn=txn)
+        with pytest.raises(IntegrityError):
+            db.txn_manager.prepare(txn)
+        from repro.db import TransactionStatus
+
+        assert txn.status is TransactionStatus.ABORTED

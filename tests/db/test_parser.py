@@ -1,0 +1,275 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.db.expr import BinaryOp, ColumnRef, FuncCall, Literal, Param
+from repro.db.sql.nodes import (
+    CreateIndexStmt,
+    CreateTableStmt,
+    DeleteStmt,
+    DropTableStmt,
+    InsertStmt,
+    SelectStmt,
+    UpdateStmt,
+)
+from repro.db.sql.parser import parse_sql
+from repro.errors import SqlSyntaxError
+
+
+class TestSelect:
+    def test_minimal(self):
+        stmt = parse_sql("SELECT a FROM t")
+        assert isinstance(stmt, SelectStmt)
+        assert stmt.from_table.table == "t"
+        assert len(stmt.items) == 1
+
+    def test_star(self):
+        stmt = parse_sql("SELECT * FROM t")
+        assert stmt.items[0].star
+
+    def test_qualified_star(self):
+        stmt = parse_sql("SELECT e.* FROM t AS e")
+        assert stmt.items[0].star
+        assert stmt.items[0].star_qualifier == "e"
+
+    def test_aliases_with_and_without_as(self):
+        stmt = parse_sql("SELECT a AS x, b y FROM t")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+
+    def test_table_alias_forms(self):
+        assert parse_sql("SELECT a FROM t AS e").from_table.alias == "e"
+        assert parse_sql("SELECT a FROM t e").from_table.alias == "e"
+
+    def test_where_and_order(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a > 1 ORDER BY a DESC, b ASC")
+        assert stmt.where is not None
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+
+    def test_group_by_having(self):
+        stmt = parse_sql(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_limit_offset(self):
+        stmt = parse_sql("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert isinstance(stmt.limit, Literal)
+        assert stmt.limit.value == 10
+        assert stmt.offset.value == 5
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+
+    def test_explicit_join(self):
+        stmt = parse_sql("SELECT * FROM a JOIN b ON a.x = b.x")
+        assert stmt.joins[0].kind == "inner"
+        assert stmt.joins[0].on is not None
+
+    def test_left_join(self):
+        stmt = parse_sql("SELECT * FROM a LEFT JOIN b ON a.x = b.x")
+        assert stmt.joins[0].kind == "left"
+        stmt = parse_sql("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x")
+        assert stmt.joins[0].kind == "left"
+
+    def test_cross_join(self):
+        stmt = parse_sql("SELECT * FROM a CROSS JOIN b")
+        assert stmt.joins[0].kind == "cross"
+        assert stmt.joins[0].on is None
+
+    def test_comma_join_without_on_is_cross(self):
+        stmt = parse_sql("SELECT * FROM a, b")
+        assert stmt.joins[0].kind == "cross"
+
+    def test_paper_comma_join_with_on(self):
+        """The paper's idiom: FROM Executions as E, ForumEvents as F ON ..."""
+        stmt = parse_sql(
+            "SELECT Timestamp, ReqId, HandlerName "
+            "FROM Executions as E, ForumEvents as F "
+            "ON E.TxnId = F.TxnId "
+            "WHERE F.UserId = 'U1' AND F.Type = 'Insert' "
+            "ORDER BY Timestamp ASC"
+        )
+        assert stmt.joins[0].kind == "inner"
+        assert isinstance(stmt.joins[0].on, BinaryOp)
+
+    def test_select_without_from(self):
+        stmt = parse_sql("SELECT 1 + 1")
+        assert stmt.from_table is None
+
+    def test_params_numbered_in_order(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a = ? AND b = ? LIMIT ?")
+        assert stmt.param_count == 3
+        params = [
+            node
+            for node in stmt.where.walk()
+            if isinstance(node, Param)
+        ]
+        assert [p.index for p in params] == [0, 1]
+        assert stmt.limit.index == 2
+
+
+class TestExpressions:
+    def where(self, text: str):
+        return parse_sql(f"SELECT a FROM t WHERE {text}").where
+
+    def test_precedence_or_and(self):
+        expr = self.where("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "OR"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "AND"
+
+    def test_precedence_arithmetic(self):
+        expr = self.where("a + b * c = 7")
+        left = expr.left
+        assert isinstance(left, BinaryOp) and left.op == "+"
+        assert isinstance(left.right, BinaryOp) and left.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = self.where("(a = 1 OR b = 2) AND c = 3")
+        assert expr.op == "AND"
+
+    def test_in_list(self):
+        expr = self.where("a IN (1, 2, 3)")
+        assert type(expr).__name__ == "InList"
+        assert len(expr.items) == 3
+
+    def test_not_in(self):
+        expr = self.where("a NOT IN (1)")
+        assert expr.negated
+
+    def test_between(self):
+        expr = self.where("a BETWEEN 1 AND 5")
+        assert type(expr).__name__ == "Between"
+
+    def test_is_null_and_is_not_null(self):
+        assert self.where("a IS NULL").negated is False
+        assert self.where("a IS NOT NULL").negated is True
+
+    def test_like(self):
+        expr = self.where("a LIKE 'x%'")
+        assert type(expr).__name__ == "Like"
+
+    def test_case_expression(self):
+        stmt = parse_sql(
+            "SELECT CASE WHEN a = 1 THEN 'one' ELSE 'other' END FROM t"
+        )
+        expr = stmt.items[0].expr
+        assert type(expr).__name__ == "Case"
+        assert len(expr.branches) == 1
+
+    def test_function_calls(self):
+        stmt = parse_sql("SELECT COUNT(*), COUNT(DISTINCT a), UPPER(b) FROM t")
+        count_star = stmt.items[0].expr
+        assert isinstance(count_star, FuncCall) and count_star.star
+        count_distinct = stmt.items[1].expr
+        assert count_distinct.distinct
+
+    def test_string_concat(self):
+        expr = self.where("a || b = 'xy'")
+        assert expr.left.op == "||"
+
+    def test_boolean_literals(self):
+        expr = self.where("a = TRUE OR b = false")
+        assert expr.left.right.value is True
+        assert expr.right.right.value is False
+
+    def test_null_literal(self):
+        stmt = parse_sql("SELECT NULL FROM t")
+        assert stmt.items[0].expr.value is None
+
+
+class TestDml:
+    def test_insert(self):
+        stmt = parse_sql("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert isinstance(stmt, InsertStmt)
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 1
+
+    def test_insert_multi_row(self):
+        stmt = parse_sql("INSERT INTO t VALUES (1), (2), (3)")
+        assert stmt.columns is None
+        assert len(stmt.rows) == 3
+
+    def test_update(self):
+        stmt = parse_sql("UPDATE t SET a = 1, b = b + 1 WHERE c = ?")
+        assert isinstance(stmt, UpdateStmt)
+        assert len(stmt.assignments) == 2
+        assert stmt.param_count == 1
+
+    def test_delete(self):
+        stmt = parse_sql("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, DeleteStmt)
+        assert stmt.where is not None
+
+    def test_delete_all(self):
+        assert parse_sql("DELETE FROM t").where is None
+
+
+class TestDdl:
+    def test_create_table(self):
+        stmt = parse_sql(
+            "CREATE TABLE t (id INT PRIMARY KEY, name TEXT NOT NULL,"
+            " tag TEXT UNIQUE, score FLOAT DEFAULT 0.0, UNIQUE (name, tag))"
+        )
+        assert isinstance(stmt, CreateTableStmt)
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].not_null
+        assert stmt.columns[2].unique
+        assert stmt.columns[3].default is not None
+        assert stmt.unique_constraints == [["name", "tag"]]
+
+    def test_create_table_if_not_exists(self):
+        stmt = parse_sql("CREATE TABLE IF NOT EXISTS t (a INT)")
+        assert stmt.if_not_exists
+
+    def test_table_level_primary_key(self):
+        stmt = parse_sql("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))")
+        assert stmt.primary_key == ["a", "b"]
+
+    def test_drop_table(self):
+        stmt = parse_sql("DROP TABLE IF EXISTS t")
+        assert isinstance(stmt, DropTableStmt)
+        assert stmt.if_exists
+
+    def test_create_index(self):
+        stmt = parse_sql("CREATE UNIQUE INDEX ix ON t (a, b)")
+        assert isinstance(stmt, CreateIndexStmt)
+        assert stmt.unique
+        assert stmt.columns == ["a", "b"]
+
+    def test_create_sorted_index(self):
+        stmt = parse_sql("CREATE SORTED INDEX ix ON t (a)")
+        assert stmt.sorted_index
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "SELEC a FROM t",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "INSERT INTO t",
+            "INSERT t VALUES (1)",
+            "UPDATE t a = 1",
+            "DELETE t",
+            "CREATE t (a INT)",
+            "SELECT a FROM t GROUP a",
+            "SELECT a FROM t trailing junk (",
+            "SELECT CASE END FROM t",
+            "SELECT a FROM t JOIN b",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql(bad)
+
+    def test_trailing_semicolon_ok(self):
+        parse_sql("SELECT a FROM t;")
+
+    def test_double_statement_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT a FROM t; SELECT b FROM t")

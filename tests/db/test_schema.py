@@ -1,0 +1,162 @@
+"""Unit tests for table schemas and the catalog."""
+
+import pytest
+
+from repro.db.schema import Catalog, Column, TableSchema
+from repro.db.types import ColumnType
+from repro.errors import IntegrityError, SchemaError, TypeCoercionError
+
+
+def make_schema() -> TableSchema:
+    return TableSchema(
+        "forum_sub",
+        [
+            Column("userId", ColumnType.TEXT, nullable=False),
+            Column("forum", ColumnType.TEXT, nullable=False),
+            Column("rank", ColumnType.INTEGER, default=0),
+        ],
+    )
+
+
+class TestTableSchema:
+    def test_column_lookup_is_case_insensitive(self):
+        schema = make_schema()
+        assert schema.index_of("USERID") == 0
+        assert schema.column("Forum").name == "forum"
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            make_schema().index_of("missing")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                [Column("a", ColumnType.TEXT), Column("A", ColumnType.TEXT)],
+            )
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_coerce_row_from_mapping_applies_defaults(self):
+        schema = make_schema()
+        row = schema.coerce_row({"userId": "U1", "forum": "F1"})
+        assert row == ("U1", "F1", 0)
+
+    def test_coerce_row_from_sequence(self):
+        schema = make_schema()
+        assert schema.coerce_row(("U1", "F1", 3)) == ("U1", "F1", 3)
+
+    def test_coerce_row_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            make_schema().coerce_row(("U1",))
+
+    def test_coerce_row_unknown_column(self):
+        with pytest.raises(SchemaError):
+            make_schema().coerce_row({"userId": "U1", "nope": 1})
+
+    def test_not_null_enforced(self):
+        with pytest.raises(IntegrityError):
+            make_schema().coerce_row({"forum": "F1"})
+
+    def test_type_errors_name_the_column(self):
+        with pytest.raises(TypeCoercionError, match="forum_sub.rank"):
+            make_schema().coerce_row({"userId": "U1", "forum": "F1", "rank": "x"})
+
+    def test_row_dict_roundtrip(self):
+        schema = make_schema()
+        row = schema.coerce_row({"userId": "U1", "forum": "F1", "rank": 2})
+        assert schema.row_dict(row) == {"userId": "U1", "forum": "F1", "rank": 2}
+
+    def test_primary_key_becomes_unique_constraint(self):
+        schema = TableSchema(
+            "t",
+            [
+                Column("id", ColumnType.INTEGER, primary_key=True),
+                Column("v", ColumnType.TEXT),
+            ],
+        )
+        assert ("id",) in schema.unique_constraints
+
+    def test_unique_column_constraint(self):
+        schema = TableSchema(
+            "t",
+            [Column("a", ColumnType.TEXT, unique=True), Column("b", ColumnType.TEXT)],
+        )
+        assert ("a",) in schema.unique_constraints
+
+    def test_composite_unique_constraint(self):
+        schema = TableSchema(
+            "t",
+            [Column("a", ColumnType.TEXT), Column("b", ColumnType.TEXT)],
+            unique_constraints=[("a", "b")],
+        )
+        assert ("a", "b") in schema.unique_constraints
+
+    def test_key_for_extracts_constraint_values(self):
+        schema = make_schema()
+        row = ("U1", "F1", 0)
+        assert schema.key_for(("forum", "userId"), row) == ("F1", "U1")
+
+    def test_ddl_roundtrips_through_parser(self):
+        from repro.db.database import Database
+
+        schema = TableSchema(
+            "t",
+            [
+                Column("id", ColumnType.INTEGER, primary_key=True),
+                Column("name", ColumnType.TEXT, nullable=False),
+                Column("tag", ColumnType.TEXT, unique=True),
+            ],
+            unique_constraints=[("name", "tag")],
+        )
+        db = Database()
+        db.execute(schema.ddl())
+        restored = db.catalog.get("t")
+        assert restored.column_names == schema.column_names
+        assert restored.primary_key == schema.primary_key
+        assert ("name", "tag") in restored.unique_constraints
+
+
+class TestCatalog:
+    def test_create_and_resolve_case_insensitive(self):
+        catalog = Catalog()
+        catalog.create_table(make_schema())
+        assert catalog.get("FORUM_SUB").name == "forum_sub"
+        assert catalog.has_table("Forum_Sub")
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.create_table(make_schema())
+        with pytest.raises(SchemaError):
+            catalog.create_table(make_schema())
+
+    def test_missing_table_raises(self):
+        with pytest.raises(SchemaError):
+            Catalog().get("nope")
+
+    def test_alias_resolves_to_target(self):
+        catalog = Catalog()
+        catalog.create_table(make_schema())
+        catalog.add_alias("Invocations", "forum_sub")
+        assert catalog.get("invocations").name == "forum_sub"
+
+    def test_alias_cannot_shadow_table(self):
+        catalog = Catalog()
+        catalog.create_table(make_schema())
+        with pytest.raises(SchemaError):
+            catalog.add_alias("forum_sub", "forum_sub")
+
+    def test_drop_removes_aliases(self):
+        catalog = Catalog()
+        catalog.create_table(make_schema())
+        catalog.add_alias("alias1", "forum_sub")
+        catalog.drop_table("forum_sub")
+        assert not catalog.has_table("alias1")
+
+    def test_table_names_in_creation_order(self):
+        catalog = Catalog()
+        catalog.create_table(TableSchema("b", [Column("x", ColumnType.INTEGER)]))
+        catalog.create_table(TableSchema("a", [Column("x", ColumnType.INTEGER)]))
+        assert catalog.table_names() == ["b", "a"]

@@ -1,0 +1,182 @@
+"""SQL executor edge cases across expressions, joins, and DML."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import ExecutionError, PlanningError, SqlSyntaxError
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.execute("CREATE TABLE t (a TEXT, b INTEGER, c FLOAT)")
+    database.execute(
+        "INSERT INTO t VALUES ('x', 1, 1.5), ('y', 2, 2.5), (NULL, 3, NULL)"
+    )
+    return database
+
+
+class TestExpressionsInQueries:
+    def test_case_in_where(self, db):
+        rs = db.execute(
+            "SELECT a FROM t WHERE CASE WHEN b > 1 THEN TRUE ELSE FALSE END"
+        )
+        assert len(rs) == 2
+
+    def test_nested_scalar_functions(self, db):
+        rs = db.execute("SELECT UPPER(COALESCE(a, 'missing')) FROM t WHERE b = 3")
+        assert rs.scalar() == "MISSING"
+
+    def test_in_with_params(self, db):
+        rs = db.execute("SELECT b FROM t WHERE a IN (?, ?)", ("x", "y"))
+        assert sorted(rs.column("b")) == [1, 2]
+
+    def test_arithmetic_on_mixed_numeric_types(self, db):
+        rs = db.execute("SELECT b + c FROM t WHERE a = 'x'")
+        assert rs.scalar() == 2.5
+
+    def test_string_concat_operator(self, db):
+        rs = db.execute("SELECT a || '-' || b FROM t WHERE a = 'x'")
+        assert rs.scalar() == "x-1"
+
+    def test_like_with_underscore_and_percent_literals(self, db):
+        db.execute("INSERT INTO t VALUES ('a_b', 9, 0.0)")
+        # '_' is a single-char wildcard; 'a_b' matches 'a_b' and 'axb'.
+        rs = db.execute("SELECT a FROM t WHERE a LIKE 'a_b'")
+        assert rs.column("a") == ["a_b"]
+
+    def test_not_like(self, db):
+        rs = db.execute("SELECT a FROM t WHERE a NOT LIKE 'x%'")
+        assert rs.column("a") == ["y"]  # NULL row excluded (NULL LIKE -> NULL)
+
+    def test_between_on_floats(self, db):
+        rs = db.execute("SELECT a FROM t WHERE c BETWEEN 1.0 AND 2.0")
+        assert rs.column("a") == ["x"]
+
+    def test_is_null_in_projection(self, db):
+        rs = db.execute("SELECT a IS NULL AS missing FROM t ORDER BY b")
+        assert rs.column("missing") == [False, False, True]
+
+    def test_boolean_column_comparison(self, db):
+        db.execute("CREATE TABLE flags (name TEXT, active BOOL)")
+        db.execute("INSERT INTO flags VALUES ('a', TRUE), ('b', FALSE)")
+        rs = db.execute("SELECT name FROM flags WHERE active = TRUE")
+        assert rs.column("name") == ["a"]
+
+    def test_unary_minus_in_where(self, db):
+        rs = db.execute("SELECT a FROM t WHERE b = -(-2)")
+        assert rs.column("a") == ["y"]
+
+    def test_quoted_identifiers(self, db):
+        db.execute('CREATE TABLE "Mixed Case" ("Weird Col" INTEGER)')
+        db.execute('INSERT INTO "Mixed Case" ("Weird Col") VALUES (7)')
+        rs = db.execute('SELECT "Weird Col" FROM "Mixed Case"')
+        assert rs.scalar() == 7
+
+
+class TestJoinEdgeCases:
+    def test_join_on_expression_keys(self, db):
+        db.execute("CREATE TABLE u (bb INTEGER)")
+        db.execute("INSERT INTO u VALUES (2), (4)")
+        rs = db.execute(
+            "SELECT t.a FROM t JOIN u ON t.b * 2 = u.bb ORDER BY t.a"
+        )
+        assert rs.column("a") == ["x", "y"]
+
+    def test_empty_left_side(self, db):
+        db.execute("CREATE TABLE empty (a TEXT)")
+        rs = db.execute("SELECT * FROM empty JOIN t ON empty.a = t.a")
+        assert len(rs) == 0
+
+    def test_left_join_aggregate_counts_unmatched_as_zero(self, db):
+        db.execute("CREATE TABLE u (a TEXT, points INTEGER)")
+        db.execute("INSERT INTO u VALUES ('x', 5), ('x', 6)")
+        rs = db.execute(
+            "SELECT t.a, COUNT(u.points) AS n FROM t LEFT JOIN u"
+            " ON t.a = u.a WHERE t.a IS NOT NULL GROUP BY t.a ORDER BY t.a"
+        )
+        assert rs.rows == [("x", 2), ("y", 0)]
+
+    def test_three_table_mixed_join_kinds(self, db):
+        db.execute("CREATE TABLE u (a TEXT, tag TEXT)")
+        db.execute("CREATE TABLE v (tag TEXT, score INTEGER)")
+        db.execute("INSERT INTO u VALUES ('x', 'hot')")
+        db.execute("INSERT INTO v VALUES ('hot', 10)")
+        rs = db.execute(
+            "SELECT t.a, v.score FROM t"
+            " JOIN u ON t.a = u.a"
+            " LEFT JOIN v ON u.tag = v.tag"
+        )
+        assert rs.rows == [("x", 10)]
+
+
+class TestDmlEdgeCases:
+    def test_update_no_matches_is_zero_rowcount(self, db):
+        assert db.execute("UPDATE t SET b = 0 WHERE a = 'nope'").rowcount == 0
+
+    def test_update_with_case_expression(self, db):
+        db.execute(
+            "UPDATE t SET b = CASE WHEN b > 1 THEN b * 10 ELSE b END"
+        )
+        assert sorted(db.execute("SELECT b FROM t").column("b")) == [1, 20, 30]
+
+    def test_delete_by_null_check(self, db):
+        assert db.execute("DELETE FROM t WHERE a IS NULL").rowcount == 1
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+    def test_insert_expression_values(self, db):
+        db.execute("INSERT INTO t VALUES (UPPER('z'), 2 + 3, 1.0 * 4)")
+        rs = db.execute("SELECT a, b, c FROM t WHERE a = 'Z'")
+        assert rs.rows == [("Z", 5, 4.0)]
+
+    def test_insert_null_into_nullable(self, db):
+        db.execute("INSERT INTO t VALUES (NULL, 99, NULL)")
+        assert (
+            db.execute("SELECT COUNT(*) FROM t WHERE b = 99 AND a IS NULL").scalar()
+            == 1
+        )
+
+    def test_update_inside_explicit_txn_visible_to_later_statements(self, db):
+        txn = db.begin()
+        db.execute("UPDATE t SET b = b + 100", txn=txn)
+        total = db.execute("SELECT SUM(b) FROM t", txn=txn).scalar()
+        assert total == 1 + 2 + 3 + 300
+        txn.abort()
+        assert db.execute("SELECT SUM(b) FROM t").scalar() == 6
+
+    def test_statement_failure_in_explicit_txn_leaves_txn_usable(self, db):
+        """Statement errors don't poison an explicit transaction; the
+        caller decides whether to continue or abort."""
+        txn = db.begin()
+        with pytest.raises(PlanningError):
+            db.execute("SELECT nope FROM t", txn=txn)
+        result = db.execute("SELECT COUNT(*) FROM t", txn=txn)
+        assert result.scalar() == 3
+        txn.commit()
+
+
+class TestQueryErrors:
+    def test_group_by_alias_is_rejected(self, db):
+        # Standard SQL: GROUP BY sees input columns, not output aliases.
+        with pytest.raises((PlanningError, ExecutionError)):
+            db.execute("SELECT UPPER(a) AS ua, COUNT(*) FROM t GROUP BY ua")
+
+    def test_aggregate_in_where_rejected(self, db):
+        with pytest.raises((PlanningError, ExecutionError)):
+            db.execute("SELECT a FROM t WHERE COUNT(*) > 1")
+
+    def test_scalar_function_arity_error_at_execution(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT UPPER(a, b) FROM t")
+
+    def test_division_by_zero_reported(self, db):
+        with pytest.raises(ExecutionError, match="division by zero"):
+            db.execute("SELECT b / 0 FROM t")
+
+    def test_order_by_unknown_column(self, db):
+        with pytest.raises(PlanningError):
+            db.execute("SELECT a FROM t ORDER BY zzz")
+
+    def test_too_many_params(self, db):
+        with pytest.raises(ExecutionError, match="parameter"):
+            db.execute("SELECT a FROM t WHERE b = ?", (1, 2))

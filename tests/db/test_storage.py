@@ -1,0 +1,147 @@
+"""Unit tests for multi-version row storage."""
+
+import pytest
+
+from repro.db.schema import Column, TableSchema
+from repro.db.storage import RowVersion, TableStore
+from repro.db.types import ColumnType
+from repro.errors import DatabaseError
+
+
+def make_store() -> TableStore:
+    schema = TableSchema(
+        "t", [Column("k", ColumnType.TEXT), Column("v", ColumnType.INTEGER)]
+    )
+    return TableStore(schema)
+
+
+class TestVisibility:
+    def test_insert_visible_from_its_csn(self):
+        store = make_store()
+        rid = store.apply_insert(("a", 1), csn=5)
+        assert store.get(rid, 4) is None
+        assert store.get(rid, 5) == ("a", 1)
+        assert store.get(rid, 100) == ("a", 1)
+        assert store.get(rid, None) == ("a", 1)
+
+    def test_update_creates_new_version(self):
+        store = make_store()
+        rid = store.apply_insert(("a", 1), csn=1)
+        old = store.apply_update(rid, ("a", 2), csn=3)
+        assert old == ("a", 1)
+        assert store.get(rid, 2) == ("a", 1)
+        assert store.get(rid, 3) == ("a", 2)
+        assert store.get(rid, None) == ("a", 2)
+
+    def test_delete_ends_visibility(self):
+        store = make_store()
+        rid = store.apply_insert(("a", 1), csn=1)
+        deleted = store.apply_delete(rid, csn=4)
+        assert deleted == ("a", 1)
+        assert store.get(rid, 3) == ("a", 1)
+        assert store.get(rid, 4) is None
+        assert store.get(rid, None) is None
+
+    def test_version_boundary_is_inclusive_begin_exclusive_end(self):
+        version = RowVersion(row_id=1, begin=5, end=9, values=("x",))
+        assert not version.visible_at(4)
+        assert version.visible_at(5)
+        assert version.visible_at(8)
+        assert not version.visible_at(9)
+
+    def test_scan_orders_by_row_id(self):
+        store = make_store()
+        store.apply_insert(("b", 2), csn=1)
+        store.apply_insert(("a", 1), csn=1)
+        rows = list(store.scan(None))
+        assert [rid for rid, _ in rows] == sorted(rid for rid, _ in rows)
+
+    def test_scan_as_of_past_csn(self):
+        store = make_store()
+        r1 = store.apply_insert(("a", 1), csn=1)
+        store.apply_insert(("b", 2), csn=2)
+        store.apply_update(r1, ("a", 9), csn=3)
+        assert list(store.scan(1)) == [(r1, ("a", 1))]
+        assert [v for _rid, v in store.scan(2)] == [("a", 1), ("b", 2)]
+        assert [v for _rid, v in store.scan(3)] == [("a", 9), ("b", 2)]
+
+
+class TestWriteRules:
+    def test_explicit_row_id_preserved(self):
+        store = make_store()
+        rid = store.apply_insert(("a", 1), csn=1, row_id=42)
+        assert rid == 42
+        # Subsequent auto ids go past the explicit one.
+        assert store.apply_insert(("b", 2), csn=1) == 43
+
+    def test_insert_over_live_row_rejected(self):
+        store = make_store()
+        store.apply_insert(("a", 1), csn=1, row_id=7)
+        with pytest.raises(DatabaseError):
+            store.apply_insert(("b", 2), csn=2, row_id=7)
+
+    def test_reinsert_after_delete_allowed(self):
+        store = make_store()
+        store.apply_insert(("a", 1), csn=1, row_id=7)
+        store.apply_delete(7, csn=2)
+        store.apply_insert(("a", 2), csn=3, row_id=7)
+        assert store.get(7, None) == ("a", 2)
+        assert store.get(7, 1) == ("a", 1)
+
+    def test_update_missing_row_rejected(self):
+        store = make_store()
+        with pytest.raises(DatabaseError):
+            store.apply_update(1, ("a", 1), csn=1)
+
+    def test_delete_twice_rejected(self):
+        store = make_store()
+        rid = store.apply_insert(("a", 1), csn=1)
+        store.apply_delete(rid, csn=2)
+        with pytest.raises(DatabaseError):
+            store.apply_delete(rid, csn=3)
+
+
+class TestMaintenance:
+    def test_last_change_csn(self):
+        store = make_store()
+        rid = store.apply_insert(("a", 1), csn=3)
+        assert store.last_change_csn(rid) == 3
+        store.apply_update(rid, ("a", 2), csn=7)
+        assert store.last_change_csn(rid) == 7
+        store.apply_delete(rid, csn=9)
+        assert store.last_change_csn(rid) == 9
+        assert store.last_change_csn(999) is None
+
+    def test_vacuum_drops_dead_versions(self):
+        store = make_store()
+        rid = store.apply_insert(("a", 1), csn=1)
+        store.apply_update(rid, ("a", 2), csn=2)
+        store.apply_update(rid, ("a", 3), csn=3)
+        assert store.version_count() == 3
+        removed = store.vacuum(keep_after_csn=2)
+        assert removed == 1
+        assert store.get(rid, None) == ("a", 3)
+        assert store.get(rid, 2) == ("a", 2)
+
+    def test_vacuum_removes_fully_deleted_rows(self):
+        store = make_store()
+        rid = store.apply_insert(("a", 1), csn=1)
+        store.apply_delete(rid, csn=2)
+        removed = store.vacuum(keep_after_csn=5)
+        assert removed == 1
+        assert store.version_count() == 0
+
+    def test_row_count_live_vs_historical(self):
+        store = make_store()
+        r1 = store.apply_insert(("a", 1), csn=1)
+        store.apply_insert(("b", 2), csn=2)
+        store.apply_delete(r1, csn=3)
+        assert store.row_count(2) == 2
+        assert store.row_count(None) == 1
+
+    def test_stats(self):
+        store = make_store()
+        store.apply_insert(("a", 1), csn=1)
+        stats = store.stats()
+        assert stats["live_rows"] == 1
+        assert stats["versions"] == 1

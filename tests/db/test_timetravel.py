@@ -1,0 +1,94 @@
+"""Time travel: historical reads and dev-database restores."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import TimeTravelError
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.execute("CREATE TABLE t (k TEXT NOT NULL, v INTEGER)")
+    database.execute("INSERT INTO t VALUES ('a', 1)")  # csn 1
+    database.execute("INSERT INTO t VALUES ('b', 2)")  # csn 2
+    database.execute("UPDATE t SET v = 10 WHERE k = 'a'")  # csn 3
+    database.execute("DELETE FROM t WHERE k = 'b'")  # csn 4
+    return database
+
+
+class TestHistoricalReads:
+    def test_state_as_of_each_csn(self, db):
+        tt = db.time_travel
+        assert [v for _r, v in tt.rows_as_of("t", 1)] == [("a", 1)]
+        assert [v for _r, v in tt.rows_as_of("t", 2)] == [("a", 1), ("b", 2)]
+        assert [v for _r, v in tt.rows_as_of("t", 3)] == [("a", 10), ("b", 2)]
+        assert [v for _r, v in tt.rows_as_of("t", 4)] == [("a", 10)]
+
+    def test_state_as_of_zero_is_empty(self, db):
+        assert db.time_travel.rows_as_of("t", 0) == []
+
+    def test_future_csn_rejected(self, db):
+        with pytest.raises(TimeTravelError):
+            db.time_travel.rows_as_of("t", 99)
+
+    def test_state_as_of_returns_dicts(self, db):
+        state = db.time_travel.state_as_of(2)
+        assert state == {"t": [{"k": "a", "v": 1}, {"k": "b", "v": 2}]}
+
+    def test_csn_before_txn(self, db):
+        # The UPDATE was the 3rd commit.
+        txn_id = db.txn_manager.txn_at_csn(3)
+        assert db.time_travel.csn_before_txn(txn_id) == 2
+
+    def test_csn_before_uncommitted_txn_rejected(self, db):
+        txn = db.begin()
+        with pytest.raises(TimeTravelError):
+            db.time_travel.csn_before_txn(txn.txn_id)
+        txn.abort()
+
+
+class TestRestore:
+    def test_restore_into_fresh_database(self, db):
+        dev = Database(name="dev")
+        counts = db.time_travel.restore_into(dev, 2)
+        assert counts == {"t": 2}
+        assert dev.execute("SELECT k, v FROM t ORDER BY k").rows == [
+            ("a", 1), ("b", 2),
+        ]
+
+    def test_restore_preserves_row_ids(self, db):
+        dev = Database(name="dev")
+        db.time_travel.restore_into(dev, 2)
+        src = dict(db.store("t").scan(2))
+        dst = dict(dev.store("t").scan(None))
+        assert src == dst
+
+    def test_restore_selected_tables(self, db):
+        db.execute("CREATE TABLE other (x INTEGER)")
+        db.execute("INSERT INTO other VALUES (1)")
+        dev = Database(name="dev")
+        db.time_travel.restore_into(dev, 2, tables=["t"])
+        assert dev.catalog.has_table("t")
+        assert not dev.catalog.has_table("other")
+
+    def test_restored_db_continues_independently(self, db):
+        dev = Database(name="dev")
+        db.time_travel.restore_into(dev, 2)
+        dev.execute("INSERT INTO t VALUES ('c', 3)")
+        assert dev.execute("SELECT COUNT(*) FROM t").scalar() == 3
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+
+class TestVacuumHorizon:
+    def test_vacuum_blocks_older_time_travel(self, db):
+        removed = db.vacuum(keep_after_csn=3)
+        assert removed > 0
+        with pytest.raises(TimeTravelError):
+            db.time_travel.rows_as_of("t", 1)
+        # Newer history still works.
+        assert [v for _r, v in db.time_travel.rows_as_of("t", 4)] == [("a", 10)]
+
+    def test_latest_reads_unaffected_by_vacuum(self, db):
+        db.vacuum(keep_after_csn=4)
+        assert db.execute("SELECT k, v FROM t").rows == [("a", 10)]

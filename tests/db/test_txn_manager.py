@@ -1,0 +1,174 @@
+"""Transaction lifecycle tests: buffering, commit, abort, visibility."""
+
+import pytest
+
+from repro.db import Database, IsolationLevel, TransactionStatus
+from repro.errors import (
+    IntegrityError,
+    TransactionAborted,
+    TransactionError,
+)
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.execute("CREATE TABLE t (k TEXT NOT NULL, v INTEGER)")
+    return database
+
+
+class TestLifecycle:
+    def test_commit_assigns_increasing_csns(self, db):
+        t1 = db.begin()
+        db.execute("INSERT INTO t VALUES ('a', 1)", txn=t1)
+        csn1 = t1.commit()
+        t2 = db.begin()
+        db.execute("INSERT INTO t VALUES ('b', 2)", txn=t2)
+        csn2 = t2.commit()
+        assert csn2 == csn1 + 1
+        assert db.txn_manager.csn_of(t1.txn_id) == csn1
+
+    def test_txn_names(self, db):
+        txn = db.begin()
+        assert txn.name == f"TXN{txn.txn_id}"
+        txn.abort()
+
+    def test_operations_after_commit_rejected(self, db):
+        txn = db.begin()
+        txn.commit()
+        with pytest.raises(TransactionAborted):
+            db.execute("INSERT INTO t VALUES ('a', 1)", txn=txn)
+
+    def test_double_commit_rejected(self, db):
+        txn = db.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_abort_discards_writes(self, db):
+        txn = db.begin()
+        db.execute("INSERT INTO t VALUES ('a', 1)", txn=txn)
+        txn.abort()
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0
+        assert txn.status is TransactionStatus.ABORTED
+
+    def test_abort_is_idempotent(self, db):
+        txn = db.begin()
+        txn.abort()
+        txn.abort()
+
+    def test_stats(self, db):
+        before = dict(db.txn_manager.stats)
+        txn = db.begin()
+        txn.commit()
+        txn2 = db.begin()
+        txn2.abort()
+        assert db.txn_manager.stats["committed"] == before["committed"] + 1
+        assert db.txn_manager.stats["aborted"] == before["aborted"] + 1
+
+
+class TestReadYourOwnWrites:
+    def test_uncommitted_insert_visible_to_self_only(self, db):
+        txn = db.begin()
+        db.execute("INSERT INTO t VALUES ('a', 1)", txn=txn)
+        assert db.execute("SELECT COUNT(*) FROM t", txn=txn).scalar() == 1
+        # A concurrent snapshot reader sees nothing (a SERIALIZABLE reader
+        # would block on the 2PL table lock instead).
+        reader = db.begin(IsolationLevel.SNAPSHOT)
+        assert db.execute("SELECT COUNT(*) FROM t", txn=reader).scalar() == 0
+        reader.commit()
+        txn.commit()
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_update_own_insert(self, db):
+        txn = db.begin()
+        db.execute("INSERT INTO t VALUES ('a', 1)", txn=txn)
+        db.execute("UPDATE t SET v = 2 WHERE k = 'a'", txn=txn)
+        assert db.execute("SELECT v FROM t", txn=txn).scalar() == 2
+        txn.commit()
+        assert db.execute("SELECT v FROM t").scalar() == 2
+
+    def test_delete_own_insert(self, db):
+        txn = db.begin()
+        db.execute("INSERT INTO t VALUES ('a', 1)", txn=txn)
+        db.execute("DELETE FROM t WHERE k = 'a'", txn=txn)
+        assert db.execute("SELECT COUNT(*) FROM t", txn=txn).scalar() == 0
+        txn.commit()
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_update_then_delete_committed_row(self, db):
+        db.execute("INSERT INTO t VALUES ('a', 1)")
+        txn = db.begin()
+        db.execute("UPDATE t SET v = 9 WHERE k = 'a'", txn=txn)
+        db.execute("DELETE FROM t WHERE k = 'a'", txn=txn)
+        txn.commit()
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+
+class TestConstraints:
+    def test_unique_checked_within_txn(self):
+        db = Database()
+        db.execute("CREATE TABLE u (k TEXT UNIQUE)")
+        txn = db.begin()
+        db.execute("INSERT INTO u VALUES ('x')", txn=txn)
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO u VALUES ('x')", txn=txn)
+
+    def test_unique_check_allows_replacing_own_update(self):
+        db = Database()
+        db.execute("CREATE TABLE u (k TEXT UNIQUE, v INTEGER)")
+        db.execute("INSERT INTO u VALUES ('x', 1)")
+        txn = db.begin()
+        db.execute("UPDATE u SET v = 2 WHERE k = 'x'", txn=txn)  # same key OK
+        txn.commit()
+
+    def test_direct_api_update_missing_row(self, db):
+        txn = db.begin()
+        with pytest.raises(TransactionError):
+            txn.update("t", 999, ("a", 1))
+
+    def test_direct_api_delete_missing_row(self, db):
+        txn = db.begin()
+        with pytest.raises(TransactionError):
+            txn.delete("t", 999)
+
+    def test_insert_with_id_conflict(self, db):
+        db.execute("INSERT INTO t VALUES ('a', 1)")
+        txn = db.begin()
+        with pytest.raises(TransactionError):
+            txn.insert_with_id("t", ("b", 2), row_id=1)
+
+    def test_insert_with_id_preserves_identity(self, db):
+        txn = db.begin()
+        txn.insert_with_id("t", ("a", 1), row_id=77)
+        txn.commit()
+        assert db.store("t").get(77, None) == ("a", 1)
+
+
+class TestInfoAndFootprints:
+    def test_info_propagates(self, db):
+        txn = db.begin(info={"req_id": "R1", "handler": "h"})
+        assert txn.info["req_id"] == "R1"
+        txn.abort()
+
+    def test_tables_written(self, db):
+        db.execute("CREATE TABLE other (x INTEGER)")
+        txn = db.begin()
+        db.execute("INSERT INTO t VALUES ('a', 1)", txn=txn)
+        db.execute("INSERT INTO other VALUES (5)", txn=txn)
+        assert txn.tables_written == {"t", "other"}
+        txn.commit()
+
+    def test_tables_read_tracks_scans(self, db):
+        db.track_reads = True
+        db.execute("INSERT INTO t VALUES ('a', 1)")
+        txn = db.begin()
+        db.execute("SELECT * FROM t", txn=txn)
+        assert txn.tables_read == {"t"}
+        txn.commit()
+
+    def test_pending_rows(self, db):
+        txn = db.begin()
+        rid = txn.insert("t", ("a", 1))
+        assert txn.pending_rows("t") == [(rid, ("a", 1))]
+        txn.commit()

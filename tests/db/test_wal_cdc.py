@@ -1,0 +1,168 @@
+"""WAL (durability/recovery) and CDC (change capture) tests."""
+
+import pytest
+
+from repro.db import Database
+from repro.db.cdc import CdcStream
+from repro.db.schema import Column, TableSchema
+from repro.db.storage import TableStore
+from repro.db.types import ColumnType
+from repro.db.txn.wal import WalChange, WalCommit, WriteAheadLog, recover_into
+from repro.errors import WalError
+
+
+class TestWal:
+    def test_commit_order_enforced(self):
+        wal = WriteAheadLog()
+        wal.append(WalCommit(csn=1, txn_id=1, changes=()))
+        with pytest.raises(WalError):
+            wal.append(WalCommit(csn=1, txn_id=2, changes=()))
+
+    def test_commits_since(self):
+        wal = WriteAheadLog()
+        for csn in (1, 2, 3):
+            wal.append(WalCommit(csn=csn, txn_id=csn, changes=()))
+        assert [c.csn for c in wal.commits(since_csn=1)] == [2, 3]
+        assert wal.last_csn() == 3
+
+    def test_json_roundtrip(self):
+        change = WalChange(
+            op="update", table="t", row_id=3, values=("a", 1), old_values=("a", 0)
+        )
+        commit = WalCommit(csn=5, txn_id=7, changes=(change,))
+        restored = WalCommit.from_json(commit.to_json())
+        assert restored == commit
+
+    def test_file_persistence_and_load(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(path)
+        wal.append(
+            WalCommit(
+                csn=1,
+                txn_id=1,
+                changes=(
+                    WalChange("insert", "t", 1, ("a", 1), None),
+                ),
+            )
+        )
+        wal.close()
+        loaded = WriteAheadLog.load(path)
+        assert len(loaded) == 1
+        assert loaded.commits().__next__().changes[0].values == ("a", 1)
+
+    def test_recover_into_replays_ops(self):
+        schema = TableSchema(
+            "t", [Column("k", ColumnType.TEXT), Column("v", ColumnType.INTEGER)]
+        )
+        store = TableStore(schema)
+        commits = [
+            WalCommit(1, 1, (WalChange("insert", "t", 1, ("a", 1), None),)),
+            WalCommit(2, 2, (WalChange("update", "t", 1, ("a", 2), ("a", 1)),)),
+            WalCommit(3, 3, (WalChange("insert", "t", 2, ("b", 9), None),)),
+            WalCommit(4, 4, (WalChange("delete", "t", 2, None, ("b", 9)),)),
+        ]
+        last = recover_into({"t": store}, commits)
+        assert last == 4
+        assert list(store.scan(None)) == [(1, ("a", 2))]
+
+    def test_recover_unknown_table(self):
+        with pytest.raises(WalError):
+            recover_into(
+                {}, [WalCommit(1, 1, (WalChange("insert", "x", 1, ("a",), None),))]
+            )
+
+
+class TestCrashRecovery:
+    def test_database_recover_from_wal_file(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        db = Database(wal_path=path)
+        db.execute("CREATE TABLE t (k TEXT, v INTEGER)")
+        db.execute("INSERT INTO t VALUES ('a', 1), ('b', 2)")
+        db.execute("UPDATE t SET v = 10 WHERE k = 'a'")
+        db.execute("DELETE FROM t WHERE k = 'b'")
+        schemas = [db.catalog.get("t")]
+        db.wal.close()
+
+        recovered = Database.recover(schemas, path)
+        # CSNs continue after recovery (checked before any new statements,
+        # since read-only autocommits also consume CSNs).
+        assert recovered.last_csn == db.last_csn
+        rows = recovered.execute("SELECT k, v FROM t").rows
+        assert rows == [("a", 10)]
+        recovered.execute("INSERT INTO t VALUES ('c', 3)")
+        assert recovered.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+    def test_aborted_txns_never_reach_wal(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        db = Database(wal_path=path)
+        db.execute("CREATE TABLE t (k TEXT)")
+        txn = db.begin()
+        db.execute("INSERT INTO t VALUES ('x')", txn=txn)
+        txn.abort()
+        db.execute("INSERT INTO t VALUES ('y')")
+        db.wal.close()
+        recovered = Database.recover([db.catalog.get("t")], path)
+        assert recovered.execute("SELECT k FROM t").column("k") == ["y"]
+
+
+class TestCdc:
+    def test_records_carry_before_and_after_images(self):
+        db = Database()
+        db.execute("CREATE TABLE t (k TEXT, v INTEGER)")
+        db.execute("INSERT INTO t VALUES ('a', 1)")
+        db.execute("UPDATE t SET v = 2 WHERE k = 'a'")
+        db.execute("DELETE FROM t WHERE k = 'a'")
+        ops = [(r.op, r.values, r.old_values) for r in db.cdc.history()]
+        assert ops == [
+            ("insert", ("a", 1), None),
+            ("update", ("a", 2), ("a", 1)),
+            ("delete", None, ("a", 2)),
+        ]
+
+    def test_emission_in_commit_order(self):
+        from repro.db import IsolationLevel
+
+        db = Database()
+        db.execute("CREATE TABLE t (k TEXT)")
+        # SNAPSHOT so the two writers do not block each other under 2PL.
+        t1 = db.begin(IsolationLevel.SNAPSHOT)
+        t2 = db.begin(IsolationLevel.SNAPSHOT)
+        db.execute("INSERT INTO t VALUES ('late')", txn=t1)
+        db.execute("INSERT INTO t VALUES ('early')", txn=t2)
+        t2.commit()
+        t1.commit()
+        values = [r.values[0] for r in db.cdc.history()]
+        assert values == ["early", "late"]
+        csns = [r.csn for r in db.cdc.history()]
+        assert csns == sorted(csns)
+
+    def test_subscribers_and_unsubscribe(self):
+        stream = CdcStream()
+        seen = []
+        unsubscribe = stream.subscribe(seen.append)
+        stream.emit(1, 1, "t", "insert", 1, ("a",), None)
+        unsubscribe()
+        stream.emit(2, 2, "t", "insert", 2, ("b",), None)
+        assert len(seen) == 1
+
+    def test_retention_limit(self):
+        stream = CdcStream(retain=2)
+        for i in range(5):
+            stream.emit(i + 1, i + 1, "t", "insert", i + 1, (str(i),), None)
+        assert len(stream) == 2
+        assert stream.dropped == 3
+        assert [r.seq for r in stream.since(0)] == [4, 5]
+
+    def test_since_filters_by_seq(self):
+        stream = CdcStream()
+        for i in range(3):
+            stream.emit(i + 1, i + 1, "t", "insert", i + 1, (str(i),), None)
+        assert [r.seq for r in stream.since(1)] == [2, 3]
+
+    def test_aborted_txn_emits_nothing(self):
+        db = Database()
+        db.execute("CREATE TABLE t (k TEXT)")
+        txn = db.begin()
+        db.execute("INSERT INTO t VALUES ('x')", txn=txn)
+        txn.abort()
+        assert len(db.cdc) == 0

@@ -1,0 +1,94 @@
+"""Property tests: MVCC storage against a reference model.
+
+The model keeps one full dict snapshot per CSN; the store must agree with
+every historical snapshot, which is the invariant time travel (and hence
+bug replay) rests on.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db.schema import Column, TableSchema
+from repro.db.storage import TableStore
+from repro.db.types import ColumnType
+
+
+def make_store() -> TableStore:
+    return TableStore(
+        TableSchema("t", [Column("v", ColumnType.INTEGER)])
+    )
+
+
+#: An operation program: each entry is ('insert', value) |
+#: ('update', target_index, value) | ('delete', target_index).
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 100)),
+        st.tuples(st.just("update"), st.integers(0, 30), st.integers(0, 100)),
+        st.tuples(st.just("delete"), st.integers(0, 30)),
+    ),
+    max_size=40,
+)
+
+
+def apply_program(ops):
+    """Run a program; returns (store, snapshots-by-csn from the model)."""
+    store = make_store()
+    model: dict[int, tuple] = {}
+    snapshots = {0: {}}
+    csn = 0
+    for op in ops:
+        csn += 1
+        live = sorted(model)
+        if op[0] == "insert":
+            rid = store.apply_insert((op[1],), csn)
+            model[rid] = (op[1],)
+        elif op[0] == "update" and live:
+            rid = live[op[1] % len(live)]
+            store.apply_update(rid, (op[2],), csn)
+            model[rid] = (op[2],)
+        elif op[0] == "delete" and live:
+            rid = live[op[1] % len(live)]
+            store.apply_delete(rid, csn)
+            del model[rid]
+        snapshots[csn] = dict(model)
+    return store, snapshots
+
+
+class TestMvccModel:
+    @given(ops_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_every_historical_snapshot_matches_model(self, ops):
+        store, snapshots = apply_program(ops)
+        for csn, expected in snapshots.items():
+            actual = dict(store.scan(csn))
+            assert actual == expected, f"snapshot at csn {csn} diverged"
+
+    @given(ops_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_latest_scan_equals_final_snapshot(self, ops):
+        store, snapshots = apply_program(ops)
+        final_csn = max(snapshots)
+        assert dict(store.scan(None)) == snapshots[final_csn]
+
+    @given(ops_strategy, st.integers(0, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_vacuum_preserves_states_after_horizon(self, ops, horizon_pick):
+        store, snapshots = apply_program(ops)
+        final_csn = max(snapshots)
+        horizon = min(horizon_pick, final_csn)
+        store.vacuum(keep_after_csn=horizon)
+        for csn in range(horizon, final_csn + 1):
+            assert dict(store.scan(csn)) == snapshots[csn]
+
+    @given(ops_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_last_change_csn_is_max_visible_boundary(self, ops):
+        store, snapshots = apply_program(ops)
+        final_csn = max(snapshots)
+        for rid in list(store._versions):
+            changed = store.last_change_csn(rid)
+            assert changed is not None
+            assert 1 <= changed <= final_csn
+            # Nothing about this row differs between `changed` and the end.
+            for csn in range(changed, final_csn + 1):
+                assert store.get(rid, csn) == store.get(rid, changed)

@@ -1,0 +1,80 @@
+"""Logical clock and handler registry tests."""
+
+import pytest
+
+from repro.errors import UnknownHandlerError
+from repro.runtime.clock import LogicalClock, format_ts
+from repro.runtime.handlers import HandlerRegistry
+
+
+class TestClock:
+    def test_tick_is_monotonic(self):
+        clock = LogicalClock()
+        assert [clock.tick() for _ in range(3)] == [1, 2, 3]
+        assert clock.now() == 3
+
+    def test_now_does_not_advance(self):
+        clock = LogicalClock()
+        clock.tick()
+        assert clock.now() == clock.now() == 1
+
+    def test_advance_to_never_goes_backwards(self):
+        clock = LogicalClock(start=5)
+        clock.advance_to(3)
+        assert clock.now() == 5
+        clock.advance_to(9)
+        assert clock.now() == 9
+
+    def test_format_ts(self):
+        assert format_ts(4) == "TS4"
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = HandlerRegistry()
+        fn = lambda ctx: 1
+        registry.register("h", fn)
+        assert registry.get("h") is fn
+        assert registry.has("h")
+        assert registry.names() == ["h"]
+
+    def test_decorator_form(self):
+        registry = HandlerRegistry()
+
+        @registry.handler("greet")
+        def greet(ctx):
+            return "hi"
+
+        assert registry.get("greet") is greet
+
+    def test_unknown_handler_lists_known(self):
+        registry = HandlerRegistry()
+        registry.register("a", lambda ctx: 1)
+        with pytest.raises(UnknownHandlerError, match="'a'"):
+            registry.get("zzz")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(UnknownHandlerError):
+            HandlerRegistry().register("", lambda ctx: 1)
+
+    def test_patched_does_not_mutate_original(self):
+        registry = HandlerRegistry()
+        original = lambda ctx: "orig"
+        registry.register("h", original)
+        replacement = lambda ctx: "new"
+        patched = registry.patched(h=replacement)
+        assert patched.get("h") is replacement
+        assert registry.get("h") is original
+
+    def test_patched_can_add_new_handlers(self):
+        registry = HandlerRegistry()
+        patched = registry.patched(extra=lambda ctx: 1)
+        assert patched.has("extra")
+        assert not registry.has("extra")
+
+    def test_iteration_and_len(self):
+        registry = HandlerRegistry()
+        registry.register("a", lambda ctx: 1)
+        registry.register("b", lambda ctx: 2)
+        assert len(registry) == 2
+        assert {name for name, _fn in registry} == {"a", "b"}

@@ -1,0 +1,173 @@
+"""Cooperative scheduler tests: determinism, schedules, lock waits."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.runtime.scheduler import (
+    CheckpointKind,
+    CooperativeScheduler,
+    current_scheduler,
+    maybe_checkpoint,
+)
+
+
+def make_task(log, name, steps=2):
+    """A task that records (name, step) around txn-like checkpoints."""
+
+    def task():
+        for step in range(steps):
+            maybe_checkpoint(CheckpointKind.TXN_BEGIN, f"{name}-{step}")
+            log.append((name, step))
+        return name
+
+    return task
+
+
+class TestBasics:
+    def test_runs_all_tasks_and_collects_results(self):
+        log = []
+        scheduler = CooperativeScheduler(schedule=[0, 1, 0, 1])
+        outcomes = scheduler.run([make_task(log, "a"), make_task(log, "b")])
+        assert [o.result for o in outcomes] == ["a", "b"]
+        assert all(o.ok for o in outcomes)
+
+    def test_schedule_controls_interleaving(self):
+        log = []
+        scheduler = CooperativeScheduler(schedule=[0, 1, 1, 0])
+        scheduler.run([make_task(log, "a"), make_task(log, "b")])
+        assert log == [("a", 0), ("b", 0), ("b", 1), ("a", 1)]
+
+    def test_serial_schedule(self):
+        log = []
+        scheduler = CooperativeScheduler(schedule=[0, 0, 1, 1])
+        scheduler.run([make_task(log, "a"), make_task(log, "b")])
+        assert log == [("a", 0), ("a", 1), ("b", 0), ("b", 1)]
+
+    def test_empty_task_list(self):
+        assert CooperativeScheduler().run([]) == []
+
+    def test_task_without_checkpoints(self):
+        scheduler = CooperativeScheduler()
+        outcomes = scheduler.run([lambda: 42])
+        assert outcomes[0].result == 42
+
+    def test_task_exception_captured_not_raised(self):
+        def boom():
+            raise ValueError("x")
+
+        outcomes = CooperativeScheduler().run([boom])
+        assert not outcomes[0].ok
+        assert isinstance(outcomes[0].error, ValueError)
+
+    def test_seeded_runs_are_reproducible(self):
+        def run_once(seed):
+            log = []
+            CooperativeScheduler(seed=seed).run(
+                [make_task(log, "a", 3), make_task(log, "b", 3)]
+            )
+            return log
+
+        assert run_once(7) == run_once(7)
+
+    def test_different_seeds_can_differ(self):
+        logs = set()
+        for seed in range(10):
+            log = []
+            CooperativeScheduler(seed=seed).run(
+                [make_task(log, "a", 3), make_task(log, "b", 3)]
+            )
+            logs.add(tuple(log))
+        assert len(logs) > 1
+
+
+class TestScheduleSemantics:
+    def test_realized_txn_order_matches_schedule(self):
+        log = []
+        scheduler = CooperativeScheduler(schedule=[1, 0, 1, 0])
+        scheduler.run([make_task(log, "a"), make_task(log, "b")])
+        assert scheduler.realized_txn_order() == [1, 0, 1, 0]
+
+    def test_exhausted_schedule_drains_in_index_order(self):
+        log = []
+        scheduler = CooperativeScheduler(schedule=[1])
+        scheduler.run([make_task(log, "a", 1), make_task(log, "b", 2)])
+        # b ran its first txn; then drain: a finishes before b's second.
+        assert log == [("b", 0), ("a", 0), ("b", 1)]
+
+    def test_entries_for_finished_workers_skipped_by_default(self):
+        log = []
+        scheduler = CooperativeScheduler(schedule=[0, 0, 0, 1, 1])
+        scheduler.run([make_task(log, "a", 1), make_task(log, "b", 1)])
+        assert ("b", 0) in log
+
+    def test_strict_mode_rejects_stale_entries(self):
+        log = []
+        scheduler = CooperativeScheduler(schedule=[0, 0, 0], strict=True)
+        with pytest.raises(SchedulerError):
+            scheduler.run([make_task(log, "a", 1), make_task(log, "b", 1)])
+
+    def test_record_contains_executed_checkpoints(self):
+        log = []
+        scheduler = CooperativeScheduler(schedule=[0, 1, 1, 0])
+        scheduler.run([make_task(log, "a"), make_task(log, "b")])
+        txn_entries = [
+            e for e in scheduler.record if e.kind is CheckpointKind.TXN_BEGIN
+        ]
+        assert [e.worker for e in txn_entries] == [0, 1, 1, 0]
+        start_entries = [
+            e for e in scheduler.record if e.kind is CheckpointKind.START
+        ]
+        assert [e.worker for e in start_entries] == [0, 1]
+
+
+class TestGranularity:
+    def test_statement_checkpoints_ignored_at_txn_granularity(self):
+        log = []
+
+        def task():
+            maybe_checkpoint(CheckpointKind.TXN_BEGIN)
+            maybe_checkpoint(CheckpointKind.STATEMENT)  # should not block
+            log.append("ran")
+
+        CooperativeScheduler(schedule=[0], granularity="txn").run([task])
+        assert log == ["ran"]
+
+    def test_statement_granularity_interleaves_inside_txn(self):
+        log = []
+
+        def task(name):
+            def run():
+                maybe_checkpoint(CheckpointKind.TXN_BEGIN)
+                log.append((name, "stmt1"))
+                maybe_checkpoint(CheckpointKind.STATEMENT)
+                log.append((name, "stmt2"))
+
+            return run
+
+        scheduler = CooperativeScheduler(
+            schedule=[0, 1, 0, 1], granularity="statement"
+        )
+        scheduler.run([task("a"), task("b")])
+        assert log == [
+            ("a", "stmt1"), ("b", "stmt1"), ("a", "stmt2"), ("b", "stmt2"),
+        ]
+
+    def test_unknown_granularity_rejected(self):
+        with pytest.raises(SchedulerError):
+            CooperativeScheduler(granularity="nope")
+
+
+class TestThreadLocalPlumbing:
+    def test_no_scheduler_outside_workers(self):
+        assert current_scheduler() is None
+        maybe_checkpoint(CheckpointKind.TXN_BEGIN)  # no-op, no error
+
+    def test_worker_sees_its_scheduler(self):
+        seen = []
+
+        def task():
+            seen.append(current_scheduler())
+
+        scheduler = CooperativeScheduler()
+        scheduler.run([task])
+        assert seen == [scheduler]

@@ -1,0 +1,116 @@
+"""MediaWiki and profile workload generator tests."""
+
+import pytest
+
+from repro.runtime import Request
+from repro.workload.generators import MediaWikiWorkload, ProfileWorkload
+
+
+class TestMediaWikiWorkload:
+    def test_seed_creates_pages(self, mediawiki_env):
+        db, runtime, _trod = mediawiki_env
+        workload = MediaWikiWorkload(n_pages=5, seed=0)
+        workload.seed_database(runtime)
+        assert len(db.table_rows("pages")) == 5
+
+    def test_request_mix(self, mediawiki_env):
+        _db, runtime, _trod = mediawiki_env
+        workload = MediaWikiWorkload(n_pages=5, seed=0)
+        workload.seed_database(runtime)
+        requests = list(workload.requests(50, read_ratio=0.3))
+        handlers = [r.handler for r in requests]
+        assert set(handlers) <= {"editPage", "pageHistory"}
+        reads = handlers.count("pageHistory")
+        assert 5 <= reads <= 30
+
+    def test_requests_all_execute(self, mediawiki_env):
+        _db, runtime, _trod = mediawiki_env
+        workload = MediaWikiWorkload(n_pages=3, seed=1)
+        workload.seed_database(runtime)
+        for request in workload.requests(20):
+            result = runtime.execute_request(request)
+            assert result.ok, result.error
+
+    def test_racy_edit_pair_reproduces_mw44325(self, mediawiki_env):
+        _db, runtime, _trod = mediawiki_env
+        runtime.submit("createPage", "P1", "T", "hello")
+        runtime.run_concurrent(
+            MediaWikiWorkload.racy_edit_pair(),
+            schedule=MediaWikiWorkload.RACY_SCHEDULE,
+        )
+        result = runtime.submit("fetchSiteLinks", "P1")
+        assert not result.ok
+
+    def test_determinism(self):
+        a = [r.args for r in MediaWikiWorkload(seed=5).requests(30)]
+        b = [r.args for r in MediaWikiWorkload(seed=5).requests(30)]
+        assert a == b
+
+
+class TestProfileWorkload:
+    def test_seed_creates_profiles(self, profiles_env):
+        db, runtime, _trod = profiles_env
+        ProfileWorkload(n_users=4, seed=0).seed_database(runtime)
+        assert len(db.table_rows("profiles")) == 4
+
+    def test_violations_injected_at_requested_rate(self, profiles_env):
+        _db, runtime, trod = profiles_env
+        workload = ProfileWorkload(n_users=5, seed=2)
+        workload.seed_database(runtime)
+        for request in workload.requests(100, violation_ratio=0.10):
+            runtime.execute_request(request)
+        violations = trod.security.user_profiles("profiles")
+        assert 2 <= len(violations) <= 25
+        assert all(v.handler == "updateProfileInsecure" for v in violations)
+
+    def test_zero_violation_rate_is_clean(self, profiles_env):
+        _db, runtime, trod = profiles_env
+        workload = ProfileWorkload(n_users=5, seed=2)
+        workload.seed_database(runtime)
+        for request in workload.requests(50, violation_ratio=0.0):
+            result = runtime.execute_request(request)
+            assert result.ok, result.error
+        assert trod.security.user_profiles("profiles") == []
+
+
+class TestRaceHunting:
+    def test_hunt_finds_the_toctou_interleaving(self, moodle_env):
+        """Given only a set of past requests (run serially, no incident),
+        hunt() finds an interleaving of the CURRENT code that breaks."""
+        _db, runtime, trod = moodle_env
+        # The requests ran serially in production — no duplicates, no error.
+        runtime.submit("subscribeUser", "U1", "F2")
+        runtime.submit("unsubscribeUser", "U1", "F2")
+        runtime.submit("subscribeUser", "U1", "F2")
+        trod.flush()
+
+        def no_duplicates(dev_db):
+            rows = dev_db.execute(
+                "SELECT userId, forum, COUNT(*) FROM forum_sub"
+                " GROUP BY userId, forum HAVING COUNT(*) > 1"
+            ).rows
+            return [f"duplicate {r[:2]}" for r in rows]
+
+        found = trod.retroactive.hunt(
+            ["R1", "R3"], invariant=no_duplicates
+        )
+        assert found is not None
+        assert found.invariant_violations
+        # The failing interleaving is the TOCTOU: both checks before both
+        # inserts.
+        assert found.final_state["forum_sub"] == [("U1", "F2"), ("U1", "F2")]
+
+    def test_hunt_returns_none_for_safe_code(self, moodle_env):
+        _db, runtime, trod = moodle_env
+        runtime.submit("subscribeUserFixed", "U1", "F2")
+        runtime.submit("subscribeUserFixed", "U1", "F2")
+        trod.flush()
+
+        def no_duplicates(dev_db):
+            rows = dev_db.execute(
+                "SELECT userId, forum, COUNT(*) FROM forum_sub"
+                " GROUP BY userId, forum HAVING COUNT(*) > 1"
+            ).rows
+            return [str(r) for r in rows]
+
+        assert trod.retroactive.hunt(["R1", "R2"], invariant=no_duplicates) is None

@@ -1,0 +1,123 @@
+"""Workload generator, sampler, and harness tests."""
+
+import pytest
+
+from repro.workload.distributions import UniformSampler, ZipfSampler
+from repro.workload.generators import CheckoutWorkload, ForumWorkload, ProvenanceFiller
+from repro.workload.harness import Timer, format_us, render_table, summarize_us
+
+
+class TestSamplers:
+    def test_uniform_bounds_and_determinism(self):
+        a = UniformSampler(10, seed=1)
+        b = UniformSampler(10, seed=1)
+        samples_a = [a.sample() for _ in range(100)]
+        samples_b = [b.sample() for _ in range(100)]
+        assert samples_a == samples_b
+        assert all(0 <= s < 10 for s in samples_a)
+
+    def test_uniform_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            UniformSampler(0)
+
+    def test_zipf_is_deterministic(self):
+        a = [ZipfSampler(100, seed=3).sample() for _ in range(50)]
+        b = [ZipfSampler(100, seed=3).sample() for _ in range(50)]
+        assert a == b
+
+    def test_zipf_skews_towards_low_ranks(self):
+        sampler = ZipfSampler(1000, theta=0.99, seed=0)
+        samples = [sampler.sample() for _ in range(5000)]
+        head = sum(1 for s in samples if s < 10)
+        tail = sum(1 for s in samples if s >= 500)
+        assert head > tail
+
+    def test_zipf_pmf_decreases(self):
+        sampler = ZipfSampler(100, theta=1.0)
+        assert sampler.pmf(0) > sampler.pmf(1) > sampler.pmf(50)
+
+    def test_zipf_theta_zero_is_uniformish(self):
+        sampler = ZipfSampler(10, theta=0.0)
+        assert abs(sampler.pmf(0) - sampler.pmf(9)) < 1e-9
+
+    def test_zipf_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, theta=-1)
+
+
+class TestForumWorkload:
+    def test_request_stream_shape(self):
+        workload = ForumWorkload(seed=0)
+        requests = list(workload.requests(100, fetch_ratio=0.2))
+        assert len(requests) == 100
+        handlers = {r.handler for r in requests}
+        assert handlers <= {"subscribeUser", "fetchSubscribers"}
+        fetches = sum(1 for r in requests if r.handler == "fetchSubscribers")
+        assert 5 <= fetches <= 40  # ~20%
+
+    def test_racy_pair_and_schedules(self):
+        pair = ForumWorkload.racy_pair()
+        assert [r.handler for r in pair] == ["subscribeUser"] * 2
+        assert pair[0].args == pair[1].args
+        assert ForumWorkload.RACY_SCHEDULE == [0, 1, 1, 0]
+
+
+class TestCheckoutWorkload:
+    def test_seed_and_requests(self, ecommerce_env):
+        _db, runtime, _trod = ecommerce_env
+        workload = CheckoutWorkload(n_users=3, n_skus=2, seed=0)
+        workload.seed_database(runtime)
+        requests = list(workload.requests(5))
+        assert len(requests) == 10  # addToCart + checkout per iteration
+        results = [runtime.execute_request(r) for r in requests]
+        assert all(r.ok for r in results), [r.error for r in results if not r.ok]
+
+
+class TestProvenanceFiller:
+    def test_fill_writes_paired_rows(self, moodle_env):
+        _db, _runtime, trod = moodle_env
+        filler = ProvenanceFiller(trod.provenance.db, event_table="ForumEvents")
+        written = filler.fill(500, duplicate_every=100)
+        assert written == 1000
+        count = trod.provenance.db.execute(
+            "SELECT COUNT(*) FROM Executions"
+        ).scalar()
+        assert count >= 500
+        dupes = trod.provenance.db.execute(
+            "SELECT COUNT(*) FROM ForumEvents"
+            " WHERE UserId = 'U1' AND Forum = 'F2' AND Type = 'Insert'"
+        ).scalar()
+        assert dupes >= 5  # injected duplicates
+
+
+class TestHarness:
+    def test_timer_measures(self):
+        with Timer() as timer:
+            sum(range(10000))
+        assert timer.elapsed_ns > 0
+        assert timer.elapsed_us == timer.elapsed_ns / 1000
+
+    def test_summarize_percentiles(self):
+        stats = summarize_us(list(range(1, 101)))
+        assert stats["min"] == 1
+        assert stats["max"] == 100
+        assert stats["p50"] in (50, 51)  # nearest-rank with ties
+        assert stats["p95"] in (95, 96)
+        assert stats["mean"] == 50.5
+
+    def test_summarize_empty(self):
+        assert summarize_us([])["mean"] == 0.0
+
+    def test_render_table_alignment(self):
+        text = render_table(["a", "long_header"], [[1, 2.5], [10000, "x"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "long_header" in lines[0]
+        assert "10,000" in text
+
+    def test_format_us_scales(self):
+        assert format_us(500) == "500.0us"
+        assert format_us(2500) == "2.50ms"
+        assert format_us(3_000_000) == "3.00s"
