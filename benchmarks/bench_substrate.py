@@ -4,14 +4,30 @@ Not a paper experiment: this measures the raw throughput of the database
 engine this reproduction is built on (inserts, point queries with and
 without an index, scans, hash joins, commits), so readers can interpret
 the absolute numbers in E7/E8 relative to the substrate's speed.
+
+The read-path cases are differential: latest-state scans are measured
+against an inline replica of the seed's sort-and-walk scan, repeated
+queries with the plan cache on and off, and provenance restores with and
+without a checkpoint. Results land in ``BENCH_substrate.json`` at the
+repo root (op -> ops/sec) so the perf trajectory is tracked across PRs.
 """
 
+import json
 import time
+from pathlib import Path
 
+from repro.core.events import DataEvent
+from repro.core.provenance import ProvenanceStore
 from repro.db import Database
+from repro.db.schema import Column, TableSchema
+from repro.db.storage import TableStore
+from repro.db.types import ColumnType
 from repro.workload.harness import render_table
 
 N_ROWS = 5_000
+N_EVENTS = 2_000
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
 
 
 def build_db() -> Database:
@@ -32,6 +48,10 @@ def build_db() -> Database:
             "INSERT INTO grps VALUES (?, ?)", (f"g{g}", f"label-{g}"), txn=txn
         )
     txn.commit()
+    # Version churn so chain walks do real work, as in any live system.
+    txn = db.begin()
+    db.execute("UPDATE items SET val = val + 1 WHERE id < 1000", txn=txn)
+    txn.commit()
     return db
 
 
@@ -43,10 +63,46 @@ def _rate(fn, iterations: int) -> float:
     return iterations / elapsed_s
 
 
+def _seed_scan(store: TableStore):
+    """The seed's latest-state scan: re-sort ids, walk each chain tail."""
+    for row_id in sorted(store._versions):
+        chain = store._versions.get(row_id)
+        last = chain[-1]
+        if last.end is None:
+            yield row_id, last.values
+
+
+def build_provenance() -> ProvenanceStore:
+    prov = ProvenanceStore(checkpoint_interval=None)
+    schema = TableSchema(
+        "kv", [Column("k", ColumnType.INTEGER), Column("v", ColumnType.INTEGER)]
+    )
+    prov.register_app_table(schema)
+    events = [
+        DataEvent(
+            txn_num=i,
+            txn_name=f"TXN{i}",
+            table="kv",
+            kind="Update" if i % 3 == 0 and i > N_EVENTS // 2 else "Insert",
+            query="bench",
+            row_id=(i % (N_EVENTS // 2)) + 1
+            if i % 3 == 0 and i > N_EVENTS // 2
+            else i + 1,
+            values={"k": i, "v": i},
+            csn=i + 1,
+        )
+        for i in range(N_EVENTS)
+    ]
+    prov.ingest(events)
+    return prov
+
+
 def test_substrate_throughput(benchmark, emit):
     db = build_db()
     db_indexed = build_db()
     db_indexed.execute("CREATE INDEX ix_id ON items (id)")
+    store = db.store("items")
+    latest_csn = db.last_csn
 
     counter = iter(range(10**9))
     rows = [
@@ -72,6 +128,18 @@ def test_substrate_throughput(benchmark, emit):
             ),
         ],
         [
+            "full scan latest (live cache)",
+            _rate(lambda: sum(1 for _ in store.scan(None)), 300),
+        ],
+        [
+            "full scan latest (seed replica)",
+            _rate(lambda: sum(1 for _ in _seed_scan(store)), 100),
+        ],
+        [
+            "full scan as-of latest csn",
+            _rate(lambda: sum(1 for _ in store.scan(latest_csn)), 100),
+        ],
+        [
             "aggregate scan (5k rows)",
             _rate(
                 lambda: db.execute("SELECT grp, AVG(val) FROM items GROUP BY grp"),
@@ -93,6 +161,40 @@ def test_substrate_throughput(benchmark, emit):
         ],
     ]
 
+    # Repeated statement shape: plan cache on vs off.
+    probe_sql = "SELECT * FROM items WHERE id = ?"
+    rows.append(
+        [
+            "repeat query (plan cache)",
+            _rate(lambda: db_indexed.execute(probe_sql, (2500,)), 1000),
+        ]
+    )
+    db_indexed.plan_cache_enabled = False
+    rows.append(
+        [
+            "repeat query (replanned)",
+            _rate(lambda: db_indexed.execute(probe_sql, (2500,)), 1000),
+        ]
+    )
+    db_indexed.plan_cache_enabled = True
+
+    # Provenance restore: nearest-checkpoint delta vs full history replay.
+    prov = build_provenance()
+    prov.create_checkpoint()
+    rows.append(
+        [
+            "restore 2k events (checkpointed)",
+            _rate(lambda: prov.reconstruct_rows("kv", N_EVENTS), 20),
+        ]
+    )
+    prov.invalidate_checkpoints()
+    rows.append(
+        [
+            "restore 2k events (full history)",
+            _rate(lambda: prov.reconstruct_rows("kv", N_EVENTS), 20),
+        ]
+    )
+
     benchmark(
         lambda: db_indexed.execute("SELECT * FROM items WHERE id = 2500")
     )
@@ -105,9 +207,37 @@ def test_substrate_throughput(benchmark, emit):
     )
 
     rates = {name: rate for name, rate in rows}
+    _JSON_PATH.write_text(
+        json.dumps(
+            {
+                "n_rows": N_ROWS,
+                "n_events": N_EVENTS,
+                "ops_per_sec": {name: round(rate, 1) for name, rate in rows},
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    emit(f"wrote {_JSON_PATH}")
+
     # The index probe must beat the full scan by a wide margin.
     assert (
         rates["point query (index probe)"] > rates["point query (full scan)"] * 5
+    )
+    # Read-path overhaul floors: live-cache scans >= 3x the seed's scan,
+    # cached plans >= 1.5x replanning, checkpointed restore beats full.
+    assert (
+        rates["full scan latest (live cache)"]
+        > rates["full scan latest (seed replica)"] * 3
+    )
+    assert (
+        rates["repeat query (plan cache)"]
+        > rates["repeat query (replanned)"] * 1.5
+    )
+    assert (
+        rates["restore 2k events (checkpointed)"]
+        > rates["restore 2k events (full history)"]
     )
     # Sanity floors (very conservative; flags pathological regressions).
     assert rates["autocommit insert (1 row)"] > 500

@@ -82,6 +82,9 @@ class PrivacyManager:
             (REDACTED, value),
         )
         events_redacted = result.rowcount
+        # Checkpoints materialized before the redaction still hold the
+        # erased values; drop them so reconstruction cannot resurrect data.
+        provenance.invalidate_checkpoints(table)
 
         requests_scrubbed = self._scrub_request_args(value)
         report = RedactionReport(

@@ -16,6 +16,7 @@ our engine — with the schema of the paper:
 
 from __future__ import annotations
 
+import bisect
 import json
 from typing import Any, Iterable
 
@@ -46,6 +47,10 @@ _EVENT_META = [
 
 _WRITE_KINDS = ("Insert", "Update", "Delete")
 
+#: Per-table checkpoint cap; exceeding it thins the older half so memory
+#: stays O(cap * table size) while coverage still spans the history.
+_MAX_TABLE_CHECKPOINTS = 16
+
 
 def default_event_table_name(table: str) -> str:
     """forum_sub -> ForumSubEvents."""
@@ -56,7 +61,11 @@ def default_event_table_name(table: str) -> str:
 class ProvenanceStore:
     """Ingests trace events and answers declarative debugging queries."""
 
-    def __init__(self, db: Database | None = None):
+    def __init__(
+        self,
+        db: Database | None = None,
+        checkpoint_interval: int | None = 256,
+    ):
         self.db = db or Database(name="provenance")
         self._next_seq = 1
         #: app table (canonical) -> event table name
@@ -65,6 +74,20 @@ class ProvenanceStore:
         self._app_schemas: dict[str, TableSchema] = {}
         #: app table -> {app column -> event-table column}
         self._column_maps: dict[str, dict[str, str]] = {}
+        #: Create materialized checkpoints automatically every N ingested
+        #: commits (None disables automatic checkpointing).
+        self.checkpoint_interval = checkpoint_interval
+        #: app table -> ascending [(csn, ((row_id, values), ...)), ...];
+        #: each entry is the table's full live state as of that csn, so
+        #: reconstruction replays only the events after the nearest one.
+        self._checkpoints: dict[str, list[tuple[int, tuple]]] = {}
+        self._commits_since_checkpoint = 0
+        self._max_write_csn = 0
+        self.checkpoint_stats = {
+            "checkpoints": 0,
+            "checkpoint_restores": 0,
+            "full_restores": 0,
+        }
         self._create_base_tables()
 
     # ------------------------------------------------------------------
@@ -130,6 +153,11 @@ class ProvenanceStore:
             columns.append(Column(name=out_name, col_type=col.col_type, nullable=True))
         self.db.create_table(TableSchema(name, columns))
         self.db.create_index(f"ix_{name}_txn".lower(), name, ["TxnId"])
+        # Range probes over Csn keep checkpointed reconstruction O(delta):
+        # the delta query reads only events after the checkpoint.
+        self.db.create_index(
+            f"ix_{name}_csn".lower(), name, ["Csn"], sorted_index=True
+        )
         self._event_tables[canonical] = name
         self._app_schemas[canonical] = schema
         self._column_maps[canonical] = column_map
@@ -175,6 +203,8 @@ class ProvenanceStore:
         schema = self.app_schema(table)
         event_table = self.event_table_of(table)
         column_map = self._column_maps[table.lower()]
+        # A new base snapshot redefines the table's reconstruction floor.
+        self.invalidate_checkpoints(table)
         txn = self.db.begin()
         count = 0
         try:
@@ -222,9 +252,18 @@ class ProvenanceStore:
         except Exception:
             txn.abort()
             raise
+        if (
+            self.checkpoint_interval is not None
+            and self._commits_since_checkpoint >= self.checkpoint_interval
+        ):
+            self.create_checkpoint()
         return len(events)
 
     def _ingest_txn(self, event: TxnEvent, txn) -> None:
+        if event.status == "Committed" and event.csn is not None:
+            self._commits_since_checkpoint += 1
+            if event.csn > self._max_write_csn:
+                self._max_write_csn = event.csn
         metadata = f"func:{event.label}" if event.label else ""
         self.db.insert_row(
             "Executions",
@@ -250,6 +289,16 @@ class ProvenanceStore:
             # Untraced table (e.g. created after attach without a hook):
             # skip rather than fail the whole batch.
             return
+        if event.kind in _WRITE_KINDS and event.csn is not None:
+            if event.csn > self._max_write_csn:
+                self._max_write_csn = event.csn
+            # An event landing at or before an existing checkpoint would
+            # make that checkpoint stale — drop the affected ones.
+            checkpoints = self._checkpoints.get(table)
+            if checkpoints and event.csn <= checkpoints[-1][0]:
+                self._checkpoints[table] = [
+                    entry for entry in checkpoints if entry[0] < event.csn
+                ]
         record: dict[str, Any] = {
             "TxnId": event.txn_name,
             "TxnNum": event.txn_num,
@@ -413,12 +462,30 @@ class ProvenanceStore:
     def reconstruct_rows(self, table: str, upto_csn: int) -> list[tuple[int, tuple]]:
         """Rows of ``table`` as of ``upto_csn``, from provenance alone.
 
-        Applies the base snapshot and then every committed write event
-        with ``Csn <= upto_csn`` in (Csn, Seq) order.
+        Restores from the nearest checkpoint at or before ``upto_csn`` and
+        applies only the write events after it; without a usable
+        checkpoint, applies the base snapshot and then every committed
+        write event with ``Csn <= upto_csn`` in (Csn, Seq) order.
         """
         schema = self.app_schema(table)
         event_table = self.event_table_of(table)
         column_map = self._column_maps[table.lower()]
+        checkpoint = self._nearest_checkpoint(table, upto_csn)
+        if checkpoint is not None:
+            base_csn, base_rows = checkpoint
+            self.checkpoint_stats["checkpoint_restores"] += 1
+            state: dict[int, tuple] = dict(base_rows)
+            if upto_csn > base_csn:
+                rows = self.query(
+                    f"SELECT * FROM {event_table}"
+                    " WHERE Csn > ? AND Csn <= ? AND"
+                    " Type IN ('Insert', 'Update', 'Delete')"
+                    " ORDER BY Csn ASC, Seq ASC",
+                    (base_csn, upto_csn),
+                ).as_dicts()
+                self._apply_event_rows(state, rows, schema, column_map)
+            return sorted(state.items())
+        self.checkpoint_stats["full_restores"] += 1
         rows = self.query(
             f"SELECT * FROM {event_table}"
             " WHERE Type = 'Snapshot' OR (Csn <= ? AND"
@@ -432,7 +499,18 @@ class ProvenanceStore:
                 f"cannot reconstruct {table!r} at csn {upto_csn}: base "
                 f"snapshot was taken at csn {min(snapshot_csns)}"
             )
-        state: dict[int, tuple] = {}
+        state = {}
+        self._apply_event_rows(state, rows, schema, column_map)
+        return sorted(state.items())
+
+    @staticmethod
+    def _apply_event_rows(
+        state: dict[int, tuple],
+        rows: list[dict],
+        schema: TableSchema,
+        column_map: dict[str, str],
+    ) -> None:
+        """Fold ordered event rows into a ``row_id -> values`` state."""
         for row in rows:
             kind = row["Type"]
             row_id = row["RowId"]
@@ -448,7 +526,84 @@ class ProvenanceStore:
                 row[column_map[col]] for col in schema.column_names
             )
             state[row_id] = values
-        return sorted(state.items())
+
+    # ------------------------------------------------------------------
+    # Checkpoints (replay accelerator)
+    # ------------------------------------------------------------------
+
+    def create_checkpoint(self, csn: int | None = None) -> int:
+        """Materialize every traced table's state as of ``csn``.
+
+        ``csn`` defaults to the highest committed write CSN ingested so
+        far. Returns the checkpoint CSN. Subsequent reconstructions at or
+        after it replay only the delta, turning replay's dev-database
+        restore from O(history) into O(delta).
+        """
+        if csn is None:
+            csn = self._max_write_csn
+        for table in sorted(self._app_schemas):
+            entries = self._checkpoints.setdefault(table, [])
+            if entries and entries[-1][0] >= csn:
+                continue
+            if entries and not self._has_events_between(
+                table, entries[-1][0], csn
+            ):
+                # Nothing changed since the last checkpoint: it already
+                # serves any restore up to ``csn`` with an empty delta.
+                continue
+            try:
+                rows = self.reconstruct_rows(table, csn)
+            except ProvenanceError:
+                # e.g. the table's base snapshot postdates ``csn``.
+                continue
+            entries.append((csn, tuple(rows)))
+            self.checkpoint_stats["checkpoints"] += 1
+            if len(entries) > _MAX_TABLE_CHECKPOINTS:
+                # Thin the older half (keep every other entry plus the
+                # newest) so retention stays bounded but spread out.
+                thinned = entries[0::2]
+                if thinned[-1][0] != entries[-1][0]:
+                    thinned.append(entries[-1])
+                self._checkpoints[table] = thinned
+        self._commits_since_checkpoint = 0
+        return csn
+
+    def _has_events_between(self, table: str, low_csn: int, high_csn: int) -> bool:
+        """Whether any committed write events land in (low_csn, high_csn]."""
+        event_table = self._event_tables[table]
+        count = self.query(
+            f"SELECT COUNT(*) FROM {event_table}"
+            " WHERE Csn > ? AND Csn <= ? AND"
+            " Type IN ('Insert', 'Update', 'Delete')",
+            (low_csn, high_csn),
+        ).scalar()
+        return bool(count)
+
+    def _nearest_checkpoint(
+        self, table: str, upto_csn: int
+    ) -> tuple[int, tuple] | None:
+        """The latest checkpoint of ``table`` with csn <= ``upto_csn``."""
+        entries = self._checkpoints.get(table.lower())
+        if not entries:
+            return None
+        index = bisect.bisect_right(entries, upto_csn, key=lambda e: e[0])
+        if index == 0:
+            return None
+        return entries[index - 1]
+
+    def invalidate_checkpoints(self, table: str | None = None) -> None:
+        """Drop checkpoints (all tables, or one) after out-of-band edits.
+
+        The privacy extension rewrites event rows in place; checkpoints
+        created beforehand would resurrect the erased values.
+        """
+        if table is None:
+            self._checkpoints.clear()
+        else:
+            self._checkpoints.pop(table.lower(), None)
+
+    def checkpoint_csns(self, table: str) -> list[int]:
+        return [csn for csn, _rows in self._checkpoints.get(table.lower(), [])]
 
     def restore_into(
         self, target: Database, upto_csn: int, tables: Iterable[str] | None = None

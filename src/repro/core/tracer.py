@@ -48,9 +48,12 @@ class Trod:
         provenance: ProvenanceStore | None = None,
         buffer_capacity: int = 65536,
         event_names: dict[str, str] | None = None,
+        checkpoint_interval: int | None = 256,
     ):
         self.database = database
-        self.provenance = provenance or ProvenanceStore()
+        self.provenance = provenance or ProvenanceStore(
+            checkpoint_interval=checkpoint_interval
+        )
         self.buffer = TraceBuffer(capacity=buffer_capacity)
         self.interposition = InterpositionLayer(self)
         self.clock: LogicalClock = LogicalClock()

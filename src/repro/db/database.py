@@ -17,11 +17,12 @@ from repro.db.cdc import CdcStream
 from repro.db.index import IndexSet
 from repro.db.result import ResultSet
 from repro.db.schema import Catalog, TableSchema
-from repro.db.sql.executor import execute_statement
+from repro.db.sql.executor import build_select_plan, execute_statement
 from repro.db.sql.nodes import (
     CreateIndexStmt,
     CreateTableStmt,
     DeleteStmt,
+    DropIndexStmt,
     DropTableStmt,
     InsertStmt,
     SelectStmt,
@@ -41,6 +42,7 @@ from repro.db.txn.wal import WriteAheadLog, recover_into
 from repro.errors import ExecutionError
 
 _STMT_CACHE_LIMIT = 1024
+_PLAN_CACHE_LIMIT = 512
 
 
 @dataclass
@@ -83,14 +85,29 @@ class Database:
         self._stores: dict[str, TableStore] = {}
         self._indexes: dict[str, IndexSet] = {}
         self._stmt_cache: dict[str, Statement] = {}
+        #: Compiled SELECT plans keyed by (sql, catalog epoch, isolation).
+        #: Plan nodes carry no per-execution state, so one compiled tree
+        #: serves every execution of the same statement shape.
+        self._plan_cache: dict[tuple, tuple[Any, list[str]]] = {}
+        #: Bumped by every DDL / catalog change; stale plans (which hold
+        #: references to schemas and index objects) never survive a bump.
+        self.catalog_epoch = 0
+        self.plan_cache_enabled = True
+        self.plan_cache_stats = {"hits": 0, "misses": 0}
 
     # -- schema management ---------------------------------------------------
+
+    def bump_catalog_epoch(self) -> None:
+        """Invalidate cached plans after any catalog or index change."""
+        self.catalog_epoch += 1
+        self._plan_cache.clear()
 
     def create_table(self, schema: TableSchema) -> None:
         self.catalog.create_table(schema)
         key = self.catalog.resolve(schema.name)
         self._stores[key] = TableStore(schema)
         self._indexes[key] = IndexSet(schema)
+        self.bump_catalog_epoch()
         self.notify("table_created", schema)
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
@@ -100,9 +117,11 @@ class Database:
         self.catalog.drop_table(name)
         del self._stores[key]
         del self._indexes[key]
+        self.bump_catalog_epoch()
 
     def add_table_alias(self, alias: str, table: str) -> None:
         self.catalog.add_alias(alias, table)
+        self.bump_catalog_epoch()
 
     def create_index(
         self,
@@ -120,6 +139,16 @@ class Database:
             index = index_set.create_hash_index(name, columns, unique=unique)
         for row_id, values in self._stores[key].scan(None):
             index.add(row_id, values)
+        self.bump_catalog_epoch()
+
+    def drop_index(self, name: str, table: str, if_exists: bool = False) -> None:
+        if if_exists and not self.catalog.has_table(table):
+            # DROP TABLE removes its indexes implicitly; an idempotent
+            # cleanup running afterwards must stay a no-op.
+            return
+        key = self.catalog.resolve(table)
+        self._indexes[key].drop_index(name, if_exists=if_exists)
+        self.bump_catalog_epoch()
 
     def store(self, table: str) -> TableStore:
         return self._stores[self.catalog.resolve(table)]
@@ -150,6 +179,30 @@ class Database:
         self._stmt_cache[sql] = stmt
         return stmt
 
+    def select_plan(
+        self, stmt: SelectStmt, txn: Transaction, sql: str | None
+    ) -> tuple[Any, list[str]]:
+        """The compiled plan for ``stmt``, from the plan cache when possible.
+
+        ``sql`` is the cache key (None disables caching — e.g. the inner
+        SELECT of INSERT ... SELECT has no statement text of its own). The
+        isolation level is part of the key because it decides index-probe
+        eligibility; the catalog epoch invalidates plans across DDL.
+        """
+        if not self.plan_cache_enabled or sql is None:
+            return build_select_plan(stmt, self, txn)
+        key = (sql, self.catalog_epoch, txn.isolation)
+        entry = self._plan_cache.get(key)
+        if entry is not None:
+            self.plan_cache_stats["hits"] += 1
+            return entry
+        self.plan_cache_stats["misses"] += 1
+        entry = build_select_plan(stmt, self, txn)
+        if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
+            self._plan_cache.clear()
+        self._plan_cache[key] = entry
+        return entry
+
     def execute(
         self,
         sql: str,
@@ -158,7 +211,9 @@ class Database:
     ) -> ResultSet:
         """Execute one statement, autocommitting when no txn is passed."""
         stmt = self._parse(sql)
-        if isinstance(stmt, (CreateTableStmt, DropTableStmt, CreateIndexStmt)):
+        if isinstance(
+            stmt, (CreateTableStmt, DropTableStmt, CreateIndexStmt, DropIndexStmt)
+        ):
             # DDL is non-transactional, as in most engines.
             return execute_statement(self, None, stmt, params, sql)  # type: ignore[arg-type]
         autocommit = txn is None
@@ -208,15 +263,12 @@ class Database:
         Useful for verifying pushdown, join algorithm, and index-probe
         decisions; only SELECT statements have plans.
         """
-        from repro.db.sql.executor import build_select_plan
-        from repro.db.sql.nodes import SelectStmt
-
         stmt = self._parse(sql)
         if not isinstance(stmt, SelectStmt):
             raise ExecutionError("EXPLAIN supports SELECT statements only")
         txn = self.txn_manager.begin()
         try:
-            plan, _names = build_select_plan(stmt, self, txn)
+            plan, _names = self.select_plan(stmt, txn, sql)
             return plan.explain()
         finally:
             self.txn_manager.abort(txn)

@@ -17,6 +17,10 @@ from repro.db.schema import TableSchema
 from repro.db.types import row_sort_key
 from repro.errors import IntegrityError, SchemaError
 
+#: Shared empty result for missing keys; frozen so a probe that holds it
+#: cannot accidentally grow a phantom bucket.
+_EMPTY_IDS: frozenset[int] = frozenset()
+
 
 class HashIndex:
     """Equality index mapping a column-tuple key to a set of row ids."""
@@ -50,8 +54,14 @@ class HashIndex:
             if not bucket:
                 del self._map[key]
 
-    def lookup(self, key: tuple) -> set[int]:
-        return set(self._map.get(tuple(key), ()))
+    def lookup(self, key: tuple) -> set[int] | frozenset[int]:
+        """Row ids for ``key``.
+
+        Returns a *live view* of the bucket (or a shared frozen empty set)
+        so the hot probe path allocates nothing; callers must treat the
+        result as read-only and copy before mutating.
+        """
+        return self._map.get(tuple(key), _EMPTY_IDS)
 
     def would_violate(self, values: tuple, ignore_row_id: int | None = None) -> bool:
         """Whether inserting ``values`` would break uniqueness."""
@@ -116,10 +126,13 @@ class IndexSet:
     def __init__(self, schema: TableSchema):
         self.schema = schema
         self.indexes: dict[str, HashIndex | SortedIndex] = {}
-        # One unique hash index per declared unique constraint.
+        # One unique hash index per declared unique constraint. These
+        # back commit-time enforcement and cannot be dropped.
+        self._constraint_indexes: set[str] = set()
         for i, constraint in enumerate(schema.unique_constraints):
             name = f"uq_{schema.name}_{i}_{'_'.join(constraint)}".lower()
             self.indexes[name] = HashIndex(name, schema, constraint, unique=True)
+            self._constraint_indexes.add(name)
 
     def create_hash_index(self, name: str, columns: Iterable[str], unique: bool = False) -> HashIndex:
         if name.lower() in self.indexes:
@@ -134,6 +147,18 @@ class IndexSet:
         index = SortedIndex(name, self.schema, columns)
         self.indexes[name.lower()] = index
         return index
+
+    def drop_index(self, name: str, if_exists: bool = False) -> None:
+        if name.lower() not in self.indexes:
+            if if_exists:
+                return
+            raise SchemaError(f"no index {name!r} on {self.schema.name}")
+        if name.lower() in self._constraint_indexes:
+            raise SchemaError(
+                f"index {name!r} backs a UNIQUE constraint on "
+                f"{self.schema.name} and cannot be dropped"
+            )
+        del self.indexes[name.lower()]
 
     def populate(self, rows: Iterable[tuple[int, tuple]]) -> None:
         for row_id, values in rows:

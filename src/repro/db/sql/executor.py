@@ -14,7 +14,7 @@ is exactly the shape of the paper's Table 2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 from repro.db.expr import Expr, Literal, split_conjuncts
 from repro.db.result import ResultSet
@@ -25,6 +25,7 @@ from repro.db.sql.nodes import (
     CreateIndexStmt,
     CreateTableStmt,
     DeleteStmt,
+    DropIndexStmt,
     DropTableStmt,
     InsertStmt,
     SelectItem,
@@ -134,8 +135,14 @@ class ScanNode(PlanNode):
         track = ctx.track_reads
         filter_fn = self.filter_fn
         if self.probe is not None:
-            candidates = self._probe_candidates(ctx)
-            candidates.update(rid for rid, _ in ctx.txn.pending_rows(self.table))
+            # ``candidates`` may be a live view of an index bucket; it is
+            # only read (sorted() copies), never mutated.
+            candidates: Iterable[int] = self._probe_candidates(ctx)
+            pending = ctx.txn.pending_rows(self.table)
+            if pending:
+                merged = set(candidates)
+                merged.update(rid for rid, _ in pending)
+                candidates = merged
             source: Iterator[tuple[int, tuple]] = (
                 (rid, values)
                 for rid in sorted(candidates)
@@ -151,19 +158,20 @@ class ScanNode(PlanNode):
                 ctx.read_counts[self.table] = ctx.read_counts.get(self.table, 0) + 1
             yield values
 
-    def _probe_candidates(self, ctx: ExecContext) -> set[int]:
+    def _probe_candidates(self, ctx: ExecContext) -> "Iterable[int]":
+        """Candidate row ids from the index; may be a read-only live view."""
         if self.probe[0] == "hash":
             _kind, index, key_fns = self.probe
             key = tuple(fn((), ctx.params) for fn in key_fns)
-            return set(index.lookup(key))
+            return index.lookup(key)
         _kind, index, low_fn, high_fn = self.probe
         low = (low_fn((), ctx.params),) if low_fn is not None else None
         high = (high_fn((), ctx.params),) if high_fn is not None else None
         if (low is not None and low[0] is None) or (
             high is not None and high[0] is None
         ):
-            return set()  # NULL bound: comparison can never be TRUE
-        return set(index.scan_between(low, high))
+            return ()  # NULL bound: comparison can never be TRUE
+        return index.scan_between(low, high)
 
 
 class FilterNode(PlanNode):
@@ -881,6 +889,9 @@ def execute_statement(
             sorted_index=stmt.sorted_index,
         )
         return ResultSet(kind="ddl")
+    if isinstance(stmt, DropIndexStmt):
+        database.drop_index(stmt.name, stmt.table, if_exists=stmt.if_exists)
+        return ResultSet(kind="ddl")
     raise ExecutionError(f"cannot execute {type(stmt).__name__}")  # pragma: no cover
 
 
@@ -891,7 +902,7 @@ def _execute_select(
     params: Sequence[Any],
     query_text: str,
 ) -> ResultSet:
-    plan, out_names = build_select_plan(stmt, database, txn)
+    plan, out_names = database.select_plan(stmt, txn, query_text or None)
     ctx = ExecContext(
         database=database,
         txn=txn,
@@ -917,7 +928,7 @@ def _execute_insert(
     for column in columns:
         schema.column(column)  # validates existence
     if stmt.select is not None:
-        plan, out_names = build_select_plan(stmt.select, database, txn)
+        plan, out_names = database.select_plan(stmt.select, txn, None)
         if len(out_names) != len(columns):
             raise ExecutionError(
                 f"INSERT ... SELECT supplies {len(out_names)} column(s) "

@@ -138,3 +138,11 @@ class CreateIndexStmt(Statement):
     unique: bool = False
     sorted_index: bool = False  # CREATE SORTED INDEX -> range-scan index
     param_count: int = 0
+
+
+@dataclass
+class DropIndexStmt(Statement):
+    name: str = ""
+    table: str = ""
+    if_exists: bool = False
+    param_count: int = 0

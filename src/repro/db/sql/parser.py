@@ -3,7 +3,8 @@
 Covers the dialect the paper's applications and debugging queries need:
 SELECT (joins — including the paper's ``FROM A as E, B as F ON …`` comma
 idiom — aggregation, HAVING, ORDER BY, LIMIT/OFFSET, DISTINCT), INSERT,
-UPDATE, DELETE, CREATE/DROP TABLE, and CREATE INDEX. ``?`` placeholders are
+UPDATE, DELETE, CREATE/DROP TABLE, and CREATE/DROP INDEX. ``?``
+placeholders are
 numbered left to right in parse order.
 """
 
@@ -30,6 +31,7 @@ from repro.db.sql.nodes import (
     CreateIndexStmt,
     CreateTableStmt,
     DeleteStmt,
+    DropIndexStmt,
     DropTableStmt,
     InsertStmt,
     Join,
@@ -387,8 +389,17 @@ class _Parser:
         stmt.columns = self._parse_column_name_list()
         return stmt
 
-    def _parse_drop(self) -> DropTableStmt:
+    def _parse_drop(self) -> Statement:
         self._expect_keyword("DROP")
+        if self._take_keyword("INDEX"):
+            index_stmt = DropIndexStmt()
+            if self._take_keyword("IF"):
+                self._expect_keyword("EXISTS")
+                index_stmt.if_exists = True
+            index_stmt.name = self._expect_ident("index name")
+            self._expect_keyword("ON")
+            index_stmt.table = self._expect_ident("table name")
+            return index_stmt
         self._expect_keyword("TABLE")
         stmt = DropTableStmt()
         if self._take_keyword("IF"):

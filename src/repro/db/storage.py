@@ -9,11 +9,19 @@ engine reconstructs "the database as of CSN *c*" directly from this store.
 The store itself is oblivious to transactions: the transaction manager
 buffers writes privately and calls the ``apply_*`` methods only at commit,
 in commit order, so versions here are always committed data.
+
+Read-path layout: latest-state reads (``csn=None``) are served from an
+incrementally maintained live-row map plus a sorted-id cache, so scans and
+point reads never walk version chains; snapshot reads (``csn`` given) keep
+the version-chain path but locate the candidate version by bisecting on
+``begin`` CSNs, which commit order keeps ascending within each chain.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
+from operator import attrgetter
 from typing import Iterator
 
 from repro.db.schema import TableSchema
@@ -21,6 +29,8 @@ from repro.errors import DatabaseError
 
 #: CSN value meaning "still visible".
 INFINITY = None
+
+_BEGIN = attrgetter("begin")
 
 
 @dataclass
@@ -52,6 +62,33 @@ class TableStore:
         self.schema = schema
         self._versions: dict[int, list[RowVersion]] = {}
         self._next_row_id = 1
+        #: row_id -> live RowVersion (the chain tail when its end is None).
+        self._live: dict[int, RowVersion] = {}
+        #: Sorted live row ids; appends are O(1) for the common case of
+        #: monotonically increasing engine-assigned ids.
+        self._live_ids: list[int] = []
+        #: Sorted ids of every row with any version (live or dead) — the
+        #: snapshot-scan iteration order, cached so scans stop re-sorting.
+        self._all_ids: list[int] = []
+        #: Materialized ``(row_id, values)`` list for latest-state scans,
+        #: rebuilt lazily after any write invalidates it. Read-mostly
+        #: tables scan straight off this list.
+        self._scan_rows: list[tuple[int, tuple]] | None = None
+
+    # -- cache maintenance -------------------------------------------------
+
+    def _add_sorted(self, ids: list[int], row_id: int) -> None:
+        if not ids or row_id > ids[-1]:
+            ids.append(row_id)
+        else:
+            index = bisect.bisect_left(ids, row_id)
+            if index >= len(ids) or ids[index] != row_id:
+                ids.insert(index, row_id)
+
+    def _remove_sorted(self, ids: list[int], row_id: int) -> None:
+        index = bisect.bisect_left(ids, row_id)
+        if index < len(ids) and ids[index] == row_id:
+            ids.pop(index)
 
     # -- write path (called by the transaction manager at commit) --------
 
@@ -67,52 +104,67 @@ class TableStore:
         else:
             if row_id >= self._next_row_id:
                 self._next_row_id = row_id + 1
-            chain = self._versions.get(row_id)
-            if chain and chain[-1].end is None:
+            if row_id in self._live:
                 raise DatabaseError(
                     f"{self.schema.name}: row {row_id} already live at insert"
                 )
-        self._versions.setdefault(row_id, []).append(
-            RowVersion(row_id=row_id, begin=csn, end=None, values=values)
-        )
+        version = RowVersion(row_id=row_id, begin=csn, end=None, values=values)
+        chain = self._versions.get(row_id)
+        if chain is None:
+            self._versions[row_id] = [version]
+            self._add_sorted(self._all_ids, row_id)
+        else:
+            chain.append(version)
+        self._live[row_id] = version
+        self._add_sorted(self._live_ids, row_id)
+        self._scan_rows = None
         return row_id
 
     def apply_update(self, row_id: int, values: tuple, csn: int) -> tuple:
         """Supersede the live version of ``row_id``; returns the old values."""
         current = self._live_version(row_id)
         current.end = csn
-        self._versions[row_id].append(
-            RowVersion(row_id=row_id, begin=csn, end=None, values=values)
-        )
+        version = RowVersion(row_id=row_id, begin=csn, end=None, values=values)
+        self._versions[row_id].append(version)
+        self._live[row_id] = version
+        self._scan_rows = None
         return current.values
 
     def apply_delete(self, row_id: int, csn: int) -> tuple:
         """End the live version of ``row_id``; returns the deleted values."""
         current = self._live_version(row_id)
         current.end = csn
+        del self._live[row_id]
+        self._remove_sorted(self._live_ids, row_id)
+        self._scan_rows = None
         return current.values
 
     def _live_version(self, row_id: int) -> RowVersion:
-        chain = self._versions.get(row_id)
-        if not chain or chain[-1].end is not None:
+        version = self._live.get(row_id)
+        if version is None:
             raise DatabaseError(
                 f"{self.schema.name}: row {row_id} is not live"
             )
-        return chain[-1]
+        return version
 
     # -- read path --------------------------------------------------------
 
     def get(self, row_id: int, csn: int | None = None) -> tuple | None:
         """The values of ``row_id`` visible at ``csn`` (latest if None)."""
+        if csn is None:
+            version = self._live.get(row_id)
+            return version.values if version is not None else None
         chain = self._versions.get(row_id)
         if not chain:
             return None
-        if csn is None:
-            last = chain[-1]
-            return last.values if last.end is None else None
-        for version in reversed(chain):
-            if version.visible_at(csn):
-                return version.values
+        # Chains are appended in commit (CSN) order, so ``begin`` values
+        # ascend; the candidate is the last version with begin <= csn.
+        index = bisect.bisect_right(chain, csn, key=_BEGIN)
+        if index == 0:
+            return None
+        version = chain[index - 1]
+        if version.end is None or version.end > csn:
+            return version.values
         return None
 
     def scan(self, csn: int | None = None) -> Iterator[tuple[int, tuple]]:
@@ -122,12 +174,26 @@ class TableStore:
         engine-assigned ids — deterministic, which the scheduler and the
         replay fidelity checks rely on.
         """
-        for row_id in sorted(self._versions):
-            values = self.get(row_id, csn)
+        if csn is None:
+            rows = self._scan_rows
+            if rows is None:
+                live = self._live
+                rows = [(rid, live[rid].values) for rid in self._live_ids]
+                self._scan_rows = rows
+            # Writers never mutate a published list (they null the slot
+            # and a later scan rebuilds), so iterating it is snapshot-safe
+            # even if a commit lands mid-iteration.
+            yield from rows
+            return
+        get = self.get
+        for row_id in list(self._all_ids):
+            values = get(row_id, csn)
             if values is not None:
                 yield row_id, values
 
     def row_count(self, csn: int | None = None) -> int:
+        if csn is None:
+            return len(self._live)
         return sum(1 for _ in self.scan(csn))
 
     def last_change_csn(self, row_id: int) -> int | None:
@@ -147,7 +213,7 @@ class TableStore:
         return sum(len(chain) for chain in self._versions.values())
 
     def live_row_ids(self) -> list[int]:
-        return [rid for rid, _ in self.scan(None)]
+        return list(self._live_ids)
 
     # -- maintenance -------------------------------------------------------
 
@@ -171,11 +237,23 @@ class TableStore:
                 self._versions[row_id] = kept
             else:
                 del self._versions[row_id]
+        self._rebuild_caches()
         return removed
+
+    def _rebuild_caches(self) -> None:
+        """Recompute the live/sorted caches from the version chains."""
+        self._all_ids = sorted(self._versions)
+        self._live = {
+            row_id: chain[-1]
+            for row_id, chain in self._versions.items()
+            if chain[-1].end is None
+        }
+        self._live_ids = sorted(self._live)
+        self._scan_rows = None
 
     def stats(self) -> dict[str, int]:
         return {
-            "live_rows": self.row_count(None),
+            "live_rows": len(self._live),
             "versions": self.version_count(),
             "next_row_id": self._next_row_id,
         }

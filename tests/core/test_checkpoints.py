@@ -1,0 +1,151 @@
+"""Provenance checkpoints: O(delta) dev-database restores for replay.
+
+A checkpoint is a materialized table state at some CSN stored beside the
+event log; ``reconstruct_rows`` restores from the nearest one at or below
+the target CSN and replays only the remaining events. These tests pin the
+core contract: checkpointed reconstruction is *indistinguishable* from
+full-history reconstruction, at every CSN, including after redaction.
+"""
+
+def subscribe_history(moodle_env, n: int = 30, offset: int = 0):
+    """Attach-time snapshot plus ``n`` subscription requests."""
+    database, runtime, trod = moodle_env
+    for i in range(n):
+        runtime.submit("subscribeUser", f"U{offset + i}", "F1")
+    trod.flush()
+    return database, runtime, trod
+
+
+def full_reconstruction(prov, table: str, csn: int):
+    """Reference result: reconstruct with checkpoints sidelined."""
+    saved = dict(prov._checkpoints)
+    prov.invalidate_checkpoints()
+    try:
+        return prov.reconstruct_rows(table, csn)
+    finally:
+        prov._checkpoints = saved
+
+
+class TestCheckpointedReconstruction:
+    def test_checkpoint_matches_full_history_at_every_csn(self, moodle_env):
+        database, runtime, trod = subscribe_history(moodle_env)
+        prov = trod.provenance
+        mid = database.last_csn // 2
+        prov.create_checkpoint(mid)
+        prov.create_checkpoint(database.last_csn)
+        assert prov.checkpoint_csns("forum_sub") == [mid, database.last_csn]
+        for csn in range(database.last_csn + 1):
+            assert prov.reconstruct_rows("forum_sub", csn) == \
+                full_reconstruction(prov, "forum_sub", csn)
+
+    def test_restore_uses_nearest_checkpoint(self, moodle_env):
+        database, runtime, trod = subscribe_history(moodle_env)
+        prov = trod.provenance
+        mid = database.last_csn // 2
+        prov.create_checkpoint(mid)
+        before = dict(prov.checkpoint_stats)
+        prov.reconstruct_rows("forum_sub", mid - 1)  # below: full path
+        prov.reconstruct_rows("forum_sub", mid + 1)  # above: delta path
+        after = prov.checkpoint_stats
+        assert after["full_restores"] == before["full_restores"] + 1
+        assert after["checkpoint_restores"] == before["checkpoint_restores"] + 1
+
+    def test_automatic_checkpoints_from_ingest(self, moodle_env):
+        database, runtime, trod = moodle_env
+        trod.provenance.checkpoint_interval = 5
+        subscribe_history((database, runtime, trod), n=20)
+        assert trod.provenance.checkpoint_csns("forum_sub")
+        assert trod.provenance.checkpoint_stats["checkpoints"] > 0
+
+    def test_build_dev_db_agrees_with_and_without_checkpoints(self, moodle_env):
+        database, runtime, trod = subscribe_history(moodle_env)
+        prov = trod.provenance
+        upto = database.last_csn
+        prov.create_checkpoint(upto)
+        dev_ck = trod.replayer.build_dev_db(upto)
+        saved = dict(prov._checkpoints)
+        prov.invalidate_checkpoints()
+        dev_full = trod.replayer.build_dev_db(upto)
+        prov._checkpoints = saved
+        for table in dev_full.catalog.table_names():
+            assert dev_ck.table_rows(table) == dev_full.table_rows(table)
+
+    def test_replay_fidelity_with_checkpoints(self, racy_moodle):
+        database, runtime, trod = racy_moodle
+        trod.flush()
+        trod.provenance.create_checkpoint()
+        result = trod.replayer.replay_request("R1")
+        assert result.fidelity, result.divergences
+        assert len(result.dev_db.table_rows("forum_sub")) == 2
+
+
+class TestCheckpointInvalidation:
+    def test_redaction_drops_checkpoints(self, racy_moodle):
+        database, runtime, trod = racy_moodle
+        trod.flush()
+        prov = trod.provenance
+        prov.create_checkpoint()
+        assert prov.checkpoint_csns("forum_sub")
+        trod.privacy.forget_value("forum_sub", "userId", "U1")
+        # A stale checkpoint would resurrect the erased values.
+        assert not prov.checkpoint_csns("forum_sub")
+        rows = prov.reconstruct_rows("forum_sub", database.last_csn)
+        assert all("U1" not in values for _rid, values in rows)
+
+    def test_late_event_below_checkpoint_invalidates_it(self, moodle_env):
+        database, runtime, trod = subscribe_history(moodle_env, n=5)
+        prov = trod.provenance
+        prov.create_checkpoint()
+        [ck] = prov.checkpoint_csns("forum_sub")
+        from repro.core.events import DataEvent
+
+        prov.ingest(
+            [
+                DataEvent(
+                    txn_num=999,
+                    txn_name="TXN999",
+                    table="forum_sub",
+                    kind="Insert",
+                    query="late arrival",
+                    row_id=9999,
+                    values={"userId": "UX", "forum": "F9"},
+                    csn=ck - 1,
+                )
+            ]
+        )
+        assert prov.checkpoint_csns("forum_sub") == []
+        rows = prov.reconstruct_rows("forum_sub", database.last_csn)
+        assert any(values[0] == "UX" for _rid, values in rows)
+
+
+class TestCheckpointRetention:
+    def test_unchanged_tables_are_not_recheckpointed(self, moodle_env):
+        database, runtime, trod = moodle_env
+        prov = trod.provenance
+        # Only forum_sub receives writes; course/forum tables stay static.
+        subscribe_history((database, runtime, trod), n=4)
+        prov.create_checkpoint()
+        static_tables = [
+            t for t in prov.traced_tables() if t.lower() != "forum_sub"
+        ]
+        before = {t: prov.checkpoint_csns(t) for t in static_tables}
+        subscribe_history((database, runtime, trod), n=4, offset=4)
+        prov.create_checkpoint()
+        assert len(prov.checkpoint_csns("forum_sub")) == 2
+        for table in static_tables:
+            assert prov.checkpoint_csns(table) == before[table]
+
+    def test_per_table_checkpoints_stay_bounded(self, moodle_env):
+        database, runtime, trod = moodle_env
+        prov = trod.provenance
+        for i in range(50):
+            subscribe_history((database, runtime, trod), n=1, offset=i)
+            prov.create_checkpoint()
+        from repro.core.provenance import _MAX_TABLE_CHECKPOINTS
+
+        count = len(prov.checkpoint_csns("forum_sub"))
+        assert count <= _MAX_TABLE_CHECKPOINTS + 1
+        # Thinning must not break correctness at any csn.
+        for csn in range(0, database.last_csn + 1, 7):
+            assert prov.reconstruct_rows("forum_sub", csn) == \
+                full_reconstruction(prov, "forum_sub", csn)

@@ -1,0 +1,156 @@
+"""Plan cache: cached plans must be invisible except for speed.
+
+Differential tests: every query is answered once through a warm cache and
+once with the cache disabled (fresh planning); results must be identical,
+including across DDL (CREATE INDEX / DROP INDEX / DROP TABLE), which bumps
+the catalog epoch and invalidates cached plans.
+"""
+
+import pytest
+
+from repro.db import Database
+from repro.db.txn.manager import IsolationLevel
+from repro.errors import SchemaError
+
+
+def fresh_db() -> Database:
+    db = Database()
+    db.execute("CREATE TABLE items (id INTEGER, grp TEXT, val FLOAT)")
+    txn = db.begin()
+    for i in range(200):
+        db.execute(
+            "INSERT INTO items VALUES (?, ?, ?)",
+            (i, f"g{i % 10}", float(i % 7)),
+            txn=txn,
+        )
+    txn.commit()
+    return db
+
+
+QUERIES = [
+    ("SELECT * FROM items WHERE id = ?", (17,)),
+    ("SELECT grp, COUNT(*) FROM items GROUP BY grp ORDER BY grp", ()),
+    ("SELECT val FROM items WHERE id > ? AND id <= ? ORDER BY id", (20, 40)),
+    ("SELECT DISTINCT grp FROM items WHERE val = ? ORDER BY grp", (3.0,)),
+]
+
+
+def differential(db: Database, sql: str, params=()):
+    """Execute with the plan cache on and off; assert identical results."""
+    cached = db.execute(sql, params)
+    cached_again = db.execute(sql, params)
+    db.plan_cache_enabled = False
+    try:
+        fresh = db.execute(sql, params)
+    finally:
+        db.plan_cache_enabled = True
+    assert cached.rows == fresh.rows == cached_again.rows
+    assert cached.columns == fresh.columns
+    return cached.rows
+
+
+class TestPlanCacheDifferential:
+    def test_repeated_queries_hit_the_cache(self):
+        db = fresh_db()
+        for sql, params in QUERIES:
+            differential(db, sql, params)
+        assert db.plan_cache_stats["hits"] >= len(QUERIES)
+
+    def test_create_index_bumps_epoch_and_replans(self):
+        db = fresh_db()
+        sql, params = "SELECT val FROM items WHERE id = ?", (42,)
+        before = differential(db, sql, params)
+        epoch = db.catalog_epoch
+        db.execute("CREATE INDEX ix_id ON items (id)")
+        assert db.catalog_epoch > epoch
+        assert any("probe=ix_id" in line for line in db.explain(sql))
+        assert differential(db, sql, params) == before
+
+    def test_drop_index_bumps_epoch_and_replans(self):
+        db = fresh_db()
+        db.execute("CREATE INDEX ix_id ON items (id)")
+        sql, params = "SELECT val FROM items WHERE id = ?", (42,)
+        before = differential(db, sql, params)
+        assert any("probe=ix_id" in line for line in db.explain(sql))
+        epoch = db.catalog_epoch
+        db.execute("DROP INDEX ix_id ON items")
+        assert db.catalog_epoch > epoch
+        assert not any("probe" in line for line in db.explain(sql))
+        assert differential(db, sql, params) == before
+
+    def test_drop_and_recreate_table_invalidates_plans(self):
+        db = fresh_db()
+        sql = "SELECT COUNT(*) FROM items"
+        assert db.execute(sql).scalar() == 200
+        db.execute("DROP TABLE items")
+        db.execute("CREATE TABLE items (id INTEGER, grp TEXT, val FLOAT)")
+        db.execute("INSERT INTO items VALUES (1, 'g', 0.0)")
+        # A stale plan would still reference the dropped table's store.
+        assert db.execute(sql).scalar() == 1
+
+    def test_sorted_index_ddl_invalidates_range_plans(self):
+        db = fresh_db()
+        sql, params = "SELECT id FROM items WHERE id > ? AND id < ?", (5, 9)
+        before = differential(db, sql, params)
+        db.execute("CREATE SORTED INDEX sx_id ON items (id)")
+        assert any("range=sx_id" in line for line in db.explain(sql))
+        assert differential(db, sql, params) == before
+
+    def test_isolation_level_is_part_of_the_key(self):
+        db = fresh_db()
+        db.execute("CREATE INDEX ix_id ON items (id)")
+        sql, params = "SELECT val FROM items WHERE id = ?", (11,)
+        serializable = db.execute(sql, params)
+        txn = db.begin(isolation=IsolationLevel.SNAPSHOT)
+        snapshot = db.execute(sql, params, txn=txn)
+        txn.commit()
+        assert serializable.rows == snapshot.rows
+        # Distinct cache entries: probes apply only under SERIALIZABLE.
+        keys = {key[2] for key in db._plan_cache}
+        assert IsolationLevel.SERIALIZABLE in keys
+        assert IsolationLevel.SNAPSHOT in keys
+
+
+class TestDropIndexDdl:
+    def test_drop_missing_index_raises(self):
+        db = fresh_db()
+        with pytest.raises(SchemaError):
+            db.execute("DROP INDEX nope ON items")
+
+    def test_drop_index_if_exists_is_silent(self):
+        db = fresh_db()
+        db.execute("DROP INDEX IF EXISTS nope ON items")
+
+    def test_dropped_unique_index_stops_enforcing(self):
+        db = fresh_db()
+        db.execute("CREATE UNIQUE INDEX ux ON items (id)")
+        db.execute("DROP INDEX ux ON items")
+        db.execute("INSERT INTO items VALUES (1, 'dup', 0.0)")
+        assert (
+            db.execute("SELECT COUNT(*) FROM items WHERE id = 1").scalar() == 2
+        )
+
+    def test_constraint_backing_index_cannot_be_dropped(self):
+        db = Database()
+        db.execute(
+            "CREATE TABLE users (id INTEGER, email TEXT, UNIQUE (email))"
+        )
+        [uq_name] = db.index_set("users").indexes
+        with pytest.raises(SchemaError, match="UNIQUE constraint"):
+            db.execute(f"DROP INDEX {uq_name} ON users")
+        # Enforcement survives the attempt.
+        db.execute("INSERT INTO users VALUES (1, 'a@x')")
+        from repro.errors import IntegrityError
+
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO users VALUES (2, 'a@x')")
+
+    def test_drop_index_if_exists_on_missing_table_is_silent(self):
+        db = fresh_db()
+        db.execute("CREATE INDEX ix_id ON items (id)")
+        db.execute("DROP TABLE items")
+        # DROP TABLE removed the index implicitly; idempotent cleanup
+        # scripts must not crash.
+        db.execute("DROP INDEX IF EXISTS ix_id ON items")
+        with pytest.raises(SchemaError):
+            db.execute("DROP INDEX ix_id ON items")

@@ -145,3 +145,63 @@ class TestMaintenance:
         stats = store.stats()
         assert stats["live_rows"] == 1
         assert stats["versions"] == 1
+
+
+class TestLiveCaches:
+    """The live-row map and sorted-id caches behind latest-state reads."""
+
+    def test_scan_after_vacuum_stays_consistent(self):
+        # Regression: vacuum rebuilds the caches; a stale live map would
+        # yield dropped rows or miss surviving ones.
+        store = make_store()
+        r1 = store.apply_insert(("a", 1), csn=1)
+        r2 = store.apply_insert(("b", 2), csn=2)
+        store.apply_update(r2, ("b", 3), csn=3)
+        r3 = store.apply_insert(("c", 4), csn=4)
+        store.apply_delete(r3, csn=5)
+        store.vacuum(keep_after_csn=5)
+        assert list(store.scan(None)) == [(r1, ("a", 1)), (r2, ("b", 3))]
+        assert store.live_row_ids() == [r1, r2]
+        assert store.row_count(None) == 2
+        assert store.get(r3, None) is None
+
+    def test_writes_after_vacuum_keep_caches_fresh(self):
+        store = make_store()
+        r1 = store.apply_insert(("a", 1), csn=1)
+        store.apply_delete(r1, csn=2)
+        store.vacuum(keep_after_csn=3)
+        r2 = store.apply_insert(("b", 2), csn=4)
+        store.apply_update(r2, ("b", 5), csn=5)
+        assert list(store.scan(None)) == [(r2, ("b", 5))]
+        assert store.row_count(None) == 1
+
+    def test_reinserted_row_id_reappears_in_order(self):
+        store = make_store()
+        r1 = store.apply_insert(("a", 1), csn=1)
+        r2 = store.apply_insert(("b", 2), csn=2)
+        store.apply_delete(r1, csn=3)
+        store.apply_insert(("a", 9), csn=4, row_id=r1)
+        assert store.live_row_ids() == [r1, r2]
+        assert [rid for rid, _ in store.scan(None)] == [r1, r2]
+        assert store.get(r1, None) == ("a", 9)
+        assert store.get(r1, 3) is None
+
+    def test_out_of_order_explicit_row_ids_scan_sorted(self):
+        # Replay's injector preserves provenance row ids, which may arrive
+        # out of order; scans must still be row-id ordered.
+        store = make_store()
+        store.apply_insert(("z", 1), csn=1, row_id=50)
+        store.apply_insert(("a", 2), csn=2, row_id=10)
+        store.apply_insert(("m", 3), csn=3, row_id=30)
+        assert [rid for rid, _ in store.scan(None)] == [10, 30, 50]
+        assert [rid for rid, _ in store.scan(3)] == [10, 30, 50]
+
+    def test_snapshot_get_bisects_long_chains(self):
+        store = make_store()
+        rid = store.apply_insert(("a", 0), csn=1)
+        for csn in range(2, 40):
+            store.apply_update(rid, ("a", csn), csn=csn)
+        assert store.get(rid, 1) == ("a", 0)
+        assert store.get(rid, 25) == ("a", 25)
+        assert store.get(rid, 100) == ("a", 39)
+        assert store.get(rid, 0) is None
