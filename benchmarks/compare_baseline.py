@@ -1,0 +1,100 @@
+"""CI gate: compare a bench_substrate run against the committed baseline.
+
+Usage::
+
+    python benchmarks/compare_baseline.py BASELINE.json CANDIDATE.json \
+        [--tolerance 3.0]
+
+Compares the ``ops_per_sec`` entries the two files share and exits
+non-zero if any case is more than ``tolerance`` times slower than the
+baseline. The tolerance is deliberately loose: the committed baseline
+was measured on a developer machine and CI runners are slower and noisy,
+so this catches order-of-magnitude pathologies (accidental O(n^2) paths,
+dropped caches), not percent-level drift. Cases present in only one file
+are reported but never fail the gate, so adding a bench case does not
+require regenerating the baseline in the same commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_rates(path: Path) -> dict[str, float]:
+    data = json.loads(path.read_text())
+    rates = data.get("ops_per_sec")
+    if not isinstance(rates, dict) or not rates:
+        raise SystemExit(f"{path}: no ops_per_sec section")
+    return {str(k): float(v) for k, v in rates.items()}
+
+
+def compare(
+    baseline: dict[str, float], candidate: dict[str, float], tolerance: float
+) -> list[str]:
+    """Regression messages for shared cases slower than baseline/tolerance."""
+    regressions = []
+    for name in sorted(set(baseline) & set(candidate)):
+        floor = baseline[name] / tolerance
+        if candidate[name] < floor:
+            regressions.append(
+                f"REGRESSION {name!r}: {candidate[name]:,.1f} ops/s < "
+                f"{floor:,.1f} (baseline {baseline[name]:,.1f} / "
+                f"tolerance {tolerance:g})"
+            )
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("candidate", type=Path)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=3.0,
+        help="allowed slowdown factor vs baseline (default 3.0)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance <= 1.0:
+        parser.error("--tolerance must be > 1.0")
+
+    baseline = load_rates(args.baseline)
+    candidate = load_rates(args.candidate)
+
+    shared = sorted(set(baseline) & set(candidate))
+    width = max((len(name) for name in shared), default=4)
+    print(f"{'case'.ljust(width)} | baseline ops/s | candidate ops/s | ratio")
+    for name in shared:
+        ratio = candidate[name] / baseline[name] if baseline[name] else float("inf")
+        print(
+            f"{name.ljust(width)} | {baseline[name]:>14,.1f} | "
+            f"{candidate[name]:>15,.1f} | {ratio:5.2f}x"
+        )
+    for name in sorted(set(baseline) ^ set(candidate)):
+        side = "baseline" if name in baseline else "candidate"
+        print(f"(only in {side}: {name!r})")
+
+    if not shared:
+        # Zero overlap means no perf check ran at all (renamed cases, or
+        # a candidate from a different bench); a vacuous pass would
+        # silently disable the gate.
+        print(
+            "ERROR: baseline and candidate share no case names; "
+            "regenerate the baseline to match the bench",
+            file=sys.stderr,
+        )
+        return 1
+    regressions = compare(baseline, candidate, args.tolerance)
+    for message in regressions:
+        print(message, file=sys.stderr)
+    if regressions:
+        return 1
+    print(f"OK: {len(shared)} case(s) within {args.tolerance:g}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,7 +21,8 @@ from repro.db.cdc import CdcStream, ChangeRecord
 from repro.db.database import Database, StatementTrace
 from repro.db.result import ResultSet
 from repro.db.schema import Catalog, Column, TableSchema
-from repro.db.timetravel import TimeTravel
+from repro.db.sharding import ShardedDatabase, ShardRouter
+from repro.db.timetravel import ShardedTimeTravel, TimeTravel
 from repro.db.txn.manager import (
     IsolationLevel,
     ReadRecord,
@@ -44,6 +45,9 @@ __all__ = [
     "PROFILES",
     "ReadRecord",
     "ResultSet",
+    "ShardRouter",
+    "ShardedDatabase",
+    "ShardedTimeTravel",
     "SimulatedBackend",
     "StatementTrace",
     "TableSchema",

@@ -17,7 +17,12 @@ from repro.db.cdc import CdcStream
 from repro.db.index import IndexSet
 from repro.db.result import ResultSet
 from repro.db.schema import Catalog, TableSchema
-from repro.db.sql.executor import build_select_plan, execute_statement
+from repro.db.sql.executor import (
+    build_select_plan,
+    compile_delete_plan,
+    compile_update_plan,
+    execute_statement,
+)
 from repro.db.sql.nodes import (
     CreateIndexStmt,
     CreateTableStmt,
@@ -85,15 +90,21 @@ class Database:
         self._stores: dict[str, TableStore] = {}
         self._indexes: dict[str, IndexSet] = {}
         self._stmt_cache: dict[str, Statement] = {}
-        #: Compiled SELECT plans keyed by (sql, catalog epoch, isolation).
-        #: Plan nodes carry no per-execution state, so one compiled tree
-        #: serves every execution of the same statement shape.
-        self._plan_cache: dict[tuple, tuple[Any, list[str]]] = {}
+        #: Compiled plans keyed by (sql, catalog epoch, isolation) for
+        #: SELECT and ("dml", sql, catalog epoch) for UPDATE/DELETE. Plan
+        #: nodes carry no per-execution state, so one compiled tree serves
+        #: every execution of the same statement shape.
+        self._plan_cache: dict[tuple, Any] = {}
         #: Bumped by every DDL / catalog change; stale plans (which hold
         #: references to schemas and index objects) never survive a bump.
         self.catalog_epoch = 0
         self.plan_cache_enabled = True
-        self.plan_cache_stats = {"hits": 0, "misses": 0}
+        self.plan_cache_stats = {
+            "hits": 0,
+            "misses": 0,
+            "dml_hits": 0,
+            "dml_misses": 0,
+        }
 
     # -- schema management ---------------------------------------------------
 
@@ -202,6 +213,31 @@ class Database:
             self._plan_cache.clear()
         self._plan_cache[key] = entry
         return entry
+
+    def dml_plan(self, stmt: UpdateStmt | DeleteStmt, sql: str | None) -> Any:
+        """Compiled WHERE/assignment closures for UPDATE/DELETE statements.
+
+        Shares the epoch-invalidated plan cache with SELECT plans (keys are
+        disjoint tuples). Isolation is not part of the key: DML scans never
+        take index probes, so the compiled closures are isolation-agnostic.
+        """
+        compile_fn = (
+            compile_update_plan if isinstance(stmt, UpdateStmt) else compile_delete_plan
+        )
+        if not self.plan_cache_enabled or sql is None:
+            return compile_fn(self, stmt)
+        key = ("dml", sql, self.catalog_epoch)
+        entry = self._plan_cache.get(key)
+        if entry is not None:
+            self.plan_cache_stats["dml_hits"] += 1
+            return entry[0]
+        self.plan_cache_stats["dml_misses"] += 1
+        compiled = compile_fn(self, stmt)
+        if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
+            self._plan_cache.clear()
+        # Wrapped in a 1-tuple so a None delete predicate still caches.
+        self._plan_cache[key] = (compiled,)
+        return compiled
 
     def execute(
         self,

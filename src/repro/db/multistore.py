@@ -19,6 +19,7 @@ exactly what lets TROD order events across stores.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -78,18 +79,32 @@ class GlobalTransaction:
         return sorted(self._branches)
 
     def commit(self) -> int:
-        """Two-phase commit across every joined store.
+        """Two-phase commit across every store branch that wrote.
 
-        Phase 1 prepares (validates) every branch; any failure aborts all
-        branches and re-raises, leaving no store changed. Phase 2 commits
-        branches in deterministic store order and records the aligned
-        commit under a new global CSN.
+        Phase 1 prepares (validates) every writing branch; any failure
+        aborts all branches and re-raises, leaving no store changed.
+        Phase 2 commits writers in deterministic store order and records
+        the aligned commit under a new global CSN. Read-only branches
+        commit locally (observers see the outcome the global transaction
+        had) but are excluded from the aligned record — an empty commit
+        maps to the same cluster state as its predecessor, so logging it
+        would only pollute the alignment history.
         """
         self._check_active()
         branches = sorted(self._branches.items())
+        writers = [(store, txn) for store, txn in branches if txn.write_ops]
+        if not writers:
+            # Read-only: commit every branch (observers and provenance
+            # must see the branch outcome the global transaction had),
+            # but record no aligned entry — an empty commit maps to the
+            # same cluster state as its predecessor.
+            for _store, txn in branches:
+                txn.commit()
+            self.status = TransactionStatus.COMMITTED
+            return self._coordinator.global_csn
         prepared: list[tuple[str, Transaction]] = []
         try:
-            for store, txn in branches:
+            for store, txn in writers:
                 self._coordinator.store(store).txn_manager.prepare(txn)
                 prepared.append((store, txn))
         except Exception:
@@ -104,6 +119,9 @@ class GlobalTransaction:
         local_csns: dict[str, int] = {}
         for store, txn in prepared:
             local_csns[store] = txn.commit()
+        for _store, txn in branches:
+            if txn.status is TransactionStatus.ACTIVE:  # read-only branch
+                txn.commit()
         self.status = TransactionStatus.COMMITTED
         return self._coordinator._record_commit(self, local_csns)
 
@@ -177,3 +195,34 @@ class MultiStoreCoordinator:
         return [
             c for c in self.aligned_log if low < c.global_csn <= high
         ]
+
+    def local_csns_at(self, global_csn: int) -> dict[str, int]:
+        """Each store's local commit position as of a global CSN.
+
+        This is the AS-OF translation: the highest local CSN any aligned
+        commit with ``global_csn' <= global_csn`` recorded per store. A
+        store absent from every such commit maps to 0 (empty history at
+        that point). The log is append-ordered by global CSN and a
+        store's local CSNs increase along it, so a bisect plus a
+        backward walk (stopping once every store has been seen) answers
+        in O(log N + commits-since-each-store-last-participated) rather
+        than O(N).
+        """
+        if global_csn < 0 or global_csn > self.global_csn:
+            raise TransactionError(
+                f"global csn {global_csn} outside committed range "
+                f"[0, {self.global_csn}]"
+            )
+        out: dict[str, int] = {name: 0 for name in self._stores}
+        end = bisect_right(
+            self.aligned_log, global_csn, key=lambda c: c.global_csn
+        )
+        remaining = set(out)
+        for i in range(end - 1, -1, -1):
+            if not remaining:
+                break
+            for store, csn in self.aligned_log[i].local_csns.items():
+                if store in remaining:
+                    out[store] = csn
+                    remaining.discard(store)
+        return out

@@ -1,0 +1,1304 @@
+"""Hash-sharded execution across multiple database stores.
+
+The ROADMAP's scale-out lever: a table's rows are hash-partitioned by a
+key column across N :class:`~repro.db.database.Database` instances, and a
+:class:`ShardedDatabase` facade speaks the same ``execute(sql)`` API as a
+single database. The pieces:
+
+* :class:`ShardRouter` — owns the partitioning function: a stable hash of
+  the shard-key value picks the owning store, and WHERE conjuncts that pin
+  the key (``k = ?`` / ``k IN (...)``) prune the scatter set down to the
+  owning shards (scatter-gather point lookups).
+* SELECT fan-out — each target shard runs the FROM/JOIN/WHERE portion of
+  the plan locally (:func:`~repro.db.sql.executor.build_from_where`, so
+  index probes and predicate pushdown all still apply per shard); the
+  coordinator merges the streams and runs projection / aggregation /
+  ORDER / LIMIT on top. Decomposable aggregates (COUNT/SUM/MIN/MAX/AVG
+  without DISTINCT) are pushed down as partial aggregates and combined at
+  the coordinator; joins broadcast the smaller side to every shard so the
+  join itself also executes shard-locally.
+* Writes — DML routes to the owning shard by key; any statement (or
+  explicit transaction) touching several shards commits through the
+  existing two-phase commit in :class:`~repro.db.multistore.
+  MultiStoreCoordinator`, so atomicity and the aligned commit log come
+  for free. That aligned log is what keeps time travel and provenance
+  replay working: a global CSN translates onto per-shard local CSNs (see
+  :class:`~repro.db.timetravel.ShardedTimeTravel`).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.db.database import Database, StatementTrace
+from repro.db.expr import (
+    BinaryOp,
+    Case,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    Param,
+    split_conjuncts,
+)
+from repro.db.multistore import GlobalTransaction, MultiStoreCoordinator
+from repro.db.result import ResultSet
+from repro.db.schema import TableSchema
+from repro.db.sql import planner
+from repro.db.sql.executor import (
+    ExecContext,
+    PlanNode,
+    RowsNode,
+    build_from_where,
+    execute_statement,
+    plan_projection,
+)
+from repro.db.sql.nodes import (
+    CreateIndexStmt,
+    CreateTableStmt,
+    DeleteStmt,
+    DropIndexStmt,
+    DropTableStmt,
+    InsertStmt,
+    OrderItem,
+    SelectItem,
+    SelectStmt,
+    Statement,
+    UpdateStmt,
+)
+from repro.db.sql.planner import Layout, compile_expr
+from repro.db.timetravel import ShardedTimeTravel
+from repro.db.txn.manager import IsolationLevel, Transaction
+from repro.db.types import coerce
+from repro.errors import (
+    ExecutionError,
+    SchemaError,
+    TimeTravelError,
+    TypeCoercionError,
+)
+
+_STMT_CACHE_LIMIT = 1024
+
+#: store-name -> branch transaction, supplied lazily so read-only
+#: statements only join the shards they actually touch.
+TxnGetter = Callable[[str], Transaction]
+
+
+def stable_hash(value: Any) -> int:
+    """Process-independent hash of a shard-key value.
+
+    Python's builtin ``hash`` is salted per process for strings, which
+    would scatter the same key to different shards across restarts (and
+    break replaying a WAL into a fresh cluster). Integer-valued floats
+    hash like the integer so a key routes identically whichever numeric
+    type the client handed us.
+    """
+    if value is None:
+        data = b"\x00"
+    elif isinstance(value, bool):
+        data = b"b1" if value else b"b0"
+    elif isinstance(value, int):
+        data = b"i%d" % value
+    elif isinstance(value, float) and value.is_integer():
+        data = b"i%d" % int(value)
+    elif isinstance(value, float):
+        data = b"f" + repr(value).encode()
+    else:
+        data = b"s" + str(value).encode("utf-8", "replace")
+    return zlib.crc32(data)
+
+
+class ShardRouter:
+    """Maps rows to owning shards by hashing a per-table key column."""
+
+    def __init__(self, shard_names: Sequence[str]):
+        if not shard_names:
+            raise SchemaError("router needs at least one shard")
+        self.shard_names = list(shard_names)
+        self._keys: dict[str, str] = {}  # canonical table -> key column (lower)
+
+    def register_table(self, table: str, key_column: str) -> None:
+        self._keys.setdefault(table.lower(), key_column.lower())
+
+    def unregister_table(self, table: str) -> None:
+        self._keys.pop(table.lower(), None)
+
+    def key_column(self, table: str) -> str | None:
+        return self._keys.get(table.lower())
+
+    def shard_for_value(self, key_value: Any) -> str:
+        return self.shard_names[stable_hash(key_value) % len(self.shard_names)]
+
+    def shard_for_row(self, table: str, schema: TableSchema, row: tuple) -> str:
+        key_col = self._keys[table.lower()]
+        return self.shard_for_value(row[schema.index_of(key_col)])
+
+    def routed_shards(
+        self,
+        table: str,
+        schema: TableSchema,
+        conjuncts: Sequence[Expr],
+        params: Sequence[Any],
+        binding: str | None = None,
+        ambiguous: bool = False,
+    ) -> list[str]:
+        """Owning shards for a statement, pruned via key-pinning conjuncts.
+
+        An AND-ed conjunct of the form ``key = <const>`` or ``key IN
+        (<consts>)`` restricts the statement to the shards owning those
+        key values; anything else fans out to every shard. Constants are
+        coerced to the key column's type first so ``id = 5`` and an
+        inserted ``5.0`` route identically.
+
+        In a join, pass ``binding`` (the partitioned table's alias) and
+        ``ambiguous`` (True when another joined table also has a column
+        named like the key): pins then only count when they demonstrably
+        reference the partitioned table.
+        """
+        key_col = self._keys.get(table.lower())
+        if key_col is None:
+            return list(self.shard_names)
+        col_type = schema.column(key_col).col_type
+        for conjunct in conjuncts:
+            exprs = _key_pinning_exprs(conjunct, key_col, binding, ambiguous)
+            if exprs is None:
+                continue
+            try:
+                values = [
+                    coerce(_eval_const(e, params), col_type) for e in exprs
+                ]
+            except (TypeCoercionError, IndexError):
+                continue  # un-coercible constant: cannot prune safely
+            # NULL never equals anything, so NULL pins contribute no
+            # owners; ``IN (1, NULL)`` must still visit 1's shard.
+            non_null = [v for v in values if v is not None]
+            if not non_null:
+                # ``key = NULL`` matches nothing; any one shard can
+                # faithfully produce the empty result.
+                return [self.shard_names[0]]
+            owners = {self.shard_for_value(v) for v in non_null}
+            return [n for n in self.shard_names if n in owners]
+        return list(self.shard_names)
+
+
+def _is_key_ref(
+    expr: Expr, key_col: str, binding: str | None, ambiguous: bool
+) -> bool:
+    """Does ``expr`` reference the shard-key column of the routed table?
+
+    With ``binding`` set (join context), a qualified reference must use
+    that binding, and an unqualified one only counts when no other
+    joined table shares the column name.
+    """
+    if not (isinstance(expr, ColumnRef) and expr.column.lower() == key_col):
+        return False
+    if expr.qualifier is not None:
+        return binding is None or expr.qualifier.lower() == binding
+    return not ambiguous
+
+
+def _key_pinning_exprs(
+    conjunct: Expr,
+    key_col: str,
+    binding: str | None = None,
+    ambiguous: bool = False,
+) -> list[Expr] | None:
+    """The constant expressions a conjunct pins the shard key to, if any."""
+    if isinstance(conjunct, BinaryOp) and conjunct.op in ("=", "=="):
+        sides = [(conjunct.left, conjunct.right), (conjunct.right, conjunct.left)]
+        for col_side, val_side in sides:
+            if _is_key_ref(col_side, key_col, binding, ambiguous) and isinstance(
+                val_side, (Literal, Param)
+            ):
+                return [val_side]
+        return None
+    if (
+        isinstance(conjunct, InList)
+        and not conjunct.negated
+        and _is_key_ref(conjunct.operand, key_col, binding, ambiguous)
+        and all(isinstance(item, (Literal, Param)) for item in conjunct.items)
+    ):
+        return list(conjunct.items)
+    return None
+
+
+def _eval_const(expr: Expr, params: Sequence[Any]) -> Any:
+    if isinstance(expr, Literal):
+        return expr.value
+    assert isinstance(expr, Param)
+    return params[expr.index]
+
+
+class BroadcastRowsNode(PlanNode):
+    """A join side replicated to every shard (the smaller relation).
+
+    Holds the full gathered table; the pushed-down single-table filter the
+    planner computed still applies here, per shard, so broadcast sides keep
+    predicate pushdown semantics.
+    """
+
+    def __init__(
+        self,
+        binding: str,
+        schema: TableSchema,
+        rows: Sequence[tuple],
+        filter_fn: Any,
+    ):
+        self.layout = Layout.for_table(binding, schema.column_names)
+        self.binding = binding
+        self.table = schema.name
+        self._rows = rows
+        self.filter_fn = filter_fn
+
+    def describe(self) -> str:
+        return f"Broadcast({self.table} AS {self.binding}, {len(self._rows)} rows)"
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        filter_fn = self.filter_fn
+        if filter_fn is None:
+            yield from self._rows
+            return
+        for values in self._rows:
+            if filter_fn(values, ctx.params) is True:
+                yield values
+
+
+#: Aggregates with a partial/final decomposition (DISTINCT forms excluded).
+_COMBINE_NAMES = {"COUNT": "SUM", "SUM": "SUM", "MIN": "MIN", "MAX": "MAX"}
+
+
+class _AggDecomposition:
+    """Partial/final split of one aggregate query (built once, cached)."""
+
+    __slots__ = ("partial_stmt", "final_stmt", "partial_layout", "final_entry")
+
+    def __init__(
+        self,
+        partial_stmt: SelectStmt,
+        final_stmt: SelectStmt,
+        partial_layout: Layout,
+    ):
+        self.partial_stmt = partial_stmt
+        self.final_stmt = final_stmt
+        self.partial_layout = partial_layout
+        #: Lazily compiled coordinator combine plan (see _merge_rows).
+        self.final_entry: dict[str, Any] | None = None
+
+
+def decompose_aggregate_stmt(stmt: SelectStmt) -> _AggDecomposition | None:
+    """Split a single-table aggregate SELECT into partial and final stages.
+
+    The partial statement runs on every target shard (grouping locally and
+    computing per-shard partial aggregates); the final statement re-groups
+    the partial rows at the coordinator using combine aggregates:
+    ``COUNT -> SUM of counts``, ``SUM -> SUM``, ``MIN/MAX -> MIN/MAX``,
+    ``AVG -> SUM of sums / SUM of counts``. Returns None when the query
+    has no aggregation or is not decomposable (DISTINCT aggregates).
+    """
+    if stmt.joins or stmt.from_table is None:
+        return None
+    if any(item.star for item in stmt.items):
+        return None  # star projections never aggregate
+    exprs: list[Expr | None] = [item.expr for item in stmt.items]
+    exprs.append(stmt.having)
+    exprs.extend(item.expr for item in stmt.order_by)
+    aggregates = planner.find_aggregates(exprs)
+    if not aggregates and not stmt.group_by:
+        return None
+    if any(agg.distinct for agg in aggregates):
+        return None
+
+    group_exprs = list(stmt.group_by)
+    partial_items: list[SelectItem] = []
+    mapping: dict[str, Expr] = {}
+    for i, group_expr in enumerate(group_exprs):
+        name = f"_g{i}"
+        partial_items.append(SelectItem(expr=group_expr, alias=name))
+        mapping[group_expr.sql()] = ColumnRef(name)
+
+    counter = 0
+
+    def partial_column(expr: Expr) -> ColumnRef:
+        nonlocal counter
+        name = f"_p{counter}"
+        counter += 1
+        partial_items.append(SelectItem(expr=expr, alias=name))
+        return ColumnRef(name)
+
+    for agg in aggregates:
+        key = agg.sql()
+        if agg.name == "AVG":
+            arg = agg.args[0]
+            total = FuncCall("SUM", [partial_column(FuncCall("SUM", [arg]))])
+            count = FuncCall("SUM", [partial_column(FuncCall("COUNT", [arg]))])
+            # AVG over zero non-null inputs is NULL; guard the division.
+            # The 1.0 factor forces float division: SQL "/" keeps exact
+            # int/int results integral, but native AVG always divides to
+            # a float.
+            mapping[key] = Case(
+                [(IsNull(total), Literal(None))],
+                BinaryOp("/", BinaryOp("*", Literal(1.0), total), count),
+            )
+        else:
+            combine = _COMBINE_NAMES[agg.name]
+            mapping[key] = FuncCall(combine, [partial_column(agg)])
+
+    partial_stmt = SelectStmt(
+        items=partial_items,
+        from_table=stmt.from_table,
+        where=stmt.where,
+        group_by=group_exprs,
+        param_count=stmt.param_count,
+    )
+    final_stmt = SelectStmt(
+        items=[
+            SelectItem(
+                expr=planner.substitute_by_sql(item.expr, mapping),
+                alias=item.alias or _output_name(item.expr),
+            )
+            for item in stmt.items
+        ],
+        distinct=stmt.distinct,
+        group_by=[ColumnRef(f"_g{i}") for i in range(len(group_exprs))],
+        having=(
+            planner.substitute_by_sql(stmt.having, mapping)
+            if stmt.having is not None
+            else None
+        ),
+        order_by=[
+            OrderItem(planner.substitute_by_sql(item.expr, mapping), item.ascending)
+            for item in stmt.order_by
+        ],
+        limit=stmt.limit,
+        offset=stmt.offset,
+        param_count=stmt.param_count,
+    )
+    partial_layout = Layout()
+    for item in partial_items:
+        partial_layout.add(None, item.alias)
+    return _AggDecomposition(partial_stmt, final_stmt, partial_layout)
+
+
+def _output_name(expr: Expr) -> str:
+    return expr.column if isinstance(expr, ColumnRef) else expr.sql()
+
+
+class ShardedDatabase:
+    """N hash-partitioned stores behind a single-database ``execute`` API.
+
+    DDL applies to every shard (so schemas and indexes stay uniform); DML
+    routes by shard key and commits through 2PC when it spans shards;
+    SELECTs scatter to the owning shards and merge at the coordinator.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        name: str = "sharded",
+        shard_keys: dict[str, str] | None = None,
+        databases: Sequence[Database] | None = None,
+    ):
+        if databases is not None:
+            shards = list(databases)
+        else:
+            if n_shards < 1:
+                raise SchemaError("a sharded database needs at least one shard")
+            shards = [Database(name=f"{name}-shard{i}") for i in range(n_shards)]
+        self.name = name
+        self.shards = shards
+        self.store_names = [f"shard{i}" for i in range(len(shards))]
+        self._by_name = dict(zip(self.store_names, shards))
+        self.coordinator = MultiStoreCoordinator(self._by_name)
+        self.router = ShardRouter(self.store_names)
+        #: Explicit shard-key choices (table -> column), consulted before
+        #: falling back to the primary key / first column at CREATE TABLE.
+        self._shard_key_hints = {
+            k.lower(): v.lower() for k, v in (shard_keys or {}).items()
+        }
+        self._agg_cache: dict[tuple, _AggDecomposition | None] = {}
+        #: Compiled scatter-gather plans (per-shard FROM/WHERE nodes plus
+        #: the coordinator merge plan) keyed by (sql, epochs, isolation).
+        self._select_cache: dict[tuple, dict[str, Any]] = {}
+        if databases is not None:
+            self._adopt_existing_tables()
+        #: Counters for the distributed execution paths. Global 2PC
+        #: commit counts live on the coordinator (``global_csn`` /
+        #: ``len(aligned_log)``), not here.
+        self.stats = {
+            "routed_statements": 0,  # pruned to a strict shard subset
+            "fanout_statements": 0,  # hit every shard
+            "partial_agg_queries": 0,
+            "broadcast_joins": 0,
+        }
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _adopt_existing_tables(self) -> None:
+        """Register tables already present on adopted databases.
+
+        ``databases=`` hands the facade pre-built stores; their catalogs
+        must agree (DDL keeps them uniform from here on) and every table
+        needs a shard key before any statement can route.
+        """
+        def catalog_shape(shard: Database) -> dict[str, tuple[str, tuple]]:
+            """Table -> (schema DDL, index definitions) for comparison."""
+            shape = {}
+            for name in shard.catalog.table_names():
+                canonical = shard.catalog.resolve(name)
+                indexes = tuple(
+                    sorted(
+                        (
+                            index_name,
+                            type(index).__name__,
+                            tuple(index.columns),
+                            getattr(index, "unique", False),
+                        )
+                        for index_name, index in shard.index_set(
+                            canonical
+                        ).indexes.items()
+                    )
+                )
+                shape[canonical] = (shard.catalog.get(canonical).ddl(), indexes)
+            return shape
+
+        reference_shape = catalog_shape(self.shards[0])
+        reference = sorted(reference_shape)
+        for store, shard in self.named_shards():
+            shape = catalog_shape(shard)
+            if shape != reference_shape:
+                raise SchemaError(
+                    f"adopted store {store} diverges from shard0's schema "
+                    "(tables, column layouts, and indexes must be "
+                    "uniform across shards)"
+                )
+        for table in reference:
+            schema = self.shards[0].catalog.get(table)
+            self._register_shard_key(schema, None)
+            # Adopted unique indexes obey the same co-location rule the
+            # DDL path enforces: per-shard uniqueness is only global
+            # uniqueness when the shard key is among the indexed columns.
+            key_col = self.router.key_column(table)
+            for index_name, index in self.shards[0].index_set(table).indexes.items():
+                if getattr(index, "unique", False) and key_col not in {
+                    column.lower() for column in index.columns
+                }:
+                    raise SchemaError(
+                        f"adopted unique index {index_name} on {table}"
+                        f"({', '.join(index.columns)}) does not include "
+                        f"the shard key {key_col!r}; per-shard indexes "
+                        "cannot enforce it across shards"
+                    )
+            # Pre-existing rows must already sit on their hash owner:
+            # data loaded under a different shard count, order, or
+            # placement scheme would silently dodge key-routed reads
+            # and DML.
+            for store, shard in self.named_shards():
+                for _row_id, values in shard.store(table).scan(None):
+                    owner = self.router.shard_for_row(table, schema, values)
+                    if owner != store:
+                        key_col = self.router.key_column(table)
+                        key_val = values[schema.index_of(key_col)]
+                        raise SchemaError(
+                            f"adopted store {store} holds {table} row with "
+                            f"{key_col}={key_val!r}, which hashes to "
+                            f"{owner}; re-partition the data before "
+                            "adopting it"
+                        )
+
+    def _epochs(self) -> tuple[int, ...]:
+        return tuple(shard.catalog_epoch for shard in self.shards)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def named_shards(self) -> list[tuple[str, Database]]:
+        return list(zip(self.store_names, self.shards))
+
+    def shard_named(self, name: str) -> Database:
+        return self._by_name[name]
+
+    @property
+    def catalog(self):
+        """The logical catalog (shard 0's; DDL keeps all shards uniform)."""
+        return self.shards[0].catalog
+
+    @property
+    def last_global_csn(self) -> int:
+        return self.coordinator.global_csn
+
+    @property
+    def time_travel(self) -> ShardedTimeTravel:
+        return ShardedTimeTravel(self)
+
+    def begin(
+        self,
+        isolation: IsolationLevel = IsolationLevel.SERIALIZABLE,
+        info: dict[str, Any] | None = None,
+    ) -> GlobalTransaction:
+        gtxn = self.coordinator.begin(isolation=isolation, info=info)
+        if isolation is IsolationLevel.SNAPSHOT:
+            # SNAPSHOT consistency lives in each branch's snapshot CSN.
+            # Begin every branch now, at one point in the global commit
+            # order; joining lazily would let a 2PC commit land between
+            # two branches' snapshots and be observed half-applied (a
+            # torn cross-shard read). SERIALIZABLE needs no eager join
+            # (2PL blocks such interleavings) and READ_COMMITTED
+            # refreshes per statement by design.
+            for store in self.store_names:
+                gtxn.on(store)
+        return gtxn
+
+    def _parse(self, sql: str) -> Statement:
+        # Shard 0's statement cache serves the whole facade (identical
+        # SQL text parses identically everywhere).
+        return self.shards[0]._parse(sql)
+
+    def _note_targets(self, targets: Sequence[str]) -> None:
+        if len(targets) < len(self.store_names):
+            self.stats["routed_statements"] += 1
+        else:
+            self.stats["fanout_statements"] += 1
+
+    # -- the Database-compatible surface -------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        txn: GlobalTransaction | None = None,
+    ) -> ResultSet:
+        """Execute one statement; multi-shard writes autocommit via 2PC.
+
+        DML results merge per-shard ``row_ids``; each id is meaningful
+        only within its owning shard's id space (ids from different
+        shards may collide), so correlate rows by shard key, not row id.
+        """
+        stmt = self._parse(sql)
+        if isinstance(
+            stmt, (CreateTableStmt, DropTableStmt, CreateIndexStmt, DropIndexStmt)
+        ):
+            return self._execute_ddl(stmt, sql, params)
+        if stmt.param_count != len(params):
+            raise ExecutionError(
+                f"statement expects {stmt.param_count} parameter(s), "
+                f"got {len(params)}"
+            )
+        if isinstance(stmt, SelectStmt):
+            if txn is not None:
+                return self._execute_select(stmt, params, self._branch_getter(txn), sql)
+            ephemeral: dict[str, Transaction] = {}
+
+            def get_txn(store: str) -> Transaction:
+                if store not in ephemeral:
+                    ephemeral[store] = self._by_name[store].begin()
+                return ephemeral[store]
+
+            try:
+                return self._execute_select(stmt, params, get_txn, sql)
+            finally:
+                for branch in ephemeral.values():
+                    branch.abort()
+        autocommit = txn is None
+        gtxn = txn if txn is not None else self.begin()
+        try:
+            if isinstance(stmt, InsertStmt):
+                result = self._execute_insert(stmt, params, gtxn, sql)
+            elif isinstance(stmt, (UpdateStmt, DeleteStmt)):
+                result = self._execute_update_delete(stmt, params, gtxn, sql)
+            else:  # pragma: no cover - parser produces no other kinds
+                raise ExecutionError(f"cannot execute {type(stmt).__name__}")
+            if autocommit:
+                gtxn.commit()
+            return result
+        except Exception:
+            if autocommit:
+                gtxn.abort()
+            raise
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        return self.execute(sql, params)
+
+    def execute_as_of(
+        self, sql: str, global_csn: int, params: Sequence[Any] = ()
+    ) -> ResultSet:
+        """Run a SELECT against the cluster state at a global CSN.
+
+        The aligned commit log translates the global CSN onto each shard's
+        local CSN; every shard then answers from that local snapshot, so
+        the merged result is the transactionally consistent cross-shard
+        state the coordinator committed at that point.
+        """
+        stmt = self._parse(sql)
+        if not isinstance(stmt, SelectStmt):
+            raise ExecutionError("AS OF execution supports SELECT statements only")
+        if stmt.param_count != len(params):
+            raise ExecutionError(
+                f"statement expects {stmt.param_count} parameter(s), "
+                f"got {len(params)}"
+            )
+        local_csns = self.time_travel.local_csns_at(global_csn)
+        snapshots: dict[str, Transaction] = {}
+
+        def get_txn(store: str) -> Transaction:
+            if store not in snapshots:
+                shard = self._by_name[store]
+                if local_csns[store] < shard.history_horizon:
+                    raise TimeTravelError(
+                        f"global csn {global_csn} maps to {store} csn "
+                        f"{local_csns[store]}, which predates the vacuum "
+                        f"horizon ({shard.history_horizon})"
+                    )
+                branch = shard.begin(IsolationLevel.SNAPSHOT)
+                # Rewind the snapshot from "latest at begin" to the
+                # aligned-log position for this global CSN.
+                branch.snapshot_csn = local_csns[store]
+                snapshots[store] = branch
+            return snapshots[store]
+
+        try:
+            return self._execute_select(stmt, params, get_txn, sql)
+        finally:
+            for branch in snapshots.values():
+                branch.abort()
+
+    def table_rows(self, table: str) -> list[dict[str, Any]]:
+        """Latest committed rows across all shards, as column dicts."""
+        out: list[dict[str, Any]] = []
+        for shard in self.shards:
+            out.extend(shard.table_rows(table))
+        return out
+
+    def explain(self, sql: str, params: Sequence[Any] = ()) -> list[str]:
+        """The distributed strategy plus shard 0's local subplan.
+
+        Pass the statement's ``params`` to see the routing decision for a
+        parameterized point lookup; without them, a ``key = ?`` pin
+        cannot be evaluated and the plan conservatively shows full
+        fan-out.
+        """
+        stmt = self._parse(sql)
+        if not isinstance(stmt, SelectStmt):
+            raise ExecutionError("EXPLAIN supports SELECT statements only")
+        refs = stmt.table_refs()
+        lines: list[str] = []
+        if refs:
+            db0 = self.shards[0]
+            conjuncts = split_conjuncts(stmt.where)
+            if len(refs) == 1:
+                canonical = db0.catalog.resolve(refs[0].table)
+                schema = db0.catalog.get(canonical)
+                targets = self.router.routed_shards(
+                    canonical, schema, conjuncts, params
+                )
+                if decompose_aggregate_stmt(stmt) is not None:
+                    mode = "PartialAggregate"
+                else:
+                    mode = "ScatterGather"
+                lines.append(f"Sharded{mode}(targets=[{', '.join(targets)}])")
+            else:
+                part_binding, broadcast = self._join_split(stmt)
+                lines.append(
+                    "ShardedBroadcastJoin("
+                    f"partitioned={part_binding}, "
+                    f"broadcast=[{', '.join(sorted(broadcast))}], "
+                    f"targets=[{', '.join(self.store_names)}])"
+                )
+        txn = self.shards[0].txn_manager.begin()
+        try:
+            plan, _names = self.shards[0].select_plan(stmt, txn, None)
+            lines.extend(plan.explain(depth=1))
+        finally:
+            self.shards[0].txn_manager.abort(txn)
+        return lines
+
+    # -- DDL -----------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema, shard_key: str | None = None) -> None:
+        """Programmatic CREATE TABLE on every shard, registering the key."""
+        self._resolve_shard_key(schema, shard_key)  # validate before DDL
+        for shard in self.shards:
+            shard.create_table(schema)
+        self._register_shard_key(schema, shard_key)
+        self._agg_cache.clear()
+        self._select_cache.clear()
+
+    def _resolve_shard_key(
+        self, schema: TableSchema, shard_key: str | None
+    ) -> str:
+        """The validated shard-key column for a table's schema.
+
+        Uniqueness is enforced per shard by local indexes, so a UNIQUE or
+        PRIMARY KEY constraint can only be honored cluster-wide when the
+        shard key is one of its columns (all candidate duplicates then
+        hash to the same shard). Anything else is rejected up front
+        rather than silently accepting cross-shard duplicates.
+        """
+        key = (
+            shard_key
+            or self._shard_key_hints.get(schema.name.lower())
+            or (schema.primary_key[0] if schema.primary_key else None)
+            or schema.column_names[0]
+        ).lower()
+        if not schema.has_column(key):
+            raise SchemaError(
+                f"shard key {key!r} is not a column of {schema.name}"
+            )
+        for constraint in schema.unique_constraints:
+            if key not in {column.lower() for column in constraint}:
+                raise SchemaError(
+                    f"unique constraint on {schema.name}"
+                    f"({', '.join(constraint)}) does not include the shard "
+                    f"key {key!r}; per-shard indexes cannot enforce it "
+                    "across shards"
+                )
+        return key
+
+    def _register_shard_key(
+        self, schema: TableSchema, shard_key: str | None
+    ) -> None:
+        canonical = self.shards[0].catalog.resolve(schema.name)
+        self.router.register_table(
+            canonical, self._resolve_shard_key(schema, shard_key)
+        )
+
+    def _execute_ddl(
+        self, stmt: Statement, sql: str, params: Sequence[Any]
+    ) -> ResultSet:
+        if isinstance(stmt, DropTableStmt):
+            db0 = self.shards[0]
+            canonical = None
+            if db0.catalog.has_table(stmt.name):
+                canonical = db0.catalog.resolve(stmt.name)
+            # Drops validate against the (uniform) catalog on the first
+            # shard before mutating anything, so a failure cannot leave
+            # the cluster divergent.
+            for shard in self.shards:
+                shard.execute(sql, params)
+            if canonical is not None:
+                self.router.unregister_table(canonical)
+            self._agg_cache.clear()
+            self._select_cache.clear()
+            return ResultSet(kind="ddl")
+        db0 = self.shards[0]
+        if (
+            isinstance(stmt, CreateIndexStmt)
+            and stmt.unique
+            and db0.catalog.has_table(stmt.table)
+        ):
+            # Same co-location rule as table-level UNIQUE constraints:
+            # a per-shard unique index can only enforce global
+            # uniqueness when the shard key is among its columns.
+            key_col = self.router.key_column(db0.catalog.resolve(stmt.table))
+            if key_col is not None and key_col not in {
+                column.lower() for column in stmt.columns
+            }:
+                raise SchemaError(
+                    f"unique index {stmt.name} on {stmt.table}"
+                    f"({', '.join(stmt.columns)}) does not include the "
+                    f"shard key {key_col!r}; per-shard indexes cannot "
+                    "enforce it across shards"
+                )
+        preexisting: set[str] = set()
+        if isinstance(stmt, CreateTableStmt):
+            preexisting = {
+                store
+                for store, shard in self.named_shards()
+                if shard.catalog.has_table(stmt.name)
+            }
+        elif isinstance(stmt, CreateIndexStmt):
+            # IndexSet keys are lowercased; match them that way or a
+            # duplicate CREATE differing only in case would compensate
+            # away the genuinely pre-existing index.
+            preexisting = {
+                store
+                for store, shard in self.named_shards()
+                if shard.catalog.has_table(stmt.table)
+                and stmt.name.lower() in shard.index_set(stmt.table).indexes
+            }
+        try:
+            for i, shard in enumerate(self.shards):
+                shard.execute(sql, params)
+                if i == 0 and isinstance(stmt, CreateTableStmt):
+                    # Validate routing (shard key exists, unique
+                    # constraints include it) against the real schema
+                    # before committing the rest of the cluster to it.
+                    self._register_shard_key(
+                        self.shards[0].catalog.get(stmt.name), None
+                    )
+        except Exception:
+            # A mid-fan-out failure (a bad shard key, or CREATE UNIQUE
+            # INDEX hitting duplicates that only one shard's partition
+            # contains) must not leave some shards with schema the
+            # others lack: undo the statement everywhere, including the
+            # shard that failed half-populated.
+            self._compensate_create(stmt, preexisting)
+            raise
+        self._agg_cache.clear()
+        self._select_cache.clear()
+        return ResultSet(kind="ddl")
+
+    def _compensate_create(
+        self, stmt: Statement, preexisting: set[str]
+    ) -> None:
+        """Best-effort undo of a failed CREATE fan-out on every shard.
+
+        ``preexisting`` names the stores that already had the table
+        before this statement (IF NOT EXISTS no-ops there) — those are
+        left alone; everywhere else the created object is dropped.
+        """
+        for store, shard in self.named_shards():
+            if store in preexisting:
+                continue  # the object predates this statement; keep it
+            try:
+                if isinstance(stmt, CreateIndexStmt):
+                    shard.drop_index(stmt.name, stmt.table, if_exists=True)
+                elif isinstance(stmt, CreateTableStmt):
+                    shard.drop_table(stmt.name, if_exists=True)
+            except Exception:  # pragma: no cover - keep unwinding
+                pass
+        if isinstance(stmt, CreateTableStmt) and not preexisting:
+            self.router.unregister_table(stmt.name)
+
+    # -- SELECT --------------------------------------------------------------
+
+    def _branch_getter(self, gtxn: GlobalTransaction) -> TxnGetter:
+        started: set[str] = set()
+
+        def get_txn(store: str) -> Transaction:
+            branch = gtxn.on(store)
+            if store not in started:
+                branch.begin_statement()
+                started.add(store)
+            return branch
+
+        return get_txn
+
+    def _run_plan(
+        self,
+        shard: Database,
+        txn: Transaction,
+        plan: PlanNode,
+        params: Sequence[Any],
+        sql: str | None,
+    ) -> list[tuple]:
+        ctx = ExecContext(
+            database=shard,
+            txn=txn,
+            params=params,
+            query_text=sql or "",
+            track_reads=shard.track_reads,
+        )
+        rows = list(plan.rows(ctx))
+        if ctx.track_reads:
+            # Parity with Database._execute_select: a consulted-but-empty
+            # table still yields one null read record per shard.
+            for table in sorted(ctx.scanned_tables):
+                if not ctx.read_counts.get(table):
+                    txn.record_read(table, None, None, sql or "")
+        if shard.observers:
+            # TROD interposition parity: each shard's observers see the
+            # statement trace for the work executed on that shard.
+            shard.notify(
+                "statement_executed",
+                txn,
+                StatementTrace(
+                    sql=sql or "",
+                    kind="select",
+                    reads=txn.statement_reads(),
+                    rowcount=len(rows),
+                ),
+            )
+        return rows
+
+    def _coordinator_rows(
+        self,
+        stmt: SelectStmt,
+        source: RowsNode,
+        params: Sequence[Any],
+        sql: str | None,
+    ) -> ResultSet:
+        plan, out_names = plan_projection(stmt, source, source.layout)
+        ctx = ExecContext(
+            database=self.shards[0],
+            txn=None,  # type: ignore[arg-type]  # merge nodes never touch it
+            params=params,
+            query_text=sql or "",
+            track_reads=False,
+        )
+        return ResultSet(
+            columns=out_names, rows=list(plan.rows(ctx)), kind="select"
+        )
+
+    def _execute_select(
+        self,
+        stmt: SelectStmt,
+        params: Sequence[Any],
+        get_txn: TxnGetter,
+        sql: str | None,
+    ) -> ResultSet:
+        refs = stmt.table_refs()
+        if not refs:
+            # FROM-less SELECT: any one shard answers it.
+            store = self.store_names[0]
+            return execute_statement(
+                self.shards[0], get_txn(store), stmt, params, sql or ""
+            )
+        db0 = self.shards[0]
+        conjuncts = split_conjuncts(stmt.where)
+
+        if len(refs) == 1:
+            canonical = db0.catalog.resolve(refs[0].table)
+            schema = db0.catalog.get(canonical)
+            targets = self.router.routed_shards(canonical, schema, conjuncts, params)
+            self._note_targets(targets)
+            partial = self._partial_aggregate(stmt, params, targets, get_txn, sql)
+            if partial is not None:
+                return partial
+            return self._scatter_gather(stmt, params, targets, get_txn, sql)
+
+        # Join path: broadcast nodes embed this execution's gathered
+        # rows, so these plans are rebuilt per statement. A WHERE pin on
+        # the partitioned table's shard key still prunes the partitioned
+        # scans (broadcast sides gather from every shard regardless —
+        # their rows live everywhere).
+        split = self._join_split(stmt)
+        targets = self._routed_join_targets(split, refs, conjuncts, params)
+        self._note_targets(targets)
+        scan_factory = self._broadcast_factory(stmt, params, get_txn, sql, split)
+        gathered: list[tuple] = []
+        layout: Layout | None = None
+        for store in targets:
+            shard = self._by_name[store]
+            branch = get_txn(store)
+            node = build_from_where(stmt, shard, branch, scan_factory=scan_factory)
+            if layout is None:
+                layout = node.layout
+            gathered.extend(self._run_plan(shard, branch, node, params, sql))
+        assert layout is not None
+        return self._coordinator_rows(
+            stmt, RowsNode(layout, gathered, label="ShardGather"), params, sql
+        )
+
+    def _scatter_gather(
+        self,
+        stmt: SelectStmt,
+        params: Sequence[Any],
+        targets: Sequence[str],
+        get_txn: TxnGetter,
+        sql: str | None,
+    ) -> ResultSet:
+        """Single-table scatter with cached per-shard and merge plans.
+
+        Per-shard FROM/WHERE nodes and the coordinator projection carry
+        no per-execution state, so they cache exactly like single-node
+        plans: keyed by (sql, catalog epochs, isolation), with the
+        gathered rows swapped into the shared RowsNode per execution.
+        """
+        first = get_txn(targets[0])
+        key = (
+            ("select", sql, self._epochs(), first.isolation)
+            if sql is not None
+            else None
+        )
+        entry = self._select_cache.get(key) if key is not None else None
+        if entry is None:
+            node0 = build_from_where(stmt, self._by_name[targets[0]], first)
+            source = RowsNode(node0.layout, (), label="ShardGather")
+            plan, names = plan_projection(stmt, source, node0.layout)
+            entry = {
+                "nodes": {targets[0]: node0},
+                "source": source,
+                "plan": plan,
+                "names": names,
+            }
+            if key is not None:
+                if len(self._select_cache) >= _STMT_CACHE_LIMIT:
+                    self._select_cache.clear()
+                self._select_cache[key] = entry
+        gathered: list[tuple] = []
+        for store in targets:
+            branch = get_txn(store)
+            node = entry["nodes"].get(store)
+            if node is None:
+                node = build_from_where(stmt, self._by_name[store], branch)
+                entry["nodes"][store] = node
+            gathered.extend(
+                self._run_plan(self._by_name[store], branch, node, params, sql)
+            )
+        return self._merge_rows(entry, gathered, params, sql)
+
+    def _merge_rows(
+        self,
+        entry: dict[str, Any],
+        gathered: list[tuple],
+        params: Sequence[Any],
+        sql: str | None,
+    ) -> ResultSet:
+        """Run a cached coordinator plan over this execution's rows."""
+        source: RowsNode = entry["source"]
+        source.set_rows(gathered)
+        try:
+            ctx = ExecContext(
+                database=self.shards[0],
+                txn=None,  # type: ignore[arg-type]  # merge nodes never touch it
+                params=params,
+                query_text=sql or "",
+                track_reads=False,
+            )
+            rows = list(entry["plan"].rows(ctx))
+        finally:
+            source.set_rows(())  # don't pin gathered rows in the cache
+        return ResultSet(columns=entry["names"], rows=rows, kind="select")
+
+    def _routed_join_targets(
+        self,
+        split: tuple[str, set[str]],
+        refs: Sequence[Any],
+        conjuncts: Sequence[Expr],
+        params: Sequence[Any],
+    ) -> list[str]:
+        """Shards whose partitioned-table partition a join must scan."""
+        db0 = self.shards[0]
+        part_binding, _broadcast = split
+        part_ref = next(r for r in refs if r.binding.lower() == part_binding)
+        canonical = db0.catalog.resolve(part_ref.table)
+        schema = db0.catalog.get(canonical)
+        key_col = self.router.key_column(canonical)
+        if key_col is None:
+            return list(self.store_names)
+        ambiguous = any(
+            r.binding.lower() != part_binding
+            and db0.catalog.get(r.table).has_column(key_col)
+            for r in refs
+        )
+        return self.router.routed_shards(
+            canonical, schema, conjuncts, params,
+            binding=part_binding, ambiguous=ambiguous,
+        )
+
+    def _join_split(self, stmt: SelectStmt) -> tuple[str, set[str]]:
+        """Pick the partitioned binding; everything else broadcasts.
+
+        LEFT joins force the FROM table to stay partitioned (its rows must
+        appear exactly once across shards for null-extension to be
+        correct); otherwise the largest table by total committed rows
+        stays put and the smaller sides travel.
+        """
+        refs = stmt.table_refs()
+        db0 = self.shards[0]
+        if any(join.kind == "left" for join in stmt.joins):
+            part = refs[0].binding.lower()
+        else:
+            def total_rows(ref) -> int:
+                canonical = db0.catalog.resolve(ref.table)
+                return sum(s.store(canonical).row_count(None) for s in self.shards)
+
+            part = max(refs, key=total_rows).binding.lower()
+        broadcast = {r.binding.lower() for r in refs if r.binding.lower() != part}
+        return part, broadcast
+
+    def _broadcast_factory(
+        self,
+        stmt: SelectStmt,
+        params: Sequence[Any],
+        get_txn: TxnGetter,
+        sql: str | None,
+        split: tuple[str, set[str]],
+    ):
+        part_binding, broadcast_bindings = split
+        self.stats["broadcast_joins"] += 1
+        db0 = self.shards[0]
+        # Gather each broadcast table once, from every shard, under the
+        # statement's transaction branches (so a join sees this global
+        # transaction's own uncommitted writes too). Read provenance is
+        # recorded here, at gather time — each row is read once from its
+        # owning shard, however many shard-local joins it then feeds.
+        broadcast_rows: dict[str, list[tuple]] = {}
+        for ref in stmt.table_refs():
+            if ref.binding.lower() == part_binding:
+                continue
+            canonical = db0.catalog.resolve(ref.table)
+            if canonical in broadcast_rows:
+                continue
+            rows: list[tuple] = []
+            for store in self.store_names:
+                branch = get_txn(store)
+                track = self._by_name[store].track_reads
+                gathered_here = 0
+                for row_id, values in branch.scan(canonical):
+                    rows.append(values)
+                    gathered_here += 1
+                    if track:
+                        branch.record_read(canonical, row_id, values, sql or "")
+                if track and gathered_here == 0:
+                    # Consulted-but-empty parity (Table 2's null reads).
+                    branch.record_read(canonical, None, None, sql or "")
+            broadcast_rows[canonical] = rows
+
+        def factory(binding, canonical, schema, filter_fn, probe, own_conjuncts):
+            if binding.lower() == part_binding:
+                return None  # partitioned side: default shard-local scan
+            return BroadcastRowsNode(
+                binding, schema, broadcast_rows[canonical], filter_fn
+            )
+
+        return factory
+
+    def _partial_aggregate(
+        self,
+        stmt: SelectStmt,
+        params: Sequence[Any],
+        targets: Sequence[str],
+        get_txn: TxnGetter,
+        sql: str | None,
+    ) -> ResultSet | None:
+        key = (sql, self.shards[0].catalog_epoch) if sql is not None else None
+        if key is not None and key in self._agg_cache:
+            decomposition = self._agg_cache[key]
+        else:
+            decomposition = decompose_aggregate_stmt(stmt)
+            if key is not None:
+                if len(self._agg_cache) >= _STMT_CACHE_LIMIT:
+                    self._agg_cache.clear()
+                self._agg_cache[key] = decomposition
+        if decomposition is None:
+            return None
+        self.stats["partial_agg_queries"] += 1
+        partial_rows: list[tuple] = []
+        for store in targets:
+            shard = self._by_name[store]
+            branch = get_txn(store)
+            plan, _names = shard.select_plan(
+                decomposition.partial_stmt,
+                branch,
+                f"#shard-partial#{sql}" if sql is not None else None,
+            )
+            partial_rows.extend(self._run_plan(shard, branch, plan, params, sql))
+        if decomposition.final_entry is None:
+            source = RowsNode(
+                decomposition.partial_layout, (), label="PartialAggGather"
+            )
+            plan, names = plan_projection(
+                decomposition.final_stmt, source, decomposition.partial_layout
+            )
+            decomposition.final_entry = {
+                "source": source, "plan": plan, "names": names,
+            }
+        return self._merge_rows(decomposition.final_entry, partial_rows, params, sql)
+
+    # -- DML -----------------------------------------------------------------
+
+    def _execute_insert(
+        self,
+        stmt: InsertStmt,
+        params: Sequence[Any],
+        gtxn: GlobalTransaction,
+        sql: str | None,
+    ) -> ResultSet:
+        db0 = self.shards[0]
+        canonical = db0.catalog.resolve(stmt.table)
+        schema = db0.catalog.get(canonical)
+        columns = stmt.columns or list(schema.column_names)
+        for column in columns:
+            schema.column(column)  # validates existence
+        get_txn = self._branch_getter(gtxn)
+
+        source_rows: list[dict[str, Any]]
+        if stmt.select is not None:
+            inner = self._execute_select(stmt.select, params, get_txn, None)
+            if len(inner.columns) != len(columns):
+                raise ExecutionError(
+                    f"INSERT ... SELECT supplies {len(inner.columns)} "
+                    f"column(s) for {len(columns)}"
+                )
+            source_rows = [dict(zip(columns, row)) for row in inner.rows]
+        else:
+            empty = Layout()
+            source_rows = []
+            for row_exprs in stmt.rows:
+                if len(row_exprs) != len(columns):
+                    raise ExecutionError(
+                        f"INSERT supplies {len(row_exprs)} values for "
+                        f"{len(columns)} column(s)"
+                    )
+                source_rows.append(
+                    {
+                        column: compile_expr(expr, empty)((), params)
+                        for column, expr in zip(columns, row_exprs)
+                    }
+                )
+
+        row_ids: list[int] = []
+        per_store: dict[str, list[int]] = {}
+        for values in source_rows:
+            coerced = schema.coerce_row(values)
+            store = self.router.shard_for_row(canonical, schema, coerced)
+            row_id = get_txn(store).insert(canonical, coerced)
+            row_ids.append(row_id)
+            per_store.setdefault(store, []).append(row_id)
+        for store, store_row_ids in per_store.items():
+            shard = self._by_name[store]
+            if shard.observers:
+                branch = gtxn.on(store)
+                shard.notify(
+                    "statement_executed",
+                    branch,
+                    StatementTrace(
+                        sql=sql or "",
+                        kind="insert",
+                        reads=branch.statement_reads(),
+                        writes=[
+                            ("insert", canonical, row_id)
+                            for row_id in store_row_ids
+                        ],
+                        rowcount=len(store_row_ids),
+                    ),
+                )
+        self._note_targets(sorted(per_store) if per_store else [self.store_names[0]])
+        return ResultSet(kind="insert", rowcount=len(row_ids), row_ids=row_ids)
+
+    def _execute_update_delete(
+        self,
+        stmt: UpdateStmt | DeleteStmt,
+        params: Sequence[Any],
+        gtxn: GlobalTransaction,
+        sql: str | None,
+    ) -> ResultSet:
+        db0 = self.shards[0]
+        canonical = db0.catalog.resolve(stmt.table.table)
+        schema = db0.catalog.get(canonical)
+        key_col = self.router.key_column(canonical)
+        if isinstance(stmt, UpdateStmt) and key_col is not None:
+            for column, _expr in stmt.assignments:
+                if column.lower() == key_col:
+                    raise ExecutionError(
+                        f"cannot UPDATE shard key column {canonical}.{key_col}; "
+                        "DELETE and re-INSERT to move a row between shards"
+                    )
+        conjuncts = split_conjuncts(stmt.where)
+        targets = self.router.routed_shards(canonical, schema, conjuncts, params)
+        self._note_targets(targets)
+        kind = "update" if isinstance(stmt, UpdateStmt) else "delete"
+        rowcount = 0
+        row_ids: list[int] = []
+        for store in targets:
+            # Route through the shard's own execute so statement
+            # boundaries (READ_COMMITTED refresh) and TROD's
+            # statement_executed observers behave exactly as on a
+            # single database.
+            result = self._by_name[store].execute(
+                sql, params, txn=gtxn.on(store)
+            )
+            rowcount += result.rowcount
+            row_ids.extend(result.row_ids)
+        return ResultSet(kind=kind, rowcount=rowcount, row_ids=row_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ShardedDatabase {self.name!r} shards={len(self.shards)} "
+            f"global_csn={self.coordinator.global_csn}>"
+        )

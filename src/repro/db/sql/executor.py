@@ -14,7 +14,7 @@ is exactly the shape of the paper's Table 2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
 from repro.db.expr import Expr, Literal, split_conjuncts
 from repro.db.result import ResultSet
@@ -95,6 +95,30 @@ class SingleRowNode(PlanNode):
 
     def describe(self) -> str:
         return "SingleRow"
+
+
+class RowsNode(PlanNode):
+    """Pre-materialized rows presented under a fixed layout.
+
+    The sharding layer gathers rows from shard-local plans and feeds them
+    into coordinator-side projection/aggregation through this node; it is
+    also the vehicle for broadcast join sides.
+    """
+
+    def __init__(self, layout: Layout, rows: Sequence[tuple], label: str = "Rows"):
+        self.layout = layout
+        self._rows = rows
+        self.label = label
+
+    def set_rows(self, rows: Sequence[tuple]) -> None:
+        """Swap in this execution's gathered rows (cached-plan reuse)."""
+        self._rows = rows
+
+    def describe(self) -> str:
+        return f"{self.label}({len(self._rows)} rows)"
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        yield from self._rows
 
 
 class ScanNode(PlanNode):
@@ -462,14 +486,40 @@ class LimitNode(PlanNode):
 # ---------------------------------------------------------------------------
 
 
+#: Builds the access-path node for one table reference. Receives the
+#: pieces the default planner computed (pushed-down filter, chosen index
+#: probe, the pushed conjuncts themselves); returning None falls back to
+#: a plain ScanNode. The sharding layer uses this to substitute broadcast
+#: row sources for non-partitioned join sides.
+ScanFactory = Callable[
+    [str, str, TableSchema, CompiledExpr | None, tuple | None, list[Expr]],
+    PlanNode | None,
+]
+
+
 def build_select_plan(
     stmt: SelectStmt, database: "Database", txn: "Transaction"
 ) -> tuple[PlanNode, list[str]]:
     if stmt.from_table is None:
         if stmt.joins:
             raise PlanningError("JOIN without FROM")
-        return _plan_projection(stmt, SingleRowNode(), Layout())
+        return plan_projection(stmt, SingleRowNode(), Layout())
+    plan = build_from_where(stmt, database, txn)
+    return plan_projection(stmt, plan, plan.layout)
 
+
+def build_from_where(
+    stmt: SelectStmt,
+    database: "Database",
+    txn: "Transaction",
+    scan_factory: ScanFactory | None = None,
+) -> PlanNode:
+    """The FROM/JOIN/WHERE portion of a SELECT plan (no projection).
+
+    Returns a node producing fully filtered joined rows in the combined
+    FROM layout. ``scan_factory`` lets callers substitute custom access
+    paths per table (see :data:`ScanFactory`).
+    """
     refs = stmt.table_refs()
     bindings: list[tuple[str, str, TableSchema]] = []  # (binding, canonical, schema)
     seen_bindings: set[str] = set()
@@ -504,7 +554,7 @@ def build_select_plan(
                 pushed.setdefault(owner, []).append(conjunct)
                 consumed.add(i)
 
-    def make_scan(binding: str, canonical: str, schema: TableSchema) -> ScanNode:
+    def make_scan(binding: str, canonical: str, schema: TableSchema) -> PlanNode:
         own_layout = Layout.for_table(binding, schema.column_names)
         own_conjuncts = pushed.get(binding.lower(), [])
         filter_fn = None
@@ -518,6 +568,12 @@ def build_select_plan(
                 )
             filter_fn = compile_expr(merged, own_layout)
         probe = _find_probe(database, canonical, schema, own_conjuncts, binding, txn)
+        if scan_factory is not None:
+            node = scan_factory(
+                binding, canonical, schema, filter_fn, probe, own_conjuncts
+            )
+            if node is not None:
+                return node
         scan = ScanNode(canonical, binding, schema, filter_fn, probe)
         if own_conjuncts:
             scan.filter_sql = " AND ".join(c.sql() for c in own_conjuncts)
@@ -583,7 +639,7 @@ def build_select_plan(
             plan, compile_expr(merged, plan.layout), sql=merged.sql()
         )
 
-    return _plan_projection(stmt, plan, plan.layout)
+    return plan
 
 
 def _find_probe(
@@ -687,9 +743,10 @@ def _flip_cmp(op: str) -> str | None:
     }.get(op)
 
 
-def _plan_projection(
+def plan_projection(
     stmt: SelectStmt, plan: PlanNode, input_layout: Layout
 ) -> tuple[PlanNode, list[str]]:
+    """Projection, aggregation, ORDER/DISTINCT/LIMIT on top of a row source."""
     # Expand stars into concrete expressions.
     proj: list[tuple[Expr, str]] = []
     for item in stmt.items:
@@ -872,9 +929,9 @@ def execute_statement(
     if isinstance(stmt, InsertStmt):
         return _execute_insert(database, txn, stmt, params)
     if isinstance(stmt, UpdateStmt):
-        return _execute_update(database, txn, stmt, params)
+        return _execute_update(database, txn, stmt, params, query_text)
     if isinstance(stmt, DeleteStmt):
-        return _execute_delete(database, txn, stmt, params)
+        return _execute_delete(database, txn, stmt, params, query_text)
     if isinstance(stmt, CreateTableStmt):
         return _execute_create_table(database, stmt, params)
     if isinstance(stmt, DropTableStmt):
@@ -966,17 +1023,38 @@ def _execute_insert(
     return ResultSet(kind="insert", rowcount=len(row_ids), row_ids=row_ids)
 
 
-def _execute_update(
-    database: "Database", txn: "Transaction", stmt: UpdateStmt, params: Sequence[Any]
-) -> ResultSet:
+def compile_update_plan(
+    database: "Database", stmt: UpdateStmt
+) -> tuple[CompiledExpr | None, list[tuple[int, Column, CompiledExpr]]]:
+    """Compiled WHERE predicate and assignment closures of an UPDATE."""
     schema = database.catalog.get(stmt.table.table)
-    binding = stmt.table.binding
-    layout = Layout.for_table(binding, schema.column_names)
+    layout = Layout.for_table(stmt.table.binding, schema.column_names)
     where_fn = compile_expr(stmt.where, layout) if stmt.where is not None else None
     assign = []
     for column, expr in stmt.assignments:
         col = schema.column(column)
         assign.append((schema.index_of(column), col, compile_expr(expr, layout)))
+    return where_fn, assign
+
+
+def compile_delete_plan(
+    database: "Database", stmt: DeleteStmt
+) -> CompiledExpr | None:
+    """Compiled WHERE predicate of a DELETE."""
+    schema = database.catalog.get(stmt.table.table)
+    layout = Layout.for_table(stmt.table.binding, schema.column_names)
+    return compile_expr(stmt.where, layout) if stmt.where is not None else None
+
+
+def _execute_update(
+    database: "Database",
+    txn: "Transaction",
+    stmt: UpdateStmt,
+    params: Sequence[Any],
+    query_text: str = "",
+) -> ResultSet:
+    schema = database.catalog.get(stmt.table.table)
+    where_fn, assign = database.dml_plan(stmt, query_text or None)
     matches = [
         (row_id, values)
         for row_id, values in txn.scan(stmt.table.table)
@@ -1000,11 +1078,13 @@ def _execute_update(
 
 
 def _execute_delete(
-    database: "Database", txn: "Transaction", stmt: DeleteStmt, params: Sequence[Any]
+    database: "Database",
+    txn: "Transaction",
+    stmt: DeleteStmt,
+    params: Sequence[Any],
+    query_text: str = "",
 ) -> ResultSet:
-    schema = database.catalog.get(stmt.table.table)
-    layout = Layout.for_table(stmt.table.binding, schema.column_names)
-    where_fn = compile_expr(stmt.where, layout) if stmt.where is not None else None
+    where_fn = database.dml_plan(stmt, query_text or None)
     matches = [
         row_id
         for row_id, values in txn.scan(stmt.table.table)

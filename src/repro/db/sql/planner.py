@@ -427,6 +427,48 @@ def find_aggregates(exprs: list[Expr | None]) -> list[FuncCall]:
     return list(seen.values())
 
 
+def map_children(expr: Expr, fn: Callable[[Expr], Expr]) -> Expr:
+    """Rebuild one expression node with ``fn`` applied to each subtree.
+
+    Leaves (and unknown node types) are returned as-is; recursion policy
+    stays with the caller, which is what lets both aggregate rewrites
+    below share this single structural walk.
+    """
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, fn(expr.left), fn(expr.right))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, fn(expr.operand))
+    if isinstance(expr, IsNull):
+        return IsNull(fn(expr.operand), negated=expr.negated)
+    if isinstance(expr, InList):
+        return InList(
+            fn(expr.operand), [fn(item) for item in expr.items], negated=expr.negated
+        )
+    if isinstance(expr, Between):
+        return Between(
+            fn(expr.operand), fn(expr.low), fn(expr.high), negated=expr.negated
+        )
+    if isinstance(expr, Like):
+        return Like(fn(expr.operand), fn(expr.pattern), negated=expr.negated)
+    if isinstance(expr, Case):
+        return Case(
+            [(fn(cond), fn(value)) for cond, value in expr.branches],
+            fn(expr.default) if expr.default else None,
+        )
+    if isinstance(expr, FuncCall):
+        return FuncCall(
+            expr.name,
+            [fn(a) for a in expr.args],
+            distinct=expr.distinct,
+            star=expr.star,
+        )
+    if isinstance(expr, (Literal, Param, ColumnRef, SlotRef, Star)):
+        return expr
+    # A new Expr node type must be taught here explicitly; passing it
+    # through silently would let column references escape rewrites.
+    raise PlanningError(f"cannot rewrite expression {expr!r}")
+
+
 def rewrite_aggregate_expr(
     expr: Expr,
     group_slots: dict[str, int],
@@ -449,60 +491,21 @@ def rewrite_aggregate_expr(
         raise PlanningError(
             f"column {expr.sql()} must appear in GROUP BY or inside an aggregate"
         )
-    if isinstance(expr, (Literal, Param, SlotRef)):
-        return expr
-    if isinstance(expr, BinaryOp):
-        return BinaryOp(
-            expr.op,
-            rewrite_aggregate_expr(expr.left, group_slots, agg_slots),
-            rewrite_aggregate_expr(expr.right, group_slots, agg_slots),
-        )
-    if isinstance(expr, UnaryOp):
-        return UnaryOp(
-            expr.op, rewrite_aggregate_expr(expr.operand, group_slots, agg_slots)
-        )
-    if isinstance(expr, IsNull):
-        return IsNull(
-            rewrite_aggregate_expr(expr.operand, group_slots, agg_slots),
-            negated=expr.negated,
-        )
-    if isinstance(expr, InList):
-        return InList(
-            rewrite_aggregate_expr(expr.operand, group_slots, agg_slots),
-            [rewrite_aggregate_expr(i, group_slots, agg_slots) for i in expr.items],
-            negated=expr.negated,
-        )
-    if isinstance(expr, Between):
-        return Between(
-            rewrite_aggregate_expr(expr.operand, group_slots, agg_slots),
-            rewrite_aggregate_expr(expr.low, group_slots, agg_slots),
-            rewrite_aggregate_expr(expr.high, group_slots, agg_slots),
-            negated=expr.negated,
-        )
-    if isinstance(expr, Like):
-        return Like(
-            rewrite_aggregate_expr(expr.operand, group_slots, agg_slots),
-            rewrite_aggregate_expr(expr.pattern, group_slots, agg_slots),
-            negated=expr.negated,
-        )
-    if isinstance(expr, Case):
-        return Case(
-            [
-                (
-                    rewrite_aggregate_expr(cond, group_slots, agg_slots),
-                    rewrite_aggregate_expr(value, group_slots, agg_slots),
-                )
-                for cond, value in expr.branches
-            ],
-            rewrite_aggregate_expr(expr.default, group_slots, agg_slots)
-            if expr.default
-            else None,
-        )
-    if isinstance(expr, FuncCall):
-        return FuncCall(
-            expr.name,
-            [rewrite_aggregate_expr(a, group_slots, agg_slots) for a in expr.args],
-            distinct=expr.distinct,
-            star=expr.star,
-        )
-    raise PlanningError(f"cannot rewrite {expr!r} over GROUP BY")  # pragma: no cover
+    return map_children(
+        expr, lambda child: rewrite_aggregate_expr(child, group_slots, agg_slots)
+    )
+
+
+def substitute_by_sql(expr: Expr, mapping: dict[str, Expr]) -> Expr:
+    """Replace subtrees whose SQL text appears in ``mapping``.
+
+    The sharded aggregate pushdown uses this to rebuild final-stage
+    expressions over partial-aggregate columns: group-by expressions map
+    to partial group columns and aggregate calls map to combine
+    expressions (e.g. ``COUNT(x)`` -> ``SUM(_p0)``). Unmapped leaves pass
+    through untouched; the final aggregate rewrite validates them.
+    """
+    key = expr.sql()
+    if key in mapping:
+        return mapping[key]
+    return map_children(expr, lambda child: substitute_by_sql(child, mapping))

@@ -11,10 +11,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Iterable
 
-from repro.errors import TimeTravelError
+from repro.errors import TimeTravelError, TransactionError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.db.database import Database
+    from repro.db.sharding import ShardedDatabase
 
 
 class TimeTravel:
@@ -101,3 +102,51 @@ class TimeTravel:
             target.bulk_load(schema.name, rows)
             counts[schema.name] = len(rows)
         return counts
+
+
+class ShardedTimeTravel:
+    """Historical reads over a :class:`~repro.db.sharding.ShardedDatabase`.
+
+    A global CSN (a position in the coordinator's aligned commit log)
+    translates onto per-shard local CSNs, and each shard answers from its
+    own version store at that local position — so an ``AS OF`` read sees
+    exactly the cross-shard state some global commit produced, never a
+    torn state with one shard ahead of another.
+    """
+
+    def __init__(self, sharded: "ShardedDatabase"):
+        self._sharded = sharded
+
+    def local_csns_at(self, global_csn: int) -> dict[str, int]:
+        """Per-shard local commit positions for a global CSN."""
+        try:
+            return self._sharded.coordinator.local_csns_at(global_csn)
+        except TransactionError as exc:
+            raise TimeTravelError(str(exc)) from None
+
+    def rows_as_of(self, table: str, global_csn: int) -> list[dict[str, Any]]:
+        """All rows of ``table`` across shards, as of a global commit."""
+        local_csns = self.local_csns_at(global_csn)
+        out: list[dict[str, Any]] = []
+        for store, shard in self._sharded.named_shards():
+            schema = shard.catalog.get(table)
+            out.extend(
+                schema.row_dict(values)
+                for _row_id, values in TimeTravel(shard).rows_as_of(
+                    table, local_csns[store]
+                )
+            )
+        return out
+
+    def state_as_of(
+        self, global_csn: int, tables: Iterable[str] | None = None
+    ) -> dict[str, list[dict[str, Any]]]:
+        """Merged cross-shard snapshot of selected tables at a global CSN."""
+        local_csns = self.local_csns_at(global_csn)
+        out: dict[str, list[dict[str, Any]]] = {}
+        for store, shard in self._sharded.named_shards():
+            for name, rows in TimeTravel(shard).state_as_of(
+                local_csns[store], tables
+            ).items():
+                out.setdefault(name, []).extend(rows)
+        return out

@@ -7,6 +7,7 @@ from repro.workload.generators import (
     MediaWikiWorkload,
     ProfileWorkload,
     ProvenanceFiller,
+    ShardedWorkload,
 )
 from repro.workload.harness import Timer, render_table, summarize_us
 
@@ -16,6 +17,7 @@ __all__ = [
     "MediaWikiWorkload",
     "ProfileWorkload",
     "ProvenanceFiller",
+    "ShardedWorkload",
     "Timer",
     "UniformSampler",
     "ZipfSampler",

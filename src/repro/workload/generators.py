@@ -164,6 +164,102 @@ class ProfileWorkload:
                 yield Request("viewProfile", (victim,), auth_user=victim)
 
 
+class ShardedWorkload:
+    """A key-value mix exercising a hash-sharded cluster end to end.
+
+    Deterministic stream of point reads (routed to one shard), range
+    scans and aggregates (scatter-gather), single-key updates, and
+    cross-key transfers — the transfers routinely span shards, so they
+    commit through the coordinator's 2PC and populate the aligned log.
+    Key popularity is Zipfian, matching the skew real key-value traffic
+    shows (hot keys concentrate on a few shards).
+    """
+
+    TABLE_DDL = "CREATE TABLE accounts (acct INTEGER, balance FLOAT, owner TEXT)"
+
+    def __init__(self, n_keys: int = 500, theta: float = 0.99, seed: int = 0):
+        self.n_keys = n_keys
+        self._keys = ZipfSampler(n_keys, theta=theta, seed=seed)
+        self._mix = UniformSampler(100, seed=seed + 1)
+        self._spans = UniformSampler(max(2, n_keys // 10), seed=seed + 2)
+
+    def seed_database(self, sharded) -> None:
+        """Create and load the accounts table (not part of measurements)."""
+        sharded.execute(self.TABLE_DDL)
+        gtxn = sharded.begin()
+        for key in range(self.n_keys):
+            sharded.execute(
+                "INSERT INTO accounts VALUES (?, ?, ?)",
+                (key, 100.0, f"owner-{key}"),
+                txn=gtxn,
+            )
+        gtxn.commit()
+
+    def operations(
+        self,
+        count: int,
+        read_ratio: float = 0.5,
+        scan_ratio: float = 0.2,
+    ) -> Iterator[tuple]:
+        """``(kind, *args)`` tuples: point / scan / aggregate / transfer."""
+        read_mark = int(read_ratio * 100)
+        scan_mark = read_mark + int(scan_ratio * 100)
+        for _ in range(count):
+            roll = self._mix.sample()
+            key = self._keys.sample()
+            if roll < read_mark:
+                yield ("point", key)
+            elif roll < scan_mark:
+                if roll % 2 == 0:
+                    yield ("scan", key, key + self._spans.sample() + 1)
+                else:
+                    yield ("aggregate",)
+            else:
+                other = (key + self._spans.sample() + 1) % self.n_keys
+                if other == key:
+                    yield ("point", key)
+                else:
+                    yield ("transfer", key, other, 1.0)
+
+    def apply(self, sharded, op: tuple) -> None:
+        """Execute one operation against a :class:`ShardedDatabase`."""
+        kind = op[0]
+        if kind == "point":
+            sharded.execute(
+                "SELECT balance FROM accounts WHERE acct = ?", (op[1],)
+            )
+        elif kind == "scan":
+            sharded.execute(
+                "SELECT acct, balance FROM accounts "
+                "WHERE acct >= ? AND acct < ? ORDER BY acct",
+                (op[1], op[2]),
+            )
+        elif kind == "aggregate":
+            sharded.execute("SELECT COUNT(*), SUM(balance) FROM accounts")
+        else:  # transfer: debit one key, credit another, one atomic commit
+            _kind, src, dst, amount = op
+            gtxn = sharded.begin()
+            sharded.execute(
+                "UPDATE accounts SET balance = balance - ? WHERE acct = ?",
+                (amount, src),
+                txn=gtxn,
+            )
+            sharded.execute(
+                "UPDATE accounts SET balance = balance + ? WHERE acct = ?",
+                (amount, dst),
+                txn=gtxn,
+            )
+            gtxn.commit()
+
+    def run(self, sharded, count: int, **ratios) -> dict[str, int]:
+        """Drive ``count`` operations; returns per-kind execution counts."""
+        executed: dict[str, int] = {}
+        for op in self.operations(count, **ratios):
+            self.apply(sharded, op)
+            executed[op[0]] = executed.get(op[0], 0) + 1
+        return executed
+
+
 class ProvenanceFiller:
     """Bulk-synthesizes provenance rows for the query-scaling bench (E8).
 

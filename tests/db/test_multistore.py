@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.db import Database, IsolationLevel
+from repro.db import Database, IsolationLevel, TransactionStatus
 from repro.db.multistore import MultiStoreCoordinator
 from repro.errors import IntegrityError, TransactionError
 
@@ -126,6 +126,143 @@ class TestAlignedLog:
         gtxn.execute("kv", "INSERT INTO cache VALUES ('only-kv', 'v')")
         gtxn.commit()
         assert list(coordinator.aligned_log[0].local_csns) == ["kv"]
+
+
+class TestPrepareFailurePaths:
+    """2PC guarantee under partial prepare: the Nth store's prepare
+    failure aborts every already-prepared branch and leaves every store
+    unchanged."""
+
+    N_STORES = 4
+
+    def build(self) -> MultiStoreCoordinator:
+        stores = {}
+        for i in range(self.N_STORES):
+            db = Database(name=f"s{i}")
+            db.execute("CREATE TABLE t (k TEXT UNIQUE, v INTEGER)")
+            stores[f"s{i}"] = db
+        return MultiStoreCoordinator(stores)
+
+    def _conflict_on(self, coordinator, store_name):
+        """Run a gtxn writing all stores, with a prepare-time conflict on
+        ``store_name`` (a concurrent commit after the branch snapshot)."""
+        gtxn = coordinator.begin(IsolationLevel.SNAPSHOT)
+        for i in range(self.N_STORES):
+            gtxn.execute(f"s{i}", "INSERT INTO t VALUES (?, 1)", (f"key-{i}",))
+        conflicting = coordinator.store(store_name)
+        other = conflicting.begin(IsolationLevel.SNAPSHOT)
+        store_index = store_name.lstrip("s")
+        conflicting.execute(
+            "INSERT INTO t VALUES (?, 2)", (f"key-{store_index}",), txn=other
+        )
+        other.commit()
+        with pytest.raises(IntegrityError):
+            gtxn.commit()
+        return gtxn
+
+    @pytest.mark.parametrize("failing", ["s0", "s1", "s3"])
+    def test_nth_store_prepare_failure_aborts_all(self, failing):
+        """First, middle, and last position in the (sorted) prepare order."""
+        coordinator = self.build()
+        gtxn = self._conflict_on(coordinator, failing)
+        assert gtxn.status is TransactionStatus.ABORTED
+        for i in range(self.N_STORES):
+            name = f"s{i}"
+            survivors = coordinator.store(name).execute(
+                "SELECT COUNT(*) FROM t"
+            ).scalar()
+            # Only the conflicting concurrent commit survives, and only
+            # on the store where it happened.
+            assert survivors == (1 if name == failing else 0)
+            assert not coordinator.store(name).txn_manager.active
+        assert coordinator.aligned_log == []
+
+    def test_branches_unusable_after_prepare_failure(self):
+        coordinator = self.build()
+        gtxn = self._conflict_on(coordinator, "s2")
+        with pytest.raises(TransactionError):
+            gtxn.execute("s0", "INSERT INTO t VALUES ('late', 9)")
+
+    def test_coordinator_survives_for_next_transaction(self):
+        coordinator = self.build()
+        self._conflict_on(coordinator, "s1")
+        gtxn = coordinator.begin()
+        for i in range(self.N_STORES):
+            gtxn.execute(f"s{i}", "INSERT INTO t VALUES (?, 3)", (f"retry-{i}",))
+        assert gtxn.commit() == 1
+        assert [c.global_csn for c in coordinator.aligned_log] == [1]
+
+    def test_empty_global_commit_records_nothing(self):
+        coordinator = self.build()
+        gtxn = coordinator.begin()
+        assert gtxn.commit() == 0
+        assert coordinator.aligned_log == []
+        assert gtxn.status is TransactionStatus.COMMITTED
+
+
+class TestAlignedLogInterleaving:
+    """global_csn_for / commits_between / local_csns_at over a history
+    interleaving single-store and multi-store commits."""
+
+    def build(self):
+        a = Database(name="a")
+        a.execute("CREATE TABLE t (x INTEGER)")
+        b = Database(name="b")
+        b.execute("CREATE TABLE t (x INTEGER)")
+        coordinator = MultiStoreCoordinator({"a": a, "b": b})
+        # G1: a only; G2: both; G3: b only; G4: both.
+        plan = [["a"], ["a", "b"], ["b"], ["a", "b"]]
+        for stores in plan:
+            gtxn = coordinator.begin()
+            for store in stores:
+                gtxn.execute(store, "INSERT INTO t VALUES (1)")
+            gtxn.commit()
+        return coordinator
+
+    def test_global_csn_for_each_local_commit(self):
+        coordinator = self.build()
+        for commit in coordinator.aligned_log:
+            for store, local_csn in commit.local_csns.items():
+                assert (
+                    coordinator.global_csn_for(store, local_csn)
+                    == commit.global_csn
+                )
+
+    def test_global_csn_for_unknown_local(self):
+        coordinator = self.build()
+        assert coordinator.global_csn_for("a", 999) is None
+
+    def test_commits_between_windows(self):
+        coordinator = self.build()
+        assert [c.global_csn for c in coordinator.commits_between(0, 4)] == [
+            1, 2, 3, 4,
+        ]
+        window = coordinator.commits_between(1, 3)
+        assert [c.global_csn for c in window] == [2, 3]
+        assert coordinator.commits_between(4, 4) == []
+
+    def test_partial_participation_is_visible(self):
+        coordinator = self.build()
+        participants = [sorted(c.local_csns) for c in coordinator.aligned_log]
+        assert participants == [["a"], ["a", "b"], ["b"], ["a", "b"]]
+
+    def test_local_csns_at_translation(self):
+        coordinator = self.build()
+        # After G1 only 'a' has committed; 'b' is still empty.
+        assert coordinator.local_csns_at(1) == {"a": 1, "b": 0}
+        at2 = coordinator.local_csns_at(2)
+        assert at2["a"] == 2 and at2["b"] == 1
+        # G3 advanced only 'b'; 'a' stays at its G2 position.
+        at3 = coordinator.local_csns_at(3)
+        assert at3["a"] == 2 and at3["b"] == 2
+        assert coordinator.local_csns_at(0) == {"a": 0, "b": 0}
+
+    def test_local_csns_at_out_of_range(self):
+        coordinator = self.build()
+        with pytest.raises(TransactionError):
+            coordinator.local_csns_at(5)
+        with pytest.raises(TransactionError):
+            coordinator.local_csns_at(-1)
 
 
 class TestCoordinatorGuards:

@@ -111,6 +111,73 @@ class TestPlanCacheDifferential:
         assert IsolationLevel.SNAPSHOT in keys
 
 
+class TestDmlPlanCache:
+    """UPDATE/DELETE predicates compile once per (sql, catalog epoch)."""
+
+    def test_repeated_update_hits_cache(self):
+        db = fresh_db()
+        sql = "UPDATE items SET val = val + 1 WHERE id = ?"
+        for i in range(5):
+            db.execute(sql, (i,))
+        assert db.plan_cache_stats["dml_misses"] == 1
+        assert db.plan_cache_stats["dml_hits"] == 4
+
+    def test_repeated_delete_hits_cache(self):
+        db = fresh_db()
+        sql = "DELETE FROM items WHERE id = ?"
+        for i in range(3):
+            db.execute(sql, (i,))
+        assert db.plan_cache_stats["dml_misses"] == 1
+        assert db.plan_cache_stats["dml_hits"] == 2
+        assert db.execute("SELECT COUNT(*) FROM items").scalar() == 197
+
+    def test_cached_dml_matches_fresh_compilation(self):
+        db = fresh_db()
+        sql = "UPDATE items SET val = ? WHERE grp = ?"
+        assert db.execute(sql, (50.0, "g3")).rowcount == 20
+        db.plan_cache_enabled = False
+        try:
+            fresh_count = db.execute(sql, (50.0, "g3")).rowcount
+        finally:
+            db.plan_cache_enabled = True
+        assert fresh_count == 20
+        assert db.execute(sql, (50.0, "g3")).rowcount == 20
+        assert (
+            db.execute("SELECT COUNT(*) FROM items WHERE val = 50.0").scalar()
+            == 20
+        )
+
+    def test_ddl_invalidates_dml_plans(self):
+        db = fresh_db()
+        sql = "DELETE FROM items WHERE id = ?"
+        db.execute(sql, (0,))
+        db.execute("DROP TABLE items")
+        db.execute("CREATE TABLE items (id INTEGER, extra TEXT, grp TEXT, val FLOAT)")
+        db.execute("INSERT INTO items VALUES (7, 'x', 'g', 1.0)")
+        # A stale compiled plan would index the old column layout.
+        assert db.execute(sql, (7,)).rowcount == 1
+        assert db.plan_cache_stats["dml_misses"] == 2
+
+    def test_delete_without_where_caches(self):
+        db = fresh_db()
+        sql = "DELETE FROM items"
+        db.execute(sql)
+        db.execute(sql)
+        assert db.plan_cache_stats["dml_hits"] == 1
+        assert db.execute("SELECT COUNT(*) FROM items").scalar() == 0
+
+    def test_txn_scoped_dml_shares_cache(self):
+        db = fresh_db()
+        sql = "UPDATE items SET val = 0.0 WHERE id = ?"
+        txn = db.begin()
+        db.execute(sql, (1,), txn=txn)
+        db.execute(sql, (2,), txn=txn)
+        txn.commit()
+        db.execute(sql, (3,))
+        assert db.plan_cache_stats["dml_misses"] == 1
+        assert db.plan_cache_stats["dml_hits"] == 2
+
+
 class TestDropIndexDdl:
     def test_drop_missing_index_raises(self):
         db = fresh_db()

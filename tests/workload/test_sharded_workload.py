@@ -1,0 +1,53 @@
+"""The sharded workload profile: deterministic, balanced, and atomic."""
+
+from repro.db import ShardedDatabase
+from repro.workload import ShardedWorkload
+
+
+def build_cluster(n_keys: int = 200) -> tuple[ShardedDatabase, ShardedWorkload]:
+    sharded = ShardedDatabase(4, shard_keys={"accounts": "acct"})
+    workload = ShardedWorkload(n_keys=n_keys, seed=7)
+    workload.seed_database(sharded)
+    return sharded, workload
+
+
+class TestShardedWorkload:
+    def test_streams_are_deterministic(self):
+        a = list(ShardedWorkload(n_keys=100, seed=3).operations(200))
+        b = list(ShardedWorkload(n_keys=100, seed=3).operations(200))
+        c = list(ShardedWorkload(n_keys=100, seed=4).operations(200))
+        assert a == b
+        assert a != c
+
+    def test_mix_contains_every_kind(self):
+        kinds = {op[0] for op in ShardedWorkload(n_keys=100).operations(300)}
+        assert kinds == {"point", "scan", "aggregate", "transfer"}
+
+    def test_seed_spreads_keys_across_shards(self):
+        sharded, _workload = build_cluster()
+        counts = [
+            shard.execute("SELECT COUNT(*) FROM accounts").scalar()
+            for shard in sharded.shards
+        ]
+        assert sum(counts) == 200
+        assert all(count > 0 for count in counts)
+
+    def test_run_conserves_total_balance(self):
+        """Transfers are atomic 2PC commits: money never appears or
+        vanishes, no matter how many shards a transfer spans."""
+        sharded, workload = build_cluster()
+        before = sharded.execute("SELECT SUM(balance) FROM accounts").scalar()
+        executed = workload.run(sharded, 150)
+        after = sharded.execute("SELECT SUM(balance) FROM accounts").scalar()
+        assert after == before
+        assert executed.get("transfer", 0) > 0
+        # Cross-shard transfers populated the aligned commit log.
+        assert any(
+            len(commit.local_csns) > 1
+            for commit in sharded.coordinator.aligned_log
+        )
+
+    def test_run_reports_execution_counts(self):
+        sharded, workload = build_cluster(n_keys=120)
+        executed = workload.run(sharded, 100)
+        assert sum(executed.values()) == 100
