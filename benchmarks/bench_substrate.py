@@ -10,7 +10,11 @@ against an inline replica of the seed's sort-and-walk scan, repeated
 queries with the plan cache on and off, and provenance restores with and
 without a checkpoint. Sharded cases run the same table hash-partitioned
 over 4 stores: routed point lookups, scatter-gather scans, pushed-down
-aggregates, and write-heavy multi-shard 2PC commits. Results land in
+aggregates, and write-heavy multi-shard 2PC commits. Replication cases
+measure cluster read capacity at 3 replicas vs the single primary,
+async catch-up apply rate, failover (promote) latency, and the WAL
+group-commit win (one real fsync per 64-commit batch vs one per
+commit). Results land in
 ``BENCH_substrate.json`` at the repo root (op -> ops/sec) so the perf
 trajectory is tracked across PRs; CI runs the reduced-iteration smoke
 mode (``REPRO_BENCH_SMOKE=1``) and gates on
@@ -19,14 +23,17 @@ mode (``REPRO_BENCH_SMOKE=1``) and gates on
 
 import json
 import os
+import tempfile
 import time
 from pathlib import Path
 
 from repro.core.events import DataEvent
 from repro.core.provenance import ProvenanceStore
 from repro.db import Database, ShardedDatabase
+from repro.db.replication import ReplicaSet
 from repro.db.schema import Column, TableSchema
 from repro.db.storage import TableStore
+from repro.db.txn.wal import WalChange, WalCommit, WriteAheadLog
 from repro.db.types import ColumnType
 from repro.workload.harness import render_table
 
@@ -276,6 +283,94 @@ def test_substrate_throughput(benchmark, emit):
         ]
     )
 
+    # Replication: cluster read capacity, catch-up, and failover. The
+    # capacity comparison is per-store serving rate: N replicas are N
+    # independent stores, so cluster capacity is the sum of what each
+    # sustains (they would serve in parallel in a real deployment; this
+    # single-threaded simulation measures each store's rate honestly and
+    # reports the aggregate).
+    primary = build_db()
+    primary.execute("CREATE INDEX ix_id ON items (id)")
+    read_sql = "SELECT * FROM items WHERE id = ?"
+    # Baseline BEFORE attaching replicas: with a sync set attached, every
+    # autocommitted primary read would ship its empty commit to all
+    # replicas inside the timed region and deflate the baseline.
+    single_primary_rate = _rate(
+        lambda: primary.execute(read_sql, (2500,)), _iters(300)
+    )
+    replica_set = ReplicaSet(primary, n_replicas=3, mode="sync")
+    replica_rates = [
+        _rate(lambda r=r: r.database.execute(read_sql, (2500,)), _iters(300))
+        for r in replica_set.replicas
+    ]
+    cluster_rate = sum(replica_rates)
+    rows.append(["replicated read (single primary)", single_primary_rate])
+    rows.append(["replicated read (3-replica cluster)", cluster_rate])
+
+    # Catch-up: how fast an async replica applies a shipped backlog.
+    catchup_reps = 2 if SMOKE else 5
+    backlog = 100 if SMOKE else 500
+    applied = 0
+    elapsed = 0.0
+    for _ in range(catchup_reps):
+        cu_primary = build_db()
+        cu_set = ReplicaSet(cu_primary, n_replicas=1, mode="async")
+        for i in range(backlog):
+            cu_primary.execute(
+                "INSERT INTO items VALUES (?, 'cx', 1.0)", (N_ROWS + i,)
+            )
+        start = time.perf_counter_ns()
+        applied += cu_set.catch_up()
+        elapsed += (time.perf_counter_ns() - start) / 1e9
+    rows.append(["replication catch-up (records applied)", applied / elapsed])
+
+    # Failover: fence, drain a lagged backlog, promote, re-point.
+    failover_reps = 2 if SMOKE else 5
+    elapsed = 0.0
+    for _ in range(failover_reps):
+        fo_primary = build_db()
+        fo_set = ReplicaSet(fo_primary, n_replicas=2, mode="async")
+        for i in range(50):
+            fo_primary.execute(
+                "INSERT INTO items VALUES (?, 'fx', 1.0)", (N_ROWS + i,)
+            )
+        start = time.perf_counter_ns()
+        fo_set.promote()
+        elapsed += (time.perf_counter_ns() - start) / 1e9
+    rows.append(["replication failover (promote)", failover_reps / elapsed])
+
+    # Group commit: one real fsync per commit vs one per 64-commit batch.
+    def wal_append_rate(group_size: int, n_commits: int) -> float:
+        with tempfile.TemporaryDirectory() as scratch:
+            wal = WriteAheadLog(
+                str(Path(scratch) / "wal.jsonl"),
+                group_size=group_size,
+                fsync=True,
+            )
+            start = time.perf_counter_ns()
+            for csn in range(1, n_commits + 1):
+                wal.append(
+                    WalCommit(
+                        csn=csn,
+                        txn_id=csn,
+                        changes=(
+                            WalChange("insert", "items", csn, (csn, "w", 0.0), None),
+                        ),
+                    )
+                )
+            wal.flush()
+            elapsed_s = (time.perf_counter_ns() - start) / 1e9
+            wal.close()
+            return n_commits / elapsed_s
+
+    wal_commits = _iters(2000)
+    rows.append(
+        ["wal commit (fsync each)", wal_append_rate(1, wal_commits)]
+    )
+    rows.append(
+        ["wal group commit (64/batch)", wal_append_rate(64, wal_commits)]
+    )
+
     # Provenance restore: nearest-checkpoint delta vs full history replay.
     prov = build_provenance()
     prov.create_checkpoint()
@@ -350,6 +445,18 @@ def test_substrate_throughput(benchmark, emit):
         rates["sharded point lookup (routed)"]
         > rates["sharded scan (4-shard fan-out)"] * 3
     )
+    # Replication floors: 3 replicas must deliver >= 2x the single
+    # primary's read capacity, and batching 64 commits per fsync must
+    # clearly beat an fsync per commit.
+    assert (
+        rates["replicated read (3-replica cluster)"]
+        > rates["replicated read (single primary)"] * 2
+    )
+    assert (
+        rates["wal group commit (64/batch)"]
+        > rates["wal commit (fsync each)"] * 1.5
+    )
+    assert rates["replication catch-up (records applied)"] > 100
     # Sanity floors (very conservative; flags pathological regressions).
     assert rates["autocommit insert (1 row)"] > 500
     assert rates["read-only txn commit"] > 5_000

@@ -19,6 +19,16 @@ from repro.db.backend import (
 )
 from repro.db.cdc import CdcStream, ChangeRecord
 from repro.db.database import Database, StatementTrace
+from repro.db.replication import (
+    Applier,
+    ReadRouter,
+    Replica,
+    ReplicaSet,
+    ReplicationLog,
+    Session,
+    ShardedReadRouter,
+    ShipRecord,
+)
 from repro.db.result import ResultSet
 from repro.db.schema import Catalog, Column, TableSchema
 from repro.db.sharding import ShardedDatabase, ShardRouter
@@ -32,6 +42,7 @@ from repro.db.txn.manager import (
 from repro.db.types import ColumnType
 
 __all__ = [
+    "Applier",
     "Catalog",
     "CdcStream",
     "ChangeRecord",
@@ -44,10 +55,17 @@ __all__ = [
     "POSTGRES_PROFILE",
     "PROFILES",
     "ReadRecord",
+    "ReadRouter",
+    "Replica",
+    "ReplicaSet",
+    "ReplicationLog",
     "ResultSet",
+    "Session",
     "ShardRouter",
     "ShardedDatabase",
+    "ShardedReadRouter",
     "ShardedTimeTravel",
+    "ShipRecord",
     "SimulatedBackend",
     "StatementTrace",
     "TableSchema",

@@ -85,10 +85,26 @@ class CdcStream:
         return record
 
     def since(self, seq: int = 0) -> Iterator[ChangeRecord]:
-        """Records with sequence number > ``seq`` still retained."""
+        """Records with sequence number > ``seq`` still retained.
+
+        Retention may have evicted records after ``seq``; a catch-up
+        consumer that must not miss changes should first check
+        ``stream.first_seq <= seq + 1`` (or ``dropped``) and fall back to
+        a full resync when the gap is real.
+        """
         for record in self._history:
             if record.seq > seq:
                 yield record
+
+    @property
+    def first_seq(self) -> int:
+        """Sequence number of the oldest retained record.
+
+        When the history is empty this is the *next* sequence number, so
+        the truncation check ``first_seq > seq + 1`` stays correct for
+        both a fresh stream and one whose whole history was evicted.
+        """
+        return self._history[0].seq if self._history else self._next_seq
 
     def history(self) -> list[ChangeRecord]:
         return list(self._history)

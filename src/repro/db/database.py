@@ -44,7 +44,7 @@ from repro.db.txn.manager import (
     TransactionManager,
 )
 from repro.db.txn.wal import WriteAheadLog, recover_into
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, FencedError, ReadOnlyError
 
 _STMT_CACHE_LIMIT = 1024
 _PLAN_CACHE_LIMIT = 512
@@ -75,14 +75,28 @@ class Database:
         backend: SimulatedBackend | None = None,
         wal_path: str | None = None,
         cdc_retain: int | None = None,
+        wal_group_size: int = 1,
+        wal_fsync: bool = False,
     ):
         self.name = name
         self.backend = backend
         self.catalog = Catalog()
-        self.wal = WriteAheadLog(wal_path)
+        self.wal = WriteAheadLog(
+            wal_path, group_size=wal_group_size, fsync=wal_fsync
+        )
         self.cdc = CdcStream(retain=cdc_retain)
         self.txn_manager = TransactionManager(self)
         self.observers: list[Any] = []
+        #: Set by replication failover: a fenced (demoted) primary accepts
+        #: no new transactions and no further commits, so a split brain
+        #: cannot acknowledge writes the promoted replica never sees.
+        self.fenced = False
+        #: Set on replica databases. Writes and DDL through the SQL
+        #: surface are rejected (changes arrive only via the shipped
+        #: stream), and autocommitted SELECTs abort their transaction
+        #: instead of committing it — a commit would consume a CSN and
+        #: desynchronize the replica's clock from the primary's.
+        self.read_only = False
         #: When True, SELECTs record per-row read provenance on their
         #: transaction. TROD switches this on when it attaches.
         self.track_reads = False
@@ -129,10 +143,12 @@ class Database:
         del self._stores[key]
         del self._indexes[key]
         self.bump_catalog_epoch()
+        self.notify("table_dropped", key)
 
     def add_table_alias(self, alias: str, table: str) -> None:
         self.catalog.add_alias(alias, table)
         self.bump_catalog_epoch()
+        self.notify("alias_added", alias, table)
 
     def create_index(
         self,
@@ -151,6 +167,9 @@ class Database:
         for row_id, values in self._stores[key].scan(None):
             index.add(row_id, values)
         self.bump_catalog_epoch()
+        self.notify(
+            "index_created", name, key, tuple(columns), unique, sorted_index
+        )
 
     def drop_index(self, name: str, table: str, if_exists: bool = False) -> None:
         if if_exists and not self.catalog.has_table(table):
@@ -160,6 +179,7 @@ class Database:
         key = self.catalog.resolve(table)
         self._indexes[key].drop_index(name, if_exists=if_exists)
         self.bump_catalog_epoch()
+        self.notify("index_dropped", name, key)
 
     def store(self, table: str) -> TableStore:
         return self._stores[self.catalog.resolve(table)]
@@ -174,6 +194,11 @@ class Database:
         isolation: IsolationLevel = IsolationLevel.SERIALIZABLE,
         info: dict[str, Any] | None = None,
     ) -> Transaction:
+        if self.fenced:
+            raise FencedError(
+                f"database {self.name!r} is fenced (demoted primary); "
+                "route traffic to the promoted replica"
+            )
         if self.backend is not None:
             self.backend.on_begin()
         return self.txn_manager.begin(isolation=isolation, info=info)
@@ -247,6 +272,11 @@ class Database:
     ) -> ResultSet:
         """Execute one statement, autocommitting when no txn is passed."""
         stmt = self._parse(sql)
+        if self.read_only and not isinstance(stmt, SelectStmt):
+            raise ReadOnlyError(
+                f"database {self.name!r} is a read-only replica; writes "
+                "and DDL arrive only through the replication stream"
+            )
         if isinstance(
             stmt, (CreateTableStmt, DropTableStmt, CreateIndexStmt, DropIndexStmt)
         ):
@@ -268,7 +298,13 @@ class Database:
             )
             self.notify("statement_executed", active, trace)
             if autocommit:
-                active.commit()
+                if self.read_only:
+                    # Replica read: committing would consume a CSN and
+                    # desynchronize the shipped stream; aborting returns
+                    # the same rows and burns nothing.
+                    self.txn_manager.abort(active)
+                else:
+                    active.commit()
             return result
         except Exception:
             if autocommit:
@@ -318,6 +354,10 @@ class Database:
         txn: Transaction | None = None,
     ) -> int:
         """Programmatic INSERT used by tooling (bypasses SQL parsing)."""
+        if self.read_only:
+            raise ReadOnlyError(
+                f"database {self.name!r} is a read-only replica"
+            )
         schema = self.catalog.get(table)
         coerced = schema.coerce_row(values)
         autocommit = txn is None

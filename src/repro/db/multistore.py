@@ -159,6 +159,19 @@ class MultiStoreCoordinator:
     def store_names(self) -> list[str]:
         return sorted(self._stores)
 
+    def replace_store(self, name: str, database: Database) -> None:
+        """Re-point a store name at a new database (replica promotion).
+
+        The aligned log is positional (store name -> local CSN), so it
+        stays valid as long as the replacement carries the same committed
+        history — which a drained, promoted replica does by construction.
+        """
+        if name not in self._stores:
+            raise TransactionError(
+                f"unknown store {name!r} (known: {sorted(self._stores)})"
+            )
+        self._stores[name] = database
+
     def begin(
         self,
         isolation: IsolationLevel = IsolationLevel.SERIALIZABLE,

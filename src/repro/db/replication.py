@@ -1,0 +1,809 @@
+"""Log-shipping read replicas with session guarantees and failover.
+
+The paper's premise — all application state flows through transactional
+stores, so the commit-ordered change stream is a complete account of what
+happened (§3.4 leans on database CDC for exactly this) — also dictates how
+this engine scales reads: replicas are built by *shipping the committed
+change stream*, never by copying loose state. The pieces:
+
+* :class:`ReplicationLog` — a tap on a primary :class:`~repro.db.database.
+  Database`: every commit (including empty ones, which still consume CSNs)
+  and every DDL statement is appended as a :class:`ShipRecord`, in commit
+  order. The log is the unit of acknowledgement: a commit present here is
+  durable for failover purposes, whatever the replicas have applied.
+* :class:`Applier` — replays ship records onto one replica database
+  *transactionally*, preserving CSNs and row ids exactly. A caught-up
+  replica is therefore bit-identical to the primary — including its
+  version chains from the bootstrap point on, so time-travel / AS-OF
+  reads work on replicas, and including its own CDC stream, so replicas
+  can be chained or tapped by provenance just like primaries.
+* :class:`ReplicaSet` — N replicas behind one primary with sync/async ship
+  modes, per-replica lag tracking, catch-up with truncation-triggered
+  resync, and promotion: fence the old primary, drain every acknowledged
+  record, promote the most-caught-up replica, re-point the log.
+* :class:`Session` / :class:`ReadRouter` — session guarantees as routing:
+  a session carries the CSN of its last write and reads are served only by
+  replicas at/after it (read-your-writes), falling back to the primary or
+  forcing a catch-up when every replica is stale.
+
+Replicas are read-only by convention, and reads against them must not
+consume CSNs (that would desynchronize the shipped stream), so the router
+serves SELECTs under a transaction it *aborts* — the same trick the
+sharded facade uses for scatter reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.db.cdc import ChangeRecord
+from repro.db.database import Database
+from repro.db.index import SortedIndex
+from repro.db.result import ResultSet
+from repro.db.schema import TableSchema
+from repro.db.sql.nodes import (
+    CreateIndexStmt,
+    CreateTableStmt,
+    DropIndexStmt,
+    DropTableStmt,
+    SelectStmt,
+)
+from repro.db.txn.manager import TransactionStatus
+from repro.errors import ReplicationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.sharding import ShardedDatabase
+
+
+@dataclass(frozen=True)
+class ShipRecord:
+    """One replicated event: a commit's change set, or one DDL statement."""
+
+    seq: int  # position in the replication log (contiguous)
+    kind: str  # 'commit' | 'ddl'
+    csn: int  # primary CSN after this record
+    txn_id: int  # primary transaction id (0 for DDL)
+    changes: tuple[ChangeRecord, ...] = ()  # commit payload (may be empty)
+    ddl: tuple | None = None  # ('create_table', schema) | ('drop_table', name) | ...
+
+
+class ReplicationLog:
+    """Commit-ordered ship stream tapped from a primary database.
+
+    Attaches as an observer: ``txn_committed`` yields commit records
+    (empty commits included — they consume CSNs, and replicas must track
+    the primary's CSN clock exactly), and the DDL hooks yield schema
+    records so replicas follow catalog changes in stream order. With
+    ``retain`` set, old records are evicted; a replica whose position
+    predates the retained window must resync from a snapshot.
+    """
+
+    def __init__(self, primary: Database, retain: int | None = None):
+        self.primary = primary
+        self._records: list[ShipRecord] = []
+        self._next_seq = 1
+        self._retain = retain
+        self._dropped = 0
+        self._subscribers: list[Callable[[ShipRecord], None]] = []
+        #: Primary CSN when the tap attached; records describe only
+        #: history after this point (bootstrap snapshots cover the rest).
+        self.base_csn = primary.last_csn
+        primary.add_observer(self)
+
+    def detach(self) -> None:
+        self.primary.remove_observer(self)
+
+    def subscribe(self, callback: Callable[[ShipRecord], None]) -> Callable[[], None]:
+        """Register ``callback`` for new records; returns an unsubscribe."""
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    # -- observer hooks (called by the primary) ---------------------------
+
+    def txn_committed(
+        self, txn: Any, csn: int, cdc_records: Sequence[ChangeRecord]
+    ) -> None:
+        self._append("commit", csn, txn.txn_id, changes=tuple(cdc_records))
+
+    def table_created(self, schema: TableSchema) -> None:
+        self._append("ddl", self.primary.last_csn, 0, ddl=("create_table", schema))
+
+    def table_dropped(self, name: str) -> None:
+        self._append("ddl", self.primary.last_csn, 0, ddl=("drop_table", name))
+
+    def index_created(
+        self, name: str, table: str, columns: tuple, unique: bool, sorted_index: bool
+    ) -> None:
+        self._append(
+            "ddl",
+            self.primary.last_csn,
+            0,
+            ddl=("create_index", name, table, columns, unique, sorted_index),
+        )
+
+    def index_dropped(self, name: str, table: str) -> None:
+        self._append("ddl", self.primary.last_csn, 0, ddl=("drop_index", name, table))
+
+    def alias_added(self, alias: str, table: str) -> None:
+        self._append("ddl", self.primary.last_csn, 0, ddl=("alias", alias, table))
+
+    # -- record plumbing --------------------------------------------------
+
+    def _append(
+        self,
+        kind: str,
+        csn: int,
+        txn_id: int,
+        changes: tuple[ChangeRecord, ...] = (),
+        ddl: tuple | None = None,
+    ) -> None:
+        record = ShipRecord(
+            seq=self._next_seq,
+            kind=kind,
+            csn=csn,
+            txn_id=txn_id,
+            changes=changes,
+            ddl=ddl,
+        )
+        self._next_seq += 1
+        self._records.append(record)
+        if self._retain is not None and len(self._records) > self._retain:
+            overflow = len(self._records) - self._retain
+            del self._records[:overflow]
+            self._dropped += overflow
+        for subscriber in list(self._subscribers):
+            subscriber(record)
+
+    def since(self, seq: int) -> list[ShipRecord]:
+        """Retained records with sequence number > ``seq``, in order."""
+        if not self._records:
+            return []
+        start = max(0, seq + 1 - self._records[0].seq)
+        return self._records[start:]
+
+    @property
+    def first_seq(self) -> int:
+        """Oldest retained sequence number (next seq when empty)."""
+        return self._records[0].seq if self._records else self._next_seq
+
+    @property
+    def last_seq(self) -> int:
+        return self._next_seq - 1
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted by the retention limit."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class Applier:
+    """Replays ship records onto one replica database, transactionally.
+
+    Commit records replay through a real transaction (so the replica's
+    WAL, CDC stream, indexes, and observers all behave exactly as on the
+    primary) and must land on the very next CSN — the replica's commit
+    counter then assigns ``record.csn`` by construction, and the
+    commit/CSN indexes are re-pointed at the *primary's* transaction id so
+    provenance lookups agree across the fleet. Any CSN mismatch means the
+    stream has a gap (or the replica was written to directly) and raises
+    :class:`ReplicationError` rather than applying a torn history.
+    """
+
+    def __init__(self, replica: Database):
+        self.replica = replica
+        self.applied_seq = 0
+
+    def apply(self, record: ShipRecord) -> None:
+        if record.kind == "commit":
+            self._apply_commit(record)
+        elif record.kind == "ddl":
+            self._apply_ddl(record)
+        else:  # pragma: no cover - constructed only by ReplicationLog
+            raise ReplicationError(f"unknown ship record kind {record.kind!r}")
+        self.applied_seq = record.seq
+
+    def _apply_commit(self, record: ShipRecord) -> None:
+        expected = self.replica.last_csn + 1
+        if record.csn != expected:
+            direction = "behind" if record.csn > expected else "ahead of"
+            raise ReplicationError(
+                f"replica {self.replica.name!r} at csn {self.replica.last_csn} "
+                f"is {direction} commit record csn {record.csn}; the stream "
+                "has a gap (resync required)"
+            )
+        manager = self.replica.txn_manager
+        if not record.changes:
+            # Empty commit (a read-only transaction on the primary): it
+            # only advances the CSN clock. Register the bookkeeping
+            # directly rather than spinning up a whole transaction —
+            # catch-up over a read-mostly stream stays O(1) per record.
+            manager.last_csn = record.csn
+            manager.commit_index[record.txn_id] = record.csn
+            manager.csn_index[record.csn] = record.txn_id
+            return
+        # Pin the transaction counter so the apply transaction carries
+        # the PRIMARY's txn id natively: commit_index/csn_index then
+        # agree across the fleet with no re-keying (re-keying collides
+        # when a local counter value matches an earlier primary id).
+        manager._next_txn_id = record.txn_id
+        txn = self.replica.begin(info={"replication_apply": True})
+        assert txn.txn_id == record.txn_id
+        try:
+            for change in record.changes:
+                if change.op == "insert":
+                    txn.insert_with_id(change.table, change.values, change.row_id)
+                elif change.op == "update":
+                    txn.update(change.table, change.row_id, change.values)
+                elif change.op == "delete":
+                    txn.delete(change.table, change.row_id)
+                else:  # pragma: no cover - CDC emits only these three
+                    raise ReplicationError(f"unknown change op {change.op!r}")
+            txn.commit()
+        except Exception:
+            if txn.commit_csn is None:
+                txn.abort()
+            raise
+
+    def _apply_ddl(self, record: ShipRecord) -> None:
+        assert record.ddl is not None
+        op, *args = record.ddl
+        db = self.replica
+        if op == "create_table":
+            (schema,) = args
+            db.create_table(schema)
+        elif op == "drop_table":
+            (name,) = args
+            db.drop_table(name, if_exists=True)
+        elif op == "create_index":
+            name, table, columns, unique, sorted_index = args
+            db.create_index(
+                name, table, list(columns), unique=unique, sorted_index=sorted_index
+            )
+        elif op == "drop_index":
+            name, table = args
+            db.drop_index(name, table, if_exists=True)
+        elif op == "alias":
+            alias, table = args
+            db.add_table_alias(alias, table)
+        else:  # pragma: no cover - constructed only by ReplicationLog
+            raise ReplicationError(f"unknown ddl op {op!r}")
+
+
+class Replica:
+    """One replica database and its apply position."""
+
+    __slots__ = ("name", "database", "applier")
+
+    def __init__(self, name: str, database: Database, applier: Applier):
+        self.name = name
+        self.database = database
+        self.applier = applier
+
+    @property
+    def csn(self) -> int:
+        return self.database.last_csn
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Replica {self.name!r} csn={self.csn}>"
+
+
+class ReplicaSet:
+    """N log-shipping replicas behind one primary.
+
+    ``mode='sync'`` applies every record to every replica inside the
+    primary's commit (zero lag, commit pays the apply cost); ``'async'``
+    accumulates records in the :class:`ReplicationLog` and applies them on
+    :meth:`catch_up` (bounded staleness, cheap commits). Replicas
+    bootstrapped mid-stream start from a snapshot of the primary's latest
+    state, so their time-travel horizon is the bootstrap CSN.
+    """
+
+    def __init__(
+        self,
+        primary: Database,
+        n_replicas: int = 0,
+        mode: str = "async",
+        log_retain: int | None = None,
+    ):
+        if mode not in ("sync", "async"):
+            raise ReplicationError(f"unknown ship mode {mode!r}")
+        self.primary = primary
+        self.mode = mode
+        self._log_retain = log_retain
+        self.log = ReplicationLog(primary, retain=log_retain)
+        self.replicas: list[Replica] = []
+        self._rr = 0  # round-robin cursor
+        self._made = 0  # names stay unique across promote/resync
+        self.stats = {"shipped_records": 0, "resyncs": 0, "promotions": 0}
+        for _ in range(n_replicas):
+            self.add_replica()
+        self._unsub: Callable[[], None] | None = None
+        if mode == "sync":
+            self._unsub = self.log.subscribe(self._on_record)
+
+    # -- membership -------------------------------------------------------
+
+    def add_replica(self, name: str | None = None) -> Replica:
+        """Bootstrap a new replica from the primary's latest snapshot."""
+        self._made += 1
+        name = name or f"{self.primary.name}-r{self._made}"
+        database = self._bootstrap(name)
+        replica = Replica(name, database, Applier(database))
+        # The snapshot already reflects everything the log has recorded.
+        replica.applier.applied_seq = self.log.last_seq
+        self.replicas.append(replica)
+        return replica
+
+    def replica(self, name: str) -> Replica:
+        for replica in self.replicas:
+            if replica.name == name:
+                return replica
+        raise ReplicationError(
+            f"no replica {name!r} (have {[r.name for r in self.replicas]})"
+        )
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    def _bootstrap(self, name: str) -> Database:
+        """A fresh database holding the primary's schema + latest rows.
+
+        Row ids are preserved (provenance and shipped updates address rows
+        by id); the snapshot loads at CSN 0 and the CSN clock is advanced
+        to the primary's, so every *later* commit lands on its exact CSN.
+        History before the bootstrap point is not on the replica — the
+        time-travel horizon records that, like a base backup.
+        """
+        primary = self.primary
+        base_csn = primary.last_csn
+        database = Database(name=name)
+        for table in primary.catalog.table_names():
+            schema = primary.catalog.get(table)
+            database.create_table(schema)
+            replica_indexes = database.index_set(table)
+            for index_name, index in primary.index_set(table).indexes.items():
+                if index_name in replica_indexes.indexes:
+                    continue  # constraint-backed uq_* index, auto-created
+                if isinstance(index, SortedIndex):
+                    database.create_index(
+                        index.name, schema.name, list(index.columns),
+                        sorted_index=True,
+                    )
+                else:
+                    database.create_index(
+                        index.name, schema.name, list(index.columns),
+                        unique=index.unique,
+                    )
+            database.bulk_load(
+                schema.name, list(primary.store(table).scan(None))
+            )
+        for alias, target in primary.catalog.aliases().items():
+            database.add_table_alias(alias, target)
+        manager = database.txn_manager
+        manager.last_csn = base_csn
+        # Carry the commit bookkeeping over so provenance lookups
+        # (txn id <-> csn) answer identically on any node, and the
+        # replica's txn counter continues from the primary's.
+        manager.commit_index = dict(primary.txn_manager.commit_index)
+        manager.csn_index = dict(primary.txn_manager.csn_index)
+        manager._next_txn_id = primary.txn_manager._next_txn_id
+        if base_csn:
+            database.history_horizon = base_csn
+        # Replicas only change through the shipped stream; SQL-surface
+        # writes are rejected and autocommitted reads abort (a committed
+        # read would consume a CSN and desynchronize the clock).
+        database.read_only = True
+        return database
+
+    # -- lag and routing --------------------------------------------------
+
+    def lag(self, replica: Replica | str) -> int:
+        """How many CSNs ``replica`` trails the primary by."""
+        if isinstance(replica, str):
+            replica = self.replica(replica)
+        return self.primary.last_csn - replica.csn
+
+    def max_lag(self) -> int:
+        return max((self.lag(r) for r in self.replicas), default=0)
+
+    def least_lagged(self) -> Replica:
+        if not self.replicas:
+            raise ReplicationError("replica set is empty")
+        return max(self.replicas, key=lambda r: r.csn)
+
+    def pick(self, policy: str = "round_robin", min_csn: int = 0) -> Replica | None:
+        """A replica whose CSN is at/after ``min_csn``, or None.
+
+        ``min_csn`` is the session-guarantee floor: a session that wrote
+        at CSN *c* may only read from replicas that have applied *c*.
+        """
+        eligible = [r for r in self.replicas if r.csn >= min_csn]
+        if not eligible:
+            return None
+        if policy == "least_lagged":
+            return max(eligible, key=lambda r: r.csn)
+        if policy != "round_robin":
+            raise ReplicationError(f"unknown routing policy {policy!r}")
+        self._rr += 1
+        return eligible[self._rr % len(eligible)]
+
+    # -- shipping ---------------------------------------------------------
+
+    def _on_record(self, record: ShipRecord) -> None:
+        """Sync mode: apply inside the primary's commit, on every replica."""
+        for replica in self.replicas:
+            replica.applier.apply(record)
+            self.stats["shipped_records"] += 1
+
+    def catch_up(
+        self, replica: Replica | str | None = None, limit: int | None = None
+    ) -> int:
+        """Apply pending log records; returns the number applied.
+
+        A replica whose position predates the log's retained window has
+        lost records to retention and is rebuilt from a fresh snapshot
+        (counted in ``stats['resyncs']``, not in the return value).
+        ``limit`` bounds records applied *per replica* (lag simulation and
+        incremental catch-up both use it).
+        """
+        if isinstance(replica, str):
+            replica = self.replica(replica)
+        targets = [replica] if replica is not None else list(self.replicas)
+        applied = 0
+        for target in targets:
+            if target.applier.applied_seq + 1 < self.log.first_seq:
+                self.resync(target)
+                continue
+            budget = limit
+            for record in self.log.since(target.applier.applied_seq):
+                if budget is not None:
+                    if budget <= 0:
+                        break
+                    budget -= 1
+                target.applier.apply(record)
+                applied += 1
+        self.stats["shipped_records"] += applied
+        return applied
+
+    def resync(self, replica: Replica | str) -> None:
+        """Rebuild a replica from a fresh primary snapshot (in place).
+
+        The :class:`Replica` wrapper keeps its identity so routers holding
+        references keep working; only the database underneath is new.
+        """
+        if isinstance(replica, str):
+            replica = self.replica(replica)
+        replica.database = self._bootstrap(replica.name)
+        replica.applier = Applier(replica.database)
+        replica.applier.applied_seq = self.log.last_seq
+        self.stats["resyncs"] += 1
+
+    # -- failover ---------------------------------------------------------
+
+    def promote(self, target: Replica | str | None = None) -> Database:
+        """Fail over: fence the primary, promote a replica, re-point.
+
+        Every record in the :class:`ReplicationLog` is *acknowledged* — it
+        survives the primary — so promotion first drains the log into the
+        replicas, then promotes ``target`` (default: the most caught-up
+        one) and re-points the remaining replicas at a fresh log on the
+        new primary. All drained replicas sit at the same CSN at that
+        moment, so the fresh log needs no history. A replica that cannot
+        drain (its position fell out of a retention-bounded log) is
+        resynced from the *new* primary. The old primary stays fenced:
+        it accepts no further transactions or commits.
+        """
+        if not self.replicas:
+            raise ReplicationError("cannot promote: replica set is empty")
+        # Resolve and sanity-check the target BEFORE fencing: a failed
+        # promotion must not leave the cluster with a fenced primary and
+        # no replacement.
+        if isinstance(target, str):
+            target = self.replica(target)
+        if target is None:
+            target = self.least_lagged()
+        if target.applier.applied_seq + 1 < self.log.first_seq:
+            raise ReplicationError(
+                f"replica {target.name!r} cannot drain the log (its position "
+                f"{target.applier.applied_seq} predates the retained window, "
+                f"first {self.log.first_seq}); promote a fresher replica"
+            )
+        self.primary.fenced = True
+        if self._unsub is not None:
+            self._unsub()
+            self._unsub = None
+        try:
+            self._drain(target)
+        except Exception:
+            # Unexpected apply failure: roll the fence back so the old
+            # primary keeps serving rather than bricking the cluster.
+            self.primary.fenced = False
+            if self.mode == "sync":
+                self._unsub = self.log.subscribe(self._on_record)
+            raise
+        laggards: list[Replica] = []
+        for replica in self.replicas:
+            if replica is target:
+                continue
+            try:
+                self._drain(replica)
+            except ReplicationError:
+                laggards.append(replica)
+        self.log.detach()
+        self.primary = target.database
+        self.primary.read_only = False  # promoted: it now takes writes
+        self.replicas = [r for r in self.replicas if r is not target]
+        self.log = ReplicationLog(self.primary, retain=self._log_retain)
+        for replica in self.replicas:
+            replica.applier.applied_seq = 0  # fresh log, drained position
+        for replica in laggards:
+            self.resync(replica)
+        if self.mode == "sync":
+            self._unsub = self.log.subscribe(self._on_record)
+        self.stats["promotions"] += 1
+        return self.primary
+
+    def _drain(self, replica: Replica) -> None:
+        """Apply every retained record to ``replica`` (no truncation gap)."""
+        if replica.applier.applied_seq + 1 < self.log.first_seq:
+            raise ReplicationError(
+                f"replica {replica.name!r} at seq {replica.applier.applied_seq} "
+                f"predates the log's retained window (first {self.log.first_seq})"
+            )
+        for record in self.log.since(replica.applier.applied_seq):
+            replica.applier.apply(record)
+            self.stats["shipped_records"] += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ReplicaSet primary={self.primary.name!r} mode={self.mode} "
+            f"replicas={[r.name for r in self.replicas]} "
+            f"max_lag={self.max_lag()}>"
+        )
+
+
+class Session:
+    """Causal token for session guarantees (read-your-writes).
+
+    Carries the CSN of the session's last acknowledged write — local CSN
+    against a single primary, global CSN against a sharded cluster — and
+    the routers only serve its reads from replicas at/after that point.
+    """
+
+    def __init__(self, name: str = "session"):
+        self.name = name
+        self.last_write_csn = 0
+        self.last_global_csn = 0
+
+    def note_write(self, csn: int) -> None:
+        self.last_write_csn = max(self.last_write_csn, csn)
+
+    def note_global_write(self, global_csn: int) -> None:
+        self.last_global_csn = max(self.last_global_csn, global_csn)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Session {self.name!r} csn={self.last_write_csn} "
+            f"gcsn={self.last_global_csn}>"
+        )
+
+
+def _read_on(database: Database, sql: str, params: Sequence[Any]) -> ResultSet:
+    """Run a SELECT without consuming a CSN (replica reads must not).
+
+    Autocommitted reads advance the commit clock; on a replica that would
+    desynchronize the shipped stream. Reads therefore run under a
+    transaction that is aborted afterwards — aborts burn no CSN.
+    """
+    txn = database.begin()
+    try:
+        return database.execute(sql, params, txn=txn)
+    finally:
+        txn.abort()
+
+
+class ReadRouter:
+    """Replica-aware statement routing for one primary + its replica set.
+
+    SELECTs go to a replica chosen by ``policy`` among those satisfying
+    the session's causal floor; writes (and DDL) go to the primary and
+    advance the session token. When no replica satisfies the floor,
+    ``on_stale='primary'`` falls back to the primary and
+    ``on_stale='wait'`` forces a catch-up first (simulating "wait for
+    the replica", then reads from it).
+    """
+
+    def __init__(
+        self,
+        replica_set: ReplicaSet,
+        policy: str = "round_robin",
+        on_stale: str = "primary",
+    ):
+        if on_stale not in ("primary", "wait"):
+            raise ReplicationError(f"unknown on_stale mode {on_stale!r}")
+        self.replica_set = replica_set
+        self.policy = policy
+        self.on_stale = on_stale
+        self.stats = {
+            "replica_reads": 0,
+            "primary_reads": 0,
+            "stale_fallbacks": 0,
+            "catch_up_waits": 0,
+            "writes": 0,
+        }
+
+    def execute(
+        self, sql: str, params: Sequence[Any] = (), session: Session | None = None
+    ) -> ResultSet:
+        rs = self.replica_set
+        stmt = rs.primary._parse(sql)
+        if not isinstance(stmt, SelectStmt):
+            result = rs.primary.execute(sql, params)
+            if result.kind in ("insert", "update", "delete"):
+                if session is not None:
+                    session.note_write(rs.primary.last_csn)
+                self.stats["writes"] += 1
+            elif result.kind == "ddl":
+                # DDL ship records consume no CSN, so no session floor
+                # can gate their visibility; synchronize the replicas
+                # now so every later read sees the new catalog.
+                rs.catch_up()
+            return result
+        floor = session.last_write_csn if session is not None else 0
+        replica = rs.pick(self.policy, min_csn=floor)
+        if replica is None and rs.replicas and self.on_stale == "wait":
+            rs.catch_up()
+            self.stats["catch_up_waits"] += 1
+            replica = rs.pick(self.policy, min_csn=floor)
+        if replica is None:
+            key = "stale_fallbacks" if rs.replicas else "primary_reads"
+            self.stats[key] += 1
+            return _read_on(rs.primary, sql, params)
+        self.stats["replica_reads"] += 1
+        return _read_on(replica.database, sql, params)
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        return self.execute(sql, params)
+
+    def rows_as_of(self, table: str, csn: int) -> list[tuple[int, tuple]]:
+        """An AS-OF read served by any replica whose history covers it."""
+        for replica in self.replica_set.replicas:
+            database = replica.database
+            if replica.csn >= csn and database.history_horizon <= csn:
+                self.stats["replica_reads"] += 1
+                return database.time_travel.rows_as_of(table, csn)
+        self.stats["primary_reads"] += 1
+        return self.replica_set.primary.time_travel.rows_as_of(table, csn)
+
+
+class ShardedReadRouter:
+    """Replica-aware routing over a :class:`ShardedDatabase`.
+
+    Requires :meth:`ShardedDatabase.attach_replicas`. Scatter-gather
+    SELECTs are served per shard by that shard's replica set (DML and 2PC
+    stay on the primaries); the session token is the *global* CSN of the
+    session's last write, translated through the aligned commit log into
+    each shard's local floor.
+    """
+
+    def __init__(
+        self,
+        sharded: "ShardedDatabase",
+        policy: str = "round_robin",
+        on_stale: str = "primary",
+    ):
+        if not sharded.replica_sets:
+            raise ReplicationError(
+                "sharded database has no replicas; call attach_replicas() first"
+            )
+        if on_stale not in ("primary", "wait"):
+            raise ReplicationError(f"unknown on_stale mode {on_stale!r}")
+        self.sharded = sharded
+        self.policy = policy
+        self.on_stale = on_stale
+        self.stats = {
+            "replica_reads": 0,
+            "primary_reads": 0,
+            "stale_fallbacks": 0,
+            "catch_up_waits": 0,
+            "writes": 0,
+        }
+
+    def _floors(self, session: Session | None) -> dict[str, int]:
+        if session is None or session.last_global_csn == 0:
+            return {}
+        return self.sharded.coordinator.local_csns_at(session.last_global_csn)
+
+    def _chooser(self, floors: dict[str, int]) -> Callable[[str], Database]:
+        def choose(store: str) -> Database:
+            rs = self.sharded.replica_sets.get(store)
+            if rs is None or not rs.replicas:
+                self.stats["primary_reads"] += 1
+                return self.sharded.shard_named(store)
+            floor = floors.get(store, 0)
+            replica = rs.pick(self.policy, min_csn=floor)
+            if replica is None and self.on_stale == "wait":
+                rs.catch_up()
+                self.stats["catch_up_waits"] += 1
+                replica = rs.pick(self.policy, min_csn=floor)
+            if replica is None:
+                self.stats["stale_fallbacks"] += 1
+                return rs.primary
+            self.stats["replica_reads"] += 1
+            return replica.database
+
+        return choose
+
+    def execute(
+        self, sql: str, params: Sequence[Any] = (), session: Session | None = None
+    ) -> ResultSet:
+        sharded = self.sharded
+        stmt = sharded._parse(sql)
+        if isinstance(stmt, SelectStmt):
+            return sharded.select_routed(
+                sql, params, db_for=self._chooser(self._floors(session))
+            )
+        if isinstance(
+            stmt, (CreateTableStmt, DropTableStmt, CreateIndexStmt, DropIndexStmt)
+        ):
+            result = sharded.execute(sql, params)  # DDL: primaries fan-out
+            # DDL records consume no CSN, so the per-shard floors cannot
+            # gate them; synchronize replicas before any routed read.
+            sharded.catch_up_replicas()
+            return result
+        # DML: explicit global transaction so the global CSN is known for
+        # the session token (autocommit would swallow it).
+        gtxn = sharded.begin()
+        try:
+            result = sharded.execute(sql, params, txn=gtxn)
+            global_csn = gtxn.commit()
+        except Exception:
+            if gtxn.status is TransactionStatus.ACTIVE:
+                gtxn.abort()
+            raise
+        if session is not None:
+            session.note_global_write(global_csn)
+        self.stats["writes"] += 1
+        return result
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        return self.execute(sql, params)
+
+    def execute_as_of(
+        self, sql: str, global_csn: int, params: Sequence[Any] = ()
+    ) -> ResultSet:
+        """An AS-OF scatter read served by replicas that cover the CSN."""
+        local_csns = self.sharded.time_travel.local_csns_at(global_csn)
+
+        def choose(store: str) -> Database:
+            rs = self.sharded.replica_sets.get(store)
+            target = local_csns[store]
+            if rs is not None:
+                for replica in rs.replicas:
+                    if (
+                        replica.csn >= target
+                        and replica.database.history_horizon <= target
+                    ):
+                        self.stats["replica_reads"] += 1
+                        return replica.database
+            self.stats["primary_reads"] += 1
+            return self.sharded.shard_named(store)
+
+        return self.sharded.execute_as_of(sql, global_csn, params, db_for=choose)
+
+    def catch_up_all(self, limit: int | None = None) -> int:
+        """Catch up every shard's replicas; returns records applied."""
+        return sum(
+            rs.catch_up(limit=limit) for rs in self.sharded.replica_sets.values()
+        )

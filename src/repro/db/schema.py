@@ -227,5 +227,9 @@ class Catalog:
         """Canonical table names, in creation order."""
         return [schema.name for schema in self._tables.values()]
 
+    def aliases(self) -> dict[str, str]:
+        """``alias -> canonical table key`` registrations (a copy)."""
+        return dict(self._aliases)
+
     def __contains__(self, name: str) -> bool:
         return self.has_table(name)

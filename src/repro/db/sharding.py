@@ -45,6 +45,7 @@ from repro.db.expr import (
     split_conjuncts,
 )
 from repro.db.multistore import GlobalTransaction, MultiStoreCoordinator
+from repro.db.replication import ReplicaSet
 from repro.db.result import ResultSet
 from repro.db.schema import TableSchema
 from repro.db.sql import planner
@@ -75,6 +76,7 @@ from repro.db.txn.manager import IsolationLevel, Transaction
 from repro.db.types import coerce
 from repro.errors import (
     ExecutionError,
+    ReplicationError,
     SchemaError,
     TimeTravelError,
     TypeCoercionError,
@@ -422,6 +424,10 @@ class ShardedDatabase:
         #: Compiled scatter-gather plans (per-shard FROM/WHERE nodes plus
         #: the coordinator merge plan) keyed by (sql, epochs, isolation).
         self._select_cache: dict[tuple, dict[str, Any]] = {}
+        #: Per-shard replica sets (``attach_replicas``); reads routed via
+        #: a :class:`~repro.db.replication.ShardedReadRouter` are then
+        #: served by replicas while DML and 2PC stay on the primaries.
+        self.replica_sets: dict[str, ReplicaSet] = {}
         if databases is not None:
             self._adopt_existing_tables()
         #: Counters for the distributed execution paths. Global 2PC
@@ -432,6 +438,12 @@ class ShardedDatabase:
             "fanout_statements": 0,  # hit every shard
             "partial_agg_queries": 0,
             "broadcast_joins": 0,
+            # Coordinator-side merge-plan cache (single-table scatter
+            # plans and aggregate decompositions).
+            "select_cache_hits": 0,
+            "select_cache_misses": 0,
+            "agg_cache_hits": 0,
+            "agg_cache_misses": 0,
         }
 
     # -- plumbing -----------------------------------------------------------
@@ -590,18 +602,7 @@ class ShardedDatabase:
         if isinstance(stmt, SelectStmt):
             if txn is not None:
                 return self._execute_select(stmt, params, self._branch_getter(txn), sql)
-            ephemeral: dict[str, Transaction] = {}
-
-            def get_txn(store: str) -> Transaction:
-                if store not in ephemeral:
-                    ephemeral[store] = self._by_name[store].begin()
-                return ephemeral[store]
-
-            try:
-                return self._execute_select(stmt, params, get_txn, sql)
-            finally:
-                for branch in ephemeral.values():
-                    branch.abort()
+            return self._ephemeral_select(stmt, params, sql, None)
         autocommit = txn is None
         gtxn = txn if txn is not None else self.begin()
         try:
@@ -622,15 +623,74 @@ class ShardedDatabase:
     def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
         return self.execute(sql, params)
 
+    def select_routed(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        db_for: Callable[[str], Database] | None = None,
+    ) -> ResultSet:
+        """Run a SELECT with each shard's reads served by ``db_for(store)``.
+
+        The replica-aware read path: ``db_for`` picks the database that
+        answers for a shard (a replica, or the primary). Choices are
+        memoized per statement so one scatter never straddles two
+        databases for the same shard, and the ephemeral read transactions
+        are aborted afterwards — replica reads must not consume CSNs.
+        """
+        stmt = self._parse(sql)
+        if not isinstance(stmt, SelectStmt):
+            raise ExecutionError("select_routed supports SELECT statements only")
+        if stmt.param_count != len(params):
+            raise ExecutionError(
+                f"statement expects {stmt.param_count} parameter(s), "
+                f"got {len(params)}"
+            )
+        return self._ephemeral_select(stmt, params, sql, db_for)
+
+    def _ephemeral_select(
+        self,
+        stmt: SelectStmt,
+        params: Sequence[Any],
+        sql: str | None,
+        db_for: Callable[[str], Database] | None,
+    ) -> ResultSet:
+        chosen: dict[str, Database] = {}
+        base = db_for if db_for is not None else self._by_name.__getitem__
+
+        def resolve(store: str) -> Database:
+            if store not in chosen:
+                chosen[store] = base(store)
+            return chosen[store]
+
+        ephemeral: dict[str, Transaction] = {}
+
+        def get_txn(store: str) -> Transaction:
+            if store not in ephemeral:
+                ephemeral[store] = resolve(store).begin()
+            return ephemeral[store]
+
+        try:
+            return self._execute_select(stmt, params, get_txn, sql, db_for=resolve)
+        finally:
+            for branch in ephemeral.values():
+                branch.abort()
+
     def execute_as_of(
-        self, sql: str, global_csn: int, params: Sequence[Any] = ()
+        self,
+        sql: str,
+        global_csn: int,
+        params: Sequence[Any] = (),
+        db_for: Callable[[str], Database] | None = None,
     ) -> ResultSet:
         """Run a SELECT against the cluster state at a global CSN.
 
         The aligned commit log translates the global CSN onto each shard's
         local CSN; every shard then answers from that local snapshot, so
         the merged result is the transactionally consistent cross-shard
-        state the coordinator committed at that point.
+        state the coordinator committed at that point. ``db_for`` lets a
+        replica-aware router serve the historical read from a replica
+        whose shipped history covers the target CSN (replicas preserve
+        CSNs, so their version stores answer AS-OF queries identically).
         """
         stmt = self._parse(sql)
         if not isinstance(stmt, SelectStmt):
@@ -641,11 +701,18 @@ class ShardedDatabase:
                 f"got {len(params)}"
             )
         local_csns = self.time_travel.local_csns_at(global_csn)
+        base = db_for if db_for is not None else self._by_name.__getitem__
+        chosen: dict[str, Database] = {}
         snapshots: dict[str, Transaction] = {}
+
+        def resolve(store: str) -> Database:
+            if store not in chosen:
+                chosen[store] = base(store)
+            return chosen[store]
 
         def get_txn(store: str) -> Transaction:
             if store not in snapshots:
-                shard = self._by_name[store]
+                shard = resolve(store)
                 if local_csns[store] < shard.history_horizon:
                     raise TimeTravelError(
                         f"global csn {global_csn} maps to {store} csn "
@@ -660,7 +727,7 @@ class ShardedDatabase:
             return snapshots[store]
 
         try:
-            return self._execute_select(stmt, params, get_txn, sql)
+            return self._execute_select(stmt, params, get_txn, sql, db_for=resolve)
         finally:
             for branch in snapshots.values():
                 branch.abort()
@@ -939,13 +1006,23 @@ class ShardedDatabase:
         params: Sequence[Any],
         get_txn: TxnGetter,
         sql: str | None,
+        db_for: Callable[[str], Database] | None = None,
     ) -> ResultSet:
+        """Scatter a SELECT to the target shards and merge the streams.
+
+        ``db_for(store)`` names the database that answers for a shard —
+        the primary by default, a replica when a replica-aware router is
+        driving. It must agree with ``get_txn``: the branch returned for
+        a store must belong to the database ``db_for`` names.
+        """
+        if db_for is None:
+            db_for = self._by_name.__getitem__
         refs = stmt.table_refs()
         if not refs:
             # FROM-less SELECT: any one shard answers it.
             store = self.store_names[0]
             return execute_statement(
-                self.shards[0], get_txn(store), stmt, params, sql or ""
+                db_for(store), get_txn(store), stmt, params, sql or ""
             )
         db0 = self.shards[0]
         conjuncts = split_conjuncts(stmt.where)
@@ -955,10 +1032,12 @@ class ShardedDatabase:
             schema = db0.catalog.get(canonical)
             targets = self.router.routed_shards(canonical, schema, conjuncts, params)
             self._note_targets(targets)
-            partial = self._partial_aggregate(stmt, params, targets, get_txn, sql)
+            partial = self._partial_aggregate(
+                stmt, params, targets, get_txn, sql, db_for
+            )
             if partial is not None:
                 return partial
-            return self._scatter_gather(stmt, params, targets, get_txn, sql)
+            return self._scatter_gather(stmt, params, targets, get_txn, sql, db_for)
 
         # Join path: broadcast nodes embed this execution's gathered
         # rows, so these plans are rebuilt per statement. A WHERE pin on
@@ -968,11 +1047,13 @@ class ShardedDatabase:
         split = self._join_split(stmt)
         targets = self._routed_join_targets(split, refs, conjuncts, params)
         self._note_targets(targets)
-        scan_factory = self._broadcast_factory(stmt, params, get_txn, sql, split)
+        scan_factory = self._broadcast_factory(
+            stmt, params, get_txn, sql, split, db_for
+        )
         gathered: list[tuple] = []
         layout: Layout | None = None
         for store in targets:
-            shard = self._by_name[store]
+            shard = db_for(store)
             branch = get_txn(store)
             node = build_from_where(stmt, shard, branch, scan_factory=scan_factory)
             if layout is None:
@@ -990,6 +1071,7 @@ class ShardedDatabase:
         targets: Sequence[str],
         get_txn: TxnGetter,
         sql: str | None,
+        db_for: Callable[[str], Database],
     ) -> ResultSet:
         """Single-table scatter with cached per-shard and merge plans.
 
@@ -997,6 +1079,9 @@ class ShardedDatabase:
         no per-execution state, so they cache exactly like single-node
         plans: keyed by (sql, catalog epochs, isolation), with the
         gathered rows swapped into the shared RowsNode per execution.
+        Per-database nodes key on (database, its catalog epoch): a shard
+        may be served by its primary or any of its replicas, and a
+        lagging replica applies DDL later than the primary does.
         """
         first = get_txn(targets[0])
         key = (
@@ -1005,12 +1090,17 @@ class ShardedDatabase:
             else None
         )
         entry = self._select_cache.get(key) if key is not None else None
-        if entry is None:
-            node0 = build_from_where(stmt, self._by_name[targets[0]], first)
+        if entry is not None:
+            self.stats["select_cache_hits"] += 1
+        else:
+            if key is not None:
+                self.stats["select_cache_misses"] += 1
+            db0 = db_for(targets[0])
+            node0 = build_from_where(stmt, db0, first)
             source = RowsNode(node0.layout, (), label="ShardGather")
             plan, names = plan_projection(stmt, source, node0.layout)
             entry = {
-                "nodes": {targets[0]: node0},
+                "nodes": {(db0, db0.catalog_epoch): node0},
                 "source": source,
                 "plan": plan,
                 "names": names,
@@ -1022,12 +1112,21 @@ class ShardedDatabase:
         gathered: list[tuple] = []
         for store in targets:
             branch = get_txn(store)
-            node = entry["nodes"].get(store)
+            database = db_for(store)
+            node_key = (database, database.catalog_epoch)
+            node = entry["nodes"].get(node_key)
             if node is None:
-                node = build_from_where(stmt, self._by_name[store], branch)
-                entry["nodes"][store] = node
+                # A replica that applied DDL moved to a new epoch; its
+                # old-epoch nodes are dead weight — evict before adding.
+                stale = [
+                    k for k in entry["nodes"] if k[0] is database and k != node_key
+                ]
+                for k in stale:
+                    del entry["nodes"][k]
+                node = build_from_where(stmt, database, branch)
+                entry["nodes"][node_key] = node
             gathered.extend(
-                self._run_plan(self._by_name[store], branch, node, params, sql)
+                self._run_plan(database, branch, node, params, sql)
             )
         return self._merge_rows(entry, gathered, params, sql)
 
@@ -1108,6 +1207,7 @@ class ShardedDatabase:
         get_txn: TxnGetter,
         sql: str | None,
         split: tuple[str, set[str]],
+        db_for: Callable[[str], Database],
     ):
         part_binding, broadcast_bindings = split
         self.stats["broadcast_joins"] += 1
@@ -1127,7 +1227,7 @@ class ShardedDatabase:
             rows: list[tuple] = []
             for store in self.store_names:
                 branch = get_txn(store)
-                track = self._by_name[store].track_reads
+                track = db_for(store).track_reads
                 gathered_here = 0
                 for row_id, values in branch.scan(canonical):
                     rows.append(values)
@@ -1155,13 +1255,16 @@ class ShardedDatabase:
         targets: Sequence[str],
         get_txn: TxnGetter,
         sql: str | None,
+        db_for: Callable[[str], Database],
     ) -> ResultSet | None:
-        key = (sql, self.shards[0].catalog_epoch) if sql is not None else None
+        key = (sql, self._epochs()) if sql is not None else None
         if key is not None and key in self._agg_cache:
+            self.stats["agg_cache_hits"] += 1
             decomposition = self._agg_cache[key]
         else:
             decomposition = decompose_aggregate_stmt(stmt)
             if key is not None:
+                self.stats["agg_cache_misses"] += 1
                 if len(self._agg_cache) >= _STMT_CACHE_LIMIT:
                     self._agg_cache.clear()
                 self._agg_cache[key] = decomposition
@@ -1170,7 +1273,7 @@ class ShardedDatabase:
         self.stats["partial_agg_queries"] += 1
         partial_rows: list[tuple] = []
         for store in targets:
-            shard = self._by_name[store]
+            shard = db_for(store)
             branch = get_txn(store)
             plan, _names = shard.select_plan(
                 decomposition.partial_stmt,
@@ -1296,6 +1399,75 @@ class ShardedDatabase:
             rowcount += result.rowcount
             row_ids.extend(result.row_ids)
         return ResultSet(kind=kind, rowcount=rowcount, row_ids=row_ids)
+
+    # -- replication ---------------------------------------------------------
+
+    def attach_replicas(
+        self,
+        n_replicas: int = 1,
+        mode: str = "async",
+        log_retain: int | None = None,
+    ) -> dict[str, ReplicaSet]:
+        """Give every shard a log-shipping replica set.
+
+        Replicas bootstrap from each shard's current snapshot and then
+        follow its commit stream (see :mod:`repro.db.replication`); wire a
+        :class:`~repro.db.replication.ShardedReadRouter` on top to serve
+        scatter-gather SELECTs from them. DML, 2PC, and DDL continue to
+        run on the primaries (DDL reaches replicas through the shipped
+        stream like any other change).
+        """
+        for store, shard in self.named_shards():
+            replica_set = self.replica_sets.get(store)
+            if replica_set is None:
+                replica_set = ReplicaSet(shard, mode=mode, log_retain=log_retain)
+                self.replica_sets[store] = replica_set
+            for _ in range(n_replicas):
+                replica_set.add_replica()
+        return self.replica_sets
+
+    def catch_up_replicas(self, limit: int | None = None) -> int:
+        """Apply pending ship records on every shard's replicas."""
+        resyncs_before = sum(
+            rs.stats["resyncs"] for rs in self.replica_sets.values()
+        )
+        applied = sum(
+            replica_set.catch_up(limit=limit)
+            for replica_set in self.replica_sets.values()
+        )
+        if (
+            sum(rs.stats["resyncs"] for rs in self.replica_sets.values())
+            != resyncs_before
+        ):
+            # A resync replaced a replica database; cached scan nodes
+            # keyed by the old instance would pin its full data copy.
+            self._select_cache.clear()
+        return applied
+
+    def failover(self, store: str) -> Database:
+        """Promote a replica of ``store`` to primary and re-point the shard.
+
+        The old primary is fenced, every acknowledged commit is drained
+        into the replicas, and the most-caught-up replica takes over the
+        store name — in the shard list, the 2PC coordinator, and the
+        replica set (which keeps shipping to the remaining replicas).
+        Scatter/aggregate plan caches are dropped: their compiled nodes
+        are bound to the demoted database's stores.
+        """
+        replica_set = self.replica_sets.get(store)
+        if replica_set is None:
+            raise ReplicationError(
+                f"shard {store!r} has no replica set; call attach_replicas()"
+            )
+        old_primary = self._by_name[store]
+        promoted = replica_set.promote()
+        index = self.shards.index(old_primary)
+        self.shards[index] = promoted
+        self._by_name[store] = promoted
+        self.coordinator.replace_store(store, promoted)
+        self._select_cache.clear()
+        self._agg_cache.clear()
+        return promoted
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

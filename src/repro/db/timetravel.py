@@ -124,11 +124,33 @@ class ShardedTimeTravel:
         except TransactionError as exc:
             raise TimeTravelError(str(exc)) from None
 
-    def rows_as_of(self, table: str, global_csn: int) -> list[dict[str, Any]]:
+    def _reader(self, store: str, shard: "Database", local_csn: int) -> "Database":
+        """The database that answers a historical read for one shard.
+
+        Replicas preserve CSNs, so any replica whose applied position has
+        reached ``local_csn`` (and whose bootstrap horizon predates it)
+        serves the read identically — offloading AS-OF traffic from the
+        primary exactly like the live read path does.
+        """
+        replica_set = self._sharded.replica_sets.get(store)
+        if replica_set is not None:
+            for replica in replica_set.replicas:
+                if (
+                    replica.csn >= local_csn
+                    and replica.database.history_horizon <= local_csn
+                ):
+                    return replica.database
+        return shard
+
+    def rows_as_of(
+        self, table: str, global_csn: int, prefer_replicas: bool = False
+    ) -> list[dict[str, Any]]:
         """All rows of ``table`` across shards, as of a global commit."""
         local_csns = self.local_csns_at(global_csn)
         out: list[dict[str, Any]] = []
         for store, shard in self._sharded.named_shards():
+            if prefer_replicas:
+                shard = self._reader(store, shard, local_csns[store])
             schema = shard.catalog.get(table)
             out.extend(
                 schema.row_dict(values)
@@ -139,12 +161,17 @@ class ShardedTimeTravel:
         return out
 
     def state_as_of(
-        self, global_csn: int, tables: Iterable[str] | None = None
+        self,
+        global_csn: int,
+        tables: Iterable[str] | None = None,
+        prefer_replicas: bool = False,
     ) -> dict[str, list[dict[str, Any]]]:
         """Merged cross-shard snapshot of selected tables at a global CSN."""
         local_csns = self.local_csns_at(global_csn)
         out: dict[str, list[dict[str, Any]]] = {}
         for store, shard in self._sharded.named_shards():
+            if prefer_replicas:
+                shard = self._reader(store, shard, local_csns[store])
             for name, rows in TimeTravel(shard).state_as_of(
                 local_csns[store], tables
             ).items():

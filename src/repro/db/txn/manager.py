@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterator
 from repro.db.txn.locks import LockManager, LockMode
 from repro.db.txn.wal import WalChange, WalCommit
 from repro.errors import (
+    FencedError,
     IntegrityError,
     SerializationError,
     TransactionAborted,
@@ -373,6 +374,14 @@ class TransactionManager:
             raise TransactionError(f"{txn.name} already committed")
         if txn.status is TransactionStatus.ABORTED:
             raise TransactionAborted(f"{txn.name} already aborted")
+        if self.database.fenced:
+            # A transaction begun before the fence must not slip a commit
+            # past it: the promoted replica would never see the write.
+            self.abort(txn)
+            raise FencedError(
+                f"database {self.database.name!r} is fenced; "
+                f"{txn.name} aborted"
+            )
         if txn.status is TransactionStatus.PREPARED:
             txn.status = TransactionStatus.ACTIVE  # validated; fall through
         else:

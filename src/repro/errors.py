@@ -78,6 +78,18 @@ class WalError(DatabaseError):
     """The write-ahead log is corrupt or was used incorrectly."""
 
 
+class ReplicationError(DatabaseError):
+    """A replica cannot (or may not) apply the shipped change stream."""
+
+
+class ReadOnlyError(DatabaseError):
+    """A write was attempted on a read-only (replica) database."""
+
+
+class FencedError(TransactionError):
+    """The database was fenced (demoted primary); it accepts no new commits."""
+
+
 class TimeTravelError(DatabaseError):
     """A time-travel request referenced an impossible point in history."""
 

@@ -260,6 +260,98 @@ class ShardedWorkload:
         return executed
 
 
+class ReplicatedReadWorkload:
+    """Read-heavy session traffic against a replicated database.
+
+    Drives a :class:`~repro.db.replication.ReadRouter` (or
+    ``ShardedReadRouter``) with a pool of sessions: most operations are
+    Zipf-popular point reads served by replicas; the rest update the
+    chosen row and immediately read it back *through the router* — the
+    read-your-writes probe. In async ship mode replicas are only caught
+    up every ``ship_every`` operations, so those probes routinely race
+    replication lag and must be saved by the session token (stale
+    fallback or forced catch-up), never by luck.
+    """
+
+    TABLE_DDL = "CREATE TABLE kv (k INTEGER, val INTEGER)"
+
+    def __init__(
+        self,
+        n_keys: int = 100,
+        n_sessions: int = 8,
+        theta: float = 0.9,
+        seed: int = 0,
+    ):
+        self.n_keys = n_keys
+        self.n_sessions = n_sessions
+        self._keys = ZipfSampler(n_keys, theta=theta, seed=seed)
+        self._sessions = UniformSampler(n_sessions, seed=seed + 1)
+        self._mix = UniformSampler(100, seed=seed + 2)
+        self._counter = 0
+
+    def seed_database(self, database) -> None:
+        """Create and fill the kv table (works on plain and sharded DBs)."""
+        database.execute(self.TABLE_DDL)
+        txn = database.begin()
+        for key in range(self.n_keys):
+            database.execute(
+                "INSERT INTO kv VALUES (?, ?)", (key, 0), txn=txn
+            )
+        txn.commit()
+
+    def run(
+        self,
+        router,
+        count: int,
+        write_ratio: float = 0.2,
+        ship_every: int | None = 25,
+    ) -> dict[str, int]:
+        """Drive ``count`` operations; returns op counts + router stats.
+
+        Raises :class:`~repro.errors.ReplicationError` if a session ever
+        fails to read its own write — the invariant this workload exists
+        to hammer.
+        """
+        from repro.db.replication import Session
+        from repro.errors import ReplicationError
+
+        catch_up = getattr(router, "catch_up_all", None) or (
+            lambda: router.replica_set.catch_up()
+        )
+        sessions = [Session(f"s{i}") for i in range(self.n_sessions)]
+        write_mark = int(write_ratio * 100)
+        counts = {"reads": 0, "writes": 0, "ryw_checks": 0}
+        for i in range(count):
+            session = sessions[self._sessions.sample()]
+            key = self._keys.sample()
+            if self._mix.sample() < write_mark:
+                self._counter += 1
+                router.execute(
+                    "UPDATE kv SET val = ? WHERE k = ?",
+                    (self._counter, key),
+                    session=session,
+                )
+                observed = router.execute(
+                    "SELECT val FROM kv WHERE k = ?", (key,), session=session
+                ).scalar()
+                if observed != self._counter:
+                    raise ReplicationError(
+                        f"session {session.name} wrote val={self._counter} "
+                        f"to k={key} but read back {observed!r}"
+                    )
+                counts["writes"] += 1
+                counts["ryw_checks"] += 1
+            else:
+                router.execute(
+                    "SELECT val FROM kv WHERE k = ?", (key,), session=session
+                )
+                counts["reads"] += 1
+            if ship_every and i % ship_every == ship_every - 1:
+                catch_up()
+        counts.update(router.stats)
+        return counts
+
+
 class ProvenanceFiller:
     """Bulk-synthesizes provenance rows for the query-scaling bench (E8).
 

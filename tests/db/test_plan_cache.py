@@ -221,3 +221,75 @@ class TestDropIndexDdl:
         db.execute("DROP INDEX IF EXISTS ix_id ON items")
         with pytest.raises(SchemaError):
             db.execute("DROP INDEX ix_id ON items")
+
+
+class TestShardedMergePlanCache:
+    """Coordinator-side merge-plan cache: hit/miss accounting and reuse."""
+
+    def build(self):
+        from repro.db import ShardedDatabase
+
+        sharded = ShardedDatabase(3, shard_keys={"items": "id"})
+        sharded.execute("CREATE TABLE items (id INTEGER, grp TEXT, val FLOAT)")
+        gtxn = sharded.begin()
+        for i in range(60):
+            sharded.execute(
+                "INSERT INTO items VALUES (?, ?, ?)",
+                (i, f"g{i % 5}", float(i % 7)),
+                txn=gtxn,
+            )
+        gtxn.commit()
+        return sharded
+
+    def test_scatter_plan_hits_and_misses(self):
+        sharded = self.build()
+        sql = "SELECT id, val FROM items WHERE val > ? ORDER BY id"
+        first = sharded.execute(sql, (3.0,))
+        assert sharded.stats["select_cache_misses"] == 1
+        assert sharded.stats["select_cache_hits"] == 0
+        again = sharded.execute(sql, (3.0,))
+        assert sharded.stats["select_cache_hits"] == 1
+        assert again.rows == first.rows
+
+    def test_aggregate_decomposition_hits_and_misses(self):
+        sharded = self.build()
+        sql = "SELECT grp, COUNT(*), SUM(val) FROM items GROUP BY grp ORDER BY grp"
+        first = sharded.execute(sql)
+        assert sharded.stats["agg_cache_misses"] == 1
+        again = sharded.execute(sql)
+        assert sharded.stats["agg_cache_hits"] == 1
+        assert again.rows == first.rows
+
+    def test_ddl_invalidates_merged_plans(self):
+        sharded = self.build()
+        sql = "SELECT id, val FROM items WHERE val > ? ORDER BY id"
+        before = sharded.execute(sql, (3.0,)).rows
+        sharded.execute("CREATE INDEX ix_val ON items (val)")
+        after = sharded.execute(sql, (3.0,))
+        # The epoch moved: a fresh compile, not a stale hit.
+        assert sharded.stats["select_cache_misses"] == 2
+        assert after.rows == before
+
+    def test_cached_plan_results_stable_across_writes(self):
+        sharded = self.build()
+        sql = "SELECT COUNT(*) FROM items WHERE id < ?"
+        assert sharded.execute(sql, (30,)).scalar() == 30
+        sharded.execute("DELETE FROM items WHERE id = 5")
+        assert sharded.execute(sql, (30,)).scalar() == 29
+        assert sharded.stats["agg_cache_hits"] >= 1
+
+    def test_replica_served_reads_share_the_merge_plan(self):
+        sharded = self.build()
+        sharded.attach_replicas(1, mode="sync")
+        from repro.db.replication import ShardedReadRouter
+
+        router = ShardedReadRouter(sharded)
+        sql = "SELECT id, val FROM items WHERE val > ? ORDER BY id"
+        via_primary = sharded.execute(sql, (3.0,))
+        misses = sharded.stats["select_cache_misses"]
+        via_replica = router.execute(sql, (3.0,))
+        # Same merged plan entry: per-database scan nodes differ, but the
+        # coordinator plan is shared (a hit, not a recompile).
+        assert sharded.stats["select_cache_misses"] == misses
+        assert sharded.stats["select_cache_hits"] >= 1
+        assert via_replica.rows == via_primary.rows

@@ -166,3 +166,145 @@ class TestCdc:
         db.execute("INSERT INTO t VALUES ('x')", txn=txn)
         txn.abort()
         assert len(db.cdc) == 0
+
+
+class TestGroupCommit:
+    def _commit(self, csn: int) -> WalCommit:
+        return WalCommit(
+            csn=csn,
+            txn_id=csn,
+            changes=(WalChange("insert", "t", csn, (csn,), None),),
+        )
+
+    def test_batches_flush_once_per_group(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(path, group_size=4)
+        for csn in (1, 2, 3):
+            wal.append(self._commit(csn))
+        # Nothing durable yet: the group is still open.
+        assert wal.pending_count == 3
+        assert wal.flush_stats == {"appends": 3, "flushes": 0}
+        assert len(WriteAheadLog.load(path)) == 0
+        wal.append(self._commit(4))  # fills the group: one drain
+        assert wal.pending_count == 0
+        assert wal.flush_stats == {"appends": 4, "flushes": 1}
+        assert [c.csn for c in WriteAheadLog.load(path).commits()] == [1, 2, 3, 4]
+        wal.close()
+
+    def test_close_drains_partial_group(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(path, group_size=64)
+        for csn in (1, 2):
+            wal.append(self._commit(csn))
+        wal.close()
+        assert [c.csn for c in WriteAheadLog.load(path).commits()] == [1, 2]
+
+    def test_explicit_flush_narrows_the_window(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(path, group_size=64)
+        wal.append(self._commit(1))
+        wal.flush()
+        assert len(WriteAheadLog.load(path)) == 1
+        assert wal.flush_stats["flushes"] == 1
+        wal.flush()  # empty flush is a no-op, not a counted fsync
+        assert wal.flush_stats["flushes"] == 1
+        wal.close()
+
+    def test_default_group_size_flushes_per_append(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(path)
+        for csn in (1, 2, 3):
+            wal.append(self._commit(csn))
+        assert wal.flush_stats == {"appends": 3, "flushes": 3}
+        assert len(WriteAheadLog.load(path)) == 3
+        wal.close()
+
+    def test_database_passes_group_size_through(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        db = Database(wal_path=path, wal_group_size=8)
+        db.execute("CREATE TABLE t (k INTEGER)")
+        for i in range(5):
+            db.execute("INSERT INTO t VALUES (?)", (i,))
+        assert db.wal.pending_count == 5  # buffered: group still open
+        db.wal.close()
+        assert len(WriteAheadLog.load(path)) == 5
+
+    def test_in_memory_order_check_unaffected(self):
+        wal = WriteAheadLog(group_size=4)
+        wal.append(WalCommit(csn=1, txn_id=1, changes=()))
+        with pytest.raises(WalError):
+            wal.append(WalCommit(csn=1, txn_id=2, changes=()))
+
+    def test_group_size_must_be_positive(self):
+        with pytest.raises(WalError):
+            WriteAheadLog(group_size=0)
+
+
+class TestCdcRetentionEdges:
+    """Catch-up after truncation, late-subscriber fan-out, and the
+    interaction between CDC retention and the replication tap."""
+
+    def _fill(self, stream: CdcStream, n: int) -> None:
+        for i in range(n):
+            stream.emit(i + 1, i + 1, "t", "insert", i + 1, (str(i),), None)
+
+    def test_since_after_truncation_detectable(self):
+        stream = CdcStream(retain=3)
+        self._fill(stream, 10)
+        # A consumer that checkpointed at seq 5 silently misses 6..7 if
+        # it trusts since() alone; first_seq exposes the gap.
+        assert stream.first_seq == 8
+        assert stream.first_seq > 5 + 1  # the gap check a consumer runs
+        assert [r.seq for r in stream.since(5)] == [8, 9, 10]
+        # A consumer checkpointed at the retention boundary is whole.
+        assert stream.first_seq <= 7 + 1
+        assert [r.seq for r in stream.since(7)] == [8, 9, 10]
+
+    def test_first_seq_on_empty_and_fully_evicted_streams(self):
+        stream = CdcStream(retain=2)
+        assert stream.first_seq == 1  # empty: next seq keeps checks sound
+        self._fill(stream, 2)
+        assert stream.first_seq == 1
+        # Evict everything: first_seq moves past the dropped tail.
+        self._fill(stream, 3)
+        assert stream.first_seq == 4
+
+    def test_late_subscriber_catch_up_then_live_ordering(self):
+        stream = CdcStream()
+        self._fill(stream, 3)
+        seen: list[int] = []
+        # The catch-up-then-subscribe idiom: drain history, then attach.
+        for record in stream.since(0):
+            seen.append(record.seq)
+        stream.subscribe(lambda r: seen.append(r.seq))
+        self._fill(stream, 2)
+        assert seen == [1, 2, 3, 4, 5]
+
+    def test_replication_tap_survives_cdc_truncation(self):
+        """The ReplicationLog taps commits, not CdcStream history — a
+        tight CDC retention must not lose shipped changes."""
+        from repro.db.replication import ReplicaSet
+
+        db = Database(cdc_retain=2)
+        db.execute("CREATE TABLE t (k INTEGER)")
+        rs = ReplicaSet(db, n_replicas=1, mode="async")
+        for i in range(10):
+            db.execute("INSERT INTO t VALUES (?)", (i,))
+        assert db.cdc.dropped > 0  # CDC history really was truncated
+        rs.catch_up()
+        replica = rs.replicas[0].database
+        assert replica.execute("SELECT COUNT(*) FROM t").scalar() == 10
+        assert rs.stats["resyncs"] == 0  # no resync was needed
+
+    def test_replication_log_retention_mirrors_cdc_semantics(self):
+        from repro.db.replication import ReplicationLog
+
+        db = Database(cdc_retain=2)
+        db.execute("CREATE TABLE t (k INTEGER)")
+        log = ReplicationLog(db, retain=2)
+        for i in range(5):
+            db.execute("INSERT INTO t VALUES (?)", (i,))
+        # Same accounting surface as CdcStream: first_seq/dropped expose
+        # the truncation to catch-up consumers on both streams.
+        assert log.first_seq == 4 and log.dropped == 3
+        assert db.cdc.first_seq == 4 and db.cdc.dropped == 3
