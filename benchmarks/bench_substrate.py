@@ -29,7 +29,7 @@ from pathlib import Path
 
 from repro.core.events import DataEvent
 from repro.core.provenance import ProvenanceStore
-from repro.db import Database, ShardedDatabase
+from repro.db import Database, ShardedDatabase, connect
 from repro.db.replication import ReplicaSet
 from repro.db.schema import Column, TableSchema
 from repro.db.storage import TableStore
@@ -225,6 +225,16 @@ def test_substrate_throughput(benchmark, emit):
         ]
     )
     db_indexed.plan_cache_enabled = True
+
+    # The repro.connect() facade over the same database and statement:
+    # the unified API must stay within 10% of direct Database.execute.
+    facade = connect(db_indexed)
+    rows.append(
+        [
+            "repeat query (connection facade)",
+            _rate(lambda: facade.execute(probe_sql, (2500,)), _iters(1000)),
+        ]
+    )
 
     # Sharded execution: the same table hash-partitioned over 4 stores.
     sharded = build_sharded_db()
@@ -434,6 +444,12 @@ def test_substrate_throughput(benchmark, emit):
     assert (
         rates["repeat query (plan cache)"]
         > rates["repeat query (replanned)"] * 1.5
+    )
+    # The unified Connection facade adds <10% overhead over direct
+    # Database.execute for the same cached point query.
+    assert (
+        rates["repeat query (connection facade)"]
+        > rates["repeat query (plan cache)"] * 0.9
     )
     assert (
         rates["restore 2k events (checkpointed)"]

@@ -1,8 +1,13 @@
 """Quickstart: trace an application, query provenance, replay a request.
 
+The database is reached through ``repro.connect()`` — the same
+Connection/Cursor API that drives sharded and replicated deployments in
+the sibling examples (sharded_cluster.py, replicated_reads.py).
+
 Run:  python examples/quickstart.py
 """
 
+import repro
 from repro.core import Trod, report
 from repro.db import Database
 from repro.runtime import Runtime
@@ -10,12 +15,15 @@ from repro.runtime import Runtime
 
 def main() -> None:
     # 1. A database and a runtime (the TROD principles: all shared state
-    #    in the database, accessed only through transactions).
+    #    in the database, accessed only through transactions). TROD
+    #    attaches through the same connect() call that opens the API.
     db = Database()
-    db.execute(
+    runtime = Runtime(db)
+    trod = Trod(db).attach(runtime)
+    conn = repro.connect(db, trod=trod)
+    conn.execute(
         "CREATE TABLE accounts (owner TEXT NOT NULL, balance INTEGER NOT NULL)"
     )
-    runtime = Runtime(db)
 
     # 2. Deterministic request handlers.
     def open_account(ctx, owner, amount):
@@ -46,17 +54,31 @@ def main() -> None:
     runtime.register("openAccount", open_account)
     runtime.register("transfer", transfer)
 
-    # 3. Attach TROD: always-on tracing starts now.
-    trod = Trod(db).attach(runtime)
-
-    # 4. Serve requests.
+    # 3. Serve requests; bookmark the commit position before the transfer
+    #    so time travel can look straight at the pre-transfer state.
     runtime.submit("openAccount", "alice", 100)
     runtime.submit("openAccount", "bob", 10)
+    before_transfer = conn.last_commit_csn
     runtime.submit("transfer", "alice", "bob", 30)
     failed = runtime.submit("transfer", "bob", "alice", 1000)  # fails
 
-    # 5. Declarative debugging: plain SQL over the provenance database.
-    print("=== Invocations (the paper's Table 1) ===")
+    # 4. The cursor API: DB-API ergonomics, attribute-style rows.
+    print("=== Balances (cursor) ===")
+    cur = conn.cursor().execute(
+        "SELECT owner, balance FROM accounts ORDER BY owner"
+    )
+    for row in cur:
+        print(f"  {row.owner}: {row.balance}")
+
+    # 5. First-class time travel: SELECT ... AS OF <csn>.
+    alice_before = conn.execute(
+        "SELECT balance FROM accounts WHERE owner = ? AS OF ?",
+        ("alice", before_transfer),
+    ).scalar()
+    print(f"\nalice before the transfer (AS OF {before_transfer}): {alice_before}")
+
+    # 6. Declarative debugging: plain SQL over the provenance database.
+    print("\n=== Invocations (the paper's Table 1) ===")
     print(report.render_table1(trod))
 
     print("\n=== Who updated the accounts table? ===")
@@ -74,13 +96,13 @@ def main() -> None:
     for row in trod.debugger.failed_requests():
         print(f"  {row['ReqId']} {row['HandlerName']}: {row['Error']}")
 
-    # 6. Faithful replay of the successful transfer, in a dev database
+    # 7. Faithful replay of the successful transfer, in a dev database
     #    reconstructed purely from provenance.
     result = trod.replayer.replay_request("R3")
     print(f"\n=== Replay of R3 (fidelity: {result.fidelity}) ===")
     print("  dev accounts after replay:", result.dev_db.table_rows("accounts"))
 
-    # 7. Retroactive programming: would a 2x fee have bounced R3?
+    # 8. Retroactive programming: would a 2x fee have bounced R3?
     def transfer_with_fee(ctx, source, target, amount):
         return transfer(ctx, source, target, amount * 2)
 

@@ -8,6 +8,23 @@ The package is layered exactly like the paper's system:
   debugging, bug replay, and retroactive programming
 * :mod:`repro.apps` — the paper's case-study applications
 * :mod:`repro.workload` — workload generators and measurement harness
+
+The front door is :func:`repro.connect`: one Connection/Cursor API over
+single-node, sharded, and replicated engines, with TROD attachable to any
+of them::
+
+    import repro
+    from repro.db import Database
+
+    conn = repro.connect(Database())
+    conn.execute("CREATE TABLE t (id INTEGER, v TEXT)")
+    with conn.transaction() as txn:
+        txn.execute("INSERT INTO t VALUES (?, ?)", (1, "hello"))
+    print(conn.execute("SELECT v FROM t WHERE id = ?", (1,)).scalar())
 """
 
-__version__ = "1.0.0"
+from repro.db.connection import Connection, Cursor, Engine, connect
+
+__version__ = "1.1.0"
+
+__all__ = ["Connection", "Cursor", "Engine", "connect", "__version__"]

@@ -42,8 +42,10 @@ class InterpositionLayer:
 
     def __init__(self, trod: "Trod"):
         self._trod = trod
-        #: txn_id -> list of StatementTrace, for attaching query text to
-        #: the CDC records the commit will emit.
+        #: id(txn) -> list of StatementTrace, for attaching query text to
+        #: the CDC records the commit will emit. Keyed by object identity,
+        #: not txn id: on a sharded engine each shard assigns its own txn
+        #: ids, and branches of different global transactions may collide.
         self._txn_statements: dict[int, list["StatementTrace"]] = {}
         self._edge_seq: dict[str, int] = {}
         self.overhead_ns = 0
@@ -57,12 +59,12 @@ class InterpositionLayer:
     def txn_began(self, txn: "Transaction") -> None:
         start = time.perf_counter_ns()
         txn.info["ts"] = self._trod.clock.tick()
-        self._txn_statements[txn.txn_id] = []
+        self._txn_statements[id(txn)] = []
         self.overhead_ns += time.perf_counter_ns() - start
 
     def statement_executed(self, txn: "Transaction", trace: "StatementTrace") -> None:
         start = time.perf_counter_ns()
-        statements = self._txn_statements.setdefault(txn.txn_id, [])
+        statements = self._txn_statements.setdefault(id(txn), [])
         statements.append(trace)
         # Read provenance is emitted immediately (writes wait for commit).
         for read in trace.reads:
@@ -89,7 +91,7 @@ class InterpositionLayer:
     ) -> None:
         start = time.perf_counter_ns()
         self._emit(self._txn_event(txn, status="Committed", csn=csn))
-        statements = self._txn_statements.pop(txn.txn_id, [])
+        statements = self._txn_statements.pop(id(txn), [])
         for change in changes:
             schema = self._trod.database.catalog.get(change.table)
             values = (
@@ -113,7 +115,7 @@ class InterpositionLayer:
 
     def txn_aborted(self, txn: "Transaction") -> None:
         start = time.perf_counter_ns()
-        self._txn_statements.pop(txn.txn_id, None)
+        self._txn_statements.pop(id(txn), None)
         self._emit(self._txn_event(txn, status="Aborted", csn=None))
         self.overhead_ns += time.perf_counter_ns() - start
 

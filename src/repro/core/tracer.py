@@ -40,11 +40,19 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class Trod:
-    """Transaction-Oriented Debugger."""
+    """Transaction-Oriented Debugger.
+
+    ``database`` is any :class:`~repro.db.connection.Engine` — a single
+    :class:`~repro.db.database.Database`, a
+    :class:`~repro.db.sharding.ShardedDatabase` facade (every shard's
+    transaction/statement events flow into one provenance stream), or a
+    :class:`~repro.db.replication.ReplicatedDatabase` (the primary is
+    observed; replicas replay the same commits by construction).
+    """
 
     def __init__(
         self,
-        database: Database,
+        database: "Database | Any",
         provenance: ProvenanceStore | None = None,
         buffer_capacity: int = 65536,
         event_names: dict[str, str] | None = None,
@@ -75,20 +83,48 @@ class Trod:
     # Lifecycle
     # ------------------------------------------------------------------
 
-    def attach(self, runtime: "Runtime") -> "Trod":
+    def attach(self, runtime: "Runtime | None" = None) -> "Trod":
+        """Start tracing: register on the engine (and runtime, if any).
+
+        ``runtime=None`` is the database-only attachment used by
+        :func:`repro.connect`: the engine's observer stream (transactions,
+        statements, commits) is captured without a handler runtime — the
+        mode sharded and replicated engines are debugged in.
+        """
         if self.attached:
             raise TrodError("this Trod instance is already attached")
-        if runtime.database is not self.database:
-            raise TrodError("runtime and Trod must share one database")
-        self.runtime = runtime
-        self.clock = runtime.clock
-        self.base_csn = self.database.last_csn
+        if runtime is not None:
+            if runtime.database is not self.database:
+                raise TrodError("runtime and Trod must share one database")
+            self.runtime = runtime
+            self.clock = runtime.clock
+        self.base_csn = self.database.last_commit_csn
+        shards = getattr(self.database, "shards", None)
+        if shards is not None and len(shards) > 1:
+            # On a multi-shard engine, last_commit_csn is a *global* CSN
+            # while per-shard commit events carry local CSNs; a snapshot
+            # of pre-attach data stamped with the global position would
+            # make later commits look older than the snapshot (and merged
+            # row ids collide across shards). Attach before loading.
+            populated = [
+                name
+                for name in self.database.catalog.table_names()
+                if self.database.snapshot_rows(name)
+            ]
+            if populated:
+                raise TrodError(
+                    "attach TROD to a multi-shard engine before loading "
+                    f"data: table(s) {', '.join(sorted(populated))} already "
+                    "hold rows, and their snapshot would mix the global CSN "
+                    "space with per-shard commit CSNs"
+                )
         for name in self.database.catalog.table_names():
             schema = self.database.catalog.get(name)
             self._register_table(schema)
         self.database.add_observer(self.interposition)
         self.database.track_reads = True
-        runtime.add_hook(self.interposition)
+        if runtime is not None:
+            runtime.add_hook(self.interposition)
         self.attached = True
         return self
 
@@ -105,7 +141,7 @@ class Trod:
     def _register_table(self, schema: TableSchema) -> None:
         event_name = self._event_names.get(schema.name.lower())
         self.provenance.register_app_table(schema, event_table=event_name)
-        rows = list(self.database.store(schema.name).scan(None))
+        rows = self.database.snapshot_rows(schema.name)
         if rows:
             self.provenance.capture_snapshot(schema.name, rows, self.base_csn)
 

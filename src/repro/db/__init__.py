@@ -2,10 +2,15 @@
 
 Public surface:
 
+* :func:`connect` / :class:`Connection` / :class:`Cursor` — the unified
+  entry point over every deployment shape (see :mod:`repro.db.connection`)
+* :class:`Engine` — the protocol all deployment shapes implement
 * :class:`Database` — embedded multi-version SQL database
+* :class:`ShardedDatabase` — hash-partitioned execution over N stores
+* :class:`ReplicatedDatabase` — a primary plus log-shipping replicas
 * :class:`TableSchema` / :class:`Column` / :class:`ColumnType` — schemas
 * :class:`IsolationLevel` / :class:`Transaction` — transaction control
-* :class:`ResultSet` — query results
+* :class:`ResultSet` / :class:`Row` — query results
 * :class:`SimulatedBackend` and the latency profiles — backend cost models
 """
 
@@ -18,18 +23,20 @@ from repro.db.backend import (
     SimulatedBackend,
 )
 from repro.db.cdc import CdcStream, ChangeRecord
+from repro.db.connection import Connection, Cursor, Engine, connect
 from repro.db.database import Database, StatementTrace
 from repro.db.replication import (
     Applier,
     ReadRouter,
     Replica,
     ReplicaSet,
+    ReplicatedDatabase,
     ReplicationLog,
     Session,
     ShardedReadRouter,
     ShipRecord,
 )
-from repro.db.result import ResultSet
+from repro.db.result import ResultSet, Row
 from repro.db.schema import Catalog, Column, TableSchema
 from repro.db.sharding import ShardedDatabase, ShardRouter
 from repro.db.timetravel import ShardedTimeTravel, TimeTravel
@@ -48,7 +55,10 @@ __all__ = [
     "ChangeRecord",
     "Column",
     "ColumnType",
+    "Connection",
+    "Cursor",
     "Database",
+    "Engine",
     "IsolationLevel",
     "LatencyProfile",
     "NULL_PROFILE",
@@ -58,8 +68,10 @@ __all__ = [
     "ReadRouter",
     "Replica",
     "ReplicaSet",
+    "ReplicatedDatabase",
     "ReplicationLog",
     "ResultSet",
+    "Row",
     "Session",
     "ShardRouter",
     "ShardedDatabase",
@@ -73,4 +85,5 @@ __all__ = [
     "Transaction",
     "TransactionStatus",
     "VOLTDB_PROFILE",
+    "connect",
 ]

@@ -1,0 +1,486 @@
+"""One engine, one API: ``repro.connect()`` over every deployment shape.
+
+Three PRs of growth left the substrate with divergent entry points —
+``Database.execute``, the ``ShardedDatabase`` facade, ``Session`` +
+``ReadRouter``/``ShardedReadRouter``, and the ``TimeTravel`` /
+``execute_as_of`` side-channels. This module folds them into a single
+DB-API-flavored surface, the way the paper's debugger argument demands:
+apps, workloads, and TROD are written once and run unchanged over a
+single node, a hash-sharded cluster, or a replica-routed deployment.
+
+* :class:`Engine` — the protocol every deployment shape implements
+  (:class:`~repro.db.database.Database`,
+  :class:`~repro.db.sharding.ShardedDatabase`,
+  :class:`~repro.db.replication.ReplicatedDatabase`).
+* :func:`connect` — ``repro.connect(engine, *, session=..., trod=...,
+  read_preference=...)`` returning a :class:`Connection`.
+* :class:`Connection` — ``execute`` / ``cursor()`` / context-managed
+  ``transaction()``; session guarantees (read-your-writes routing) are
+  baked into the read path rather than bolted on; ``SELECT ... AS OF
+  <csn>`` executes natively on every engine.
+* :class:`Cursor` — DB-API ergonomics (``fetchone`` / ``fetchall`` /
+  ``description`` / ``lastrowid``) over :class:`~repro.db.result.Row`
+  objects with attribute-style column access.
+
+Reads through a connection never consume CSNs, on any engine: SELECTs run
+under transactions that are aborted afterwards (the trick the replica
+router and the sharded scatter path already used), so the commit clock
+advances identically whether a workload runs on one node or twelve.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Protocol, Sequence, runtime_checkable
+
+from repro.db.database import Database
+from repro.db.replication import ReplicaSet, ReplicatedDatabase, Session
+from repro.db.result import ResultSet, Row, _name_slots
+from repro.db.sharding import ShardedDatabase
+from repro.db.sql.nodes import (
+    CreateIndexStmt,
+    CreateTableStmt,
+    DropIndexStmt,
+    DropTableStmt,
+    SelectStmt,
+)
+from repro.db.sql.parser import parse_sql
+from repro.db.txn.manager import IsolationLevel, TransactionStatus
+from repro.errors import InterfaceError
+
+#: Read routing choices. ``replica`` serves SELECTs from replicas that
+#: satisfy the session's causal floor, falling back to the primary;
+#: ``wait`` forces a catch-up instead of falling back; ``primary`` pins
+#: every read to the primaries. Engines without replicas read identically
+#: under all three.
+READ_PREFERENCES = ("primary", "replica", "wait")
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """What a deployment shape must speak to sit behind a Connection.
+
+    ``Database``, ``ShardedDatabase``, and ``ReplicatedDatabase`` all
+    implement this structurally; the protocol exists so new topologies
+    (and tests) know the exact contract:
+
+    * ``execute(sql, params=(), txn=None)`` — run one statement,
+      autocommitting without ``txn``; ``SELECT ... AS OF <csn>`` must
+      execute natively.
+    * ``begin(isolation=..., info=None)`` — a transaction object with
+      ``commit() -> csn``, ``abort()``, and ``status``.
+    * ``last_commit_csn`` — the engine-neutral commit position (local CSN
+      on single-node/replicated engines, global CSN on sharded ones);
+      session tokens and ``AS OF`` bookmarks are taken from it.
+    * ``add_observer`` / ``remove_observer`` / ``track_reads`` — the TROD
+      interposition surface; sharded facades fan these out so the whole
+      cluster emits one debugger-visible event stream.
+    * ``snapshot_rows(table)`` / ``table_rows(table)`` / ``catalog`` —
+      attach-time snapshot capture and schema introspection.
+    """
+
+    name: str
+
+    def execute(
+        self, sql: str, params: Sequence[Any] = (), txn: Any = None
+    ) -> ResultSet: ...
+
+    def begin(self, isolation: Any = ..., info: Any = None) -> Any: ...
+
+    def add_observer(self, observer: Any) -> None: ...
+
+    def remove_observer(self, observer: Any) -> None: ...
+
+    def snapshot_rows(self, table: str) -> list[tuple[int, tuple]]: ...
+
+    def table_rows(self, table: str) -> list[dict[str, Any]]: ...
+
+
+_ENGINE_SURFACE = (
+    "execute",
+    "begin",
+    "catalog",
+    "last_commit_csn",
+    "add_observer",
+    "remove_observer",
+    "snapshot_rows",
+)
+
+
+def connect(
+    engine: Any,
+    *,
+    session: Session | None = None,
+    trod: Any = None,
+    read_preference: str = "replica",
+) -> "Connection":
+    """Open a :class:`Connection` over any :class:`Engine`.
+
+    ``engine`` is a :class:`~repro.db.database.Database`,
+    :class:`~repro.db.sharding.ShardedDatabase`,
+    :class:`~repro.db.replication.ReplicatedDatabase`, or a bare
+    :class:`~repro.db.replication.ReplicaSet` (wrapped automatically).
+    ``session`` carries read-your-writes guarantees across connections;
+    one is created per connection by default. ``trod`` attaches a
+    :class:`~repro.core.tracer.Trod` debugger to the engine (any engine —
+    the sharded facade emits the same event stream shape as a single
+    node). ``read_preference`` is one of ``primary`` / ``replica`` /
+    ``wait``.
+    """
+    if isinstance(engine, ReplicaSet):
+        engine = ReplicatedDatabase(replica_set=engine)
+    missing = [attr for attr in _ENGINE_SURFACE if not hasattr(engine, attr)]
+    if missing:
+        raise InterfaceError(
+            f"{type(engine).__name__} does not implement the Engine "
+            f"protocol (missing: {', '.join(missing)})"
+        )
+    if trod is not None:
+        underlying = (
+            engine.primary if isinstance(engine, ReplicatedDatabase) else engine
+        )
+        if trod.database is not engine and trod.database is not underlying:
+            raise InterfaceError(
+                "trod is bound to a different database than this engine"
+            )
+        if not trod.attached:
+            trod.attach()
+    return Connection(
+        engine, session=session, trod=trod, read_preference=read_preference
+    )
+
+
+class Connection:
+    """A DB-API-flavored handle over one :class:`Engine`.
+
+    Statements route by kind: SELECTs take the engine's read path
+    (replica-aware where replicas exist, never consuming CSNs), DML
+    autocommits on the authoritative path and advances the session token,
+    and DDL fans out plus synchronizes replicas. Explicit transactions
+    come from :meth:`transaction`.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        session: Session | None = None,
+        trod: Any = None,
+        read_preference: str = "replica",
+    ):
+        if read_preference not in READ_PREFERENCES:
+            raise InterfaceError(
+                f"unknown read_preference {read_preference!r} "
+                f"(choose from {', '.join(READ_PREFERENCES)})"
+            )
+        self.engine = engine
+        self.session = session if session is not None else Session()
+        self.trod = trod
+        self.read_preference = read_preference
+        self._closed = False
+        self._sharded_router = None  # lazy ShardedReadRouter
+        # Statement classification reuses the engine's parse cache when it
+        # has one; a custom Engine without the private hook still works.
+        self._parse = getattr(engine, "_parse", parse_sql)
+        self.stats = {"reads": 0, "writes": 0, "ddl": 0, "transactions": 0}
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+    # -- statement execution ----------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        """Run one statement, routed by kind (see class docstring)."""
+        self._check_open()
+        stmt = self._parse(sql)
+        if isinstance(stmt, SelectStmt):
+            self.stats["reads"] += 1
+            return self._execute_read(stmt, sql, params)
+        if isinstance(
+            stmt, (CreateTableStmt, DropTableStmt, CreateIndexStmt, DropIndexStmt)
+        ):
+            self.stats["ddl"] += 1
+            return self._execute_ddl(sql, params)
+        self.stats["writes"] += 1
+        return self._execute_write(sql, params)
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        return self.execute(sql, params)
+
+    def cursor(self) -> "Cursor":
+        self._check_open()
+        return Cursor(self)
+
+    def explain(self, sql: str, params: Sequence[Any] = ()) -> list[str]:
+        """The engine's plan for a SELECT (distributed strategy included)."""
+        self._check_open()
+        engine = self.engine
+        if isinstance(engine, ShardedDatabase):
+            return engine.explain(sql, params)
+        return engine.explain(sql)
+
+    @property
+    def last_commit_csn(self) -> int:
+        """The engine's commit position — the natural ``AS OF`` bookmark."""
+        return self.engine.last_commit_csn
+
+    # -- read path --------------------------------------------------------
+
+    def _execute_read(
+        self, stmt: SelectStmt, sql: str, params: Sequence[Any]
+    ) -> ResultSet:
+        engine = self.engine
+        if isinstance(engine, ReplicatedDatabase):
+            return engine.execute_read(
+                sql,
+                params,
+                floor=self.session.last_write_csn,
+                on_stale="wait" if self.read_preference == "wait" else "primary",
+                prefer_replica=self.read_preference != "primary",
+            )
+        if isinstance(engine, ShardedDatabase):
+            if engine.replica_sets and self.read_preference != "primary":
+                router = self._router()
+                return router.execute(sql, params, session=self.session)
+            if stmt.as_of is not None:
+                return engine.execute(sql, params)
+            # Primaries, ephemeral scatter read: burns no CSNs.
+            return engine.select_routed(sql, params)
+        if stmt.as_of is not None:
+            # Historical reads manage their own ephemeral snapshot.
+            return engine.execute(sql, params)
+        # Single node: read under an aborted transaction so the commit
+        # clock advances identically across every engine a workload runs
+        # on (autocommitted reads would consume CSNs here but nowhere
+        # else).
+        txn = engine.begin()
+        try:
+            return engine.execute(sql, params, txn=txn)
+        finally:
+            txn.abort()
+
+    def _router(self):
+        from repro.db.replication import ShardedReadRouter
+
+        on_stale = "wait" if self.read_preference == "wait" else "primary"
+        if self._sharded_router is None or self._sharded_router.on_stale != on_stale:
+            # Rebuilt when read_preference is reassigned mid-connection,
+            # so the sharded path honors the change like the others do.
+            self._sharded_router = ShardedReadRouter(self.engine, on_stale=on_stale)
+        return self._sharded_router
+
+    # -- write path -------------------------------------------------------
+
+    def _execute_write(self, sql: str, params: Sequence[Any]) -> ResultSet:
+        engine = self.engine
+        if isinstance(engine, ShardedDatabase):
+            # Explicit global transaction: autocommit would swallow the
+            # global CSN the session token needs.
+            gtxn = engine.begin()
+            try:
+                result = engine.execute(sql, params, txn=gtxn)
+                global_csn = gtxn.commit()
+            except Exception:
+                if gtxn.status is TransactionStatus.ACTIVE:
+                    gtxn.abort()
+                raise
+            self.session.note_global_write(global_csn)
+            return result
+        result = engine.execute(sql, params)
+        self.session.note_write(engine.last_commit_csn)
+        return result
+
+    def _execute_ddl(self, sql: str, params: Sequence[Any]) -> ResultSet:
+        engine = self.engine
+        result = engine.execute(sql, params)
+        if isinstance(engine, ShardedDatabase) and engine.replica_sets:
+            # DDL ship records consume no CSN, so no session floor can
+            # gate their visibility; synchronize replicas now.
+            engine.catch_up_replicas()
+        return result
+
+    # -- explicit transactions --------------------------------------------
+
+    def transaction(
+        self,
+        isolation: IsolationLevel = IsolationLevel.SERIALIZABLE,
+        label: str | None = None,
+    ) -> "ConnectionTransaction":
+        """A context-managed transaction on the authoritative path.
+
+        Commits on clean exit (noting the session token), aborts on
+        exception. On a sharded engine this is a global transaction
+        committing through 2PC; on a replicated engine it runs on the
+        primary.
+        """
+        self._check_open()
+        self.stats["transactions"] += 1
+        return ConnectionTransaction(self, isolation, label)
+
+
+class ConnectionTransaction:
+    """One explicit transaction; use via ``with conn.transaction() as t``."""
+
+    def __init__(
+        self,
+        conn: Connection,
+        isolation: IsolationLevel,
+        label: str | None,
+    ):
+        self._conn = conn
+        info = {"label": label} if label is not None else None
+        self._txn = conn.engine.begin(isolation=isolation, info=info)
+        #: Set by commit: the transaction's CSN (global on sharded
+        #: engines) — the bookmark to hand a later ``AS OF`` read.
+        self.csn: int | None = None
+
+    @property
+    def raw(self) -> Any:
+        """The underlying engine transaction (branch access, etc.)."""
+        return self._txn
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        return self._conn.engine.execute(sql, params, txn=self._txn)
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        return self.execute(sql, params)
+
+    def commit(self) -> int:
+        csn = self._txn.commit()
+        self.csn = csn
+        if isinstance(self._conn.engine, ShardedDatabase):
+            self._conn.session.note_global_write(csn)
+        else:
+            self._conn.session.note_write(csn)
+        return csn
+
+    def abort(self) -> None:
+        self._txn.abort()
+
+    def __enter__(self) -> "ConnectionTransaction":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if self._txn.status is not TransactionStatus.ACTIVE:
+            return  # committed or aborted explicitly inside the block
+        if exc_type is not None:
+            self._txn.abort()
+            return
+        self.commit()
+
+
+class Cursor:
+    """DB-API-shaped statement execution over a :class:`Connection`.
+
+    ``execute`` returns the cursor (chainable); rows come back as
+    :class:`~repro.db.result.Row` objects, so ``cur.fetchone().balance``
+    works. ``description`` follows the DB-API 7-tuple shape with only the
+    name populated (the engine is dynamically typed).
+    """
+
+    arraysize = 1
+
+    def __init__(self, conn: Connection):
+        self._conn = conn
+        self._closed = False
+        self._rows: list[Row] = []
+        self._pos = 0
+        self.description: list[tuple] | None = None
+        self.rowcount = -1
+        self.lastrowid: int | None = None
+        self.result: ResultSet | None = None
+
+    @property
+    def connection(self) -> Connection:
+        return self._conn
+
+    def close(self) -> None:
+        self._closed = True
+        self._rows = []
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> "Cursor":
+        self._check_open()
+        self._load(self._conn.execute(sql, params))
+        return self
+
+    def executemany(
+        self, sql: str, seq_of_params: Sequence[Sequence[Any]]
+    ) -> "Cursor":
+        self._check_open()
+        total = 0
+        last: ResultSet | None = None
+        for params in seq_of_params:
+            last = self._conn.execute(sql, params)
+            total += last.rowcount
+        if last is not None:
+            self._load(last)
+        self.rowcount = total
+        return self
+
+    def _load(self, result: ResultSet) -> None:
+        self.result = result
+        if result.kind == "select":
+            names = _name_slots(result.columns)
+            self.description = [
+                (name, None, None, None, None, None, None)
+                for name in result.columns
+            ]
+            self._rows = [Row(row, names) for row in result.rows]
+        else:
+            self.description = None
+            self._rows = []
+        self._pos = 0
+        self.rowcount = result.rowcount
+        self.lastrowid = result.row_ids[-1] if result.row_ids else None
+
+    def fetchone(self) -> Row | None:
+        self._check_open()
+        if self._pos >= len(self._rows):
+            return None
+        row = self._rows[self._pos]
+        self._pos += 1
+        return row
+
+    def fetchmany(self, size: int | None = None) -> list[Row]:
+        self._check_open()
+        count = self.arraysize if size is None else size
+        chunk = self._rows[self._pos : self._pos + count]
+        self._pos += len(chunk)
+        return chunk
+
+    def fetchall(self) -> list[Row]:
+        self._check_open()
+        chunk = self._rows[self._pos :]
+        self._pos = len(self._rows)
+        return chunk
+
+    def __iter__(self) -> Iterator[Row]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -21,6 +21,7 @@ from repro.db.sql.executor import (
     build_select_plan,
     compile_delete_plan,
     compile_update_plan,
+    evaluate_as_of,
     execute_statement,
 )
 from repro.db.sql.nodes import (
@@ -44,7 +45,12 @@ from repro.db.txn.manager import (
     TransactionManager,
 )
 from repro.db.txn.wal import WriteAheadLog, recover_into
-from repro.errors import ExecutionError, FencedError, ReadOnlyError
+from repro.errors import (
+    ExecutionError,
+    FencedError,
+    ReadOnlyError,
+    TimeTravelError,
+)
 
 _STMT_CACHE_LIMIT = 1024
 _PLAN_CACHE_LIMIT = 512
@@ -277,6 +283,10 @@ class Database:
                 f"database {self.name!r} is a read-only replica; writes "
                 "and DDL arrive only through the replication stream"
             )
+        if isinstance(stmt, SelectStmt) and stmt.as_of is not None:
+            # ``SELECT ... AS OF <csn>``: a historical read, independent
+            # of any enclosing transaction's snapshot.
+            return self._execute_select_as_of(stmt, params, sql)
         if isinstance(
             stmt, (CreateTableStmt, DropTableStmt, CreateIndexStmt, DropIndexStmt)
         ):
@@ -310,6 +320,47 @@ class Database:
             if autocommit:
                 self.txn_manager.abort(active)
             raise
+
+    def _execute_select_as_of(
+        self, stmt: SelectStmt, params: Sequence[Any], sql: str
+    ) -> ResultSet:
+        """Run a ``SELECT ... AS OF <csn>`` against the version store.
+
+        The read executes under an ephemeral SNAPSHOT transaction whose
+        snapshot is rewound to ``csn`` and which is aborted afterwards —
+        historical reads must not consume CSNs (on a replica that would
+        desynchronize the shipped stream, and nowhere do they represent a
+        new commit). Observers still see the statement trace, so TROD's
+        read provenance covers time-travel reads too.
+        """
+        csn = evaluate_as_of(stmt, params)
+        if csn < self.history_horizon:
+            raise TimeTravelError(
+                f"csn {csn} predates the vacuum horizon "
+                f"({self.history_horizon})"
+            )
+        if csn > self.txn_manager.last_csn:
+            raise TimeTravelError(
+                f"csn {csn} is in the future (last committed is "
+                f"{self.txn_manager.last_csn})"
+            )
+        active = self.begin(IsolationLevel.SNAPSHOT)
+        active.snapshot_csn = csn
+        try:
+            if self.backend is not None:
+                self.backend.on_statement()
+            active.begin_statement()
+            result = execute_statement(self, active, stmt, params, sql)
+            trace = StatementTrace(
+                sql=sql,
+                kind=result.kind,
+                reads=active.statement_reads(),
+                rowcount=result.rowcount,
+            )
+            self.notify("statement_executed", active, trace)
+            return result
+        finally:
+            self.txn_manager.abort(active)
 
     def _writes_of(
         self, stmt: Statement, result: ResultSet
@@ -380,6 +431,15 @@ class Database:
             for _row_id, values in self.store(table).scan(csn)
         ]
 
+    def snapshot_rows(self, table: str) -> list[tuple[int, tuple]]:
+        """Latest committed ``(row_id, values)`` pairs of one table.
+
+        Part of the :class:`~repro.db.connection.Engine` surface: TROD's
+        attach-time snapshot capture uses it so the same code path works
+        on single-node and sharded engines.
+        """
+        return list(self.store(table).scan(None))
+
     def bulk_load(self, table: str, rows: Sequence[tuple[int, tuple]]) -> None:
         """Load pre-validated rows directly at CSN 0 (restore path).
 
@@ -408,6 +468,17 @@ class Database:
 
     @property
     def last_csn(self) -> int:
+        return self.txn_manager.last_csn
+
+    @property
+    def last_commit_csn(self) -> int:
+        """The engine-neutral commit position (local CSN here).
+
+        Every :class:`~repro.db.connection.Engine` exposes this so
+        sessions and ``AS OF`` bookmarks are taken the same way whether
+        the engine counts local CSNs (single node, replicated) or global
+        CSNs (sharded).
+        """
         return self.txn_manager.last_csn
 
     # -- observers ---------------------------------------------------------------

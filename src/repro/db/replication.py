@@ -34,6 +34,7 @@ sharded facade uses for scatter reads.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
@@ -42,6 +43,7 @@ from repro.db.database import Database
 from repro.db.index import SortedIndex
 from repro.db.result import ResultSet
 from repro.db.schema import TableSchema
+from repro.db.sql.executor import evaluate_as_of
 from repro.db.sql.nodes import (
     CreateIndexStmt,
     CreateTableStmt,
@@ -49,7 +51,7 @@ from repro.db.sql.nodes import (
     DropTableStmt,
     SelectStmt,
 )
-from repro.db.txn.manager import TransactionStatus
+from repro.db.txn.manager import IsolationLevel, Transaction, TransactionStatus
 from repro.errors import ReplicationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -422,6 +424,22 @@ class ReplicaSet:
             raise ReplicationError("replica set is empty")
         return max(self.replicas, key=lambda r: r.csn)
 
+    def covering_replica(self, csn: int) -> Replica | None:
+        """A replica whose shipped history covers commit ``csn``, or None.
+
+        Coverage means the replica has applied the commit (its CSN is
+        at/after ``csn``) *and* its bootstrap horizon predates it — the
+        qualification every AS-OF read uses, on routers, the replicated
+        engine, and sharded time travel alike.
+        """
+        for replica in self.replicas:
+            if (
+                replica.csn >= csn
+                and replica.database.history_horizon <= csn
+            ):
+                return replica
+        return None
+
     def pick(self, policy: str = "round_robin", min_csn: int = 0) -> Replica | None:
         """A replica whose CSN is at/after ``min_csn``, or None.
 
@@ -660,6 +678,16 @@ class ReadRouter:
                 # now so every later read sees the new catalog.
                 rs.catch_up()
             return result
+        if stmt.as_of is not None:
+            # Historical read: only a replica whose shipped history
+            # covers the CSN answers identically; session floors don't
+            # apply.
+            replica = rs.covering_replica(evaluate_as_of(stmt, params))
+            if replica is not None:
+                self.stats["replica_reads"] += 1
+                return replica.database.execute(sql, params)
+            self.stats["primary_reads"] += 1
+            return rs.primary.execute(sql, params)
         floor = session.last_write_csn if session is not None else 0
         replica = rs.pick(self.policy, min_csn=floor)
         if replica is None and rs.replicas and self.on_stale == "wait":
@@ -678,13 +706,209 @@ class ReadRouter:
 
     def rows_as_of(self, table: str, csn: int) -> list[tuple[int, tuple]]:
         """An AS-OF read served by any replica whose history covers it."""
-        for replica in self.replica_set.replicas:
-            database = replica.database
-            if replica.csn >= csn and database.history_horizon <= csn:
-                self.stats["replica_reads"] += 1
-                return database.time_travel.rows_as_of(table, csn)
+        replica = self.replica_set.covering_replica(csn)
+        if replica is not None:
+            self.stats["replica_reads"] += 1
+            return replica.database.time_travel.rows_as_of(table, csn)
         self.stats["primary_reads"] += 1
         return self.replica_set.primary.time_travel.rows_as_of(table, csn)
+
+
+class ReplicatedDatabase:
+    """A primary plus its log-shipping replicas behind the one-database API.
+
+    The replica-routed cluster as a first-class engine: it speaks the same
+    ``execute`` / ``begin`` surface as :class:`~repro.db.database.Database`
+    and :class:`~repro.db.sharding.ShardedDatabase`, so
+    :func:`repro.connect` (and anything written against the
+    :class:`~repro.db.connection.Engine` protocol) runs over it unchanged.
+    Writes, DDL, and explicit transactions execute on the primary;
+    :meth:`execute_read` serves SELECTs from replicas subject to a
+    session-guarantee CSN floor, falling back to the primary (or forcing a
+    catch-up) when every replica is stale. ``AS OF`` reads go to any
+    replica whose shipped history covers the target CSN.
+    """
+
+    def __init__(
+        self,
+        primary: Database | None = None,
+        n_replicas: int = 1,
+        mode: str = "async",
+        log_retain: int | None = None,
+        replica_set: ReplicaSet | None = None,
+        policy: str = "round_robin",
+        name: str = "replicated",
+    ):
+        if replica_set is not None:
+            self.replica_set = replica_set
+        else:
+            self.replica_set = ReplicaSet(
+                primary if primary is not None else Database(name=name),
+                n_replicas=n_replicas,
+                mode=mode,
+                log_retain=log_retain,
+            )
+        self.policy = policy
+        self.stats = {
+            "replica_reads": 0,
+            "primary_reads": 0,
+            "stale_fallbacks": 0,
+            "catch_up_waits": 0,
+        }
+
+    # -- plumbing ---------------------------------------------------------
+
+    @property
+    def primary(self) -> Database:
+        return self.replica_set.primary
+
+    @property
+    def name(self) -> str:
+        return self.primary.name
+
+    @property
+    def catalog(self):
+        return self.primary.catalog
+
+    @property
+    def last_csn(self) -> int:
+        return self.primary.last_csn
+
+    @property
+    def last_commit_csn(self) -> int:
+        """The engine-neutral commit position (the primary's local CSN)."""
+        return self.primary.last_csn
+
+    @property
+    def time_travel(self):
+        return self.primary.time_travel
+
+    def _parse(self, sql: str):
+        return self.primary._parse(sql)
+
+    # -- the Engine surface -----------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        txn: Transaction | None = None,
+    ) -> ResultSet:
+        """Authoritative execution on the primary.
+
+        DDL is immediately shipped to the replicas: schema records consume
+        no CSN, so no session floor could otherwise gate their visibility.
+        Use :meth:`execute_read` for replica-served SELECTs.
+        """
+        result = self.primary.execute(sql, params, txn=txn)
+        if result.kind == "ddl":
+            self.replica_set.catch_up()
+        return result
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        return self.execute(sql, params)
+
+    def begin(
+        self,
+        isolation: IsolationLevel = IsolationLevel.SERIALIZABLE,
+        info: dict[str, Any] | None = None,
+    ) -> Transaction:
+        return self.primary.begin(isolation=isolation, info=info)
+
+    def execute_read(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        floor: int = 0,
+        on_stale: str = "primary",
+        prefer_replica: bool = True,
+    ) -> ResultSet:
+        """A SELECT served by a replica at/after ``floor``, CSN-free.
+
+        ``floor`` is the session-guarantee minimum (the CSN of the
+        caller's last acknowledged write); ``on_stale='wait'`` forces a
+        catch-up instead of falling back to the primary;
+        ``prefer_replica=False`` pins the read to the primary. Reads never
+        consume CSNs, on whichever database serves them.
+        """
+        if on_stale not in ("primary", "wait"):
+            raise ReplicationError(f"unknown on_stale mode {on_stale!r}")
+        stmt = self.primary._parse(sql)
+        if not isinstance(stmt, SelectStmt):
+            raise ReplicationError(
+                "execute_read supports SELECT statements only"
+            )
+        rs = self.replica_set
+        if stmt.as_of is not None:
+            replica = (
+                rs.covering_replica(evaluate_as_of(stmt, params))
+                if prefer_replica
+                else None
+            )
+            if replica is not None:
+                self.stats["replica_reads"] += 1
+                return replica.database.execute(sql, params)
+            self.stats["primary_reads"] += 1
+            return self.primary.execute(sql, params)
+        if not prefer_replica:
+            self.stats["primary_reads"] += 1
+            return _read_on(self.primary, sql, params)
+        replica = rs.pick(self.policy, min_csn=floor)
+        if replica is None and rs.replicas and on_stale == "wait":
+            rs.catch_up()
+            self.stats["catch_up_waits"] += 1
+            replica = rs.pick(self.policy, min_csn=floor)
+        if replica is None:
+            key = "stale_fallbacks" if rs.replicas else "primary_reads"
+            self.stats[key] += 1
+            return _read_on(self.primary, sql, params)
+        self.stats["replica_reads"] += 1
+        return _read_on(replica.database, sql, params)
+
+    def explain(self, sql: str) -> list[str]:
+        return self.primary.explain(sql)
+
+    def table_rows(self, table: str) -> list[dict[str, Any]]:
+        return self.primary.table_rows(table)
+
+    def snapshot_rows(self, table: str) -> list[tuple[int, tuple]]:
+        return self.primary.snapshot_rows(table)
+
+    # -- observers (TROD interposition attaches to the primary) -----------
+
+    def add_observer(self, observer: Any) -> None:
+        self.primary.add_observer(observer)
+
+    def remove_observer(self, observer: Any) -> None:
+        self.primary.remove_observer(observer)
+
+    @property
+    def track_reads(self) -> bool:
+        return self.primary.track_reads
+
+    @track_reads.setter
+    def track_reads(self, value: bool) -> None:
+        self.primary.track_reads = value
+
+    # -- cluster management ------------------------------------------------
+
+    def catch_up(self, limit: int | None = None) -> int:
+        return self.replica_set.catch_up(limit=limit)
+
+    def failover(self, target: Replica | str | None = None) -> Database:
+        """Promote a replica (see :meth:`ReplicaSet.promote`).
+
+        An attached TROD observer keeps tracing: replicas apply commits
+        through real transactions, so observer hooks must be re-registered
+        on the promoted database by the caller if tracing should continue.
+        """
+        return self.replica_set.promote(target)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ReplicatedDatabase primary={self.primary.name!r} "
+            f"replicas={len(self.replica_set)} mode={self.replica_set.mode}>"
+        )
 
 
 class ShardedReadRouter:
@@ -751,6 +975,12 @@ class ShardedReadRouter:
         sharded = self.sharded
         stmt = sharded._parse(sql)
         if isinstance(stmt, SelectStmt):
+            if stmt.as_of is not None:
+                # Historical read: replicas qualify by CSN coverage, not
+                # by the session floor.
+                return self._select_as_of(
+                    stmt, evaluate_as_of(stmt, params), params, sql
+                )
             return sharded.select_routed(
                 sql, params, db_for=self._chooser(self._floors(session))
             )
@@ -783,24 +1013,38 @@ class ShardedReadRouter:
     def execute_as_of(
         self, sql: str, global_csn: int, params: Sequence[Any] = ()
     ) -> ResultSet:
+        """Deprecated: use ``SELECT ... AS OF <csn>`` through ``execute``."""
+        warnings.warn(
+            "ShardedReadRouter.execute_as_of is deprecated; use the "
+            "SELECT ... AS OF <csn> clause through execute()/repro.connect()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        stmt = self.sharded._parse(sql)
+        if not isinstance(stmt, SelectStmt):
+            raise ReplicationError(
+                "AS OF execution supports SELECT statements only"
+            )
+        return self._select_as_of(stmt, global_csn, params, sql)
+
+    def _select_as_of(
+        self, stmt: SelectStmt, global_csn: int, params: Sequence[Any], sql: str
+    ) -> ResultSet:
         """An AS-OF scatter read served by replicas that cover the CSN."""
         local_csns = self.sharded.time_travel.local_csns_at(global_csn)
 
         def choose(store: str) -> Database:
             rs = self.sharded.replica_sets.get(store)
-            target = local_csns[store]
-            if rs is not None:
-                for replica in rs.replicas:
-                    if (
-                        replica.csn >= target
-                        and replica.database.history_horizon <= target
-                    ):
-                        self.stats["replica_reads"] += 1
-                        return replica.database
+            replica = (
+                rs.covering_replica(local_csns[store]) if rs is not None else None
+            )
+            if replica is not None:
+                self.stats["replica_reads"] += 1
+                return replica.database
             self.stats["primary_reads"] += 1
             return self.sharded.shard_named(store)
 
-        return self.sharded.execute_as_of(sql, global_csn, params, db_for=choose)
+        return self.sharded._select_as_of(stmt, global_csn, params, choose, sql)
 
     def catch_up_all(self, limit: int | None = None) -> int:
         """Catch up every shard's replicas; returns records applied."""

@@ -8,6 +8,56 @@ from repro.db.types import render_value
 from repro.errors import ExecutionError
 
 
+class Row(tuple):
+    """One result row: a tuple with name and attribute access.
+
+    ``row.balance``, ``row["balance"]``, and ``row[1]`` all work; equality
+    and ordering against plain tuples are inherited, so code written
+    against tuple rows keeps passing when handed Rows (the cursor API
+    returns these).
+    """
+
+    def __new__(cls, values: tuple, names: dict[str, int]) -> "Row":
+        obj = super().__new__(cls, values)
+        obj._names = names
+        return obj
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return tuple.__getitem__(self, self._names[name.lower()])
+        except KeyError:
+            raise AttributeError(
+                f"row has no column {name!r} (columns: {list(self._names)})"
+            ) from None
+
+    def __getitem__(self, key):  # type: ignore[override]
+        if isinstance(key, str):
+            try:
+                return tuple.__getitem__(self, self._names[key.lower()])
+            except KeyError:
+                raise ExecutionError(
+                    f"row has no column {key!r} (columns: {list(self._names)})"
+                ) from None
+        return tuple.__getitem__(self, key)
+
+    def keys(self) -> list[str]:
+        return list(self._names)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {name: tuple.__getitem__(self, i) for name, i in self._names.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Row {self.as_dict()!r}>"
+
+
+def _name_slots(columns: list[str]) -> dict[str, int]:
+    """Column name -> slot, first occurrence winning (duplicates legal)."""
+    names: dict[str, int] = {}
+    for i, column in enumerate(columns):
+        names.setdefault(column.lower(), i)
+    return names
+
+
 class ResultSet:
     """Rows returned by a statement.
 
@@ -40,6 +90,23 @@ class ResultSet:
 
     def first(self) -> tuple | None:
         return self.rows[0] if self.rows else None
+
+    def one(self) -> Row:
+        """The single row of a single-row result, with attribute access.
+
+        Raises :class:`~repro.errors.ExecutionError` when the result has
+        zero or several rows — the cursor-era companion to :meth:`scalar`.
+        """
+        if len(self.rows) != 1:
+            raise ExecutionError(
+                f"one() needs exactly one row, got {len(self.rows)}"
+            )
+        return Row(self.rows[0], _name_slots(self.columns))
+
+    def as_rows(self) -> list[Row]:
+        """Every row wrapped for name/attribute access."""
+        names = _name_slots(self.columns)
+        return [Row(row, names) for row in self.rows]
 
     def scalar(self) -> Any:
         """The single value of a single-row, single-column result."""

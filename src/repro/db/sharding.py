@@ -28,6 +28,7 @@ single database. The pieces:
 
 from __future__ import annotations
 
+import warnings
 import zlib
 from typing import Any, Callable, Iterator, Sequence
 
@@ -54,6 +55,7 @@ from repro.db.sql.executor import (
     PlanNode,
     RowsNode,
     build_from_where,
+    evaluate_as_of,
     execute_statement,
     plan_projection,
 )
@@ -543,8 +545,57 @@ class ShardedDatabase:
         return self.coordinator.global_csn
 
     @property
+    def last_commit_csn(self) -> int:
+        """The engine-neutral commit position (global CSN here).
+
+        Sessions and ``AS OF`` bookmarks taken against a sharded engine
+        are global CSNs; the aligned commit log translates them onto
+        per-shard local positions.
+        """
+        return self.coordinator.global_csn
+
+    @property
     def time_travel(self) -> ShardedTimeTravel:
         return ShardedTimeTravel(self)
+
+    # -- the Engine observer surface ------------------------------------------
+
+    def add_observer(self, observer: Any) -> None:
+        """Register a database observer on every shard.
+
+        TROD interposition attaches here exactly as it does on a single
+        database: each shard emits ``txn_began`` / ``statement_executed``
+        / ``txn_committed`` events for the work it executed, so the
+        debugger-visible stream covers the whole cluster. Transaction and
+        row ids are meaningful within their owning shard's id space.
+        """
+        for shard in self.shards:
+            shard.add_observer(observer)
+
+    def remove_observer(self, observer: Any) -> None:
+        for shard in self.shards:
+            shard.remove_observer(observer)
+
+    @property
+    def track_reads(self) -> bool:
+        return all(shard.track_reads for shard in self.shards)
+
+    @track_reads.setter
+    def track_reads(self, value: bool) -> None:
+        for shard in self.shards:
+            shard.track_reads = value
+
+    def snapshot_rows(self, table: str) -> list[tuple[int, tuple]]:
+        """Latest committed ``(row_id, values)`` pairs across all shards.
+
+        Row ids are only unique within their owning shard; callers that
+        key on row id (TROD's attach-time snapshot capture) should attach
+        before loading data, as on a single node.
+        """
+        out: list[tuple[int, tuple]] = []
+        for shard in self.shards:
+            out.extend(shard.snapshot_rows(table))
+        return out
 
     def begin(
         self,
@@ -600,6 +651,12 @@ class ShardedDatabase:
                 f"got {len(params)}"
             )
         if isinstance(stmt, SelectStmt):
+            if stmt.as_of is not None:
+                # Historical read pinned to a global CSN; independent of
+                # any enclosing global transaction's branches.
+                return self._select_as_of(
+                    stmt, evaluate_as_of(stmt, params), params, None, sql
+                )
             if txn is not None:
                 return self._execute_select(stmt, params, self._branch_getter(txn), sql)
             return self._ephemeral_select(stmt, params, sql, None)
@@ -645,6 +702,10 @@ class ShardedDatabase:
                 f"statement expects {stmt.param_count} parameter(s), "
                 f"got {len(params)}"
             )
+        if stmt.as_of is not None:
+            return self._select_as_of(
+                stmt, evaluate_as_of(stmt, params), params, db_for, sql
+            )
         return self._ephemeral_select(stmt, params, sql, db_for)
 
     def _ephemeral_select(
@@ -682,6 +743,35 @@ class ShardedDatabase:
         params: Sequence[Any] = (),
         db_for: Callable[[str], Database] | None = None,
     ) -> ResultSet:
+        """Deprecated: use ``SELECT ... AS OF <csn>`` through ``execute``.
+
+        Kept as a thin shim over the same historical-read path the AS OF
+        clause takes, so pre-facade callers keep working.
+        """
+        warnings.warn(
+            "ShardedDatabase.execute_as_of is deprecated; use the "
+            "SELECT ... AS OF <csn> clause through execute()/repro.connect()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        stmt = self._parse(sql)
+        if not isinstance(stmt, SelectStmt):
+            raise ExecutionError("AS OF execution supports SELECT statements only")
+        if stmt.param_count != len(params):
+            raise ExecutionError(
+                f"statement expects {stmt.param_count} parameter(s), "
+                f"got {len(params)}"
+            )
+        return self._select_as_of(stmt, global_csn, params, db_for, sql)
+
+    def _select_as_of(
+        self,
+        stmt: SelectStmt,
+        global_csn: int,
+        params: Sequence[Any],
+        db_for: Callable[[str], Database] | None,
+        sql: str | None,
+    ) -> ResultSet:
         """Run a SELECT against the cluster state at a global CSN.
 
         The aligned commit log translates the global CSN onto each shard's
@@ -692,14 +782,6 @@ class ShardedDatabase:
         whose shipped history covers the target CSN (replicas preserve
         CSNs, so their version stores answer AS-OF queries identically).
         """
-        stmt = self._parse(sql)
-        if not isinstance(stmt, SelectStmt):
-            raise ExecutionError("AS OF execution supports SELECT statements only")
-        if stmt.param_count != len(params):
-            raise ExecutionError(
-                f"statement expects {stmt.param_count} parameter(s), "
-                f"got {len(params)}"
-            )
         local_csns = self.time_travel.local_csns_at(global_csn)
         base = db_for if db_for is not None else self._by_name.__getitem__
         chosen: dict[str, Database] = {}
@@ -1312,6 +1394,11 @@ class ShardedDatabase:
 
         source_rows: list[dict[str, Any]]
         if stmt.select is not None:
+            if stmt.select.as_of is not None:
+                raise ExecutionError(
+                    "AS OF is not supported inside INSERT ... SELECT; "
+                    "run the historical read separately"
+                )
             inner = self._execute_select(stmt.select, params, get_txn, None)
             if len(inner.columns) != len(columns):
                 raise ExecutionError(

@@ -912,6 +912,24 @@ def _default_name(expr: Expr) -> str:
 # ---------------------------------------------------------------------------
 
 
+def evaluate_as_of(stmt: SelectStmt, params: Sequence[Any]) -> int:
+    """The CSN an ``AS OF`` clause pins this SELECT to.
+
+    The clause is a literal or parameter; whatever it evaluates to must be
+    a non-negative integer commit sequence number (integral floats are
+    accepted the way shard-key routing accepts them).
+    """
+    assert stmt.as_of is not None
+    value = compile_expr(stmt.as_of, Layout())((), params)
+    if isinstance(value, float) and value.is_integer():
+        value = int(value)
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ExecutionError(
+            f"AS OF expects a non-negative integer CSN, got {value!r}"
+        )
+    return value
+
+
 def execute_statement(
     database: "Database",
     txn: "Transaction",
@@ -985,6 +1003,11 @@ def _execute_insert(
     for column in columns:
         schema.column(column)  # validates existence
     if stmt.select is not None:
+        if stmt.select.as_of is not None:
+            raise ExecutionError(
+                "AS OF is not supported inside INSERT ... SELECT; "
+                "run the historical read separately"
+            )
         plan, out_names = database.select_plan(stmt.select, txn, None)
         if len(out_names) != len(columns):
             raise ExecutionError(

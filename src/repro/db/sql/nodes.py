@@ -68,6 +68,10 @@ class SelectStmt(Statement):
     order_by: list[OrderItem] = field(default_factory=list)
     limit: Expr | None = None
     offset: Expr | None = None
+    #: Trailing ``AS OF <csn>`` clause: a historical read pinned to a
+    #: commit sequence number (local CSN on one database, global CSN on a
+    #: sharded cluster). A literal or parameter.
+    as_of: Expr | None = None
     param_count: int = 0
 
     def table_refs(self) -> list[TableRef]:

@@ -128,6 +128,20 @@ class _Parser:
         if self._peek().kind != "EOF":
             raise self._error("unexpected trailing input")
 
+    def _at_as_of(self) -> bool:
+        """Is the cursor at an ``AS OF <csn>`` clause (vs ``AS alias``)?
+
+        ``OF`` is deliberately not a reserved word, so ``AS OF`` is
+        disambiguated from an alias literally named "of" by requiring a
+        CSN-shaped operand (number or parameter) right after it.
+        """
+        return (
+            self._at_keyword("AS")
+            and self._peek(1).kind == "IDENT"
+            and str(self._peek(1).value).upper() == "OF"
+            and self._peek(2).kind in ("NUMBER", "PARAM")
+        )
+
     # -- statements ---------------------------------------------------------
 
     def parse_statement(self) -> Statement:
@@ -157,6 +171,11 @@ class _Parser:
         if self._take_keyword("FROM"):
             stmt.from_table = self._parse_table_ref()
             self._parse_joins(stmt)
+            if self._at_as_of():
+                # ``FROM ... AS OF <csn>`` ahead of WHERE/GROUP/ORDER.
+                self._advance()  # AS
+                self._advance()  # OF
+                stmt.as_of = self._parse_primary()
         if self._take_keyword("WHERE"):
             stmt.where = self._parse_expr()
         if self._take_keyword("GROUP"):
@@ -175,6 +194,12 @@ class _Parser:
             stmt.limit = self._parse_expr()
         if self._take_keyword("OFFSET"):
             stmt.offset = self._parse_expr()
+        if self._at_as_of():
+            if stmt.as_of is not None:
+                raise self._error("duplicate AS OF clause")
+            self._advance()  # AS
+            self._advance()  # OF
+            stmt.as_of = self._parse_primary()
         return stmt
 
     def _parse_select_item(self) -> SelectItem:
@@ -208,7 +233,11 @@ class _Parser:
     def _parse_table_ref(self) -> TableRef:
         table = self._expect_ident("table name")
         alias = None
-        if self._take_keyword("AS"):
+        if self._at_as_of():
+            # ``FROM items AS OF 5``: the AS belongs to the statement's
+            # trailing AS-OF clause, not to a table alias named "of".
+            pass
+        elif self._take_keyword("AS"):
             alias = self._expect_ident("alias")
         elif (
             self._peek().kind == "IDENT"

@@ -134,12 +134,9 @@ class ShardedTimeTravel:
         """
         replica_set = self._sharded.replica_sets.get(store)
         if replica_set is not None:
-            for replica in replica_set.replicas:
-                if (
-                    replica.csn >= local_csn
-                    and replica.database.history_horizon <= local_csn
-                ):
-                    return replica.database
+            replica = replica_set.covering_replica(local_csn)
+            if replica is not None:
+                return replica.database
         return shard
 
     def rows_as_of(

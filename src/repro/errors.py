@@ -94,6 +94,10 @@ class TimeTravelError(DatabaseError):
     """A time-travel request referenced an impossible point in history."""
 
 
+class InterfaceError(DatabaseError):
+    """The connection API was misused (closed connection, bad engine...)."""
+
+
 # ---------------------------------------------------------------------------
 # Serverless runtime (repro.runtime)
 # ---------------------------------------------------------------------------

@@ -352,6 +352,135 @@ class ReplicatedReadWorkload:
         return counts
 
 
+class ConnectionWorkload:
+    """One statement stream, any engine: the ``repro.connect()`` workload.
+
+    Produces a deterministic mix of inserts, updates, deletes, point and
+    range reads, aggregates, and ``AS OF`` probes as plain ``(kind, sql,
+    params)`` tuples — written once against the Connection API and run
+    unchanged over single-node, sharded, and replicated engines. The
+    differential tests drive the *same* stream through all three and
+    assert byte-identical results; :meth:`run` returns per-statement
+    result fingerprints to make that comparison trivial.
+
+    ``AS OF`` probes reference commit positions bookmarked *through the
+    connection* (``conn.last_commit_csn``) after each write, because the
+    CSN space is engine-specific: local CSNs on one node, global CSNs on
+    a cluster. The bookmark indices line up across engines even though
+    the CSN values may not.
+    """
+
+    TABLE_DDL = (
+        "CREATE TABLE ledger (acct INTEGER, balance FLOAT, region TEXT)"
+    )
+    REGIONS = ("north", "south", "east", "west")
+
+    def __init__(self, n_keys: int = 48, seed: int = 0):
+        self.n_keys = n_keys
+        self._keys = ZipfSampler(n_keys, theta=0.8, seed=seed)
+        self._mix = UniformSampler(100, seed=seed + 1)
+        self._amounts = UniformSampler(500, seed=seed + 2)
+        self._counter = 0
+
+    def seed(self, conn) -> None:
+        """Create and load the ledger through the connection under test."""
+        conn.execute(self.TABLE_DDL)
+        for key in range(self.n_keys):
+            conn.execute(
+                "INSERT INTO ledger VALUES (?, ?, ?)",
+                (key, 100.0, self.REGIONS[key % len(self.REGIONS)]),
+            )
+
+    def statements(self, count: int) -> Iterator[tuple]:
+        """``(kind, sql, params)``; kind 'asof' params end with a bookmark
+        *index* the runner resolves to that engine's recorded CSN."""
+        for _ in range(count):
+            roll = self._mix.sample()
+            key = self._keys.sample()
+            if roll < 30:
+                yield (
+                    "read",
+                    "SELECT balance, region FROM ledger WHERE acct = ?",
+                    (key,),
+                )
+            elif roll < 40:
+                yield (
+                    "read",
+                    "SELECT acct, balance FROM ledger "
+                    "WHERE acct >= ? AND acct < ? ORDER BY acct",
+                    (key, key + 8),
+                )
+            elif roll < 50:
+                yield (
+                    "read",
+                    "SELECT region, COUNT(*), SUM(balance) FROM ledger "
+                    "GROUP BY region ORDER BY region",
+                    (),
+                )
+            elif roll < 58 and self._counter > 0:
+                # Probe a historical state: bookmark index in [0, writes).
+                yield (
+                    "asof",
+                    "SELECT acct, balance FROM ledger "
+                    "WHERE acct = ? AS OF ?",
+                    (key, self._amounts.sample() % self._counter),
+                )
+            elif roll < 66:
+                self._counter += 1
+                yield (
+                    "write",
+                    "DELETE FROM ledger WHERE acct = ?",
+                    (key,),
+                )
+            elif roll < 74:
+                self._counter += 1
+                yield (
+                    "write",
+                    "INSERT INTO ledger VALUES (?, ?, ?)",
+                    (
+                        self.n_keys + self._counter,
+                        float(self._amounts.sample()),
+                        self.REGIONS[self._counter % len(self.REGIONS)],
+                    ),
+                )
+            else:
+                self._counter += 1
+                yield (
+                    "write",
+                    "UPDATE ledger SET balance = balance + ? WHERE acct = ?",
+                    (float(self._amounts.sample() % 50), key),
+                )
+
+    def run(self, conn, count: int, catch_up_every: int | None = None) -> list:
+        """Drive ``count`` statements; returns result fingerprints.
+
+        A fingerprint is ``(kind, sorted rows)`` for reads and ``(kind,
+        rowcount)`` for writes — rows are sorted so engines that merge
+        shard streams in a different order still compare equal.
+        ``catch_up_every`` periodically synchronizes replicas on engines
+        that have them (no-op elsewhere).
+        """
+        catch_up = getattr(conn.engine, "catch_up_replicas", None) or getattr(
+            conn.engine, "catch_up", None
+        )
+        bookmarks: list[int] = [conn.last_commit_csn]
+        out = []
+        for i, (kind, sql, params) in enumerate(self.statements(count)):
+            if kind == "asof":
+                params = params[:-1] + (bookmarks[params[-1]],)
+            result = conn.execute(sql, params)
+            if kind == "write":
+                bookmarks.append(conn.last_commit_csn)
+                out.append((kind, result.rowcount))
+            else:
+                out.append((kind, sorted(result.rows)))
+            if catch_up is not None and catch_up_every and i % catch_up_every == (
+                catch_up_every - 1
+            ):
+                catch_up()
+        return out
+
+
 class ProvenanceFiller:
     """Bulk-synthesizes provenance rows for the query-scaling bench (E8).
 

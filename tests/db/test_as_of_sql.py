@@ -1,0 +1,184 @@
+"""First-class time travel: the SELECT ... AS OF <csn> clause."""
+
+import pytest
+
+from repro.db import Database, ReplicatedDatabase, ShardedDatabase, connect
+from repro.db.sql.parser import parse_sql
+from repro.errors import ExecutionError, SqlSyntaxError, TimeTravelError
+
+
+def history_db() -> Database:
+    """Three committed versions of row id=1: v at csn 1, then 2, then 3."""
+    db = Database()
+    db.execute("CREATE TABLE t (id INTEGER, v TEXT)")
+    db.execute("INSERT INTO t VALUES (1, 'first')")   # csn 1
+    db.execute("UPDATE t SET v = 'second' WHERE id = 1")  # csn 2
+    db.execute("UPDATE t SET v = 'third' WHERE id = 1")   # csn 3
+    return db
+
+
+class TestParsing:
+    def test_trailing_clause_with_literal(self):
+        stmt = parse_sql("SELECT * FROM t WHERE id = 1 AS OF 7")
+        assert stmt.as_of is not None
+
+    def test_from_position_before_where(self):
+        stmt = parse_sql("SELECT * FROM t AS OF 7 WHERE id = 1")
+        assert stmt.as_of is not None
+        assert stmt.from_table.alias is None  # not an alias named "of"
+
+    def test_parameterized(self):
+        stmt = parse_sql("SELECT * FROM t AS OF ?")
+        assert stmt.param_count == 1
+
+    def test_alias_named_of_still_works(self):
+        # Without a CSN operand, AS OF is just an alias.
+        stmt = parse_sql("SELECT of.id FROM t AS of")
+        assert stmt.from_table.alias == "of"
+
+    def test_after_order_and_limit(self):
+        stmt = parse_sql("SELECT * FROM t ORDER BY id LIMIT 2 AS OF 3")
+        assert stmt.as_of is not None and stmt.limit is not None
+
+    def test_duplicate_clause_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="duplicate AS OF"):
+            parse_sql("SELECT * FROM t AS OF 1 AS OF 2")
+
+
+class TestSingleNode:
+    def test_reads_each_historical_version(self):
+        db = history_db()
+        read = lambda csn: db.execute(
+            "SELECT v FROM t WHERE id = 1 AS OF ?", (csn,)
+        ).scalar()
+        assert [read(1), read(2), read(3)] == ["first", "second", "third"]
+
+    def test_equivalent_to_time_travel_store_scan(self):
+        db = history_db()
+        via_sql = db.execute("SELECT id, v FROM t AS OF 2").rows
+        via_tt = [
+            values for _rid, values in db.time_travel.rows_as_of("t", 2)
+        ]
+        assert via_sql == via_tt
+
+    def test_consumes_no_csn(self):
+        db = history_db()
+        before = db.last_csn
+        db.execute("SELECT * FROM t AS OF 1")
+        assert db.last_csn == before
+
+    def test_future_csn_rejected(self):
+        db = history_db()
+        with pytest.raises(TimeTravelError, match="future"):
+            db.execute("SELECT * FROM t AS OF 99")
+
+    def test_vacuumed_csn_rejected(self):
+        db = history_db()
+        db.vacuum(keep_after_csn=3)
+        with pytest.raises(TimeTravelError, match="vacuum horizon"):
+            db.execute("SELECT * FROM t AS OF 1")
+
+    def test_non_integer_csn_rejected(self):
+        db = history_db()
+        with pytest.raises(ExecutionError, match="non-negative integer"):
+            db.execute("SELECT * FROM t AS OF ?", ("soon",))
+        with pytest.raises(ExecutionError, match="non-negative integer"):
+            db.execute("SELECT * FROM t AS OF ?", (-1,))
+
+    def test_integral_float_csn_accepted(self):
+        db = history_db()
+        assert (
+            db.execute("SELECT v FROM t WHERE id = 1 AS OF ?", (2.0,)).scalar()
+            == "second"
+        )
+
+    def test_rejected_inside_insert_select(self):
+        db = history_db()
+        with pytest.raises(ExecutionError, match="INSERT"):
+            db.execute("INSERT INTO t SELECT id, v FROM t AS OF 1")
+
+    def test_ignores_enclosing_transaction_snapshot(self):
+        db = history_db()
+        txn = db.begin()
+        try:
+            assert (
+                db.execute(
+                    "SELECT v FROM t WHERE id = 1 AS OF 1", txn=txn
+                ).scalar()
+                == "first"
+            )
+        finally:
+            txn.abort()
+
+
+class TestSharded:
+    def make(self) -> ShardedDatabase:
+        sharded = ShardedDatabase(3, shard_keys={"t": "id"})
+        sharded.execute("CREATE TABLE t (id INTEGER, v INTEGER)")
+        for i in range(9):
+            sharded.execute("INSERT INTO t VALUES (?, ?)", (i, 0))  # gcsn i+1
+        return sharded
+
+    def test_global_csn_translation(self):
+        sharded = self.make()
+        # At global CSN 4, exactly rows 0..3 exist, whatever shard owns them.
+        assert (
+            sharded.execute("SELECT COUNT(*) FROM t AS OF 4").scalar() == 4
+        )
+        assert sharded.execute("SELECT COUNT(*) FROM t").scalar() == 9
+
+    def test_matches_deprecated_execute_as_of(self):
+        sharded = self.make()
+        sql = "SELECT id FROM t ORDER BY id"
+        with pytest.warns(DeprecationWarning):
+            old = sharded.execute_as_of(sql, 5).rows
+        new = sharded.execute(sql + " AS OF 5").rows
+        assert old == new
+
+    def test_rejected_inside_insert_select(self):
+        sharded = self.make()
+        with pytest.raises(ExecutionError, match="INSERT"):
+            sharded.execute("INSERT INTO t SELECT id, v FROM t AS OF 1")
+
+    def test_served_by_covering_replicas_through_connection(self):
+        sharded = self.make()
+        sharded.attach_replicas(1)
+        sharded.catch_up_replicas()
+        bookmark = sharded.last_global_csn
+        conn = connect(sharded)
+        conn.execute("UPDATE t SET v = 99 WHERE id = 4")
+        # Replicas lag behind the update but cover the bookmark.
+        assert (
+            conn.execute(
+                "SELECT v FROM t WHERE id = 4 AS OF ?", (bookmark,)
+            ).scalar()
+            == 0
+        )
+        assert conn.execute("SELECT v FROM t WHERE id = 4").scalar() == 99
+
+
+class TestReplicated:
+    def test_covering_replica_serves_the_read(self):
+        cluster = ReplicatedDatabase(history_db(), n_replicas=1, mode="async")
+        cluster.catch_up()
+        bookmark = cluster.last_commit_csn
+        conn = connect(cluster)
+        conn.execute("UPDATE t SET v = 'fourth' WHERE id = 1")
+        assert (
+            conn.execute(
+                "SELECT v FROM t WHERE id = 1 AS OF ?", (bookmark,)
+            ).scalar()
+            == "third"
+        )
+        assert cluster.stats["replica_reads"] == 1
+
+    def test_uncovered_csn_falls_back_to_primary(self):
+        cluster = ReplicatedDatabase(history_db(), n_replicas=1, mode="async")
+        # The replica bootstrapped at csn 3: history before that is only
+        # on the primary.
+        conn = connect(cluster)
+        assert (
+            conn.execute("SELECT v FROM t WHERE id = 1 AS OF 1").scalar()
+            == "first"
+        )
+        assert cluster.stats["primary_reads"] == 1
