@@ -29,12 +29,14 @@ from pathlib import Path
 
 from repro.core.events import DataEvent
 from repro.core.provenance import ProvenanceStore
-from repro.db import Database, ShardedDatabase, connect
+from repro.db import ConnectionPool, Database, IsolationLevel, ShardedDatabase, connect
 from repro.db.replication import ReplicaSet
 from repro.db.schema import Column, TableSchema
 from repro.db.storage import TableStore
 from repro.db.txn.wal import WalChange, WalCommit, WriteAheadLog
 from repro.db.types import ColumnType
+from repro.runtime.scheduler import CooperativeScheduler
+from repro.workload.generators import ConnectionWorkload
 from repro.workload.harness import render_table
 
 N_ROWS = 5_000
@@ -293,6 +295,109 @@ def test_substrate_throughput(benchmark, emit):
         ]
     )
 
+    # Streaming execution: LIMIT pushdown on the sharded gather (the
+    # coordinator caps each shard at limit+offset rows and stops visiting
+    # shards once satisfied) vs the seed's gather-everything-then-limit.
+    limit_sql = "SELECT * FROM items LIMIT 10"
+    rows.append(
+        [
+            "sharded LIMIT 10 (pushdown)",
+            _rate(lambda: sharded.execute(limit_sql), _iters(300)),
+        ]
+    )
+    sharded.limit_pushdown_enabled = False
+    rows.append(
+        [
+            "sharded LIMIT 10 (gather-all seed path)",
+            _rate(lambda: sharded.execute(limit_sql), _iters(30)),
+        ]
+    )
+    sharded.limit_pushdown_enabled = True
+
+    # Cursor streaming: first 10 rows of a full-table SELECT through the
+    # DB-API cursor. The streamed cursor pulls 10 rows off the pinned
+    # pipeline; the seed cursor materialized every row at execute time
+    # (emulated by draining the stream, which costs the same scan + Row
+    # wrapping the seed's _load paid).
+    stream_sql = "SELECT id, grp, val FROM items"
+
+    def stream_first_10() -> None:
+        cur = facade.cursor().execute(stream_sql)
+        for _ in range(10):
+            cur.fetchone()
+        cur.close()
+
+    def drain_all_first_10() -> None:
+        cur = facade.cursor().execute(stream_sql)
+        cur.fetchall()
+        cur.close()
+
+    rows.append(
+        ["cursor first-10 of 5k (streamed)", _rate(stream_first_10, _iters(300))]
+    )
+    rows.append(
+        [
+            "cursor first-10 of 5k (drain-all seed path)",
+            _rate(drain_all_first_10, _iters(30)),
+        ]
+    )
+
+    # Concurrent scans under the cooperative scheduler: 4 full-table
+    # scans serialized (txn granularity: each runs head-of-line) vs
+    # interleaved at 256-row batch boundaries. The interleaved rate shows
+    # the baton-passing overhead is modest; the win is latency — short
+    # queries no longer wait behind long scans (asserted in tier-1).
+    def scheduled_scans(granularity: str) -> float:
+        def scan() -> int:
+            txn = db.begin(IsolationLevel.SNAPSHOT)
+            try:
+                return len(db.execute("SELECT * FROM items", txn=txn).rows)
+            finally:
+                txn.abort()
+
+        runs = _iters(10)
+        start = time.perf_counter_ns()
+        for _ in range(runs):
+            scheduler = CooperativeScheduler(seed=1, granularity=granularity)
+            outcomes = scheduler.run([scan] * 4)
+            assert all(o.ok for o in outcomes)
+        elapsed_s = (time.perf_counter_ns() - start) / 1e9
+        return runs * 4 / elapsed_s
+
+    rows.append(["concurrent scans x4 (serialized)", scheduled_scans("txn")])
+    rows.append(
+        ["concurrent scans x4 (batch-interleaved)", scheduled_scans("batch")]
+    )
+
+    # Connection pooling: checkout/checkin of a pooled connection vs
+    # constructing a fresh one per statement, plus the pooled workload's
+    # end-to-end statement rate.
+    pool = ConnectionPool(db_indexed, size=4)
+
+    def checkout_checkin() -> None:
+        conn = pool.checkout()
+        pool.checkin(conn)
+
+    rows.append(
+        ["connection checkout (pooled)", _rate(checkout_checkin, _iters(2000))]
+    )
+    rows.append(
+        [
+            "connection construct (fresh)",
+            _rate(lambda: connect(db_indexed), _iters(2000)),
+        ]
+    )
+
+    workload_db = Database()
+    workload = ConnectionWorkload(n_keys=32, seed=2)
+    workload_pool = ConnectionPool(workload_db, size=4)
+    workload.seed(workload_pool)
+    n_statements = _iters(400)
+    start = time.perf_counter_ns()
+    workload.run(workload_pool, n_statements)
+    elapsed_s = (time.perf_counter_ns() - start) / 1e9
+    rows.append(["pooled workload statements", n_statements / elapsed_s])
+
     # Replication: cluster read capacity, catch-up, and failover. The
     # capacity comparison is per-store serving rate: N replicas are N
     # independent stores, so cluster capacity is the sum of what each
@@ -461,6 +566,28 @@ def test_substrate_throughput(benchmark, emit):
         rates["sharded point lookup (routed)"]
         > rates["sharded scan (4-shard fan-out)"] * 3
     )
+    # Streaming floors: LIMIT-k over a large table must beat the seed's
+    # materializing paths by >= 5x, on the sharded gather and through the
+    # streamed cursor alike; batch-interleaved concurrent scans must not
+    # cost more than ~2x the serialized baton protocol; and a pooled
+    # checkout must beat constructing a connection from scratch.
+    assert (
+        rates["sharded LIMIT 10 (pushdown)"]
+        > rates["sharded LIMIT 10 (gather-all seed path)"] * 5
+    )
+    assert (
+        rates["cursor first-10 of 5k (streamed)"]
+        > rates["cursor first-10 of 5k (drain-all seed path)"] * 5
+    )
+    assert (
+        rates["concurrent scans x4 (batch-interleaved)"]
+        > rates["concurrent scans x4 (serialized)"] * 0.5
+    )
+    assert (
+        rates["connection checkout (pooled)"]
+        > rates["connection construct (fresh)"]
+    )
+    assert rates["pooled workload statements"] > 500
     # Replication floors: 3 replicas must deliver >= 2x the single
     # primary's read capacity, and batching 64 commits per fsync must
     # clearly beat an fsync per commit.

@@ -23,8 +23,21 @@ of them::
     print(conn.execute("SELECT v FROM t WHERE id = ?", (1,)).scalar())
 """
 
-from repro.db.connection import Connection, Cursor, Engine, connect
+from repro.db.connection import (
+    Connection,
+    ConnectionPool,
+    Cursor,
+    Engine,
+    connect,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = ["Connection", "Cursor", "Engine", "connect", "__version__"]
+__all__ = [
+    "Connection",
+    "ConnectionPool",
+    "Cursor",
+    "Engine",
+    "connect",
+    "__version__",
+]

@@ -23,7 +23,13 @@ from repro.db.backend import (
     SimulatedBackend,
 )
 from repro.db.cdc import CdcStream, ChangeRecord
-from repro.db.connection import Connection, Cursor, Engine, connect
+from repro.db.connection import (
+    Connection,
+    ConnectionPool,
+    Cursor,
+    Engine,
+    connect,
+)
 from repro.db.database import Database, StatementTrace
 from repro.db.replication import (
     Applier,
@@ -56,6 +62,7 @@ __all__ = [
     "Column",
     "ColumnType",
     "Connection",
+    "ConnectionPool",
     "Cursor",
     "Database",
     "Engine",

@@ -30,6 +30,7 @@ advances identically whether a workload runs on one node or twelve.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.db.database import Database
@@ -203,13 +204,33 @@ class Connection:
 
     # -- statement execution ----------------------------------------------
 
-    def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
-        """Run one statement, routed by kind (see class docstring)."""
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        read_preference: str | None = None,
+    ) -> ResultSet:
+        """Run one statement, routed by kind (see class docstring).
+
+        ``read_preference`` overrides the connection's routing for this
+        one statement (SELECTs only — writes and DDL always take the
+        authoritative path). SELECT results stream where the engine
+        supports it: rows flow lazily through the returned
+        :class:`~repro.db.result.ResultSet`, pinned to the statement's
+        snapshot (see docs/api.md, "Streaming & concurrency").
+        """
         self._check_open()
+        if read_preference is not None and read_preference not in READ_PREFERENCES:
+            # Validated for every statement kind: a typo set on a write
+            # must not wait for the first SELECT to surface.
+            raise InterfaceError(
+                f"unknown read_preference {read_preference!r} "
+                f"(choose from {', '.join(READ_PREFERENCES)})"
+            )
         stmt = self._parse(sql)
         if isinstance(stmt, SelectStmt):
             self.stats["reads"] += 1
-            return self._execute_read(stmt, sql, params)
+            return self._execute_read(stmt, sql, params, read_preference)
         if isinstance(
             stmt, (CreateTableStmt, DropTableStmt, CreateIndexStmt, DropIndexStmt)
         ):
@@ -241,20 +262,33 @@ class Connection:
     # -- read path --------------------------------------------------------
 
     def _execute_read(
-        self, stmt: SelectStmt, sql: str, params: Sequence[Any]
+        self,
+        stmt: SelectStmt,
+        sql: str,
+        params: Sequence[Any],
+        read_preference: str | None = None,
     ) -> ResultSet:
+        pref = (
+            self.read_preference if read_preference is None else read_preference
+        )
+        if pref not in READ_PREFERENCES:
+            raise InterfaceError(
+                f"unknown read_preference {pref!r} "
+                f"(choose from {', '.join(READ_PREFERENCES)})"
+            )
         engine = self.engine
         if isinstance(engine, ReplicatedDatabase):
             return engine.execute_read(
                 sql,
                 params,
                 floor=self.session.last_write_csn,
-                on_stale="wait" if self.read_preference == "wait" else "primary",
-                prefer_replica=self.read_preference != "primary",
+                on_stale="wait" if pref == "wait" else "primary",
+                prefer_replica=pref != "primary",
+                stream=True,
             )
         if isinstance(engine, ShardedDatabase):
-            if engine.replica_sets and self.read_preference != "primary":
-                router = self._router()
+            if engine.replica_sets and pref != "primary":
+                router = self._router(pref)
                 return router.execute(sql, params, session=self.session)
             if stmt.as_of is not None:
                 return engine.execute(sql, params)
@@ -266,20 +300,30 @@ class Connection:
         # Single node: read under an aborted transaction so the commit
         # clock advances identically across every engine a workload runs
         # on (autocommitted reads would consume CSNs here but nowhere
-        # else).
+        # else). On a real Database the result streams: the abort below
+        # is safe because the pipeline is primed (snapshot-pinned)
+        # before execute returns.
         txn = engine.begin()
         try:
+            if isinstance(engine, Database):
+                return engine.execute(sql, params, txn=txn, stream=True)
+            # Custom Engine implementations only promise the documented
+            # surface (no ``stream`` keyword); they materialize.
             return engine.execute(sql, params, txn=txn)
         finally:
             txn.abort()
 
-    def _router(self):
+    def _router(self, read_preference: str | None = None):
         from repro.db.replication import ShardedReadRouter
 
-        on_stale = "wait" if self.read_preference == "wait" else "primary"
+        pref = (
+            self.read_preference if read_preference is None else read_preference
+        )
+        on_stale = "wait" if pref == "wait" else "primary"
         if self._sharded_router is None or self._sharded_router.on_stale != on_stale:
-            # Rebuilt when read_preference is reassigned mid-connection,
-            # so the sharded path honors the change like the others do.
+            # Rebuilt when read_preference is reassigned mid-connection
+            # (or overridden per statement), so the sharded path honors
+            # the change like the others do.
             self._sharded_router = ShardedReadRouter(self.engine, on_stale=on_stale)
         return self._sharded_router
 
@@ -390,6 +434,12 @@ class Cursor:
     :class:`~repro.db.result.Row` objects, so ``cur.fetchone().balance``
     works. ``description`` follows the DB-API 7-tuple shape with only the
     name populated (the engine is dynamically typed).
+
+    SELECTs *stream*: rows are pulled lazily from the engine's generator
+    pipeline as ``fetchone`` / ``fetchmany`` / iteration ask for them, so
+    the cursor holds O(fetch size) rows, never O(result). The stream is
+    pinned to the statement's snapshot; ``rowcount`` is ``-1`` until it
+    is exhausted (DB-API's "unknown"), then the total fetched.
     """
 
     arraysize = 1
@@ -399,6 +449,9 @@ class Cursor:
         self._closed = False
         self._rows: list[Row] = []
         self._pos = 0
+        self._stream: ResultSet | None = None
+        self._names: dict[str, int] = {}
+        self._fetched = 0
         self.description: list[tuple] | None = None
         self.rowcount = -1
         self.lastrowid: int | None = None
@@ -411,14 +464,24 @@ class Cursor:
     def close(self) -> None:
         self._closed = True
         self._rows = []
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
 
     def _check_open(self) -> None:
         if self._closed:
             raise InterfaceError("cursor is closed")
 
-    def execute(self, sql: str, params: Sequence[Any] = ()) -> "Cursor":
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        read_preference: str | None = None,
+    ) -> "Cursor":
         self._check_open()
-        self._load(self._conn.execute(sql, params))
+        self._load(
+            self._conn.execute(sql, params, read_preference=read_preference)
+        )
         return self
 
     def executemany(
@@ -436,23 +499,44 @@ class Cursor:
         return self
 
     def _load(self, result: ResultSet) -> None:
+        if self._stream is not None:
+            self._stream.close()  # abandon any previous statement's tail
         self.result = result
+        self._stream = None
+        self._fetched = 0
         if result.kind == "select":
-            names = _name_slots(result.columns)
+            self._names = _name_slots(result.columns)
             self.description = [
                 (name, None, None, None, None, None, None)
                 for name in result.columns
             ]
-            self._rows = [Row(row, names) for row in result.rows]
+            if result.streaming:
+                self._rows = []
+            else:
+                self._rows = [Row(row, self._names) for row in result.rows]
         else:
             self.description = None
             self._rows = []
+        if result.kind == "select" and result.streaming:
+            self._stream = result
         self._pos = 0
         self.rowcount = result.rowcount
         self.lastrowid = result.row_ids[-1] if result.row_ids else None
 
+    def _next_streamed(self) -> Row | None:
+        assert self._stream is not None
+        raw = self._stream.next_row()
+        if raw is None:
+            self.rowcount = self._stream.rowcount
+            self._stream = None
+            return None
+        self._fetched += 1
+        return Row(raw, self._names)
+
     def fetchone(self) -> Row | None:
         self._check_open()
+        if self._stream is not None:
+            return self._next_streamed()
         if self._pos >= len(self._rows):
             return None
         row = self._rows[self._pos]
@@ -462,12 +546,28 @@ class Cursor:
     def fetchmany(self, size: int | None = None) -> list[Row]:
         self._check_open()
         count = self.arraysize if size is None else size
+        if self._stream is not None:
+            chunk: list[Row] = []
+            while len(chunk) < count:
+                row = self._next_streamed()
+                if row is None:
+                    break
+                chunk.append(row)
+            return chunk
         chunk = self._rows[self._pos : self._pos + count]
         self._pos += len(chunk)
         return chunk
 
     def fetchall(self) -> list[Row]:
         self._check_open()
+        if self._stream is not None:
+            chunk: list[Row] = []
+            while True:
+                row = self._next_streamed()
+                if row is None:
+                    break
+                chunk.append(row)
+            return chunk
         chunk = self._rows[self._pos :]
         self._pos = len(self._rows)
         return chunk
@@ -484,3 +584,120 @@ class Cursor:
 
     def __exit__(self, *exc: Any) -> None:
         self.close()
+
+
+class ConnectionPool:
+    """A small checkout/checkin pool of :class:`Connection` objects.
+
+    Workload drivers (and anything serving many short statements) should
+    not construct a Connection per statement: ``checkout()`` hands out an
+    idle pooled connection — creating one only when none is idle — and
+    ``checkin()`` returns it for reuse. Up to ``size`` idle connections
+    are retained; extras created under burst are closed at checkin.
+
+    All pooled connections share one :class:`~repro.db.replication.
+    Session` by default, so read-your-writes guarantees hold even when a
+    session's next statement runs on a different pooled connection than
+    the write that preceded it. Pass an explicit ``session`` to share a
+    token with connections outside the pool.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        size: int = 4,
+        session: Session | None = None,
+        trod: Any = None,
+        read_preference: str = "replica",
+    ):
+        if size < 1:
+            raise InterfaceError(f"pool size must be >= 1, got {size}")
+        self.engine = engine
+        self.size = size
+        self.session = session if session is not None else Session("pool")
+        self._trod = trod
+        self._read_preference = read_preference
+        self._idle: list[Connection] = []
+        self._in_use = 0
+        self._closed = False
+        self.stats = {"checkouts": 0, "creates": 0, "reuses": 0, "discarded": 0}
+
+    # -- checkout / checkin ----------------------------------------------
+
+    def checkout(self) -> Connection:
+        """An open connection over the pool's engine (create or reuse)."""
+        if self._closed:
+            raise InterfaceError("connection pool is closed")
+        conn: Connection | None = None
+        while self._idle:
+            candidate = self._idle.pop()
+            if candidate.closed:
+                # Retired behind the pool's back; account for it the way
+                # checkin does, so every retired connection is counted.
+                self.stats["discarded"] += 1
+                continue
+            conn = candidate
+            self.stats["reuses"] += 1
+            break
+        if conn is None:
+            conn = connect(
+                self.engine,
+                session=self.session,
+                trod=self._trod,
+                read_preference=self._read_preference,
+            )
+            self.stats["creates"] += 1
+        self._in_use += 1
+        self.stats["checkouts"] += 1
+        return conn
+
+    def checkin(self, conn: Connection) -> None:
+        """Return a connection for reuse (closed/overflow ones discarded)."""
+        if conn in self._idle:
+            # A double checkin would hand the same connection to two
+            # later checkouts, silently sharing its session and cursors.
+            raise InterfaceError("connection is already checked in")
+        self._in_use = max(0, self._in_use - 1)
+        if self._closed or conn.closed or len(self._idle) >= self.size:
+            if not conn.closed:
+                conn.close()
+            self.stats["discarded"] += 1
+            return
+        self._idle.append(conn)
+
+    @contextmanager
+    def connection(self) -> Iterator[Connection]:
+        """``with pool.connection() as conn:`` — checkout, then checkin."""
+        conn = self.checkout()
+        try:
+            yield conn
+        finally:
+            self.checkin(conn)
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def idle(self) -> int:
+        return len(self._idle)
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    def close(self) -> None:
+        """Close every idle connection and refuse further checkouts."""
+        self._closed = True
+        while self._idle:
+            self._idle.pop().close()
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ConnectionPool engine={getattr(self.engine, 'name', '?')!r} "
+            f"idle={len(self._idle)} in_use={self._in_use} size={self.size}>"
+        )

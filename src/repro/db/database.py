@@ -106,6 +106,10 @@ class Database:
         #: When True, SELECTs record per-row read provenance on their
         #: transaction. TROD switches this on when it attaches.
         self.track_reads = False
+        #: Rows a scan pulls between cooperative-scheduler yield points
+        #: (and the granularity of streamed-cursor memory use). 0
+        #: disables the yield points entirely.
+        self.scan_batch_size = 256
         self.history_horizon = 0
         self._stores: dict[str, TableStore] = {}
         self._indexes: dict[str, IndexSet] = {}
@@ -275,8 +279,21 @@ class Database:
         sql: str,
         params: Sequence[Any] = (),
         txn: Transaction | None = None,
+        stream: bool = False,
     ) -> ResultSet:
-        """Execute one statement, autocommitting when no txn is passed."""
+        """Execute one statement, autocommitting when no txn is passed.
+
+        ``stream=True`` asks for a *streamed* SELECT result: rows flow
+        lazily from the executor's generator pipeline instead of being
+        materialized, and the result is pinned to the statement's
+        snapshot before this method returns — it keeps serving that
+        snapshot even though the backing (ephemeral or autocommitted)
+        transaction finishes immediately. Streaming silently degrades to
+        materialization when read provenance is on (``track_reads`` —
+        TROD's statement traces need the full drain) or any observer is
+        attached (statement traces carry rowcounts), and for non-SELECT
+        statements.
+        """
         stmt = self._parse(sql)
         if self.read_only and not isinstance(stmt, SelectStmt):
             raise ReadOnlyError(
@@ -298,15 +315,29 @@ class Database:
             if self.backend is not None:
                 self.backend.on_statement()
             active.begin_statement()
-            result = execute_statement(self, active, stmt, params, sql)
-            trace = StatementTrace(
-                sql=sql,
-                kind=result.kind,
-                reads=active.statement_reads(),
-                writes=self._writes_of(stmt, result),
-                rowcount=result.rowcount,
+            streaming = (
+                stream
+                and isinstance(stmt, SelectStmt)
+                and not self.track_reads
+                and not self.observers
             )
-            self.notify("statement_executed", active, trace)
+            result = execute_statement(
+                self, active, stmt, params, sql, stream=streaming
+            )
+            if streaming and result.streaming:
+                # Pin the pipeline to the live transaction before the
+                # autocommit below finishes it; every scan resolves its
+                # snapshot here, so the stream survives the commit/abort.
+                result.prime()
+            else:
+                trace = StatementTrace(
+                    sql=sql,
+                    kind=result.kind,
+                    reads=active.statement_reads(),
+                    writes=self._writes_of(stmt, result),
+                    rowcount=result.rowcount,
+                )
+                self.notify("statement_executed", active, trace)
             if autocommit:
                 if self.read_only:
                     # Replica read: committing would consume a CSN and

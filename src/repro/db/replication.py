@@ -53,6 +53,7 @@ from repro.db.sql.nodes import (
 )
 from repro.db.txn.manager import IsolationLevel, Transaction, TransactionStatus
 from repro.errors import ReplicationError
+from repro.runtime.scheduler import CheckpointKind, maybe_checkpoint
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.db.sharding import ShardedDatabase
@@ -494,6 +495,46 @@ class ReplicaSet:
         self.stats["shipped_records"] += applied
         return applied
 
+    def ship_loop(
+        self,
+        scheduler: Any = None,
+        batch: int = 32,
+        max_batches: int | None = None,
+    ) -> int:
+        """Drain the replication log in batches, yielding between batches.
+
+        The background catch-up shape: run this as a cooperative-scheduler
+        task and it applies at most ``batch`` records per replica, hands
+        the baton back at a SCAN_BATCH checkpoint, and repeats until the
+        log is drained (or ``max_batches`` is hit) — so foreground readers
+        interleave with replica catch-up instead of waiting behind the
+        whole backlog. Records appended by foreground commits *during*
+        the loop are picked up by later batches. Returns the total number
+        of records applied.
+
+        ``scheduler`` may name the driving
+        :class:`~repro.runtime.scheduler.CooperativeScheduler` explicitly;
+        by default the ambient worker's scheduler is used (and the yield
+        is a no-op on unscheduled threads, so the loop doubles as a plain
+        bounded-batch drain).
+        """
+        if batch < 1:
+            raise ReplicationError(f"ship batch must be >= 1, got {batch}")
+        applied = 0
+        batches = 0
+        while True:
+            got = self.catch_up(limit=batch)
+            applied += got
+            if got == 0:
+                return applied
+            batches += 1
+            if max_batches is not None and batches >= max_batches:
+                return applied
+            if scheduler is not None:
+                scheduler.checkpoint(CheckpointKind.SCAN_BATCH, "ship_loop")
+            else:
+                maybe_checkpoint(CheckpointKind.SCAN_BATCH, "ship_loop")
+
     def resync(self, replica: Replica | str) -> None:
         """Rebuild a replica from a fresh primary snapshot (in place).
 
@@ -617,16 +658,20 @@ class Session:
         )
 
 
-def _read_on(database: Database, sql: str, params: Sequence[Any]) -> ResultSet:
+def _read_on(
+    database: Database, sql: str, params: Sequence[Any], stream: bool = False
+) -> ResultSet:
     """Run a SELECT without consuming a CSN (replica reads must not).
 
     Autocommitted reads advance the commit clock; on a replica that would
     desynchronize the shipped stream. Reads therefore run under a
-    transaction that is aborted afterwards — aborts burn no CSN.
+    transaction that is aborted afterwards — aborts burn no CSN. With
+    ``stream=True`` the result streams: the pipeline is pinned to its
+    snapshot before ``execute`` returns, so the abort below is safe.
     """
     txn = database.begin()
     try:
-        return database.execute(sql, params, txn=txn)
+        return database.execute(sql, params, txn=txn, stream=stream)
     finally:
         txn.abort()
 
@@ -822,6 +867,7 @@ class ReplicatedDatabase:
         floor: int = 0,
         on_stale: str = "primary",
         prefer_replica: bool = True,
+        stream: bool = False,
     ) -> ResultSet:
         """A SELECT served by a replica at/after ``floor``, CSN-free.
 
@@ -829,7 +875,9 @@ class ReplicatedDatabase:
         caller's last acknowledged write); ``on_stale='wait'`` forces a
         catch-up instead of falling back to the primary;
         ``prefer_replica=False`` pins the read to the primary. Reads never
-        consume CSNs, on whichever database serves them.
+        consume CSNs, on whichever database serves them. With
+        ``stream=True`` non-historical reads return a streamed result
+        pinned to the serving database's snapshot.
         """
         if on_stale not in ("primary", "wait"):
             raise ReplicationError(f"unknown on_stale mode {on_stale!r}")
@@ -852,7 +900,7 @@ class ReplicatedDatabase:
             return self.primary.execute(sql, params)
         if not prefer_replica:
             self.stats["primary_reads"] += 1
-            return _read_on(self.primary, sql, params)
+            return _read_on(self.primary, sql, params, stream=stream)
         replica = rs.pick(self.policy, min_csn=floor)
         if replica is None and rs.replicas and on_stale == "wait":
             rs.catch_up()
@@ -861,9 +909,9 @@ class ReplicatedDatabase:
         if replica is None:
             key = "stale_fallbacks" if rs.replicas else "primary_reads"
             self.stats[key] += 1
-            return _read_on(self.primary, sql, params)
+            return _read_on(self.primary, sql, params, stream=stream)
         self.stats["replica_reads"] += 1
-        return _read_on(replica.database, sql, params)
+        return _read_on(replica.database, sql, params, stream=stream)
 
     def explain(self, sql: str) -> list[str]:
         return self.primary.explain(sql)
@@ -894,6 +942,17 @@ class ReplicatedDatabase:
 
     def catch_up(self, limit: int | None = None) -> int:
         return self.replica_set.catch_up(limit=limit)
+
+    def ship_loop(
+        self,
+        scheduler: Any = None,
+        batch: int = 32,
+        max_batches: int | None = None,
+    ) -> int:
+        """Background catch-up (see :meth:`ReplicaSet.ship_loop`)."""
+        return self.replica_set.ship_loop(
+            scheduler=scheduler, batch=batch, max_batches=max_batches
+        )
 
     def failover(self, target: Replica | str | None = None) -> Database:
         """Promote a replica (see :meth:`ReplicaSet.promote`).

@@ -63,6 +63,18 @@ class ResultSet:
 
     SELECTs populate ``columns`` and ``rows``; DML statements leave those
     empty and report ``rowcount`` (and, for INSERT, the new ``row_ids``).
+
+    A SELECT may instead be *streamed*: constructed with ``source`` (a
+    row iterator) rather than ``rows``, it pulls rows lazily — through
+    :meth:`next_row` / :meth:`take` / iteration — so a consumer holding
+    the first few rows of a million-row scan never materializes the rest.
+    ``rowcount`` is ``-1`` until the stream ends (DB-API's "unknown").
+    Accessing :attr:`rows` (or any whole-result helper: ``scalar``,
+    ``as_rows``, ``len()``...) on an untouched stream drains it into a
+    list, so materializing callers behave exactly as before; doing so
+    after rows were already streamed off raises, because those rows are
+    gone. The stream is pinned to the statement's snapshot — see
+    :meth:`prime` and docs/api.md ("Streaming & concurrency").
     """
 
     def __init__(
@@ -72,23 +84,156 @@ class ResultSet:
         rowcount: int = 0,
         kind: str = "select",
         row_ids: list[int] | None = None,
+        source: Iterator[tuple] | None = None,
     ):
         self.columns = columns or []
-        self.rows = rows or []
         self.kind = kind
-        self.rowcount = rowcount if kind != "select" else len(self.rows)
         self.row_ids = row_ids or []
+        self._source = source if rows is None else None
+        self._pending: tuple | None = None  # primed row awaiting next_row
+        self._consumed = 0  # rows handed out through the streaming API
+        if self._source is not None:
+            self._rows: list[tuple] = []
+            self.rowcount = -1 if kind == "select" else rowcount
+        else:
+            self._rows = rows or []
+            self.rowcount = rowcount if kind != "select" else len(self._rows)
+
+    # -- streaming --------------------------------------------------------
+
+    @property
+    def streaming(self) -> bool:
+        """True while rows may still be pulled lazily from the source."""
+        return self._source is not None or self._pending is not None
+
+    def prime(self) -> None:
+        """Start the pipeline: pull (and hold) the first row.
+
+        The engine calls this while the statement's read transaction is
+        still live, so every scan in the pipeline resolves its snapshot
+        before the transaction is finished; from then on the stream is
+        pinned — it serves that snapshot however long the consumer takes
+        and whatever commits or aborts happen meanwhile.
+        """
+        if self._source is None or self._pending is not None or self._consumed:
+            return
+        try:
+            self._pending = next(self._source)
+        except StopIteration:
+            self._finish()
+
+    def next_row(self) -> tuple | None:
+        """The next streamed row, or None when the stream is exhausted."""
+        if self._pending is not None:
+            row = self._pending
+            self._pending = None
+            self._consumed += 1
+            return row
+        if self._source is None:
+            return None
+        try:
+            row = next(self._source)
+        except StopIteration:
+            self._finish()
+            return None
+        self._consumed += 1
+        return row
+
+    def take(self, n: int) -> list[tuple]:
+        """Up to ``n`` rows off the stream (empty list when exhausted)."""
+        out: list[tuple] = []
+        while len(out) < n:
+            row = self.next_row()
+            if row is None:
+                break
+            out.append(row)
+        return out
+
+    def close(self) -> None:
+        """Stop streaming; remaining rows are abandoned unscanned.
+
+        Dropping a stream needs no other cleanup: the backing read
+        transaction was already finished at prime time, so an abandoned
+        stream just releases its pinned snapshot to the garbage
+        collector.
+        """
+        self._source = None
+        self._pending = None
+
+    def _finish(self) -> None:
+        self._source = None
+        if self.kind == "select":
+            self.rowcount = self._consumed
+
+    @property
+    def rows(self) -> list[tuple]:
+        """All rows, materializing a not-yet-consumed stream on demand."""
+        if self._consumed:
+            # Applies whether the stream is mid-flight, exhausted, or
+            # closed: rows handed out through the streaming API are gone,
+            # and silently returning the empty remainder would read as
+            # "no rows matched".
+            raise ExecutionError(
+                "result was streamed; rows already fetched cannot be "
+                "re-materialized (drain via iteration, or access .rows "
+                "before fetching)"
+            )
+        if self._source is not None or self._pending is not None:
+            drained = []
+            if self._pending is not None:
+                drained.append(self._pending)
+                self._pending = None
+            drained.extend(self._source or ())
+            self._source = None
+            self._rows = drained
+            if self.kind == "select":
+                self.rowcount = len(drained)
+        return self._rows
 
     def __iter__(self) -> Iterator[tuple]:
-        return iter(self.rows)
+        if not self.streaming:
+            if self._consumed:
+                # A drained/closed stream: re-iterating would silently
+                # read as an empty result (streams are one-shot).
+                raise ExecutionError(
+                    "result was streamed and is exhausted; streams are "
+                    "one-shot"
+                )
+            return iter(self._rows)
+        return self._iter_stream()
+
+    def _iter_stream(self) -> Iterator[tuple]:
+        while True:
+            if not self.streaming:
+                # Materialized out from under us — list(result) probes
+                # __len__ as a length hint after creating the iterator.
+                # No streamed row was handed out yet (``rows`` refuses
+                # otherwise), so the buffer is the complete result.
+                yield from self._rows
+                return
+            row = self.next_row()
+            if row is None:
+                return
+            yield row
 
     def __len__(self) -> int:
+        if self._consumed:
+            # Raised as TypeError so list(result) — which probes len()
+            # only as a hint and ignores TypeError — keeps streaming.
+            raise TypeError("length of a streamed result is unknowable")
         return len(self.rows)
 
     def __bool__(self) -> bool:
+        if self._consumed:
+            return True  # rows already streamed off: the result had rows
         return bool(self.rows) or self.rowcount > 0
 
     def first(self) -> tuple | None:
+        """The first row (pulling just one from a streamed result)."""
+        if self.streaming and not self._consumed:
+            row = self.next_row()
+            self.close()
+            return row
         return self.rows[0] if self.rows else None
 
     def one(self) -> Row:
@@ -96,7 +241,20 @@ class ResultSet:
 
         Raises :class:`~repro.errors.ExecutionError` when the result has
         zero or several rows — the cursor-era companion to :meth:`scalar`.
+        On a streamed result this pulls at most two rows, so ``one()``
+        over a selective predicate stops the underlying scan as soon as a
+        second match would disprove uniqueness (the EXISTS-style
+        short-circuit).
         """
+        if self.streaming and not self._consumed:
+            got = self.take(2)
+            self.close()
+            if len(got) != 1:
+                raise ExecutionError(
+                    f"one() needs exactly one row, got "
+                    f"{'0' if not got else 'several (2+)'}"
+                )
+            return Row(got[0], _name_slots(self.columns))
         if len(self.rows) != 1:
             raise ExecutionError(
                 f"one() needs exactly one row, got {len(self.rows)}"
@@ -150,6 +308,8 @@ class ResultSet:
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.streaming:
+            return f"<ResultSet streaming x {len(self.columns)} cols>"
         if self.kind == "select":
-            return f"<ResultSet {len(self.rows)} rows x {len(self.columns)} cols>"
+            return f"<ResultSet {len(self._rows)} rows x {len(self.columns)} cols>"
         return f"<ResultSet {self.kind} rowcount={self.rowcount}>"

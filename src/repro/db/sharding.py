@@ -78,6 +78,7 @@ from repro.db.txn.manager import IsolationLevel, Transaction
 from repro.db.types import coerce
 from repro.errors import (
     ExecutionError,
+    PlanningError,
     ReplicationError,
     SchemaError,
     TimeTravelError,
@@ -426,6 +427,11 @@ class ShardedDatabase:
         #: Compiled scatter-gather plans (per-shard FROM/WHERE nodes plus
         #: the coordinator merge plan) keyed by (sql, epochs, isolation).
         self._select_cache: dict[tuple, dict[str, Any]] = {}
+        #: LIMIT pushdown: cap each shard's scan at limit+offset rows and
+        #: stop draining shards once the coordinator is satisfied. Off
+        #: switch exists for differential testing and benchmarking the
+        #: gather-everything path.
+        self.limit_pushdown_enabled = True
         #: Per-shard replica sets (``attach_replicas``); reads routed via
         #: a :class:`~repro.db.replication.ShardedReadRouter` are then
         #: served by replicas while DML and 2PC stay on the primaries.
@@ -446,6 +452,11 @@ class ShardedDatabase:
             "select_cache_misses": 0,
             "agg_cache_hits": 0,
             "agg_cache_misses": 0,
+            # LIMIT short-circuit: queries that capped per-shard scans,
+            # and shards never drained (or begun) because earlier targets
+            # already satisfied the limit.
+            "limit_pushdown_queries": 0,
+            "limit_shards_skipped": 0,
         }
 
     # -- plumbing -----------------------------------------------------------
@@ -1033,14 +1044,39 @@ class ShardedDatabase:
         plan: PlanNode,
         params: Sequence[Any],
         sql: str | None,
+        cap: int | None = None,
     ) -> list[tuple]:
+        """Drain a shard-local plan; ``cap`` bounds rows (LIMIT pushdown).
+
+        ``batch_size=0`` disables mid-scan scheduler yields here: scatter
+        branches hold per-shard table locks, and each shard's deadlock
+        detector only sees its own waits-for graph — a baton yield while
+        holding shard A's lock would let a 2PC writer build an A/B cycle
+        no detector can break. Gathers therefore run mid-statement
+        exactly as before batching (single-node scans, where detection
+        is complete, keep yielding).
+
+        Callers pass ``cap`` only when no provenance or observer needs
+        the full drain; a capped drain records no reads and emits no
+        statement trace.
+        """
         ctx = ExecContext(
             database=shard,
             txn=txn,
             params=params,
             query_text=sql or "",
-            track_reads=shard.track_reads,
+            track_reads=False if cap is not None else shard.track_reads,
+            batch_size=0,
         )
+        if cap is not None:
+            capped: list[tuple] = []
+            for row in plan.rows(ctx):
+                capped.append(row)
+                if len(capped) >= cap:
+                    # Stopping the pull terminates the shard's scan: the
+                    # plan below is all generators.
+                    break
+            return capped
         rows = list(plan.rows(ctx))
         if ctx.track_reads:
             # Parity with Database._execute_select: a consulted-but-empty
@@ -1146,6 +1182,48 @@ class ShardedDatabase:
             stmt, RowsNode(layout, gathered, label="ShardGather"), params, sql
         )
 
+    def _limit_pushdown_cap(
+        self, stmt: SelectStmt, params: Sequence[Any]
+    ) -> int | None:
+        """Rows per shard after which a LIMIT query is satisfiable, or None.
+
+        Only single-table SELECTs whose merge step neither reorders nor
+        collapses rows qualify: ORDER BY needs every row before it can
+        pick winners, DISTINCT / GROUP BY / aggregates reduce rows after
+        the gather, and HAVING filters groups. For everything else the
+        coordinator concatenates shard streams in target order and
+        applies LIMIT/OFFSET on the prefix — so capping the gather at
+        ``limit + offset`` rows changes *which rows are scanned*, never
+        which rows come back.
+        """
+        if not self.limit_pushdown_enabled or stmt.limit is None:
+            return None
+        if (
+            stmt.order_by
+            or stmt.distinct
+            or stmt.group_by
+            or stmt.having is not None
+        ):
+            return None
+        exprs = [item.expr for item in stmt.items if not item.star]
+        if planner.find_aggregates(exprs):
+            return None
+        empty = Layout()
+        try:
+            limit = compile_expr(stmt.limit, empty)((), params)
+            offset = (
+                compile_expr(stmt.offset, empty)((), params)
+                if stmt.offset is not None
+                else 0
+            )
+        except (ExecutionError, PlanningError, IndexError):
+            return None
+        if not isinstance(limit, int) or isinstance(limit, bool) or limit < 0:
+            return None
+        if not isinstance(offset, int) or isinstance(offset, bool) or offset < 0:
+            return None
+        return limit + offset
+
     def _scatter_gather(
         self,
         stmt: SelectStmt,
@@ -1164,6 +1242,11 @@ class ShardedDatabase:
         Per-database nodes key on (database, its catalog epoch): a shard
         may be served by its primary or any of its replicas, and a
         lagging replica applies DDL later than the primary does.
+
+        When the statement qualifies (see :meth:`_limit_pushdown_cap`)
+        the gather is capped per shard at limit+offset rows and stops
+        visiting shards entirely once the cap is met — later shards never
+        even begin their ephemeral read transactions.
         """
         first = get_txn(targets[0])
         key = (
@@ -1191,8 +1274,16 @@ class ShardedDatabase:
                 if len(self._select_cache) >= _STMT_CACHE_LIMIT:
                     self._select_cache.clear()
                 self._select_cache[key] = entry
+        cap = self._limit_pushdown_cap(stmt, params)
+        if cap is not None:
+            self.stats["limit_pushdown_queries"] += 1
         gathered: list[tuple] = []
-        for store in targets:
+        for position, store in enumerate(targets):
+            if cap is not None and len(gathered) >= cap:
+                # Coordinator satisfied: remaining shards are never
+                # drained — nor their read transactions begun.
+                self.stats["limit_shards_skipped"] += len(targets) - position
+                break
             branch = get_txn(store)
             database = db_for(store)
             node_key = (database, database.catalog_epoch)
@@ -1207,9 +1298,27 @@ class ShardedDatabase:
                     del entry["nodes"][k]
                 node = build_from_where(stmt, database, branch)
                 entry["nodes"][node_key] = node
-            gathered.extend(
-                self._run_plan(database, branch, node, params, sql)
-            )
+            if (
+                cap is not None
+                and not database.track_reads
+                and not database.observers
+            ):
+                gathered.extend(
+                    self._run_plan(
+                        database,
+                        branch,
+                        node,
+                        params,
+                        sql,
+                        cap=cap - len(gathered),
+                    )
+                )
+            else:
+                # Provenance/trace parity trumps the short-circuit: a
+                # TROD-observed shard drains fully, exactly as before.
+                gathered.extend(
+                    self._run_plan(database, branch, node, params, sql)
+                )
         return self._merge_rows(entry, gathered, params, sql)
 
     def _merge_rows(

@@ -59,9 +59,18 @@ class ExecContext:
     params: Sequence[Any]
     query_text: str
     track_reads: bool
+    #: Rows a scan pulls between cooperative-scheduler yield points
+    #: (0 disables yielding). Defaults to the database's knob, so every
+    #: execution path — single-node, scatter branches, merge plans —
+    #: inherits the same batching.
+    batch_size: int = -1
     #: table name -> number of read records emitted by scans this statement.
     read_counts: dict[str, int] = field(default_factory=dict)
     scanned_tables: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 0:
+            self.batch_size = getattr(self.database, "scan_batch_size", 0)
 
 
 class PlanNode:
@@ -167,14 +176,33 @@ class ScanNode(PlanNode):
                 merged = set(candidates)
                 merged.update(rid for rid, _ in pending)
                 candidates = merged
-            source: Iterator[tuple[int, tuple]] = (
+            # Resolve probe hits against the transaction now: probes are
+            # bounded index lookups, and materializing them keeps a
+            # streamed pipeline independent of the transaction's later
+            # lifecycle (txn.get checks liveness on every call, whereas
+            # txn.scan below returns an iterator pinned at call time).
+            source: Iterable[tuple[int, tuple]] = [
                 (rid, values)
                 for rid in sorted(candidates)
                 if (values := ctx.txn.get(self.table, rid)) is not None
-            )
+            ]
         else:
             source = ctx.txn.scan(self.table)
+        # Imported here, not at module level: repro.runtime's package
+        # __init__ imports the workflow module, which imports this
+        # package back — after first use this is a sys.modules lookup.
+        from repro.runtime.scheduler import CheckpointKind, maybe_checkpoint
+
+        batch = ctx.batch_size
+        pulled = 0
         for row_id, values in source:
+            pulled += 1
+            if batch and pulled % batch == 0:
+                # Cooperative yield: under a scheduler running at 'batch'
+                # granularity, long scans hand the baton over here so
+                # concurrent readers interleave at deterministic row-batch
+                # boundaries. A no-op on unscheduled threads.
+                maybe_checkpoint(CheckpointKind.SCAN_BATCH, self.table)
             if filter_fn is not None and filter_fn(values, ctx.params) is not True:
                 continue
             if track:
@@ -469,16 +497,21 @@ class LimitNode(PlanNode):
             raise ExecutionError(f"LIMIT must be a non-negative integer, got {limit!r}")
         if not isinstance(offset, int) or offset < 0:
             raise ExecutionError(f"OFFSET must be a non-negative integer, got {offset!r}")
+        if limit == 0:
+            return
         produced = 0
         skipped = 0
         for row in self.child.rows(ctx):
             if skipped < offset:
                 skipped += 1
                 continue
-            if limit is not None and produced >= limit:
-                return
             produced += 1
             yield row
+            if limit is not None and produced >= limit:
+                # Stop pulling immediately after the last wanted row:
+                # the entire pipeline below is generators, so this is
+                # what terminates the scan early for LIMIT queries.
+                return
 
 
 # ---------------------------------------------------------------------------
@@ -936,6 +969,7 @@ def execute_statement(
     stmt: Statement,
     params: Sequence[Any],
     query_text: str,
+    stream: bool = False,
 ) -> ResultSet:
     if stmt.param_count != len(params):
         raise ExecutionError(
@@ -943,7 +977,7 @@ def execute_statement(
             f"got {len(params)}"
         )
     if isinstance(stmt, SelectStmt):
-        return _execute_select(database, txn, stmt, params, query_text)
+        return _execute_select(database, txn, stmt, params, query_text, stream)
     if isinstance(stmt, InsertStmt):
         return _execute_insert(database, txn, stmt, params)
     if isinstance(stmt, UpdateStmt):
@@ -976,6 +1010,7 @@ def _execute_select(
     stmt: SelectStmt,
     params: Sequence[Any],
     query_text: str,
+    stream: bool = False,
 ) -> ResultSet:
     plan, out_names = database.select_plan(stmt, txn, query_text or None)
     ctx = ExecContext(
@@ -985,6 +1020,15 @@ def _execute_select(
         query_text=query_text,
         track_reads=database.track_reads,
     )
+    if stream and not ctx.track_reads:
+        # Cursor streaming: hand the generator pipeline to the ResultSet
+        # instead of draining it. The caller must prime() the result
+        # while the transaction is live (Database.execute does); read
+        # provenance requires full materialization, so TROD-attached
+        # databases never take this path.
+        return ResultSet(
+            columns=out_names, kind="select", source=plan.rows(ctx)
+        )
     rows = list(plan.rows(ctx))
     if ctx.track_reads:
         # A table that was consulted but matched nothing still yields one

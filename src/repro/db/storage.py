@@ -15,6 +15,16 @@ incrementally maintained live-row map plus a sorted-id cache, so scans and
 point reads never walk version chains; snapshot reads (``csn`` given) keep
 the version-chain path but locate the candidate version by bisecting on
 ``begin`` CSNs, which commit order keeps ascending within each chain.
+
+Scans are *pinned at call time*: :meth:`TableStore.scan` resolves its row
+source when called and returns an iterator that keeps serving that exact
+state however long the caller takes to drain it. Latest-state scans pin
+the shared materialized row list (writers never mutate a published list —
+they null the slot and a later scan rebuilds), so any number of concurrent
+readers iterate the same list with zero per-reader copies; the iterator's
+reference keeps the snapshot alive across invalidations. This is what
+lets streamed cursors and batch-yielding cooperative scans stay
+snapshot-consistent while writers commit underneath them.
 """
 
 from __future__ import annotations
@@ -74,6 +84,10 @@ class TableStore:
         #: rebuilt lazily after any write invalidates it. Read-mostly
         #: tables scan straight off this list.
         self._scan_rows: list[tuple[int, tuple]] | None = None
+        #: Bumped by every applied write (and by vacuum); a scan pinned at
+        #: epoch e keeps serving epoch-e rows even after the counter
+        #: moves on — tests and diagnostics use it to prove pinning.
+        self.write_epoch = 0
 
     # -- cache maintenance -------------------------------------------------
 
@@ -118,6 +132,7 @@ class TableStore:
         self._live[row_id] = version
         self._add_sorted(self._live_ids, row_id)
         self._scan_rows = None
+        self.write_epoch += 1
         return row_id
 
     def apply_update(self, row_id: int, values: tuple, csn: int) -> tuple:
@@ -128,6 +143,7 @@ class TableStore:
         self._versions[row_id].append(version)
         self._live[row_id] = version
         self._scan_rows = None
+        self.write_epoch += 1
         return current.values
 
     def apply_delete(self, row_id: int, csn: int) -> tuple:
@@ -137,6 +153,7 @@ class TableStore:
         del self._live[row_id]
         self._remove_sorted(self._live_ids, row_id)
         self._scan_rows = None
+        self.write_epoch += 1
         return current.values
 
     def _live_version(self, row_id: int) -> RowVersion:
@@ -168,25 +185,47 @@ class TableStore:
         return None
 
     def scan(self, csn: int | None = None) -> Iterator[tuple[int, tuple]]:
-        """Yield ``(row_id, values)`` for rows visible at ``csn``.
+        """An iterator of ``(row_id, values)`` for rows visible at ``csn``.
 
         Iteration order is row-id order, which is insertion order for
         engine-assigned ids — deterministic, which the scheduler and the
         replay fidelity checks rely on.
+
+        The row source is resolved *now*, not at first ``next()``: the
+        returned iterator is pinned to this call's state and stays
+        consistent however the store changes while it is drained (commits
+        landing mid-iteration, the caller's transaction finishing, a
+        cooperative yield handing the baton to a writer). Latest-state
+        scans share the materialized row list across every concurrent
+        reader — zero per-reader copies.
         """
         if csn is None:
-            rows = self._scan_rows
-            if rows is None:
-                live = self._live
-                rows = [(rid, live[rid].values) for rid in self._live_ids]
-                self._scan_rows = rows
-            # Writers never mutate a published list (they null the slot
-            # and a later scan rebuilds), so iterating it is snapshot-safe
-            # even if a commit lands mid-iteration.
-            yield from rows
-            return
+            return iter(self.latest_rows())
+        # Snapshot scan: the id list is copied now; ``get`` bisects the
+        # version chains, which later commits only ever append to (and
+        # whose sealed versions they never reshape below ``csn``), so
+        # lazy iteration remains snapshot-consistent under writers.
+        return self._scan_versions(list(self._all_ids), csn)
+
+    def latest_rows(self) -> list[tuple[int, tuple]]:
+        """The shared materialized latest-state row list (do not mutate).
+
+        Writers never mutate a published list — they null the cache slot
+        and a later scan rebuilds — so holding a reference pins a
+        consistent snapshot for as long as needed, at zero copy cost.
+        """
+        rows = self._scan_rows
+        if rows is None:
+            live = self._live
+            rows = [(rid, live[rid].values) for rid in self._live_ids]
+            self._scan_rows = rows
+        return rows
+
+    def _scan_versions(
+        self, row_ids: list[int], csn: int
+    ) -> Iterator[tuple[int, tuple]]:
         get = self.get
-        for row_id in list(self._all_ids):
+        for row_id in row_ids:
             values = get(row_id, csn)
             if values is not None:
                 yield row_id, values
@@ -250,6 +289,7 @@ class TableStore:
         }
         self._live_ids = sorted(self._live)
         self._scan_rows = None
+        self.write_epoch += 1
 
     def stats(self) -> dict[str, int]:
         return {

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 from repro.db.txn.locks import LockManager, LockMode
 from repro.db.txn.wal import WalChange, WalCommit
@@ -136,22 +136,41 @@ class Transaction:
     # -- data access (called by the SQL executor) ------------------------------
 
     def scan(self, table: str) -> Iterator[tuple[int, tuple]]:
-        """All rows visible to this transaction: committed view + own writes."""
+        """All rows visible to this transaction: committed view + own writes.
+
+        Liveness checking, lock acquisition, and snapshot selection all
+        happen *at call time*; the returned iterator is pinned to that
+        state and keeps serving it even if this transaction later commits
+        or aborts. Streamed cursors rely on exactly this: the ephemeral
+        read transaction is finished as soon as the pipeline is primed,
+        and the stream stays consistent with its snapshot regardless.
+        """
         self._check_active()
         canonical = self._manager.database.catalog.resolve(table)
         if self.isolation is IsolationLevel.SERIALIZABLE:
             self._lock(canonical, LockMode.SHARED)
         store = self._manager.database.store(canonical)
-        overlay = self._overlay.get(canonical, {})
-        read_csn = self._read_csn()
-        for row_id, values in store.scan(read_csn):
+        return self._scan_pinned(
+            store.scan(self._read_csn()),
+            self._overlay.get(canonical, {}),
+            self._inserted.get(canonical, ()),
+        )
+
+    @staticmethod
+    def _scan_pinned(
+        committed: Iterator[tuple[int, tuple]],
+        overlay: dict[int, Any],
+        inserted: Sequence[int],
+    ) -> Iterator[tuple[int, tuple]]:
+        """Overlay this transaction's writes on a pinned committed scan."""
+        for row_id, values in committed:
             if row_id in overlay:
                 patched = overlay[row_id]
                 if patched is not _DELETED:
                     yield row_id, patched
             else:
                 yield row_id, values
-        for row_id in self._inserted.get(canonical, ()):
+        for row_id in inserted:
             patched = overlay.get(row_id)
             if patched is not None and patched is not _DELETED:
                 yield row_id, patched

@@ -30,6 +30,7 @@ class CheckpointKind(enum.Enum):
     START = "START"
     TXN_BEGIN = "TXN_BEGIN"
     STATEMENT = "STATEMENT"
+    SCAN_BATCH = "SCAN_BATCH"
     LOCK_WAIT = "LOCK_WAIT"
     DONE = "DONE"
 
@@ -110,12 +111,15 @@ class CooperativeScheduler:
     ):
         """``schedule`` pins decisions; otherwise ``seed`` drives choices.
 
-        ``granularity`` is 'txn' (yield before each transaction) or
-        'statement' (also yield before each statement inside one).
+        ``granularity`` is 'txn' (yield before each transaction),
+        'statement' (also yield before each statement inside one), or
+        'batch' (additionally yield every scan batch — long scans then
+        interleave with other workers at deterministic row-batch
+        boundaries instead of running head-of-line).
         ``strict`` makes a schedule entry naming a finished/absent worker
         an error instead of a skip.
         """
-        if granularity not in ("txn", "statement"):
+        if granularity not in ("txn", "statement", "batch"):
             raise SchedulerError(f"unknown granularity {granularity!r}")
         self.schedule = list(schedule) if schedule is not None else None
         self.seed = seed
@@ -132,7 +136,9 @@ class CooperativeScheduler:
         worker: _Worker | None = getattr(_current, "worker", None)
         if worker is None:  # not a scheduled thread
             return
-        if kind is CheckpointKind.STATEMENT and self.granularity != "statement":
+        if kind is CheckpointKind.STATEMENT and self.granularity == "txn":
+            return
+        if kind is CheckpointKind.SCAN_BATCH and self.granularity != "batch":
             return
         if self._aborting:
             raise SchedulerError("scheduler aborted")

@@ -383,7 +383,17 @@ class ConnectionWorkload:
         self._counter = 0
 
     def seed(self, conn) -> None:
-        """Create and load the ledger through the connection under test."""
+        """Create and load the ledger through the connection under test.
+
+        Accepts a :class:`~repro.db.connection.ConnectionPool` too — the
+        whole seed then runs on one borrowed connection.
+        """
+        if hasattr(conn, "checkout"):
+            from repro.workload.harness import checked_out
+
+            with checked_out(conn) as borrowed:
+                self.seed(borrowed)
+            return
         conn.execute(self.TABLE_DDL)
         for key in range(self.n_keys):
             conn.execute(
@@ -459,18 +469,39 @@ class ConnectionWorkload:
         shard streams in a different order still compare equal.
         ``catch_up_every`` periodically synchronizes replicas on engines
         that have them (no-op elsewhere).
+
+        ``conn`` may also be a :class:`~repro.db.connection.
+        ConnectionPool`: each statement then borrows a pooled connection
+        (checkout/checkin) instead of holding one for the whole run.
+        Pooled connections share a session, so the fingerprints are
+        identical either way — the pooled-vs-dedicated differential
+        test relies on that.
         """
-        catch_up = getattr(conn.engine, "catch_up_replicas", None) or getattr(
-            conn.engine, "catch_up", None
+        from repro.workload.harness import checked_out
+
+        pool = conn if hasattr(conn, "checkout") else None
+        engine = conn.engine
+        catch_up = getattr(engine, "catch_up_replicas", None) or getattr(
+            engine, "catch_up", None
         )
-        bookmarks: list[int] = [conn.last_commit_csn]
+
+        def run_statement(sql, params):
+            if pool is None:
+                return conn.execute(sql, params)
+            with checked_out(pool) as borrowed:
+                result = borrowed.execute(sql, params)
+                if result.kind == "select" and result.streaming:
+                    result.rows  # drain before the connection goes back
+                return result
+
+        bookmarks: list[int] = [engine.last_commit_csn]
         out = []
         for i, (kind, sql, params) in enumerate(self.statements(count)):
             if kind == "asof":
                 params = params[:-1] + (bookmarks[params[-1]],)
-            result = conn.execute(sql, params)
+            result = run_statement(sql, params)
             if kind == "write":
-                bookmarks.append(conn.last_commit_csn)
+                bookmarks.append(engine.last_commit_csn)
                 out.append((kind, result.rowcount))
             else:
                 out.append((kind, sorted(result.rows)))

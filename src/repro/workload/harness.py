@@ -1,4 +1,4 @@
-"""Timing and reporting utilities shared by the benchmarks."""
+"""Timing, reporting, and connection-pooling utilities for workloads."""
 
 from __future__ import annotations
 
@@ -77,6 +77,18 @@ def _fmt(value: object) -> str:
     if isinstance(value, int):
         return f"{value:,}"
     return str(value)
+
+
+def checked_out(pool):
+    """Borrow a connection from a :class:`~repro.db.connection.
+    ConnectionPool` for one block: checkout on entry, checkin on exit.
+
+    The workload generators use this per statement, so drivers reuse
+    pooled connections instead of constructing one per statement. Thin
+    alias for :meth:`~repro.db.connection.ConnectionPool.connection`,
+    kept here so workload code needs no import from the db layer.
+    """
+    return pool.connection()
 
 
 def format_us(us: float) -> str:
