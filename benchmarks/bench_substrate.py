@@ -193,7 +193,7 @@ def test_substrate_throughput(benchmark, emit):
             "aggregate scan (5k rows)",
             _rate(
                 lambda: db.execute("SELECT grp, AVG(val) FROM items GROUP BY grp"),
-                _iters(10),
+                _iters(200),
             ),
         ],
         [
@@ -202,7 +202,7 @@ def test_substrate_throughput(benchmark, emit):
                 lambda: db.execute(
                     "SELECT COUNT(*) FROM items i JOIN grps g ON i.grp = g.grp"
                 ),
-                _iters(10),
+                _iters(200),
             ),
         ],
         [
@@ -210,6 +210,65 @@ def test_substrate_throughput(benchmark, emit):
             _rate(lambda: db.begin().commit(), _iters(2000)),
         ],
     ]
+
+    # Compute-bound tail: compiled batch execution across the filter
+    # selectivity range (the 1% case is bounded by predicate evaluation
+    # over all 5k rows, the 99% case by output materialization), the
+    # same GROUP BY aggregate forced down the tree-walking row path, and
+    # the filter-position rewrite (pushing a WHERE conjunct beneath the
+    # join into the owning scan vs filtering the joined rows).
+    rows.extend(
+        [
+            [
+                "filtered scan 1% selectivity",
+                _rate(
+                    lambda: db.execute(
+                        "SELECT id, val FROM items WHERE val < 1.0"
+                    ),
+                    _iters(200),
+                ),
+            ],
+            [
+                "filtered scan 50% selectivity",
+                _rate(
+                    lambda: db.execute(
+                        "SELECT id, val FROM items WHERE val < 48.5"
+                    ),
+                    _iters(100),
+                ),
+            ],
+            [
+                "filtered scan 99% selectivity",
+                _rate(
+                    lambda: db.execute(
+                        "SELECT id, val FROM items WHERE val < 96.5"
+                    ),
+                    _iters(50),
+                ),
+            ],
+        ]
+    )
+    agg_sql = "SELECT grp, AVG(val) FROM items GROUP BY grp"
+    db.compiled_execution = False
+    rows.append(
+        ["aggregate scan (tree-walk)", _rate(lambda: db.execute(agg_sql), _iters(20))]
+    )
+    db.compiled_execution = True
+    fj_sql = (
+        "SELECT COUNT(*) FROM items i JOIN grps g "
+        "ON i.grp = g.grp WHERE i.val > 90.0"
+    )
+    rows.append(
+        ["filter below join (pushdown)", _rate(lambda: db.execute(fj_sql), _iters(200))]
+    )
+    db.predicate_pushdown_enabled = False
+    rows.append(
+        [
+            "filter above join (no pushdown)",
+            _rate(lambda: db.execute(fj_sql), _iters(20)),
+        ]
+    )
+    db.predicate_pushdown_enabled = True
 
     # Repeated statement shape: plan cache on vs off.
     probe_sql = "SELECT * FROM items WHERE id = ?"
@@ -285,7 +344,7 @@ def test_substrate_throughput(benchmark, emit):
                     lambda: sharded.execute(
                         "SELECT grp, AVG(val) FROM items GROUP BY grp"
                     ),
-                    _iters(10),
+                    _iters(100),
                 ),
             ],
             [
@@ -567,21 +626,52 @@ def test_substrate_throughput(benchmark, emit):
         > rates["sharded scan (4-shard fan-out)"] * 3
     )
     # Streaming floors: LIMIT-k over a large table must beat the seed's
-    # materializing paths by >= 5x, on the sharded gather and through the
+    # materializing paths, on the sharded gather and through the
     # streamed cursor alike; batch-interleaved concurrent scans must not
     # cost more than ~2x the serialized baton protocol; and a pooled
-    # checkout must beat constructing a connection from scratch.
+    # checkout must beat constructing a connection from scratch. The
+    # sharded margin used to be 5x, but compiled batch execution sped up
+    # the gather-everything side ~3x (the full drains are now
+    # vectorized), so the pushdown's remaining edge is the skipped
+    # shards and per-statement overhead — 3x holds with headroom.
     assert (
         rates["sharded LIMIT 10 (pushdown)"]
-        > rates["sharded LIMIT 10 (gather-all seed path)"] * 5
+        > rates["sharded LIMIT 10 (gather-all seed path)"] * 3
     )
     assert (
         rates["cursor first-10 of 5k (streamed)"]
         > rates["cursor first-10 of 5k (drain-all seed path)"] * 5
     )
+    # Interleaving at 256-row batch boundaries adds ~84 extra baton
+    # handoffs per 4-scan run that the serialized protocol never pays,
+    # so parity is structurally unattainable; with the lock-based baton
+    # the measured cost settles around 20-30%, and worse than 40% means
+    # the handoff primitive regressed.
     assert (
         rates["concurrent scans x4 (batch-interleaved)"]
-        > rates["concurrent scans x4 (serialized)"] * 0.5
+        > rates["concurrent scans x4 (serialized)"] * 0.6
+    )
+    # Compiled vectorized execution floors: the compute-bound tail must
+    # hold its step change — >= 10x the committed pre-compilation
+    # baselines for the single-node aggregate (90.3) and hash join
+    # (120.0), >= 5x for the sharded partial/final aggregate (76.3).
+    # Absolute rates, deliberately: these queries are pure CPU on a
+    # cached plan, the one regime where ops/s transfers across machines
+    # well enough for an order-of-magnitude floor.
+    assert rates["aggregate scan (5k rows)"] >= 903
+    assert rates["hash join (5k x 50)"] >= 1200
+    assert rates["sharded aggregate (partial/final)"] >= 381.5
+    # The same aggregate through the compiled batch pipeline vs the
+    # tree-walking row path, same database and plan shape.
+    assert (
+        rates["aggregate scan (5k rows)"]
+        > rates["aggregate scan (tree-walk)"] * 5
+    )
+    # Pushing the WHERE conjunct beneath the join (into the owning
+    # scan) must beat filtering the materialized join output.
+    assert (
+        rates["filter below join (pushdown)"]
+        > rates["filter above join (no pushdown)"]
     )
     assert (
         rates["connection checkout (pooled)"]

@@ -1,0 +1,65 @@
+"""Append one per-commit row to the perf trend log.
+
+Usage::
+
+    python benchmarks/trend_row.py BENCH.json SHA [trend.csv]
+
+Reads a ``bench_substrate`` JSON result, appends a one-line summary of
+the headline rates to the CSV log (creating it with a header if absent),
+and prints a markdown table row for the CI job summary. The committed
+``benchmarks/trend.csv`` seeds the log with the developer-machine
+baseline of each landed change; CI appends its own smoke-mode rows to
+the job summary so per-commit drift is visible without regenerating the
+committed baseline.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import sys
+from pathlib import Path
+
+#: The compute-tail headliners tracked per commit, in column order.
+HEADLINE = [
+    "aggregate scan (5k rows)",
+    "hash join (5k x 50)",
+    "filtered scan 50% selectivity",
+    "sharded aggregate (partial/final)",
+    "point query (index probe)",
+    "full scan latest (live cache)",
+]
+
+HEADER = "date,sha," + ",".join(
+    name.replace(",", ";") for name in HEADLINE
+)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    results = json.loads(Path(argv[0]).read_text())
+    rates = results.get("ops_per_sec", {})
+    sha = argv[1][:12]
+    csv_path = Path(argv[2]) if len(argv) > 2 else Path("benchmarks/trend.csv")
+    date = datetime.date.today().isoformat()
+    cells = [f"{rates.get(name, 0.0):.1f}" for name in HEADLINE]
+    line = ",".join([date, sha] + cells)
+    existing = csv_path.read_text() if csv_path.exists() else ""
+    with csv_path.open("a") as log:
+        if not existing:
+            log.write(HEADER + "\n")
+        log.write(line + "\n")
+    print(
+        "| "
+        + " | ".join([date, f"`{sha}`"] + cells)
+        + " |  _(ops/s: "
+        + ", ".join(HEADLINE)
+        + ")_"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -110,6 +110,28 @@ class Database:
         #: (and the granularity of streamed-cursor memory use). 0
         #: disables the yield points entirely.
         self.scan_batch_size = 256
+        #: Compile cached SELECT plans into batch-at-a-time programs
+        #: (repro.db.sql.compile): expressions lower to specialized
+        #: Python once per cached plan and operators process whole row
+        #: batches per call. Results are identical to the row-at-a-time
+        #: interpreter; turn off to debug with the closure tree. Read
+        #: provenance (``track_reads``) and attached observers always
+        #: force the row path regardless of this knob.
+        self.compiled_execution = True
+        #: Plan the WHERE clause's single-table conjuncts beneath joins,
+        #: inside their owning table's scan. Off, every WHERE conjunct
+        #: runs in one filter above the joins — useful to measure what
+        #: the rewrite buys.
+        self.predicate_pushdown_enabled = True
+        #: Batch-executor counters (mirrors ``plan_cache_stats``):
+        #: plans compiled, batches processed, and rows removed by
+        #: scan-level vs post-join filters.
+        self.executor_stats = {
+            "plans_compiled": 0,
+            "batches_processed": 0,
+            "rows_filtered_at_scan": 0,
+            "rows_filtered_post_join": 0,
+        }
         self.history_horizon = 0
         self._stores: dict[str, TableStore] = {}
         self._indexes: dict[str, IndexSet] = {}
@@ -237,7 +259,15 @@ class Database:
         """
         if not self.plan_cache_enabled or sql is None:
             return build_select_plan(stmt, self, txn)
-        key = (sql, self.catalog_epoch, txn.isolation)
+        key = (
+            sql,
+            self.catalog_epoch,
+            txn.isolation,
+            # Both knobs change the physical plan (compiled programs,
+            # filter placement); flipping one must not serve stale trees.
+            self.compiled_execution,
+            self.predicate_pushdown_enabled,
+        )
         entry = self._plan_cache.get(key)
         if entry is not None:
             self.plan_cache_stats["hits"] += 1

@@ -54,7 +54,9 @@ from repro.db.sql.executor import (
     ExecContext,
     PlanNode,
     RowsNode,
+    _drain_rows,
     build_from_where,
+    compile_plan_programs,
     evaluate_as_of,
     execute_statement,
     plan_projection,
@@ -90,6 +92,21 @@ _STMT_CACHE_LIMIT = 1024
 #: store-name -> branch transaction, supplied lazily so read-only
 #: statements only join the shards they actually touch.
 TxnGetter = Callable[[str], Transaction]
+
+
+def _compile_shard_plan(database: Database, plan: PlanNode) -> None:
+    """Attach compiled batch programs to one cached sharded plan.
+
+    Scatter branches and coordinator merges cache plans outside
+    ``build_select_plan``, so they compile (and count) here — keeping
+    the per-shard ``executor_stats`` mirror honest: one ``plans_compiled``
+    tick per freshly built plan, exactly like the single-node cache.
+    """
+    if database.compiled_execution:
+        compile_plan_programs(plan, database)
+        stats = getattr(database, "executor_stats", None)
+        if stats is not None:
+            stats["plans_compiled"] += 1
 
 
 def stable_hash(value: Any) -> int:
@@ -596,6 +613,33 @@ class ShardedDatabase:
         for shard in self.shards:
             shard.track_reads = value
 
+    @property
+    def compiled_execution(self) -> bool:
+        return all(shard.compiled_execution for shard in self.shards)
+
+    @compiled_execution.setter
+    def compiled_execution(self, value: bool) -> None:
+        for shard in self.shards:
+            shard.compiled_execution = value
+
+    @property
+    def predicate_pushdown_enabled(self) -> bool:
+        return all(shard.predicate_pushdown_enabled for shard in self.shards)
+
+    @predicate_pushdown_enabled.setter
+    def predicate_pushdown_enabled(self, value: bool) -> None:
+        for shard in self.shards:
+            shard.predicate_pushdown_enabled = value
+
+    @property
+    def executor_stats(self) -> dict[str, int]:
+        """Batch-executor counters summed across all shards."""
+        totals: dict[str, int] = {}
+        for shard in self.shards:
+            for key, value in shard.executor_stats.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
     def snapshot_rows(self, table: str) -> list[tuple[int, tuple]]:
         """Latest committed ``(row_id, values)`` pairs across all shards.
 
@@ -1077,7 +1121,7 @@ class ShardedDatabase:
                     # plan below is all generators.
                     break
             return capped
-        rows = list(plan.rows(ctx))
+        rows = _drain_rows(plan, ctx)
         if ctx.track_reads:
             # Parity with Database._execute_select: a consulted-but-empty
             # table still yields one null read record per shard.
@@ -1115,7 +1159,7 @@ class ShardedDatabase:
             track_reads=False,
         )
         return ResultSet(
-            columns=out_names, rows=list(plan.rows(ctx)), kind="select"
+            columns=out_names, rows=_drain_rows(plan, ctx), kind="select"
         )
 
     def _execute_select(
@@ -1262,8 +1306,10 @@ class ShardedDatabase:
                 self.stats["select_cache_misses"] += 1
             db0 = db_for(targets[0])
             node0 = build_from_where(stmt, db0, first)
+            _compile_shard_plan(db0, node0)
             source = RowsNode(node0.layout, (), label="ShardGather")
             plan, names = plan_projection(stmt, source, node0.layout)
+            _compile_shard_plan(db0, plan)
             entry = {
                 "nodes": {(db0, db0.catalog_epoch): node0},
                 "source": source,
@@ -1297,6 +1343,7 @@ class ShardedDatabase:
                 for k in stale:
                     del entry["nodes"][k]
                 node = build_from_where(stmt, database, branch)
+                _compile_shard_plan(database, node)
                 entry["nodes"][node_key] = node
             if (
                 cap is not None
@@ -1339,7 +1386,7 @@ class ShardedDatabase:
                 query_text=sql or "",
                 track_reads=False,
             )
-            rows = list(entry["plan"].rows(ctx))
+            rows = _drain_rows(entry["plan"], ctx)
         finally:
             source.set_rows(())  # don't pin gathered rows in the cache
         return ResultSet(columns=entry["names"], rows=rows, kind="select")
@@ -1479,6 +1526,7 @@ class ShardedDatabase:
             plan, names = plan_projection(
                 decomposition.final_stmt, source, decomposition.partial_layout
             )
+            _compile_shard_plan(self.shards[0], plan)
             decomposition.final_entry = {
                 "source": source, "plan": plan, "names": names,
             }

@@ -67,10 +67,40 @@ class ExecContext:
     #: table name -> number of read records emitted by scans this statement.
     read_counts: dict[str, int] = field(default_factory=dict)
     scanned_tables: set[str] = field(default_factory=set)
+    #: Whether this execution may run the compiled batch pipeline.
+    #: Computed in ``__post_init__``: read provenance and observers force
+    #: the row-at-a-time path, which records reads per row — the batch
+    #: programs never see individual row pulls, so TROD traces must come
+    #: from the interpreter to stay byte-identical.
+    use_compiled: bool = field(init=False, default=False)
+    #: The owning database's ``executor_stats`` dict (shared counters).
+    exec_stats: dict[str, int] | None = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         if self.batch_size < 0:
             self.batch_size = getattr(self.database, "scan_batch_size", 0)
+        self.use_compiled = (
+            bool(getattr(self.database, "compiled_execution", False))
+            and not self.track_reads
+            and not getattr(self.database, "observers", None)
+        )
+        self.exec_stats = getattr(self.database, "executor_stats", None)
+
+
+def _iter_batches(rows: Iterable[tuple], size: int) -> Iterator[list[tuple]]:
+    """Chunk an arbitrary row iterator into lists of at most ``size``."""
+    if size <= 0:
+        size = 1024
+    chunk: list[tuple] = []
+    append = chunk.append
+    for row in rows:
+        append(row)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+            append = chunk.append
+    if chunk:
+        yield chunk
 
 
 class PlanNode:
@@ -78,6 +108,29 @@ class PlanNode:
 
     def rows(self, ctx: ExecContext) -> Iterator[tuple]:
         raise NotImplementedError
+
+    def batches(self, ctx: ExecContext) -> Iterator[list[tuple]]:
+        """Batch-at-a-time row production: chunks of ``list[tuple]``.
+
+        Operators with compiled programs override this to process whole
+        batches per call; the default adapter chunks :meth:`rows`, so any
+        node composes into a batch pipeline unchanged. Chunk boundaries
+        carry no meaning — consumers must produce identical results for
+        any chunking, including empty chunks.
+        """
+        yield from _iter_batches(self.rows(ctx), ctx.batch_size)
+
+    def count_only(self, ctx: ExecContext) -> int | None:
+        """Output row count without materializing rows, or None.
+
+        A node may answer a pure ``COUNT(*)`` parent directly when it can
+        prove the count without building its output tuples (eager
+        aggregation). Implementations must be side-effect-identical to
+        draining :meth:`batches` — same scans, locks, and scheduler
+        yields — and must check every static precondition *before*
+        consuming any child, so a None return leaves children untouched.
+        """
+        return None
 
     def describe(self) -> str:
         return type(self).__name__
@@ -101,6 +154,9 @@ class SingleRowNode(PlanNode):
 
     def rows(self, ctx: ExecContext) -> Iterator[tuple]:
         yield ()
+
+    def batches(self, ctx: ExecContext) -> Iterator[list[tuple]]:
+        yield [()]
 
     def describe(self) -> str:
         return "SingleRow"
@@ -129,6 +185,10 @@ class RowsNode(PlanNode):
     def rows(self, ctx: ExecContext) -> Iterator[tuple]:
         yield from self._rows
 
+    def batches(self, ctx: ExecContext) -> Iterator[list[tuple]]:
+        if self._rows:
+            yield list(self._rows)
+
 
 class ScanNode(PlanNode):
     """Table scan (or index probe) with an optional pushed-down filter."""
@@ -149,6 +209,10 @@ class ScanNode(PlanNode):
         self.layout = Layout.for_table(binding, schema.column_names)
         #: Human-readable filter text for EXPLAIN (set by the planner).
         self.filter_sql: str | None = None
+        #: The merged pushed-down filter expression (set by the planner)
+        #: and its compiled batch form (set by ``compile_plan_programs``).
+        self.filter_expr: Expr | None = None
+        self._c_filter: Callable | None = None
 
     def describe(self) -> str:
         parts = [f"Scan({self.table}"]
@@ -163,10 +227,8 @@ class ScanNode(PlanNode):
             parts.append(f" filter[{self.filter_sql}]")
         return "".join(parts)
 
-    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
-        ctx.scanned_tables.add(self.table)
-        track = ctx.track_reads
-        filter_fn = self.filter_fn
+    def _resolve_source(self, ctx: ExecContext) -> Iterable[tuple[int, tuple]]:
+        """The ``(row_id, values)`` source, pinned at call time."""
         if self.probe is not None:
             # ``candidates`` may be a live view of an index bucket; it is
             # only read (sorted() copies), never mutated.
@@ -181,34 +243,117 @@ class ScanNode(PlanNode):
             # streamed pipeline independent of the transaction's later
             # lifecycle (txn.get checks liveness on every call, whereas
             # txn.scan below returns an iterator pinned at call time).
-            source: Iterable[tuple[int, tuple]] = [
+            return [
                 (rid, values)
                 for rid in sorted(candidates)
                 if (values := ctx.txn.get(self.table, rid)) is not None
             ]
-        else:
-            source = ctx.txn.scan(self.table)
+        return ctx.txn.scan(self.table)
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        ctx.scanned_tables.add(self.table)
+        track = ctx.track_reads
+        filter_fn = self.filter_fn
+        source = self._resolve_source(ctx)
         # Imported here, not at module level: repro.runtime's package
         # __init__ imports the workflow module, which imports this
         # package back — after first use this is a sys.modules lookup.
         from repro.runtime.scheduler import CheckpointKind, maybe_checkpoint
 
         batch = ctx.batch_size
-        pulled = 0
+        # Count *down* to the next yield point instead of taking a modulo
+        # every row: one decrement + compare per row, one reset per batch.
+        countdown = batch
         for row_id, values in source:
-            pulled += 1
-            if batch and pulled % batch == 0:
-                # Cooperative yield: under a scheduler running at 'batch'
-                # granularity, long scans hand the baton over here so
-                # concurrent readers interleave at deterministic row-batch
-                # boundaries. A no-op on unscheduled threads.
-                maybe_checkpoint(CheckpointKind.SCAN_BATCH, self.table)
+            if batch:
+                countdown -= 1
+                if not countdown:
+                    # Cooperative yield: under a scheduler running at
+                    # 'batch' granularity, long scans hand the baton over
+                    # here so concurrent readers interleave at
+                    # deterministic row-batch boundaries. A no-op on
+                    # unscheduled threads.
+                    maybe_checkpoint(CheckpointKind.SCAN_BATCH, self.table)
+                    countdown = batch
             if filter_fn is not None and filter_fn(values, ctx.params) is not True:
                 continue
             if track:
                 ctx.txn.record_read(self.table, row_id, values, ctx.query_text)
                 ctx.read_counts[self.table] = ctx.read_counts.get(self.table, 0) + 1
             yield values
+
+    def batches(self, ctx: ExecContext) -> Iterator[list[tuple]]:
+        """Batch scan: whole chunks of values, filtered a batch at a time.
+
+        Unfiltered latest-state scans serve straight off the store's
+        shared materialized row list when the transaction's snapshot
+        covers the table's last write (:meth:`Transaction.scan_materialized`
+        — same locking and liveness side effects as ``scan``). Under a
+        live cooperative scheduler chunks are exactly ``ctx.batch_size``
+        rows with a SCAN_BATCH checkpoint per full chunk — the identical
+        yield cadence the row path has — otherwise the whole scan is one
+        chunk.
+        """
+        if ctx.track_reads:
+            # Provenance needs per-row read records: delegate entirely.
+            yield from _iter_batches(self.rows(ctx), ctx.batch_size)
+            return
+        ctx.scanned_tables.add(self.table)
+        from repro.runtime.scheduler import (
+            CheckpointKind,
+            current_scheduler,
+            maybe_checkpoint,
+        )
+
+        pairs: Iterable[tuple[int, tuple]] | None = None
+        if self.probe is not None:
+            pairs = self._resolve_source(ctx)
+            values_list = [values for _rid, values in pairs]
+        else:
+            # Shared values-only list straight off the store — zero
+            # per-execution extraction. Operators never mutate chunks,
+            # so serving it as a chunk is safe.
+            values_list = ctx.txn.scan_materialized(self.table)
+            if values_list is None:
+                values_list = [
+                    values for _rid, values in self._resolve_source(ctx)
+                ]
+        stats = ctx.exec_stats
+        batch = ctx.batch_size
+        scheduled = batch and current_scheduler() is not None
+        if not scheduled:
+            # No scheduler to yield to: one chunk, no slicing overhead.
+            out = self._filter_batch(values_list, ctx)
+            if stats is not None:
+                stats["batches_processed"] += 1
+            if out:
+                yield out
+            return
+        for start in range(0, len(values_list), batch):
+            chunk = values_list[start : start + batch]
+            if len(chunk) == batch:
+                # Same cadence as the row path: a checkpoint fires after
+                # every ``batch`` pulled rows (never after a short tail).
+                maybe_checkpoint(CheckpointKind.SCAN_BATCH, self.table)
+            out = self._filter_batch(chunk, ctx)
+            if stats is not None:
+                stats["batches_processed"] += 1
+            if out:
+                yield out
+
+    def _filter_batch(self, chunk: list[tuple], ctx: ExecContext) -> list[tuple]:
+        if self.filter_fn is None:
+            return chunk
+        c_filter = self._c_filter
+        if c_filter is not None:
+            out = c_filter(chunk, ctx.params)
+        else:
+            filter_fn = self.filter_fn
+            params = ctx.params
+            out = [v for v in chunk if filter_fn(v, params) is True]
+        if ctx.exec_stats is not None:
+            ctx.exec_stats["rows_filtered_at_scan"] += len(chunk) - len(out)
+        return out
 
     def _probe_candidates(self, ctx: ExecContext) -> "Iterable[int]":
         """Candidate row ids from the index; may be a read-only live view."""
@@ -227,11 +372,21 @@ class ScanNode(PlanNode):
 
 
 class FilterNode(PlanNode):
-    def __init__(self, child: PlanNode, predicate: CompiledExpr, sql: str = ""):
+    def __init__(
+        self,
+        child: PlanNode,
+        predicate: CompiledExpr,
+        sql: str = "",
+        expr: Expr | None = None,
+    ):
         self.child = child
         self.predicate = predicate
         self.layout = child.layout
         self.sql = sql
+        #: Raw predicate expression (for batch compilation) and its
+        #: compiled whole-batch form (set by ``compile_plan_programs``).
+        self.expr = expr
+        self._c_batch: Callable | None = None
 
     def describe(self) -> str:
         return f"Filter[{self.sql}]" if self.sql else "Filter"
@@ -244,6 +399,21 @@ class FilterNode(PlanNode):
         for row in self.child.rows(ctx):
             if predicate(row, ctx.params) is True:
                 yield row
+
+    def batches(self, ctx: ExecContext) -> Iterator[list[tuple]]:
+        c_batch = self._c_batch
+        predicate = self.predicate
+        params = ctx.params
+        stats = ctx.exec_stats
+        for chunk in self.child.batches(ctx):
+            if c_batch is not None:
+                out = c_batch(chunk, params)
+            else:
+                out = [row for row in chunk if predicate(row, params) is True]
+            if stats is not None:
+                stats["rows_filtered_post_join"] += len(chunk) - len(out)
+            if out:
+                yield out
 
 
 class HashJoinNode(PlanNode):
@@ -266,6 +436,16 @@ class HashJoinNode(PlanNode):
         self.kind = kind
         self.layout = left.layout.concat(right.layout)
         self._right_width = len(right.layout)
+        #: Raw key/residual expressions (set by the planner) and their
+        #: compiled batch forms (set by ``compile_plan_programs``).
+        self.raw_left_keys: list[Expr] | None = None
+        self.raw_right_keys: list[Expr] | None = None
+        self.raw_residual: Expr | None = None
+        self._c_build: Callable | None = None
+        self._c_probe: Callable | None = None
+        #: Probe-key tuple slot when the key is one bare column (set by
+        #: ``compile_plan_programs``); enables :meth:`count_only`.
+        self._count_key_slot: int | None = None
 
     def describe(self) -> str:
         return f"HashJoin({self.kind}, {len(self.left_keys)} key(s))"
@@ -296,6 +476,57 @@ class HashJoinNode(PlanNode):
                     yield combined
             if not matched and self.kind == "left":
                 yield left_row + null_right
+
+    def batches(self, ctx: ExecContext) -> Iterator[list[tuple]]:
+        build, probe = self._c_build, self._c_probe
+        if build is None or probe is None:
+            yield from _iter_batches(self.rows(ctx), ctx.batch_size)
+            return
+        params = ctx.params
+        table: dict = {}
+        for chunk in self.right.batches(ctx):
+            build(chunk, params, table)
+        for chunk in self.left.batches(ctx):
+            out = probe(chunk, params, table)
+            if out:
+                yield out
+
+    def count_only(self, ctx: ExecContext) -> int | None:
+        """Inner equi-join output count without materializing join rows.
+
+        Build side becomes a key -> multiplicity map; probe keys are
+        histogrammed with :class:`collections.Counter` (a C loop) and the
+        count is the dot product. Matches the compiled probe exactly:
+        the key slot was proven to be a bare ``r[slot]`` by the code
+        generator, build-side NULL keys were skipped at build, and probe
+        NULL/absent keys miss the map. Only engages for inner joins with
+        no residual, where dropping the concatenated tuples is invisible
+        to a COUNT(*).
+        """
+        build = self._c_build
+        if (
+            build is None
+            or self.kind != "inner"
+            or self.raw_residual is not None
+            or self._count_key_slot is None
+        ):
+            return None
+        from collections import Counter
+        from operator import itemgetter
+
+        table: dict = {}
+        for chunk in self.right.batches(ctx):
+            build(chunk, ctx.params, table)
+        sizes = {key: len(matches) for key, matches in table.items()}
+        get_size = sizes.get
+        key_of = itemgetter(self._count_key_slot)
+        total = 0
+        for chunk in self.left.batches(ctx):
+            for key, count in Counter(map(key_of, chunk)).items():
+                size = get_size(key)
+                if size:
+                    total += count * size
+        return total
 
 
 class NestedLoopJoinNode(PlanNode):
@@ -364,6 +595,19 @@ class AggregateNode(PlanNode):
         self.layout = Layout()
         for i in range(len(key_fns) + len(agg_specs)):
             self.layout.add(None, f"_agg{i}")
+        #: Raw group/aggregate expressions over the child layout (set by
+        #: the planner) and the compiled ``(chunk_fn, init_fn, fin_fn)``
+        #: accumulation programs (set by ``compile_plan_programs``).
+        self.raw_group_exprs: list[Expr] | None = None
+        self.raw_aggs: list | None = None
+        self.input_layout: Layout | None = None
+        self._c_progs: tuple | None = None
+        #: Global aggregate whose outputs are all plain COUNT(*) — the
+        #: one shape a child's :meth:`PlanNode.count_only` can answer.
+        self._pure_count_star = global_group and all(
+            s.name.upper() == "COUNT" and s.star and not s.distinct
+            for s in agg_specs
+        )
 
     def describe(self) -> str:
         aggs = ", ".join(s.name for s in self.agg_specs)
@@ -402,6 +646,31 @@ class AggregateNode(PlanNode):
             accs = groups[hashable]
             yield key + tuple(a.result() for a in accs)
 
+    def batches(self, ctx: ExecContext) -> Iterator[list[tuple]]:
+        progs = self._c_progs
+        if progs is None:
+            yield from _iter_batches(self.rows(ctx), ctx.batch_size)
+            return
+        chunk_fn, init_fn, fin_fn = progs
+        if self._pure_count_star:
+            # Global COUNT(*): ask the child for the bare count (eager
+            # aggregation). None means unsupported — and, by the
+            # count_only contract, that nothing was consumed yet.
+            count = self.child.count_only(ctx)
+            if count is not None:
+                yield [(count,) * len(self.agg_specs)]
+                return
+        params = ctx.params
+        groups: dict = {}
+        order: list = []
+        for chunk in self.child.batches(ctx):
+            chunk_fn(chunk, params, groups, order)
+        if not order:
+            if self.global_group:
+                yield [fin_fn(init_fn())]
+            return
+        yield [key + fin_fn(state) for key, state in order]
+
 
 class SortNode(PlanNode):
     def __init__(self, child: PlanNode, keys: list[tuple[CompiledExpr, bool]]):
@@ -418,12 +687,22 @@ class SortNode(PlanNode):
 
     def rows(self, ctx: ExecContext) -> Iterator[tuple]:
         materialized = list(self.child.rows(ctx))
+        yield from self._sorted(materialized, ctx)
+
+    def _sorted(self, materialized: list[tuple], ctx: ExecContext) -> list[tuple]:
         # Stable multi-key sort: apply keys from last to first.
         for fn, ascending in reversed(self.keys):
             materialized.sort(
                 key=lambda row: SortKey(fn(row, ctx.params)), reverse=not ascending
             )
-        yield from materialized
+        return materialized
+
+    def batches(self, ctx: ExecContext) -> Iterator[list[tuple]]:
+        materialized: list[tuple] = []
+        for chunk in self.child.batches(ctx):
+            materialized.extend(chunk)
+        if materialized:
+            yield self._sorted(materialized, ctx)
 
 
 class ProjectNode(PlanNode):
@@ -431,6 +710,12 @@ class ProjectNode(PlanNode):
         self.child = child
         self.exprs = exprs
         self.names = names
+        #: Raw projection expressions over the child layout (set by the
+        #: planner) and the compiled whole-batch projection (set by
+        #: ``compile_plan_programs``).
+        self.raw_exprs: list[Expr] | None = None
+        self.input_layout: Layout | None = None
+        self._c_batch: Callable | None = None
         self.layout = Layout()
         for name in names:
             try:
@@ -449,6 +734,17 @@ class ProjectNode(PlanNode):
         exprs = self.exprs
         for row in self.child.rows(ctx):
             yield tuple(fn(row, ctx.params) for fn in exprs)
+
+    def batches(self, ctx: ExecContext) -> Iterator[list[tuple]]:
+        c_batch = self._c_batch
+        params = ctx.params
+        if c_batch is not None:
+            for chunk in self.child.batches(ctx):
+                yield c_batch(chunk, params)
+            return
+        exprs = self.exprs
+        for chunk in self.child.batches(ctx):
+            yield [tuple(fn(row, params) for fn in exprs) for row in chunk]
 
 
 class DistinctNode(PlanNode):
@@ -470,6 +766,19 @@ class DistinctNode(PlanNode):
                 continue
             seen.add(key)
             yield row
+
+    def batches(self, ctx: ExecContext) -> Iterator[list[tuple]]:
+        seen: set[tuple] = set()
+        add = seen.add
+        for chunk in self.child.batches(ctx):
+            out = []
+            for row in chunk:
+                key = tuple(SortKey(v) for v in row)
+                if key not in seen:
+                    add(key)
+                    out.append(row)
+            if out:
+                yield out
 
 
 class LimitNode(PlanNode):
@@ -513,6 +822,30 @@ class LimitNode(PlanNode):
                 # what terminates the scan early for LIMIT queries.
                 return
 
+    def batches(self, ctx: ExecContext) -> Iterator[list[tuple]]:
+        limit = self.limit((), ctx.params) if self.limit is not None else None
+        offset = self.offset((), ctx.params) if self.offset is not None else 0
+        if limit is not None and (not isinstance(limit, int) or limit < 0):
+            raise ExecutionError(f"LIMIT must be a non-negative integer, got {limit!r}")
+        if not isinstance(offset, int) or offset < 0:
+            raise ExecutionError(f"OFFSET must be a non-negative integer, got {offset!r}")
+        if limit == 0:
+            return
+        to_skip = offset
+        produced = 0
+        for chunk in self.child.batches(ctx):
+            if to_skip:
+                if to_skip >= len(chunk):
+                    to_skip -= len(chunk)
+                    continue
+                chunk = chunk[to_skip:]
+                to_skip = 0
+            if limit is not None and produced + len(chunk) >= limit:
+                yield chunk[: limit - produced]
+                return
+            produced += len(chunk)
+            yield chunk
+
 
 # ---------------------------------------------------------------------------
 # SELECT planning
@@ -536,9 +869,119 @@ def build_select_plan(
     if stmt.from_table is None:
         if stmt.joins:
             raise PlanningError("JOIN without FROM")
-        return plan_projection(stmt, SingleRowNode(), Layout())
-    plan = build_from_where(stmt, database, txn)
-    return plan_projection(stmt, plan, plan.layout)
+        result = plan_projection(stmt, SingleRowNode(), Layout())
+    else:
+        plan = build_from_where(stmt, database, txn)
+        result = plan_projection(stmt, plan, plan.layout)
+    if getattr(database, "compiled_execution", False) and getattr(
+        database, "plan_cache_enabled", True
+    ):
+        # Compile once per *cached* plan: with the plan cache disabled
+        # every statement would pay codegen with no reuse to amortize
+        # it, so replanned statements stay on the closure path.
+        compile_plan_programs(result[0], database)
+        stats = getattr(database, "executor_stats", None)
+        if stats is not None:
+            stats["plans_compiled"] += 1
+    return result
+
+
+def compile_plan_programs(plan: PlanNode, database: "Database") -> None:
+    """Attach compiled batch programs to a plan tree, once per plan.
+
+    Runs at plan-build time, so a cached plan pays code generation once
+    and every execution reuses the specialized functions. Any node whose
+    expressions fail to compile silently keeps its closure fallback (the
+    entry points in :mod:`repro.db.sql.compile` return None on failure
+    and the batch operators check for None).
+    """
+    if getattr(plan, "_c_done", False):
+        return
+    plan._c_done = True
+    for child in plan.children_nodes():
+        compile_plan_programs(child, database)
+    from repro.db.sql import compile as codegen
+
+    if isinstance(plan, ScanNode):
+        if plan.filter_expr is not None:
+            plan._c_filter = codegen.compile_predicate_batch(
+                plan.filter_expr, plan.layout
+            )
+    elif isinstance(plan, FilterNode):
+        if plan.expr is not None:
+            plan._c_batch = codegen.compile_predicate_batch(
+                plan.expr, plan.child.layout
+            )
+    elif isinstance(plan, ProjectNode):
+        if plan.raw_exprs is not None and plan.input_layout is not None:
+            plan._c_batch = codegen.compile_projection_batch(
+                plan.raw_exprs, plan.input_layout
+            )
+    elif isinstance(plan, HashJoinNode):
+        if plan.raw_left_keys is not None and plan.raw_right_keys is not None:
+            build = codegen.compile_join_build(
+                plan.raw_right_keys, plan.right.layout
+            )
+            probe = codegen.compile_join_probe(
+                plan.raw_left_keys,
+                plan.left.layout,
+                plan.raw_residual,
+                plan.layout,
+                len(plan.right.layout),
+                plan.kind,
+            )
+            if build is not None and probe is not None:
+                plan._c_build, plan._c_probe = build, probe
+                plan._count_key_slot = codegen.join_key_slot(
+                    plan.raw_left_keys, plan.left.layout
+                )
+    elif isinstance(plan, AggregateNode):
+        if plan.raw_aggs is not None and plan.input_layout is not None:
+            metas = [
+                (
+                    agg.name,
+                    agg.star,
+                    agg.distinct,
+                    agg.args[0] if not agg.star and agg.args else None,
+                )
+                for agg in plan.raw_aggs
+            ]
+            plan._c_progs = codegen.compile_aggregate_programs(
+                plan.raw_group_exprs or [], metas, plan.input_layout
+            )
+def _pipeline_blocking(node: PlanNode) -> bool:
+    """Whether the subtree must consume all input before the first row.
+
+    LIMIT over a streaming (non-blocking) subtree keeps the row-at-a-time
+    path so its short-circuit stops the scan after the last wanted row;
+    over a Sort/Aggregate the input is fully drained either way and the
+    batch pipeline wins.
+    """
+    if isinstance(node, (SortNode, AggregateNode)):
+        return True
+    if isinstance(node, (FilterNode, ProjectNode, DistinctNode, LimitNode)):
+        return _pipeline_blocking(node.child)
+    return False
+
+
+def _drain_rows(plan: PlanNode, ctx: ExecContext) -> list[tuple]:
+    """Materialize a plan's full output, batch pipeline when eligible."""
+    if ctx.use_compiled and not (
+        isinstance(plan, LimitNode) and not _pipeline_blocking(plan.child)
+    ):
+        chunks = plan.batches(ctx)
+        first = next(chunks, None)
+        if first is None:
+            return []
+        second = next(chunks, None)
+        if second is None:
+            return first
+        out = list(first)
+        out.extend(second)
+        for chunk in chunks:
+            out.extend(chunk)
+        return out
+    return list(plan.rows(ctx))
 
 
 def build_from_where(
@@ -570,8 +1013,17 @@ def build_from_where(
         for column in schema.column_names:
             full_layout.add(binding, column)
 
-    conjuncts = split_conjuncts(stmt.where)
+    conjuncts = [
+        planner.fold_constants(c) for c in split_conjuncts(stmt.where)
+    ]
+    # A conjunct folded to TRUE filters nothing; drop it entirely.
+    conjuncts = [
+        c
+        for c in conjuncts
+        if not (isinstance(c, Literal) and c.value is True)
+    ]
     consumed: set[int] = set()
+    pushdown = getattr(database, "predicate_pushdown_enabled", True)
 
     # Classify single-table conjuncts for pushdown (inner-join tables only;
     # pushing WHERE below a LEFT join's null-extended side changes results).
@@ -579,20 +1031,21 @@ def build_from_where(
         join.table.binding.lower() for join in stmt.joins if join.kind == "left"
     }
     pushed: dict[str, list[Expr]] = {}
-    for i, conjunct in enumerate(conjuncts):
-        used = planner.bindings_used(conjunct, full_layout)
-        if used is not None and len(used) == 1:
-            owner = next(iter(used))
-            if owner not in left_join_bindings:
-                pushed.setdefault(owner, []).append(conjunct)
-                consumed.add(i)
+    if pushdown:
+        for i, conjunct in enumerate(conjuncts):
+            used = planner.bindings_used(conjunct, full_layout)
+            if used is not None and len(used) == 1:
+                owner = next(iter(used))
+                if owner not in left_join_bindings:
+                    pushed.setdefault(owner, []).append(conjunct)
+                    consumed.add(i)
 
     def make_scan(binding: str, canonical: str, schema: TableSchema) -> PlanNode:
         own_layout = Layout.for_table(binding, schema.column_names)
         own_conjuncts = pushed.get(binding.lower(), [])
         filter_fn = None
+        merged: Expr | None = None
         if own_conjuncts:
-            merged: Expr | None = None
             for conjunct in own_conjuncts:
                 from repro.db.expr import BinaryOp
 
@@ -610,6 +1063,7 @@ def build_from_where(
         scan = ScanNode(canonical, binding, schema, filter_fn, probe)
         if own_conjuncts:
             scan.filter_sql = " AND ".join(c.sql() for c in own_conjuncts)
+            scan.filter_expr = merged
         return scan
 
     binding0, canonical0, schema0 = bindings[0]
@@ -640,23 +1094,29 @@ def build_from_where(
         )
         combined_layout = plan.layout.concat(right.layout)
         residual_fn = None
+        merged_residual: Expr | None = None
         if residual:
-            merged = None
             for conjunct in residual:
                 from repro.db.expr import BinaryOp
 
-                merged = (
-                    conjunct if merged is None else BinaryOp("AND", merged, conjunct)
+                merged_residual = (
+                    conjunct
+                    if merged_residual is None
+                    else BinaryOp("AND", merged_residual, conjunct)
                 )
-            residual_fn = compile_expr(merged, combined_layout)
+            residual_fn = compile_expr(merged_residual, combined_layout)
         if pairs:
             left_keys = [compile_expr(l, plan.layout) for l, _ in pairs]
             right_keys = [compile_expr(r, right.layout) for _, r in pairs]
             # A cross join that gained equi keys from WHERE is an inner join.
             kind = "inner" if join.kind == "cross" else join.kind
-            plan = HashJoinNode(
+            join_node = HashJoinNode(
                 plan, right, left_keys, right_keys, residual_fn, kind
             )
+            join_node.raw_left_keys = [l for l, _ in pairs]
+            join_node.raw_right_keys = [r for _, r in pairs]
+            join_node.raw_residual = merged_residual
+            plan = join_node
         else:
             plan = NestedLoopJoinNode(plan, right, residual_fn, join.kind)
         accumulated.add(binding.lower())
@@ -669,7 +1129,7 @@ def build_from_where(
 
             merged = conjunct if merged is None else BinaryOp("AND", merged, conjunct)
         plan = FilterNode(
-            plan, compile_expr(merged, plan.layout), sql=merged.sql()
+            plan, compile_expr(merged, plan.layout), sql=merged.sql(), expr=merged
         )
 
     return plan
@@ -834,7 +1294,10 @@ def plan_projection(
         sort_done = False
 
     exprs = [compile_expr(e, input_layout) for e, _ in proj]
-    plan = ProjectNode(plan, exprs, out_names)
+    project = ProjectNode(plan, exprs, out_names)
+    project.raw_exprs = [e for e, _ in proj]
+    project.input_layout = input_layout
+    plan = project
     if stmt.distinct:
         plan = DistinctNode(plan)
     if stmt.order_by and not sort_done:
@@ -881,18 +1344,24 @@ def _plan_aggregate(
         agg_specs.append(
             AggSpec(name=agg.name, star=agg.star, distinct=agg.distinct, arg=arg)
         )
-    plan = AggregateNode(plan, key_fns, agg_specs, global_group=not group_exprs)
+    agg_node = AggregateNode(plan, key_fns, agg_specs, global_group=not group_exprs)
+    agg_node.raw_group_exprs = group_exprs
+    agg_node.raw_aggs = aggregates
+    agg_node.input_layout = input_layout
+    plan = agg_node
     agg_layout = plan.layout
 
     if stmt.having is not None:
         rewritten = planner.rewrite_aggregate_expr(stmt.having, group_slots, agg_slots)
-        plan = FilterNode(plan, compile_expr(rewritten, agg_layout))
+        plan = FilterNode(plan, compile_expr(rewritten, agg_layout), expr=rewritten)
 
     out_exprs = []
+    raw_out_exprs: list[Expr] = []
     alias_rewrites: dict[str, Expr] = {}
     for expr, name in proj:
         rewritten = planner.rewrite_aggregate_expr(expr, group_slots, agg_slots)
         alias_rewrites.setdefault(name.lower(), rewritten)
+        raw_out_exprs.append(rewritten)
         out_exprs.append(compile_expr(rewritten, agg_layout))
 
     # ORDER BY for aggregate queries: rewrite over the agg row, then sort
@@ -914,7 +1383,10 @@ def _plan_aggregate(
             fns.append((compile_expr(rewritten, agg_layout), item.ascending))
         plan = SortNode(plan, fns)
 
-    return ProjectNode(plan, out_exprs, [name for _, name in proj])
+    project = ProjectNode(plan, out_exprs, [name for _, name in proj])
+    project.raw_exprs = raw_out_exprs
+    project.input_layout = agg_layout
+    return project
 
 
 def _plan_order_distinct_limit(
@@ -1029,7 +1501,7 @@ def _execute_select(
         return ResultSet(
             columns=out_names, kind="select", source=plan.rows(ctx)
         )
-    rows = list(plan.rows(ctx))
+    rows = _drain_rows(plan, ctx)
     if ctx.track_reads:
         # A table that was consulted but matched nothing still yields one
         # null read record (Table 2's "Check if (U1, F2) exists" rows).
@@ -1067,7 +1539,7 @@ def _execute_insert(
         )
         # Materialize first: the SELECT may read the target table, and
         # inserting while scanning would mutate the txn's overlay mid-walk.
-        source_rows = list(plan.rows(ctx))
+        source_rows = _drain_rows(plan, ctx)
         row_ids = []
         for source_row in source_rows:
             coerced = schema.coerce_row(dict(zip(columns, source_row)))

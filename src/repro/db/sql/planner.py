@@ -469,6 +469,48 @@ def map_children(expr: Expr, fn: Callable[[Expr], Expr]) -> Expr:
     raise PlanningError(f"cannot rewrite expression {expr!r}")
 
 
+def is_const_expr(expr: Expr) -> bool:
+    """Whether ``expr`` evaluates to the same value on every row.
+
+    Function calls are excluded even when their arguments are constant:
+    folding one would surface unknown-function and arity errors at plan
+    time, and ``EXPLAIN`` builds plans without executing.
+    """
+    if isinstance(expr, (ColumnRef, SlotRef, Star, Param, FuncCall)):
+        return False
+    if isinstance(expr, Literal):
+        return True
+    return all(is_const_expr(child) for child in expr.children())
+
+
+def fold_constants(expr: Expr) -> Expr:
+    """Bottom-up constant folding with SQL three-valued identities.
+
+    Constant subtrees are evaluated once at plan time and replaced by
+    literals; any evaluation error leaves the subtree unfolded so the
+    error still surfaces at execution, exactly where it used to. The only
+    non-constant rewrites applied are the left-literal short circuits
+    ``FALSE AND x -> FALSE`` and ``TRUE OR x -> TRUE``, which the
+    row-at-a-time evaluator performs without touching ``x`` anyway.
+    (``TRUE AND x`` is *not* ``x``: AND normalizes truthy operands.)
+    """
+    from repro.db.expr import Scope
+
+    folded = map_children(expr, fold_constants)
+    if isinstance(folded, BinaryOp) and isinstance(folded.left, Literal):
+        if folded.op == "AND" and folded.left.value is False:
+            return Literal(False)
+        if folded.op == "OR" and folded.left.value is True:
+            return Literal(True)
+    if isinstance(folded, Literal) or not is_const_expr(folded):
+        return folded
+    try:
+        value = folded.eval(Scope())
+    except Exception:
+        return folded
+    return Literal(value)
+
+
 def rewrite_aggregate_expr(
     expr: Expr,
     group_slots: dict[str, int],

@@ -84,10 +84,21 @@ class TableStore:
         #: rebuilt lazily after any write invalidates it. Read-mostly
         #: tables scan straight off this list.
         self._scan_rows: list[tuple[int, tuple]] | None = None
+        #: Values-only projection of ``_scan_rows`` for the batch
+        #: executor, which needs no row ids (reads are untracked on the
+        #: batch path). Same publish-then-never-mutate discipline.
+        self._scan_values: list[tuple] | None = None
         #: Bumped by every applied write (and by vacuum); a scan pinned at
         #: epoch e keeps serving epoch-e rows even after the counter
         #: moves on — tests and diagnostics use it to prove pinning.
         self.write_epoch = 0
+        #: CSN of the most recent applied write to this table. A snapshot
+        #: at csn >= this sees exactly the latest state, which lets the
+        #: executor's batch scans serve SNAPSHOT reads straight off the
+        #: materialized live-row list. Vacuum removes only versions dead
+        #: before its horizon, never changing any state at or after it,
+        #: so it does not move this.
+        self.last_write_csn = 0
 
     # -- cache maintenance -------------------------------------------------
 
@@ -132,6 +143,8 @@ class TableStore:
         self._live[row_id] = version
         self._add_sorted(self._live_ids, row_id)
         self._scan_rows = None
+        self._scan_values = None
+        self.last_write_csn = csn
         self.write_epoch += 1
         return row_id
 
@@ -143,6 +156,8 @@ class TableStore:
         self._versions[row_id].append(version)
         self._live[row_id] = version
         self._scan_rows = None
+        self._scan_values = None
+        self.last_write_csn = csn
         self.write_epoch += 1
         return current.values
 
@@ -153,6 +168,8 @@ class TableStore:
         del self._live[row_id]
         self._remove_sorted(self._live_ids, row_id)
         self._scan_rows = None
+        self._scan_values = None
+        self.last_write_csn = csn
         self.write_epoch += 1
         return current.values
 
@@ -220,6 +237,19 @@ class TableStore:
             rows = [(rid, live[rid].values) for rid in self._live_ids]
             self._scan_rows = rows
         return rows
+
+    def latest_values(self) -> list[tuple]:
+        """The shared values-only latest-state row list (do not mutate).
+
+        Same pinning discipline as :meth:`latest_rows`; the batch
+        executor scans off this list directly so hot queries pay zero
+        per-execution extraction cost.
+        """
+        values = self._scan_values
+        if values is None:
+            values = [v for _rid, v in self.latest_rows()]
+            self._scan_values = values
+        return values
 
     def _scan_versions(
         self, row_ids: list[int], csn: int
@@ -289,6 +319,7 @@ class TableStore:
         }
         self._live_ids = sorted(self._live)
         self._scan_rows = None
+        self._scan_values = None
         self.write_epoch += 1
 
     def stats(self) -> dict[str, int]:

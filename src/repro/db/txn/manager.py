@@ -156,6 +156,31 @@ class Transaction:
             self._inserted.get(canonical, ()),
         )
 
+    def scan_materialized(self, table: str) -> "list[tuple] | None":
+        """The shared materialized values list when it matches this txn's view.
+
+        Returns the store's values-only live-row list (callers must not
+        mutate it)
+        when this transaction has no private writes on ``table`` and its
+        read snapshot covers the table's last committed write — i.e. the
+        latest state *is* the snapshot state. Otherwise returns None and
+        the caller falls back to :meth:`scan`. Side effects (liveness
+        check, SERIALIZABLE shared lock) are identical to ``scan``, so
+        the executor's batch path schedules and conflicts the same way
+        as the row-at-a-time path.
+        """
+        self._check_active()
+        canonical = self._manager.database.catalog.resolve(table)
+        if self._overlay.get(canonical) or self._inserted.get(canonical):
+            return None
+        if self.isolation is IsolationLevel.SERIALIZABLE:
+            self._lock(canonical, LockMode.SHARED)
+        store = self._manager.database.store(canonical)
+        csn = self._read_csn()
+        if csn is not None and csn < store.last_write_csn:
+            return None
+        return store.latest_values()
+
     @staticmethod
     def _scan_pinned(
         committed: Iterator[tuple[int, tuple]],

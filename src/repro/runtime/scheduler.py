@@ -20,6 +20,7 @@ from __future__ import annotations
 import enum
 import random
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -71,6 +72,33 @@ class _WorkerState(enum.Enum):
     DONE = "DONE"
 
 
+class _Baton(object):
+    """One-shot handoff signal, rebuilt around a pre-acquired lock.
+
+    The baton protocol alternates strictly — every ``signal`` is consumed
+    by exactly one ``wait`` before the next ``signal`` — so the general
+    machinery of :class:`threading.Event` (broadcast wakeups, explicit
+    ``clear``) is pure overhead. A bare lock handoff round-trips in a
+    fraction of the time, which matters because batch-granularity
+    scheduling pays two handoffs per scan batch.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._lock.acquire()  # created unsignalled
+
+    def signal(self) -> None:
+        try:
+            self._lock.release()
+        except RuntimeError:
+            pass  # already signalled (abort racing a normal handoff)
+
+    def wait(self) -> None:
+        self._lock.acquire()
+
+
 _current = threading.local()
 
 
@@ -91,8 +119,8 @@ class _Worker:
         self.index = index
         self.thunk = thunk
         self.state = _WorkerState.NEW
-        self.turn = threading.Event()
-        self.yielded = threading.Event()
+        self.turn = _Baton()
+        self.yielded = _Baton()
         self.outcome = TaskOutcome(index=index)
         self.last_kind = CheckpointKind.START
         self.last_label = ""
@@ -149,8 +177,7 @@ class CooperativeScheduler:
             if kind is CheckpointKind.LOCK_WAIT
             else _WorkerState.WAITING_TURN
         )
-        worker.turn.clear()
-        worker.yielded.set()
+        worker.yielded.signal()
         worker.turn.wait()
         if self._aborting:
             raise SchedulerError("scheduler aborted")
@@ -195,7 +222,7 @@ class CooperativeScheduler:
         finally:
             worker.state = _WorkerState.DONE
             worker.last_kind = CheckpointKind.DONE
-            worker.yielded.set()
+            worker.yielded.signal()
 
     def _grant(self, worker: _Worker, prelude: bool = False) -> None:
         """Give ``worker`` the baton and wait for it to yield or finish."""
@@ -203,8 +230,7 @@ class CooperativeScheduler:
             return
         kind_before = worker.last_kind
         label_before = worker.last_label
-        worker.yielded.clear()
-        worker.turn.set()
+        worker.turn.signal()
         worker.yielded.wait()
         self._step += 1
         self.record.append(
@@ -232,9 +258,14 @@ class CooperativeScheduler:
                 if all(w.state is _WorkerState.DONE for w in self._workers):
                     return
                 # Workers still starting up; give them a moment to park.
-                for worker in self._workers:
-                    if worker.state is _WorkerState.NEW:
-                        worker.yielded.wait(timeout=5.0)
+                # Poll state rather than waiting on the baton — a baton
+                # signal must only ever be consumed by ``_grant``.
+                deadline = time.monotonic() + 5.0
+                while (
+                    any(w.state is _WorkerState.NEW for w in self._workers)
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.001)
                 runnable = self._runnable()
                 if not runnable:
                     if all(w.state is _WorkerState.DONE for w in self._workers):
@@ -267,7 +298,7 @@ class CooperativeScheduler:
     def _abort_workers(self) -> None:
         self._aborting = True
         for worker in self._workers:
-            worker.turn.set()
+            worker.turn.signal()
         for worker in self._workers:
             if worker.thread is not None:
                 worker.thread.join(timeout=2.0)

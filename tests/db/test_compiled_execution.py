@@ -1,0 +1,286 @@
+"""Compiled vectorized execution: differential, parity, and stats tests.
+
+The batch pipeline with compiled programs must be a pure performance
+transformation: every query returns exactly the rows the interpreted
+row-at-a-time path returns, read provenance stays byte-identical when
+tracking is on (the engine falls back to the per-row path), and the
+``executor_stats`` counters describe what the pipeline actually did.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.db import Database, IsolationLevel, ShardedDatabase
+
+
+def build_db(compiled: bool = True, pushdown: bool = True) -> Database:
+    db = Database()
+    db.compiled_execution = compiled
+    db.predicate_pushdown_enabled = pushdown
+    _populate(db)
+    return db
+
+
+def build_sharded(compiled: bool = True) -> ShardedDatabase:
+    sdb = ShardedDatabase(3, shard_keys={"items": "id"})
+    sdb.compiled_execution = compiled
+    _populate(sdb)
+    return sdb
+
+
+def _populate(db) -> None:
+    db.execute("CREATE TABLE items (id INTEGER, grp TEXT, val FLOAT)")
+    db.execute("CREATE TABLE grps (grp TEXT, label TEXT)")
+    for i in range(40):
+        db.execute(
+            "INSERT INTO grps VALUES (?, ?)",
+            (f"g{i}", f"label{i}"),
+        )
+    for i in range(300):
+        db.execute(
+            "INSERT INTO items VALUES (?, ?, ?)",
+            (i, f"g{i % 7}", float(i % 13)),
+        )
+    # One NULL-bearing row per table: joins and filters must treat NULL
+    # keys identically on both paths.
+    db.execute("INSERT INTO items VALUES (9000, NULL, NULL)")
+    db.execute("INSERT INTO grps VALUES (NULL, 'null-label')")
+
+
+#: Query shapes spanning every batch operator: scans with filters at
+#: each selectivity, projections with expressions, inner/left joins with
+#: and without residuals, aggregates (global, grouped, DISTINCT,
+#: HAVING), DISTINCT, ORDER BY, LIMIT/OFFSET, and subquery-free unions
+#: of those features.
+QUERIES = [
+    "SELECT * FROM items",
+    "SELECT id, val FROM items WHERE val > 6.0",
+    "SELECT id FROM items WHERE val > 100.0",
+    "SELECT id + 1, val * 2.0 FROM items WHERE id < 20",
+    "SELECT id FROM items WHERE grp = 'g3' AND val >= 5.0",
+    "SELECT id FROM items WHERE grp = 'g1' OR val < 2.0",
+    "SELECT COUNT(*) FROM items",
+    "SELECT COUNT(*), COUNT(*) FROM items",
+    "SELECT COUNT(val), SUM(val), AVG(val), MIN(val), MAX(id) FROM items",
+    "SELECT grp, COUNT(*) FROM items GROUP BY grp",
+    "SELECT grp, SUM(val) FROM items GROUP BY grp HAVING SUM(val) > 200",
+    "SELECT COUNT(DISTINCT grp) FROM items",
+    "SELECT DISTINCT grp FROM items",
+    "SELECT i.id, g.label FROM items i JOIN grps g ON i.grp = g.grp",
+    "SELECT COUNT(*) FROM items i JOIN grps g ON i.grp = g.grp",
+    (
+        "SELECT COUNT(*) FROM items i JOIN grps g "
+        "ON i.grp = g.grp AND i.val > 4.0"
+    ),
+    (
+        "SELECT i.id, g.label FROM items i "
+        "LEFT JOIN grps g ON i.grp = g.grp WHERE i.id < 15"
+    ),
+    (
+        "SELECT g.label, COUNT(*) FROM items i "
+        "JOIN grps g ON i.grp = g.grp WHERE i.val > 3.0 GROUP BY g.label"
+    ),
+    "SELECT id FROM items ORDER BY val, id LIMIT 7",
+    "SELECT id FROM items ORDER BY id LIMIT 5 OFFSET 3",
+    "SELECT val FROM items WHERE id BETWEEN 10 AND 30 ORDER BY id",
+    "SELECT id FROM items WHERE grp LIKE 'g_'",
+    "SELECT id FROM items WHERE grp IN ('g1', 'g2') ORDER BY id",
+    "SELECT CASE WHEN val > 6 THEN 'hi' ELSE 'lo' END FROM items",
+    "SELECT id FROM items WHERE grp IS NULL",
+]
+
+
+def _canon(rows):
+    return sorted(rows, key=repr)
+
+
+class TestDifferential:
+    """Compiled batch pipeline vs interpreted row pipeline."""
+
+    def test_single_node_all_query_shapes(self):
+        compiled = build_db(compiled=True)
+        interpreted = build_db(compiled=False)
+        for sql in QUERIES:
+            got = compiled.query(sql).rows
+            want = interpreted.query(sql).rows
+            assert got == want, sql
+            # Value types must match too (1 vs 1.0 vs True).
+            for g, w in zip(got, want):
+                assert tuple(map(type, g)) == tuple(map(type, w)), sql
+
+    def test_sharded_all_query_shapes(self):
+        compiled = build_sharded(compiled=True)
+        interpreted = build_sharded(compiled=False)
+        for sql in QUERIES:
+            got = compiled.execute(sql).rows
+            want = interpreted.execute(sql).rows
+            # Shard gather order is deterministic, but ordered queries
+            # must match exactly; unordered compare as multisets.
+            if "ORDER BY" in sql:
+                assert got == want, sql
+            else:
+                assert _canon(got) == _canon(want), sql
+
+    def test_pushdown_knob_is_result_invariant(self):
+        pushed = build_db(pushdown=True)
+        unpushed = build_db(pushdown=False)
+        for sql in QUERIES:
+            assert pushed.query(sql).rows == unpushed.query(sql).rows, sql
+
+    def test_toggling_compilation_invalidates_cached_plans(self):
+        db = build_db(compiled=True)
+        sql = "SELECT COUNT(*) FROM items WHERE val > 6.0"
+        first = db.query(sql).rows
+        db.compiled_execution = False
+        assert db.query(sql).rows == first
+        db.compiled_execution = True
+        assert db.query(sql).rows == first
+
+
+class _TraceCollector:
+    def __init__(self):
+        self.traces = []
+
+    def statement_executed(self, txn, trace):
+        self.traces.append(trace)
+
+
+def _read_tuples(traces):
+    return [
+        (r.table, r.row_id, r.values, r.query)
+        for t in traces
+        for r in t.reads
+    ]
+
+
+class TestTrodParity:
+    """Provenance must be byte-identical with compilation enabled."""
+
+    def test_track_reads_identical_single_node(self):
+        baseline = build_db(compiled=False)
+        subject = build_db(compiled=True)
+        for db in (baseline, subject):
+            db.track_reads = True
+        probe = [
+            "SELECT id FROM items WHERE val > 6.0",
+            "SELECT grp, COUNT(*) FROM items GROUP BY grp",
+            "SELECT COUNT(*) FROM items i JOIN grps g ON i.grp = g.grp",
+            "SELECT id FROM items WHERE id > 100000",
+        ]
+        for sql in probe:
+            collectors = []
+            for db in (baseline, subject):
+                collector = _TraceCollector()
+                db.add_observer(collector)
+                rows = db.query(sql).rows
+                db.remove_observer(collector)
+                collectors.append((rows, collector))
+            (want_rows, want), (got_rows, got) = collectors
+            assert got_rows == want_rows, sql
+            assert _read_tuples(got.traces) == _read_tuples(want.traces), sql
+
+    def test_track_reads_identical_sharded(self):
+        baseline = build_sharded(compiled=False)
+        subject = build_sharded(compiled=True)
+        for sdb in (baseline, subject):
+            sdb.track_reads = True
+        sql = "SELECT grp, COUNT(*) FROM items GROUP BY grp"
+        reads = []
+        for sdb in (baseline, subject):
+            collected = []
+            collectors = []
+            for shard in sdb.shards:
+                collector = _TraceCollector()
+                shard.add_observer(collector)
+                collectors.append((shard, collector))
+            rows = sdb.execute(sql).rows
+            for shard, collector in collectors:
+                shard.remove_observer(collector)
+                collected.extend(_read_tuples(collector.traces))
+            reads.append((_canon(rows), collected))
+        assert reads[0] == reads[1]
+
+    def test_observer_presence_forces_row_path(self):
+        db = build_db(compiled=True)
+        collector = _TraceCollector()
+        db.add_observer(collector)
+        before = db.executor_stats["batches_processed"]
+        rows_observed = db.query("SELECT id FROM items WHERE val > 6.0").rows
+        assert db.executor_stats["batches_processed"] == before
+        db.remove_observer(collector)
+        assert (
+            db.query("SELECT id FROM items WHERE val > 6.0").rows
+            == rows_observed
+        )
+
+
+class TestExecutorStats:
+    def test_plans_compiled_counts_cache_misses_only(self):
+        db = build_db(compiled=True)
+        start = db.executor_stats["plans_compiled"]
+        db.query("SELECT id FROM items WHERE val > 6.0")
+        after_first = db.executor_stats["plans_compiled"]
+        assert after_first == start + 1
+        db.query("SELECT id FROM items WHERE val > 6.0")
+        assert db.executor_stats["plans_compiled"] == after_first
+
+    def test_rows_filtered_at_scan_vs_post_join(self):
+        db = build_db(compiled=True)
+        db.query("SELECT id FROM items WHERE val > 100.0")
+        stats = db.executor_stats
+        # All 301 item rows are filtered out inside the scan.
+        assert stats["rows_filtered_at_scan"] >= 301
+        assert stats["batches_processed"] >= 1
+
+    def test_disabled_compilation_leaves_batch_counters_still(self):
+        db = build_db(compiled=False)
+        db.query("SELECT id FROM items WHERE val > 6.0")
+        stats = db.executor_stats
+        assert stats["plans_compiled"] == 0
+        assert stats["batches_processed"] == 0
+
+    def test_sharded_stats_aggregate_across_shards(self):
+        sdb = build_sharded(compiled=True)
+        sdb.execute("SELECT id FROM items WHERE val > 100.0")
+        stats = sdb.executor_stats
+        assert stats["plans_compiled"] >= 1
+        assert stats["rows_filtered_at_scan"] >= 301
+
+
+class TestTransactionalVisibility:
+    """Batch scans must honor snapshots and private writes."""
+
+    def test_own_uncommitted_writes_visible(self):
+        db = build_db(compiled=True)
+        txn = db.begin()
+        db.execute(
+            "INSERT INTO items VALUES (7777, 'g0', 1.5)", txn=txn
+        )
+        rows = db.execute(
+            "SELECT id FROM items WHERE id = 7777", txn=txn
+        ).rows
+        assert rows == [(7777,)]
+        txn.abort()
+        assert db.query("SELECT id FROM items WHERE id = 7777").rows == []
+
+    def test_snapshot_ignores_later_commits(self):
+        db = build_db(compiled=True)
+        txn = db.begin(IsolationLevel.SNAPSHOT)
+        before = db.execute("SELECT COUNT(*) FROM items", txn=txn).rows
+        db.execute("INSERT INTO items VALUES (8888, 'g1', 2.0)")
+        again = db.execute("SELECT COUNT(*) FROM items", txn=txn).rows
+        txn.abort()
+        assert again == before
+        assert db.query("SELECT COUNT(*) FROM items").rows[0][0] == (
+            before[0][0] + 1
+        )
+
+    def test_writes_invalidate_materialized_values(self):
+        db = build_db(compiled=True)
+        sql = "SELECT COUNT(*) FROM items WHERE val > 6.0"
+        first = db.query(sql).rows[0][0]
+        db.execute("INSERT INTO items VALUES (9999, 'g2', 7.5)")
+        assert db.query(sql).rows[0][0] == first + 1
+        db.execute("DELETE FROM items WHERE id = 9999")
+        assert db.query(sql).rows[0][0] == first

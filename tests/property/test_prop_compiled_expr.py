@@ -1,0 +1,200 @@
+"""Property tests: compiled expressions against the closure tree and eval.
+
+The code generator in ``repro.db.sql.compile`` must be a pure performance
+transformation: for any expression and any row, the compiled function
+returns exactly what the planner's closure tree returns — same value,
+same type, or the same ``ExecutionError`` with the same message. Where
+the planner itself agrees with ``Expr.eval`` (everywhere except the
+documented arithmetic-error-path divergence), the compiled value must
+match the interpreter too. These invariants are what let the batch
+executor swap in compiled programs without changing a single result.
+
+Deliberately out of scope (documented engine edges, not codegen bugs):
+NaN values (group/join key identity semantics differ from value
+semantics by design) and unary minus over strings (``Expr.eval`` raises
+a raw TypeError where the planner wraps it — both non-compiled paths).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db.expr import (
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Scope,
+    UnaryOp,
+)
+from repro.db.sql import compile as codegen
+from repro.db.sql import planner
+from repro.errors import ExecutionError
+
+COLUMNS = ["a", "b", "c", "d"]
+LAYOUT = planner.Layout.for_table("t", COLUMNS)
+
+#: Column values: ints, floats (no NaN), short strings, bools, NULLs.
+value_strategy = st.one_of(
+    st.none(),
+    st.integers(-5, 5),
+    st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False),
+    st.sampled_from(["", "a", "ab", "xyz", "a%b", "5"]),
+    st.booleans(),
+)
+
+row_strategy = st.tuples(*[value_strategy] * len(COLUMNS))
+
+literal_strategy = st.builds(Literal, value_strategy)
+column_strategy = st.sampled_from(COLUMNS).map(lambda c: ColumnRef(c, "t"))
+
+_CMP_OPS = ["=", "!=", "<", "<=", ">", ">="]
+_ARITH_OPS = ["+", "-", "*", "/", "%"]
+_LOGIC_OPS = ["AND", "OR"]
+
+
+def _binary(children: st.SearchStrategy) -> st.SearchStrategy:
+    return st.builds(
+        lambda op, l, r: BinaryOp(op, l, r),
+        st.sampled_from(_CMP_OPS + _ARITH_OPS + _LOGIC_OPS + ["||"]),
+        children,
+        children,
+    )
+
+
+def _unary(children: st.SearchStrategy) -> st.SearchStrategy:
+    # Unary minus only over numeric literals: the planner wraps the
+    # TypeError for '-string' where Expr.eval lets it escape, a
+    # pre-existing divergence this suite does not relitigate.
+    minus = st.builds(
+        lambda v: UnaryOp("-", Literal(v)),
+        st.one_of(st.integers(-5, 5), st.floats(-10, 10, allow_nan=False)),
+    )
+    return st.one_of(
+        st.builds(lambda e: UnaryOp("NOT", e), children),
+        minus,
+    )
+
+
+def _compound(children: st.SearchStrategy) -> st.SearchStrategy:
+    return st.one_of(
+        _binary(children),
+        _unary(children),
+        st.builds(
+            lambda e, neg: IsNull(e, negated=neg), children, st.booleans()
+        ),
+        st.builds(
+            lambda e, lo, hi, neg: Between(e, lo, hi, negated=neg),
+            children,
+            children,
+            children,
+            st.booleans(),
+        ),
+        st.builds(
+            lambda e, items, neg: InList(e, items, negated=neg),
+            children,
+            st.lists(children, min_size=1, max_size=3),
+            st.booleans(),
+        ),
+        st.builds(
+            lambda e, pat, neg: Like(e, Literal(pat), negated=neg),
+            children,
+            st.sampled_from(["a%", "%b", "_", "a_b", "%", "xyz"]),
+            st.booleans(),
+        ),
+        st.builds(
+            lambda pairs, default: Case(pairs, default),
+            st.lists(st.tuples(children, children), min_size=1, max_size=2),
+            st.one_of(st.none(), children),
+        ),
+    )
+
+
+expr_strategy = st.recursive(
+    st.one_of(literal_strategy, column_strategy),
+    _compound,
+    max_leaves=12,
+)
+
+
+def _run(fn, row, params=()):
+    """(value-or-None, error-message-or-None) from one evaluation."""
+    try:
+        return fn(row, params), None
+    except ExecutionError as exc:
+        return None, str(exc)
+
+
+@settings(max_examples=300, deadline=None)
+@given(expr=expr_strategy, rows=st.lists(row_strategy, max_size=6))
+def test_compiled_scalar_matches_planner_closure(expr: Expr, rows):
+    compiled = codegen.compile_scalar(expr, LAYOUT)
+    assert compiled is not None, "codegen refused a supported expression"
+    closure = planner.compile_expr(expr, LAYOUT)
+    for row in rows:
+        expected, expected_err = _run(closure, row)
+        actual, actual_err = _run(compiled, row)
+        assert actual_err == expected_err
+        if expected_err is None:
+            assert type(actual) is type(expected)
+            assert actual == expected or (actual is None and expected is None)
+
+
+@settings(max_examples=300, deadline=None)
+@given(expr=expr_strategy, rows=st.lists(row_strategy, max_size=6))
+def test_compiled_predicate_batch_matches_row_filter(expr: Expr, rows):
+    batch = codegen.compile_predicate_batch(expr, LAYOUT)
+    assert batch is not None
+    closure = planner.compile_expr(expr, LAYOUT)
+    try:
+        expected = [r for r in rows if closure(r, ()) is True]
+    except ExecutionError as exc:
+        try:
+            batch(rows, ())
+        except ExecutionError as batch_exc:
+            assert str(batch_exc) == str(exc)
+            return
+        raise AssertionError("batch path did not raise") from None
+    assert batch(rows, ()) == expected
+
+
+@settings(max_examples=300, deadline=None)
+@given(expr=expr_strategy, row=row_strategy)
+def test_compiled_scalar_matches_interpreter_eval(expr: Expr, row):
+    closure = planner.compile_expr(expr, LAYOUT)
+    expected, expected_err = _run(closure, row)
+    if expected_err is not None:
+        return  # error paths: covered against the planner above
+    scope = Scope(())
+    scope.bind_row("t", COLUMNS, row)
+    via_eval = expr.eval(scope)
+    assert type(via_eval) is type(expected)
+    assert via_eval == expected or (via_eval is None and expected is None)
+    compiled = codegen.compile_scalar(expr, LAYOUT)
+    actual, actual_err = _run(compiled, row)
+    assert actual_err is None
+    assert type(actual) is type(expected)
+    assert actual == expected or (actual is None and expected is None)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    exprs=st.lists(expr_strategy, min_size=1, max_size=3),
+    rows=st.lists(row_strategy, max_size=5),
+)
+def test_compiled_projection_batch_matches_planner(exprs, rows):
+    batch = codegen.compile_projection_batch(exprs, LAYOUT)
+    assert batch is not None
+    closures = [planner.compile_expr(e, LAYOUT) for e in exprs]
+    try:
+        expected = [tuple(fn(r, ()) for fn in closures) for r in rows]
+    except ExecutionError:
+        return  # error equivalence is covered by the scalar test
+    out = batch(rows, ())
+    assert out == expected
+    for got, want in zip(out, expected):
+        for g, w in zip(got, want):
+            assert type(g) is type(w)
