@@ -3,16 +3,23 @@
 Usage::
 
     python benchmarks/compare_baseline.py BASELINE.json CANDIDATE.json \
-        [--tolerance 3.0]
+        [--tolerance 2.0] [--noisy-tolerance 3.0]
 
 Compares the ``ops_per_sec`` entries the two files share and exits
-non-zero if any case is more than ``tolerance`` times slower than the
-baseline. The tolerance is deliberately loose: the committed baseline
-was measured on a developer machine and CI runners are slower and noisy,
-so this catches order-of-magnitude pathologies (accidental O(n^2) paths,
-dropped caches), not percent-level drift. Cases present in only one file
-are reported but never fail the gate, so adding a bench case does not
-require regenerating the baseline in the same commit.
+non-zero if any case is more than its tolerance times slower than the
+baseline. The default tolerance is 2x: the committed baseline was
+measured on a developer machine and CI runners are slower, but after
+several PRs of trend data the stable cases (single-threaded CPU-bound
+loops on cached plans) track within well under 2x, so 2x catches real
+regressions while still absorbing runner variance. Cases in
+``NOISY_CASES`` — scheduler interleaving, wall-clock-driven replication
+steps, fsync-bound WAL appends, multi-store 2PC, pool checkout
+micro-ops, and process cold starts — swing with runner load and keep
+the looser 3x bound, and the few ``UNGATED_CASES`` latency probes are
+reported and trend-tracked but never fail the gate at all. Cases
+present in only one file are reported but
+never fail the gate, so adding a bench case does not require
+regenerating the baseline in the same commit.
 """
 
 from __future__ import annotations
@@ -21,6 +28,49 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+#: Cases whose rates are dominated by the runner's scheduling, fsync
+#: latency, or a timed region of only a few milliseconds (the >10k
+#: ops/s micro-cases at smoke iteration counts) rather than sustained
+#: CPU work — these get ``--noisy-tolerance`` instead of
+#: ``--tolerance``. Classified empirically: each listed case showed a
+#: >1.5x run-to-run swing under identical full-bench conditions, while
+#: the stable remainder tracked within 0.65-1.35x smoke-vs-full.
+NOISY_CASES = frozenset(
+    {
+        "autocommit insert (1 row)",
+        "concurrent scans x4 (serialized)",
+        "concurrent scans x4 (batch-interleaved)",
+        "connection checkout (pooled)",
+        "connection construct (fresh)",
+        "cursor first-10 of 5k (streamed)",
+        "paged cold start (reopen + first query)",
+        "point query (index probe)",
+        "pooled workload statements",
+        "repeat query (connection facade)",
+        "repeat query (plan cache)",
+        "replicated read (3-replica cluster)",
+        "replicated read (single primary)",
+        "replication catch-up (records applied)",
+        "replication failover (promote)",
+        "sharded 2PC write (4 rows x 4 shards)",
+        "sharded LIMIT 10 (pushdown)",
+        "sharded point lookup (routed)",
+        "wal commit (fsync each)",
+        "wal group commit (64/batch)",
+    }
+)
+
+#: Reported and trend-tracked but never gated: sub-100ms latency
+#: measurements whose rates swing an order of magnitude with runner
+#: state (observed 26-452 ops/s for promote under identical
+#: conditions). No tolerance is honest for these; the trend.csv rows
+#: are the regression signal.
+UNGATED_CASES = frozenset(
+    {
+        "replication failover (promote)",
+    }
+)
 
 
 def load_rates(path: Path) -> dict[str, float]:
@@ -31,18 +81,30 @@ def load_rates(path: Path) -> dict[str, float]:
     return {str(k): float(v) for k, v in rates.items()}
 
 
+def case_tolerance(name: str, tolerance: float, noisy_tolerance: float) -> float:
+    return noisy_tolerance if name in NOISY_CASES else tolerance
+
+
 def compare(
-    baseline: dict[str, float], candidate: dict[str, float], tolerance: float
+    baseline: dict[str, float],
+    candidate: dict[str, float],
+    tolerance: float,
+    noisy_tolerance: float | None = None,
 ) -> list[str]:
-    """Regression messages for shared cases slower than baseline/tolerance."""
+    """Regression messages for shared cases slower than their floor."""
+    if noisy_tolerance is None:
+        noisy_tolerance = tolerance
     regressions = []
     for name in sorted(set(baseline) & set(candidate)):
-        floor = baseline[name] / tolerance
+        if name in UNGATED_CASES:
+            continue
+        allowed = case_tolerance(name, tolerance, noisy_tolerance)
+        floor = baseline[name] / allowed
         if candidate[name] < floor:
             regressions.append(
                 f"REGRESSION {name!r}: {candidate[name]:,.1f} ops/s < "
                 f"{floor:,.1f} (baseline {baseline[name]:,.1f} / "
-                f"tolerance {tolerance:g})"
+                f"tolerance {allowed:g})"
             )
     return regressions
 
@@ -54,12 +116,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--tolerance",
         type=float,
+        default=2.0,
+        help="allowed slowdown factor for stable cases (default 2.0)",
+    )
+    parser.add_argument(
+        "--noisy-tolerance",
+        type=float,
         default=3.0,
-        help="allowed slowdown factor vs baseline (default 3.0)",
+        help="allowed slowdown factor for NOISY_CASES (default 3.0)",
     )
     args = parser.parse_args(argv)
     if args.tolerance <= 1.0:
         parser.error("--tolerance must be > 1.0")
+    if args.noisy_tolerance < args.tolerance:
+        parser.error("--noisy-tolerance must be >= --tolerance")
 
     baseline = load_rates(args.baseline)
     candidate = load_rates(args.candidate)
@@ -69,9 +139,15 @@ def main(argv: list[str] | None = None) -> int:
     print(f"{'case'.ljust(width)} | baseline ops/s | candidate ops/s | ratio")
     for name in shared:
         ratio = candidate[name] / baseline[name] if baseline[name] else float("inf")
+        if name in UNGATED_CASES:
+            noisy = " (ungated)"
+        elif name in NOISY_CASES:
+            noisy = " (noisy)"
+        else:
+            noisy = ""
         print(
             f"{name.ljust(width)} | {baseline[name]:>14,.1f} | "
-            f"{candidate[name]:>15,.1f} | {ratio:5.2f}x"
+            f"{candidate[name]:>15,.1f} | {ratio:5.2f}x{noisy}"
         )
     for name in sorted(set(baseline) ^ set(candidate)):
         side = "baseline" if name in baseline else "candidate"
@@ -87,12 +163,17 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
-    regressions = compare(baseline, candidate, args.tolerance)
+    regressions = compare(
+        baseline, candidate, args.tolerance, args.noisy_tolerance
+    )
     for message in regressions:
         print(message, file=sys.stderr)
     if regressions:
         return 1
-    print(f"OK: {len(shared)} case(s) within {args.tolerance:g}x of baseline")
+    print(
+        f"OK: {len(shared)} case(s) within tolerance "
+        f"({args.tolerance:g}x stable / {args.noisy_tolerance:g}x noisy)"
+    )
     return 0
 
 

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import bisect
 import json
+import os
+from collections import OrderedDict
 from typing import Any, Iterable
 
 from repro.core.events import (
@@ -52,6 +54,37 @@ _WRITE_KINDS = ("Insert", "Update", "Delete")
 _MAX_TABLE_CHECKPOINTS = 16
 
 
+class _LiveState:
+    """Incrementally maintained live rows of one traced table.
+
+    Folding committed write events into this map at ingest time makes
+    :meth:`ProvenanceStore.create_checkpoint` O(table size) instead of
+    O(history): the materialized state is already there, no event replay
+    or SQL scan needed. ``dirty`` counts folds since the last checkpoint
+    taken from this state, so unchanged tables are skipped without even
+    a COUNT query. Any event the fold cannot apply faithfully (out of
+    order, missing values) drops the state; the next checkpoint falls
+    back to event replay and re-seeds it.
+    """
+
+    __slots__ = ("rows", "csn", "dirty")
+
+    def __init__(self, rows: dict[int, tuple], csn: int, dirty: int = 0):
+        self.rows = rows
+        self.csn = csn
+        self.dirty = dirty
+
+
+class _SpilledRows:
+    """Placeholder payload for a checkpoint written to disk."""
+
+    __slots__ = ("path", "count")
+
+    def __init__(self, path: str, count: int):
+        self.path = path
+        self.count = count
+
+
 def default_event_table_name(table: str) -> str:
     """forum_sub -> ForumSubEvents."""
     camel = "".join(part.capitalize() for part in table.split("_"))
@@ -83,10 +116,23 @@ class ProvenanceStore:
         self._checkpoints: dict[str, list[tuple[int, tuple]]] = {}
         self._commits_since_checkpoint = 0
         self._max_write_csn = 0
+        #: app table -> incrementally folded live state (see _LiveState).
+        self._live: dict[str, _LiveState] = {}
+        #: Checkpoints whose row payload exceeds this many rows spill to
+        #: disk (next to the provenance database's WAL) instead of being
+        #: pinned in memory. Spilling is disabled when the provenance
+        #: database has no on-disk WAL to anchor the spill directory.
+        self.spill_threshold = 2048
+        #: Spilled payloads loaded back for reconstruction, LRU by access.
+        self.spill_cache_size = 4
+        self._spill_cache: OrderedDict[tuple[str, int], tuple] = OrderedDict()
         self.checkpoint_stats = {
             "checkpoints": 0,
             "checkpoint_restores": 0,
             "full_restores": 0,
+            "spills": 0,
+            "spill_loads": 0,
+            "spill_cache_hits": 0,
         }
         self._create_base_tables()
 
@@ -161,6 +207,8 @@ class ProvenanceStore:
         self._event_tables[canonical] = name
         self._app_schemas[canonical] = schema
         self._column_maps[canonical] = column_map
+        # The table starts empty, so its live state is trivially current.
+        self._live[canonical] = _LiveState({}, 0)
         self.db.execute(
             "INSERT INTO TraceSchemas (TableName, EventTable, Ddl) VALUES (?, ?, ?)",
             (schema.name, name, schema.ddl()),
@@ -207,8 +255,10 @@ class ProvenanceStore:
         self.invalidate_checkpoints(table)
         txn = self.db.begin()
         count = 0
+        snapshot_rows: dict[int, tuple] = {}
         try:
             for row_id, values in rows:
+                snapshot_rows[row_id] = tuple(values)
                 record: dict[str, Any] = {
                     "TxnId": "SNAPSHOT",
                     "TxnNum": 0,
@@ -227,6 +277,8 @@ class ProvenanceStore:
         except Exception:
             txn.abort()
             raise
+        # The snapshot *is* the live state as of its csn.
+        self._live[table.lower()] = _LiveState(snapshot_rows, csn)
         return count
 
     def ingest(self, events: list[TraceEvent]) -> int:
@@ -289,16 +341,23 @@ class ProvenanceStore:
             # Untraced table (e.g. created after attach without a hook):
             # skip rather than fail the whole batch.
             return
-        if event.kind in _WRITE_KINDS and event.csn is not None:
-            if event.csn > self._max_write_csn:
+        if event.kind in _WRITE_KINDS:
+            if event.csn is not None and event.csn > self._max_write_csn:
                 self._max_write_csn = event.csn
             # An event landing at or before an existing checkpoint would
             # make that checkpoint stale — drop the affected ones.
             checkpoints = self._checkpoints.get(table)
-            if checkpoints and event.csn <= checkpoints[-1][0]:
-                self._checkpoints[table] = [
-                    entry for entry in checkpoints if entry[0] < event.csn
-                ]
+            if (
+                checkpoints
+                and event.csn is not None
+                and event.csn <= checkpoints[-1][0]
+            ):
+                kept = [e for e in checkpoints if e[0] < event.csn]
+                self._discard_payloads(
+                    table, checkpoints[len(kept):]
+                )
+                self._checkpoints[table] = kept
+            self._fold_live(table, event)
         record: dict[str, Any] = {
             "TxnId": event.txn_name,
             "TxnNum": event.txn_num,
@@ -314,6 +373,35 @@ class ProvenanceStore:
             for col, value in event.values.items():
                 record[column_map[col]] = value
         self.db.insert_row(self._event_tables[table], record, txn=txn)
+
+    def _fold_live(self, table: str, event: DataEvent) -> None:
+        """Apply one committed write event to the table's live state.
+
+        The fold mirrors :meth:`_apply_event_rows` exactly; anything it
+        cannot apply faithfully (no csn, csn below the state's watermark,
+        missing row id or values) invalidates the state instead of
+        guessing — correctness falls back to event replay.
+        """
+        live = self._live.get(table)
+        if live is None:
+            return
+        if (
+            event.csn is None
+            or event.csn < live.csn
+            or event.row_id is None
+            or (event.kind != "Delete" and event.values is None)
+        ):
+            self._live.pop(table, None)
+            return
+        live.csn = event.csn
+        live.dirty += 1
+        if event.kind == "Delete":
+            live.rows.pop(event.row_id, None)
+        else:
+            schema = self._app_schemas[table]
+            live.rows[event.row_id] = tuple(
+                event.values.get(col) for col in schema.column_names
+            )
 
     def _ingest_request(self, event: RequestEvent, txn) -> None:
         self.db.insert_row(
@@ -472,7 +560,8 @@ class ProvenanceStore:
         column_map = self._column_maps[table.lower()]
         checkpoint = self._nearest_checkpoint(table, upto_csn)
         if checkpoint is not None:
-            base_csn, base_rows = checkpoint
+            base_csn = checkpoint[0]
+            base_rows = self._checkpoint_rows(table.lower(), checkpoint)
             self.checkpoint_stats["checkpoint_restores"] += 1
             state: dict[int, tuple] = dict(base_rows)
             if upto_csn > base_csn:
@@ -545,18 +634,34 @@ class ProvenanceStore:
             entries = self._checkpoints.setdefault(table, [])
             if entries and entries[-1][0] >= csn:
                 continue
-            if entries and not self._has_events_between(
-                table, entries[-1][0], csn
-            ):
-                # Nothing changed since the last checkpoint: it already
-                # serves any restore up to ``csn`` with an empty delta.
-                continue
-            try:
-                rows = self.reconstruct_rows(table, csn)
-            except ProvenanceError:
-                # e.g. the table's base snapshot postdates ``csn``.
-                continue
-            entries.append((csn, tuple(rows)))
+            live = self._live.get(table)
+            if live is not None and csn >= live.csn:
+                # Fast path: the incrementally folded state *is* the
+                # table at every csn from live.csn through ``csn`` (no
+                # later events exist). O(table size), O(1) in history.
+                if entries and live.dirty == 0:
+                    # Nothing folded since the newest checkpoint: it
+                    # already serves restores up to ``csn`` for free.
+                    continue
+                rows = sorted(live.rows.items())
+                live.dirty = 0
+            else:
+                # Slow path: no live state (invalidated) or an explicit
+                # historical ``csn`` below its watermark — replay events.
+                if entries and not self._has_events_between(
+                    table, entries[-1][0], csn
+                ):
+                    continue
+                try:
+                    rows = self.reconstruct_rows(table, csn)
+                except ProvenanceError:
+                    # e.g. the table's base snapshot postdates ``csn``.
+                    continue
+                if live is None and csn >= self._max_write_csn:
+                    # The result is current — re-seed the live state so
+                    # future checkpoints take the fast path again.
+                    self._live[table] = _LiveState(dict(rows), csn)
+            entries.append((csn, self._maybe_spill(table, csn, tuple(rows))))
             self.checkpoint_stats["checkpoints"] += 1
             if len(entries) > _MAX_TABLE_CHECKPOINTS:
                 # Thin the older half (keep every other entry plus the
@@ -564,9 +669,81 @@ class ProvenanceStore:
                 thinned = entries[0::2]
                 if thinned[-1][0] != entries[-1][0]:
                     thinned.append(entries[-1])
+                kept = {entry[0] for entry in thinned}
+                self._discard_payloads(
+                    table, [e for e in entries if e[0] not in kept]
+                )
                 self._checkpoints[table] = thinned
         self._commits_since_checkpoint = 0
         return csn
+
+    # -- checkpoint spill-to-disk ---------------------------------------
+
+    def _spill_dir(self) -> str | None:
+        """Directory for spilled checkpoints, or None to keep in memory.
+
+        Spills land beside the provenance database's WAL so they share
+        its durability domain and lifecycle (ephemeral data dirs clean
+        them up automatically).
+        """
+        wal = getattr(self.db, "wal", None)
+        path = wal.path if wal is not None else None
+        if not path:
+            return None
+        return os.path.join(os.path.dirname(path) or ".", "prov_spill")
+
+    def _maybe_spill(self, table: str, csn: int, rows: tuple) -> Any:
+        """Write a large payload to disk, returning its stub (or rows)."""
+        if len(rows) < self.spill_threshold:
+            return rows
+        spill_dir = self._spill_dir()
+        if spill_dir is None:
+            return rows
+        os.makedirs(spill_dir, exist_ok=True)
+        path = os.path.join(spill_dir, f"{table}-{csn}.ckpt.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                [[row_id, list(values)] for row_id, values in rows], handle
+            )
+        self.checkpoint_stats["spills"] += 1
+        # A fresh spill is the likeliest next restore base: warm the cache.
+        self._cache_spilled(table, csn, rows)
+        return _SpilledRows(path, len(rows))
+
+    def _checkpoint_rows(self, table: str, entry: tuple[int, Any]) -> tuple:
+        """Resolve a checkpoint entry's payload, loading spills via LRU."""
+        csn, payload = entry
+        if not isinstance(payload, _SpilledRows):
+            return payload
+        cached = self._spill_cache.get((table, csn))
+        if cached is not None:
+            self._spill_cache.move_to_end((table, csn))
+            self.checkpoint_stats["spill_cache_hits"] += 1
+            return cached
+        with open(payload.path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        rows = tuple((row_id, tuple(values)) for row_id, values in data)
+        self.checkpoint_stats["spill_loads"] += 1
+        self._cache_spilled(table, csn, rows)
+        return rows
+
+    def _cache_spilled(self, table: str, csn: int, rows: tuple) -> None:
+        self._spill_cache[(table, csn)] = rows
+        self._spill_cache.move_to_end((table, csn))
+        while len(self._spill_cache) > self.spill_cache_size:
+            self._spill_cache.popitem(last=False)
+
+    def _discard_payloads(
+        self, table: str, entries: Iterable[tuple[int, Any]]
+    ) -> None:
+        """Release spilled files and cache slots of dropped checkpoints."""
+        for csn, payload in entries:
+            self._spill_cache.pop((table, csn), None)
+            if isinstance(payload, _SpilledRows):
+                try:
+                    os.unlink(payload.path)
+                except OSError:
+                    pass
 
     def _has_events_between(self, table: str, low_csn: int, high_csn: int) -> bool:
         """Whether any committed write events land in (low_csn, high_csn]."""
@@ -598,9 +775,14 @@ class ProvenanceStore:
         created beforehand would resurrect the erased values.
         """
         if table is None:
+            for name, entries in self._checkpoints.items():
+                self._discard_payloads(name, entries)
             self._checkpoints.clear()
+            self._live.clear()
         else:
-            self._checkpoints.pop(table.lower(), None)
+            key = table.lower()
+            self._discard_payloads(key, self._checkpoints.pop(key, ()))
+            self._live.pop(key, None)
 
     def checkpoint_csns(self, table: str) -> list[int]:
         return [csn for csn, _rows in self._checkpoints.get(table.lower(), [])]

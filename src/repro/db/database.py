@@ -9,14 +9,23 @@ and statement events through the observer interface, which is the paper's
 
 from __future__ import annotations
 
+import json
+import os
+import shutil
+import tempfile
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.db.backend import SimulatedBackend
 from repro.db.cdc import CdcStream
 from repro.db.index import IndexSet
+from repro.db.pages import BufferPool, PageFileManager, PagedTableStore
+from repro.db.pages.buffer import DEFAULT_POOL_PAGES
+from repro.db.pages.page import DEFAULT_PAGE_SIZE
 from repro.db.result import ResultSet
-from repro.db.schema import Catalog, TableSchema
+from repro.db.schema import Catalog, Column, TableSchema
+from repro.db.types import ColumnType
 from repro.db.sql.executor import (
     build_select_plan,
     compile_delete_plan,
@@ -49,11 +58,69 @@ from repro.errors import (
     ExecutionError,
     FencedError,
     ReadOnlyError,
+    StorageError,
     TimeTravelError,
+    WalError,
 )
 
 _STMT_CACHE_LIMIT = 1024
 _PLAN_CACHE_LIMIT = 512
+
+#: Environment knob: overrides the default storage backend when
+#: ``Database(storage=None)``. CI uses it to run the whole suite paged.
+STORAGE_ENV_VAR = "REPRO_STORAGE"
+_STORAGE_BACKENDS = ("memory", "paged")
+
+#: File inside a paged data directory holding schemas, aliases, secondary
+#: index definitions, and the vacuum horizon — everything recovery needs
+#: that is not in the WAL.
+CATALOG_FILE = "catalog.json"
+
+
+def _schema_to_meta(schema: TableSchema) -> dict[str, Any]:
+    # Serialize only the *explicit* unique constraints: TableSchema
+    # re-derives the primary-key and single-UNIQUE-column entries in its
+    # constructor (same filter ``ddl()`` applies when rendering DDL).
+    explicit = [
+        list(constraint)
+        for constraint in schema.unique_constraints
+        if constraint != schema.primary_key
+        and not (len(constraint) == 1 and schema.column(constraint[0]).unique)
+    ]
+    return {
+        "name": schema.name,
+        "columns": [
+            {
+                "name": c.name,
+                "type": c.col_type.value,
+                "nullable": c.nullable,
+                "primary_key": c.primary_key,
+                "unique": c.unique,
+                "default": c.default,
+            }
+            for c in schema.columns
+        ],
+        "unique_constraints": explicit,
+    }
+
+
+def _schema_from_meta(meta: dict[str, Any]) -> TableSchema:
+    columns = [
+        Column(
+            name=c["name"],
+            col_type=ColumnType(c["type"]),
+            nullable=c["nullable"],
+            primary_key=c["primary_key"],
+            unique=c["unique"],
+            default=c["default"],
+        )
+        for c in meta["columns"]
+    ]
+    return TableSchema(
+        meta["name"],
+        columns,
+        unique_constraints=[tuple(uc) for uc in meta["unique_constraints"]],
+    )
 
 
 @dataclass
@@ -83,13 +150,76 @@ class Database:
         cdc_retain: int | None = None,
         wal_group_size: int = 1,
         wal_fsync: bool = False,
+        storage: str | None = None,
+        data_dir: str | None = None,
+        buffer_pool_pages: int = DEFAULT_POOL_PAGES,
+        page_size: int = DEFAULT_PAGE_SIZE,
     ):
         self.name = name
         self.backend = backend
         self.catalog = Catalog()
-        self.wal = WriteAheadLog(
-            wal_path, group_size=wal_group_size, fsync=wal_fsync
+        if storage is None:
+            storage = os.environ.get(STORAGE_ENV_VAR) or "memory"
+        if storage not in _STORAGE_BACKENDS:
+            raise StorageError(
+                f"unknown storage backend {storage!r} "
+                f"(expected one of {_STORAGE_BACKENDS})"
+            )
+        #: Which storage backend row versions live in: "memory" keeps
+        #: them in Python tuples, "paged" in slotted page files under
+        #: ``data_dir`` behind an LRU buffer pool.
+        self.storage = storage
+        self.data_dir: str | None = None
+        self._page_manager: PageFileManager | None = None
+        self._buffer_pool: BufferPool | None = None
+        self._meta_path: str | None = None
+        self._ephemeral_dir_cleanup = None
+        self._recovering = False
+        self._closed = False
+        #: Secondary (non-constraint) index definitions, persisted to the
+        #: catalog file so recovery can rebuild them.
+        self._index_meta: list[dict[str, Any]] = []
+        #: How the last open went: a reopened paged database replays only
+        #: the WAL tail, and these counters prove it (tests assert
+        #: ``changes_reconciled == 0`` after a clean checkpointed close).
+        self.recovery_stats: dict[str, Any] = {
+            "mode": "fresh",
+            "wal_commits": 0,
+            "tail_commits": 0,
+            "changes_reconciled": 0,
+            "changes_skipped": 0,
+        }
+        if storage == "paged":
+            if data_dir is None:
+                # Ephemeral database: pages live in a temp directory that
+                # is removed at close (or GC). Pass data_dir to persist.
+                data_dir = tempfile.mkdtemp(prefix=f"repro-{name}-")
+                self._ephemeral_dir_cleanup = weakref.finalize(
+                    self, shutil.rmtree, data_dir, ignore_errors=True
+                )
+            self.data_dir = data_dir
+            self._page_manager = PageFileManager(data_dir, page_size)
+            self._buffer_pool = BufferPool(buffer_pool_pages)
+            self._meta_path = os.path.join(data_dir, CATALOG_FILE)
+            if wal_path is None:
+                wal_path = os.path.join(data_dir, "wal.jsonl")
+        recover_paged = self._meta_path is not None and os.path.exists(
+            self._meta_path
         )
+        if recover_paged and wal_path is not None and os.path.exists(wal_path):
+            self.wal = WriteAheadLog.load(
+                wal_path, attach=True, group_size=wal_group_size, fsync=wal_fsync
+            )
+        else:
+            self.wal = WriteAheadLog(
+                wal_path, group_size=wal_group_size, fsync=wal_fsync
+            )
+        if self._buffer_pool is not None:
+            # The WAL rule: a commit's log record must be durable before
+            # any page reflecting it is written back (otherwise a group-
+            # commit crash could leave a partial commit on disk that tail
+            # replay cannot fill in).
+            self._buffer_pool.before_write = self.wal.flush
         self.cdc = CdcStream(retain=cdc_retain)
         self.txn_manager = TransactionManager(self)
         self.observers: list[Any] = []
@@ -151,6 +281,8 @@ class Database:
             "dml_hits": 0,
             "dml_misses": 0,
         }
+        if recover_paged:
+            self._recover_paged()
 
     # -- schema management ---------------------------------------------------
 
@@ -162,9 +294,16 @@ class Database:
     def create_table(self, schema: TableSchema) -> None:
         self.catalog.create_table(schema)
         key = self.catalog.resolve(schema.name)
-        self._stores[key] = TableStore(schema)
+        if self.storage == "paged":
+            file = self._page_manager.create(key)
+            self._stores[key] = PagedTableStore(
+                schema, self._page_manager, self._buffer_pool, key, file
+            )
+        else:
+            self._stores[key] = TableStore(schema)
         self._indexes[key] = IndexSet(schema)
         self.bump_catalog_epoch()
+        self._save_catalog_meta()
         self.notify("table_created", schema)
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
@@ -174,12 +313,18 @@ class Database:
         self.catalog.drop_table(name)
         del self._stores[key]
         del self._indexes[key]
+        if self.storage == "paged":
+            self._buffer_pool.drop_file(self._page_manager.get(key))
+            self._page_manager.drop(key)
+        self._index_meta = [m for m in self._index_meta if m["table"] != key]
         self.bump_catalog_epoch()
+        self._save_catalog_meta()
         self.notify("table_dropped", key)
 
     def add_table_alias(self, alias: str, table: str) -> None:
         self.catalog.add_alias(alias, table)
         self.bump_catalog_epoch()
+        self._save_catalog_meta()
         self.notify("alias_added", alias, table)
 
     def create_index(
@@ -198,7 +343,17 @@ class Database:
             index = index_set.create_hash_index(name, columns, unique=unique)
         for row_id, values in self._stores[key].scan(None):
             index.add(row_id, values)
+        self._index_meta.append(
+            {
+                "name": name,
+                "table": key,
+                "columns": list(columns),
+                "unique": bool(unique),
+                "sorted": bool(sorted_index),
+            }
+        )
         self.bump_catalog_epoch()
+        self._save_catalog_meta()
         self.notify(
             "index_created", name, key, tuple(columns), unique, sorted_index
         )
@@ -210,7 +365,13 @@ class Database:
             return
         key = self.catalog.resolve(table)
         self._indexes[key].drop_index(name, if_exists=if_exists)
+        self._index_meta = [
+            m
+            for m in self._index_meta
+            if not (m["table"] == key and m["name"].lower() == name.lower())
+        ]
         self.bump_catalog_epoch()
+        self._save_catalog_meta()
         self.notify("index_dropped", name, key)
 
     def store(self, table: str) -> TableStore:
@@ -218,6 +379,155 @@ class Database:
 
     def index_set(self, table: str) -> IndexSet:
         return self._indexes[self.catalog.resolve(table)]
+
+    # -- paged storage: persistence, recovery, checkpoint ---------------------
+
+    def _save_catalog_meta(self) -> None:
+        """Atomically persist schemas/aliases/indexes for paged recovery.
+
+        Written on every DDL change (not just at checkpoint) so the
+        catalog file always exists from the first CREATE TABLE on — a
+        crash between DDL and the first checkpoint must still recover.
+        """
+        if self._meta_path is None or self._recovering:
+            return
+        meta = {
+            "tables": [
+                _schema_to_meta(self.catalog.get(name))
+                for name in self.catalog.table_names()
+            ],
+            "aliases": self.catalog.aliases(),
+            "indexes": self._index_meta,
+            "history_horizon": self.history_horizon,
+        }
+        tmp_path = self._meta_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle)
+        os.replace(tmp_path, self._meta_path)
+
+    def _recover_paged(self) -> None:
+        """Open the page files and replay only the WAL tail.
+
+        Each table's file header records ``flushed_csn`` — the newest
+        commit its pages are guaranteed to contain. Commits at or below
+        it are skipped outright; the tail above it replays through
+        :meth:`PagedTableStore.reconcile`, which is idempotent because
+        buffer-pool evictions may have pushed pages *newer* than the
+        header to disk before the crash.
+        """
+        with open(self._meta_path, encoding="utf-8") as handle:
+            meta = json.load(handle)
+        stats = self.recovery_stats
+        stats["mode"] = "paged"
+        self._recovering = True
+        try:
+            for table_meta in meta["tables"]:
+                schema = _schema_from_meta(table_meta)
+                self.catalog.create_table(schema)
+                key = self.catalog.resolve(schema.name)
+                self._stores[key] = PagedTableStore.load(
+                    schema, self._page_manager, self._buffer_pool, key
+                )
+                self._indexes[key] = IndexSet(schema)
+            for alias, target in meta.get("aliases", {}).items():
+                self.catalog.add_alias(alias, target)
+            self.history_horizon = meta.get("history_horizon", 0)
+            manager = self.txn_manager
+            for commit in self.wal.commits():
+                in_tail = False
+                for change in commit.changes:
+                    store = self._stores.get(change.table)
+                    if store is None:
+                        raise WalError(
+                            f"WAL references unknown table {change.table!r}"
+                        )
+                    if commit.csn > store.flushed_csn:
+                        in_tail = True
+                        if store.reconcile(change, commit.csn):
+                            stats["changes_reconciled"] += 1
+                        else:
+                            stats["changes_skipped"] += 1
+                if in_tail:
+                    stats["tail_commits"] += 1
+                manager.commit_index[commit.txn_id] = commit.csn
+                manager.csn_index[commit.csn] = commit.txn_id
+                manager._next_txn_id = max(
+                    manager._next_txn_id, commit.txn_id + 1
+                )
+            stats["wal_commits"] = len(self.wal)
+            last = self.wal.last_csn()
+            for key, store in self._stores.items():
+                store.finish_recovery()
+                last = max(last, store.last_write_csn)
+                self._indexes[key].populate(store.scan(None))
+            manager.last_csn = last
+            for index_meta in meta.get("indexes", []):
+                self.create_index(
+                    index_meta["name"],
+                    index_meta["table"],
+                    index_meta["columns"],
+                    unique=index_meta["unique"],
+                    sorted_index=index_meta["sorted"],
+                )
+        finally:
+            self._recovering = False
+
+    def checkpoint(self) -> int:
+        """Flush the WAL and (paged) every dirty page, then advance each
+        table's durable ``flushed_csn`` to the current commit position.
+
+        After a checkpoint, reopening the database replays nothing: the
+        page files alone carry the full state. Returns the CSN the
+        checkpoint covers.
+        """
+        self.wal.flush()
+        csn = self.last_csn
+        if self.storage == "paged":
+            for store in self._stores.values():
+                store.flush(csn)
+            self._save_catalog_meta()
+        return csn
+
+    def close(self) -> None:
+        """Checkpoint (paged), then release every file handle.
+
+        An ephemeral paged database (no explicit ``data_dir``) deletes
+        its temp directory here; a persistent one can be reopened with
+        ``Database(storage="paged", data_dir=...)``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.storage == "paged" and self._page_manager is not None:
+            try:
+                self.checkpoint()
+            finally:
+                self._page_manager.close_all()
+        self.wal.close()
+        if self._ephemeral_dir_cleanup is not None:
+            self._ephemeral_dir_cleanup()
+
+    @property
+    def storage_stats(self) -> dict[str, Any]:
+        """Storage-tier counters (mirrors the ``executor_stats`` pattern;
+        :class:`~repro.db.sharding.ShardedDatabase` sums the numeric
+        values across shards)."""
+        stats: dict[str, Any] = {
+            "storage": self.storage,
+            "tables": len(self._stores),
+            "live_rows": sum(
+                store.row_count() for store in self._stores.values()
+            ),
+            "versions": sum(
+                store.version_count() for store in self._stores.values()
+            ),
+        }
+        if self.storage == "paged":
+            for key, value in self._buffer_pool.snapshot_stats().items():
+                stats[f"pool_{key}"] = value
+            for key, value in self._page_manager.stats().items():
+                stats[f"file_{key}"] = value
+        return stats
 
     # -- transactions -----------------------------------------------------------
 
@@ -521,6 +831,7 @@ class Database:
         for store in self._stores.values():
             removed += store.vacuum(keep_after_csn)
         self.history_horizon = max(self.history_horizon, keep_after_csn)
+        self._save_catalog_meta()
         return removed
 
     @property

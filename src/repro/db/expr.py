@@ -182,6 +182,11 @@ def _div(a: Any, b: Any) -> Any:
 
 
 def _mod(a: Any, b: Any) -> Any:
+    if isinstance(a, str) or isinstance(b, str):
+        # ``str % x`` is printf formatting in Python — it can "succeed" or
+        # raise ValueError depending on the string's contents. SQL modulo
+        # is numeric only; fail like every other operand-type mismatch.
+        raise TypeError("modulo requires numeric operands")
     if b == 0:
         raise ExecutionError("modulo by zero")
     return a % b

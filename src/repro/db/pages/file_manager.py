@@ -1,0 +1,391 @@
+"""Page files: one on-disk file per table, plus the per-database manager.
+
+File layout::
+
+    +---------------+---------------+--------+--------+----
+    | header slot 0 | header slot 1 | page 0 | page 1 | ...
+    +---------------+---------------+--------+--------+----
+    0               4096            8192     8192+ps
+
+Header writes are made atomic by alternating between two fixed 4 KiB
+slots: each write carries a monotonically increasing version counter and
+a crc, and goes to slot ``version % 2``. Open picks the valid slot with
+the highest version, so a crash mid-header-write at worst loses the
+in-flight header and falls back to the previous one. The header slots
+sit at fixed offsets (independent of the data page size) so the page
+size itself can be recovered from the header.
+
+The header records ``flushed_csn`` — every commit at or below it is
+fully reflected in the data pages. Recovery opens the file, scans the
+pages, and replays only the WAL tail above ``flushed_csn``. Pages
+evicted from the buffer pool between checkpoints may push *newer* state
+to disk than the header admits; replay is therefore reconciliation
+(idempotent) rather than blind reapplication.
+
+Freed pages are stamped ``KIND_FREE`` and chained through an intrusive
+free list headed in the file header; allocation pops the list before
+extending the file.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import struct
+import urllib.parse
+import zlib
+from typing import Callable, Iterator
+
+from repro.db.pages.page import (
+    DEFAULT_PAGE_SIZE,
+    KIND_FREE,
+    Page,
+    check_page_size,
+)
+from repro.errors import PageCorruptError, StorageError
+
+#: Fixed size of each header slot; the data area starts after both.
+HEADER_SLOT_SIZE = 4096
+HEADER_AREA = 2 * HEADER_SLOT_SIZE
+
+_MAGIC = b"RPG1"
+#: magic 4s | crc u32 | version u64 | payload length u32
+_HEADER_PREFIX = struct.Struct("<4sIQI")
+
+PAGE_FILE_SUFFIX = ".pages"
+
+_space_ids = itertools.count(1)
+
+
+def _pack_header(version: int, payload: dict) -> bytes:
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if _HEADER_PREFIX.size + len(body) > HEADER_SLOT_SIZE:
+        raise StorageError(f"page file header of {len(body)} bytes is too large")
+    crc = zlib.crc32(struct.pack("<Q", version) + body) & 0xFFFFFFFF
+    blob = _HEADER_PREFIX.pack(_MAGIC, crc, version, len(body)) + body
+    return blob.ljust(HEADER_SLOT_SIZE, b"\x00")
+
+
+def _unpack_header(raw: bytes) -> tuple[int, dict] | None:
+    """Decode one header slot; None if the slot is empty or invalid."""
+    if len(raw) < _HEADER_PREFIX.size:
+        return None
+    magic, crc, version, length = _HEADER_PREFIX.unpack_from(raw, 0)
+    if magic != _MAGIC:
+        return None
+    body = raw[_HEADER_PREFIX.size : _HEADER_PREFIX.size + length]
+    if len(body) != length:
+        return None
+    if zlib.crc32(struct.pack("<Q", version) + body) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except ValueError:
+        return None
+    if not isinstance(payload, dict):
+        return None
+    return version, payload
+
+
+class PageFile:
+    """One table's on-disk page file."""
+
+    def __init__(
+        self,
+        path: str,
+        page_size: int,
+        *,
+        fh,
+        header_version: int,
+        meta: dict,
+        fsync: bool = False,
+    ):
+        self.path = path
+        self.page_size = page_size
+        self.fsync = fsync
+        self._fh = fh
+        self._header_version = header_version
+        #: Durable header metadata (npages/free_head plus caller keys such
+        #: as flushed_csn and next_row_id). In-memory npages/free_head may
+        #: run ahead of the last durable header between checkpoints.
+        self.meta = meta
+        self.npages: int = meta.get("npages", 0)
+        self._free_head: int | None = meta.get("free_head")
+        #: Distinguishes this file from its successors after a vacuum
+        #: rewrite — the buffer pool keys frames by (space_id, page_id).
+        self.space_id = next(_space_ids)
+        self.defunct = False
+        #: Test hook invoked before every disk write with ("page"|"header",
+        #: page_id_or_None); raising simulates a crash at that point.
+        self.crash_hook: Callable[[str, int | None], None] | None = None
+        self.stats = {
+            "page_reads": 0,
+            "page_writes": 0,
+            "header_writes": 0,
+            "allocations": 0,
+            "frees": 0,
+            "freelist_reuses": 0,
+        }
+
+    # -- lifecycle --------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, path: str, page_size: int = DEFAULT_PAGE_SIZE, *, fsync: bool = False
+    ) -> "PageFile":
+        check_page_size(page_size)
+        fh = open(path, "w+b")
+        pf = cls(
+            path,
+            page_size,
+            fh=fh,
+            header_version=0,
+            meta={"page_size": page_size, "npages": 0, "free_head": None},
+            fsync=fsync,
+        )
+        pf.write_header()
+        return pf
+
+    @classmethod
+    def open(cls, path: str, *, fsync: bool = False) -> "PageFile":
+        fh = open(path, "r+b")
+        try:
+            fh.seek(0)
+            slot0 = _unpack_header(fh.read(HEADER_SLOT_SIZE))
+            fh.seek(HEADER_SLOT_SIZE)
+            slot1 = _unpack_header(fh.read(HEADER_SLOT_SIZE))
+        except OSError:
+            fh.close()
+            raise
+        candidates = [s for s in (slot0, slot1) if s is not None]
+        if not candidates:
+            fh.close()
+            raise PageCorruptError(f"{path}: no valid header slot")
+        version, meta = max(candidates, key=lambda s: s[0])
+        page_size = meta.get("page_size", DEFAULT_PAGE_SIZE)
+        check_page_size(page_size)
+        pf = cls(
+            path, page_size, fh=fh, header_version=version, meta=meta, fsync=fsync
+        )
+        # The file may extend past the last durable header: pages
+        # allocated and flushed after the final checkpoint are real data
+        # (replay reconciles them), so trust the file size over the
+        # header's page count.
+        size = os.fstat(fh.fileno()).st_size
+        if size > HEADER_AREA:
+            by_size = (size - HEADER_AREA) // page_size
+            if by_size > pf.npages:
+                pf.npages = by_size
+        return pf
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    # -- header -----------------------------------------------------------
+
+    def write_header(self, **extra) -> None:
+        """Durably record the file metadata (alternating-slot atomic)."""
+        self.meta.update(extra)
+        self.meta["page_size"] = self.page_size
+        self.meta["npages"] = self.npages
+        self.meta["free_head"] = self._free_head
+        if self.crash_hook is not None:
+            self.crash_hook("header", None)
+        self._header_version += 1
+        blob = _pack_header(self._header_version, self.meta)
+        self._fh.seek((self._header_version % 2) * HEADER_SLOT_SIZE)
+        self._fh.write(blob)
+        self.flush()
+        self.stats["header_writes"] += 1
+
+    # -- page I/O ---------------------------------------------------------
+
+    def _offset(self, page_id: int) -> int:
+        if page_id < 0:
+            raise StorageError(f"{self.path}: negative page id {page_id}")
+        return HEADER_AREA + page_id * self.page_size
+
+    def read_page(self, page_id: int) -> Page:
+        if page_id >= self.npages:
+            raise StorageError(
+                f"{self.path}: page {page_id} beyond allocated {self.npages}"
+            )
+        self._fh.seek(self._offset(page_id))
+        raw = self._fh.read(self.page_size)
+        self.stats["page_reads"] += 1
+        return Page.from_disk(page_id, raw, self.page_size)
+
+    def write_page(self, page: Page) -> None:
+        if self.crash_hook is not None:
+            self.crash_hook("page", page.page_id)
+        self._fh.seek(self._offset(page.page_id))
+        self._fh.write(page.to_disk())
+        self.stats["page_writes"] += 1
+
+    def flush(self) -> None:
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    # -- allocation -------------------------------------------------------
+
+    def allocate(self) -> int:
+        """Reserve a page id, reusing the free list before extending."""
+        self.stats["allocations"] += 1
+        if self._free_head is not None:
+            page_id = self._free_head
+            free_page = self.read_page(page_id)
+            if free_page.kind != KIND_FREE:
+                raise PageCorruptError(
+                    f"{self.path}: free list points at non-free page {page_id}"
+                )
+            self._free_head = free_page.free_next()
+            self.stats["freelist_reuses"] += 1
+            return page_id
+        page_id = self.npages
+        self.npages += 1
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Return a page to the free list (stamped on disk immediately)."""
+        page = Page(page_id, self.page_size, kind=KIND_FREE)
+        page.set_free_next(self._free_head)
+        self.write_page(page)
+        self._free_head = page_id
+        self.stats["frees"] += 1
+
+    @property
+    def free_head(self) -> int | None:
+        return self._free_head
+
+    # -- recovery scan ----------------------------------------------------
+
+    def scan_pages(self) -> Iterator[Page]:
+        """Sequentially read every allocated page, skipping free pages and
+        never-written holes. Bypasses the buffer pool (recovery path)."""
+        size = os.fstat(self._fh.fileno()).st_size
+        for page_id in range(self.npages):
+            if self._offset(page_id) + self.page_size > size:
+                break  # allocated but never flushed; WAL replay restores it
+            self._fh.seek(self._offset(page_id))
+            raw = self._fh.read(self.page_size)
+            if not any(raw):
+                continue  # hole from an out-of-order extension
+            page = Page.from_disk(page_id, raw, self.page_size)
+            if page.kind == KIND_FREE:
+                continue
+            self.stats["page_reads"] += 1
+            yield page
+
+
+def table_file_name(table_key: str) -> str:
+    """Filesystem-safe file name for a (case-normalized) table key."""
+    return urllib.parse.quote(table_key, safe="") + PAGE_FILE_SUFFIX
+
+
+class PageFileManager:
+    """Owns every page file under one data directory."""
+
+    def __init__(
+        self,
+        data_dir: str,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        *,
+        fsync: bool = False,
+    ):
+        self.data_dir = data_dir
+        self.page_size = check_page_size(page_size)
+        self.fsync = fsync
+        os.makedirs(data_dir, exist_ok=True)
+        self._files: dict[str, PageFile] = {}
+
+    def _path(self, table_key: str) -> str:
+        return os.path.join(self.data_dir, table_file_name(table_key))
+
+    def create(self, table_key: str) -> PageFile:
+        if table_key in self._files:
+            raise StorageError(f"page file for {table_key!r} already open")
+        path = self._path(table_key)
+        if os.path.exists(path):
+            raise StorageError(f"page file {path} already exists")
+        pf = PageFile.create(path, self.page_size, fsync=self.fsync)
+        self._files[table_key] = pf
+        return pf
+
+    def open(self, table_key: str) -> PageFile:
+        if table_key in self._files:
+            raise StorageError(f"page file for {table_key!r} already open")
+        pf = PageFile.open(self._path(table_key), fsync=self.fsync)
+        self._files[table_key] = pf
+        return pf
+
+    def get(self, table_key: str) -> PageFile:
+        return self._files[table_key]
+
+    def drop(self, table_key: str) -> None:
+        pf = self._files.pop(table_key, None)
+        if pf is not None:
+            pf.defunct = True
+            pf.close()
+        path = self._path(table_key)
+        if os.path.exists(path):
+            os.remove(path)
+
+    # -- vacuum rewrite ---------------------------------------------------
+
+    def start_rewrite(self, table_key: str) -> PageFile:
+        """A fresh page file the caller populates with compacted data."""
+        return PageFile.create(
+            self._path(table_key) + ".rewrite", self.page_size, fsync=self.fsync
+        )
+
+    def commit_rewrite(self, table_key: str, new_file: PageFile) -> None:
+        """Atomically replace the table's file with the rewritten one.
+
+        The old file object stays readable (POSIX keeps the unlinked
+        inode alive while its descriptor is open), so version objects
+        still pinned to it — long-running snapshot scans started before
+        the vacuum — keep working; it is garbage collected with them.
+        """
+        old = self._files.pop(table_key, None)
+        if old is not None:
+            old.defunct = True
+        new_file.flush()
+        final_path = self._path(table_key)
+        os.replace(new_file.path, final_path)
+        new_file.path = final_path
+        self._files[table_key] = new_file
+
+    def abort_rewrite(self, new_file: PageFile) -> None:
+        new_file.close()
+        if os.path.exists(new_file.path):
+            os.remove(new_file.path)
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def files(self) -> list[PageFile]:
+        return list(self._files.values())
+
+    def stats(self) -> dict[str, int]:
+        totals = {
+            "page_reads": 0,
+            "page_writes": 0,
+            "header_writes": 0,
+            "allocations": 0,
+            "frees": 0,
+            "freelist_reuses": 0,
+            "pages_allocated": 0,
+        }
+        for pf in self._files.values():
+            for key, value in pf.stats.items():
+                totals[key] += value
+            totals["pages_allocated"] += pf.npages
+        totals["files"] = len(self._files)
+        return totals
+
+    def close_all(self) -> None:
+        for pf in self._files.values():
+            pf.close()
+        self._files.clear()

@@ -1,0 +1,274 @@
+"""Slotted page layout with per-page checksums.
+
+A page is a fixed-size ``bytearray`` with a small header, a slot
+directory growing up from the header, and a record heap growing down
+from the end of the page::
+
+    +--------+----------------+---------~~~----------+-------------+
+    | header | slot directory |      free space      | record heap |
+    +--------+----------------+---------~~~----------+-------------+
+    0        16               16+4*slots  heap_start   page_size
+
+Header layout (16 bytes)::
+
+    offset 0   u32  crc32 of bytes [4:page_size] (set on write-out)
+    offset 4   u32  page id
+    offset 8   u8   page kind (data / overflow / free)
+    offset 9   u8   reserved
+    offset 10  u16  slot count
+    offset 12  u16  heap start (lowest used heap byte)
+    offset 14  u16  reserved
+
+Each slot directory entry is ``(offset u16, length u16)``. Offsets are
+16-bit, which caps the page size at 64 KiB; records too large for a
+page spill into a chain of overflow pages and the in-page record keeps
+only a ``(first_page, total_len)`` reference.
+
+Records carry an MVCC header so the store can patch a version's ``end``
+CSN in place (8 bytes at a fixed offset) without rewriting the payload::
+
+    row_id i64 | begin i64 | end i64 (-1 = infinity) | flags u8 | payload
+
+The checksum is computed when a page is serialized for disk and verified
+when one is read back; an in-memory page's crc field is stale by design.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+from repro.errors import PageCorruptError, StorageError
+
+DEFAULT_PAGE_SIZE = 4096
+MIN_PAGE_SIZE = 512
+MAX_PAGE_SIZE = 65536
+
+HEADER_SIZE = 16
+SLOT_SIZE = 4
+
+KIND_DATA = 0
+KIND_OVERFLOW = 1
+KIND_FREE = 2
+_KINDS = (KIND_DATA, KIND_OVERFLOW, KIND_FREE)
+
+_CRC = struct.Struct("<I")
+_HEADER = struct.Struct("<IIBBHHH")
+_SLOT = struct.Struct("<HH")
+
+#: MVCC record header: row_id, begin, end (-1 = infinity), flags.
+RECORD_HEADER = struct.Struct("<qqqB")
+#: Byte offset of the ``end`` field inside a record (after row_id+begin).
+RECORD_END_OFFSET = 16
+#: Overflow reference payload: first overflow page id, total payload length.
+OVERFLOW_REF = struct.Struct("<qI")
+
+FLAG_INLINE = 0
+FLAG_OVERFLOW = 1
+
+#: Overflow page body: next page id (-1 = chain end) at 16, chunk length
+#: at 24, chunk bytes from 28.
+_OVERFLOW_BODY = struct.Struct("<qI")
+OVERFLOW_DATA_START = HEADER_SIZE + _OVERFLOW_BODY.size
+
+#: Free page body: next free page id (-1 = list end) at 16.
+_FREE_NEXT = struct.Struct("<q")
+
+
+def check_page_size(page_size: int) -> int:
+    if not (MIN_PAGE_SIZE <= page_size <= MAX_PAGE_SIZE):
+        raise StorageError(
+            f"page size {page_size} outside [{MIN_PAGE_SIZE}, {MAX_PAGE_SIZE}]"
+        )
+    return page_size
+
+
+def encode_values(values: tuple) -> bytes:
+    """Serialize a row's values tuple. Column values are restricted to
+    int/float/str/bool/None by the type system, so JSON is lossless
+    (tuples round-trip as lists and are re-tupled on decode)."""
+    return json.dumps(list(values), separators=(",", ":")).encode("utf-8")
+
+
+def decode_values(payload: bytes) -> tuple:
+    return tuple(json.loads(payload.decode("utf-8")))
+
+
+def encode_record(
+    row_id: int, begin: int, end: int | None, flags: int, payload: bytes
+) -> bytes:
+    enc_end = -1 if end is None else end
+    return RECORD_HEADER.pack(row_id, begin, enc_end, flags) + payload
+
+
+def decode_record(record: bytes | memoryview) -> tuple[int, int, int | None, int, bytes]:
+    row_id, begin, enc_end, flags = RECORD_HEADER.unpack_from(record, 0)
+    end = None if enc_end == -1 else enc_end
+    return row_id, begin, end, flags, bytes(record[RECORD_HEADER.size :])
+
+
+class Page:
+    """One fixed-size page, backed by a mutable ``bytearray``."""
+
+    __slots__ = ("page_id", "page_size", "data")
+
+    def __init__(
+        self,
+        page_id: int,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        kind: int = KIND_DATA,
+        data: bytearray | None = None,
+    ):
+        self.page_id = page_id
+        self.page_size = check_page_size(page_size)
+        if data is not None:
+            if len(data) != page_size:
+                raise StorageError(
+                    f"page {page_id}: buffer is {len(data)} bytes, "
+                    f"expected {page_size}"
+                )
+            self.data = data
+        else:
+            self.data = bytearray(page_size)
+            _HEADER.pack_into(self.data, 0, 0, page_id, kind, 0, 0, page_size, 0)
+
+    # -- header fields ----------------------------------------------------
+
+    @property
+    def kind(self) -> int:
+        return self.data[8]
+
+    @property
+    def slot_count(self) -> int:
+        return struct.unpack_from("<H", self.data, 10)[0]
+
+    @property
+    def heap_start(self) -> int:
+        return struct.unpack_from("<H", self.data, 12)[0]
+
+    def _set_slot_count(self, n: int) -> None:
+        struct.pack_into("<H", self.data, 10, n)
+
+    def _set_heap_start(self, offset: int) -> None:
+        struct.pack_into("<H", self.data, 12, offset)
+
+    def free_space(self) -> int:
+        """Contiguous bytes available for one more record + slot entry."""
+        used_low = HEADER_SIZE + self.slot_count * SLOT_SIZE
+        return max(0, self.heap_start - used_low - SLOT_SIZE)
+
+    # -- slotted records --------------------------------------------------
+
+    def insert_record(self, record: bytes) -> int | None:
+        """Append ``record``; returns its slot index, or None if full."""
+        length = len(record)
+        if length > self.free_space():
+            return None
+        offset = self.heap_start - length
+        self.data[offset : offset + length] = record
+        slot = self.slot_count
+        _SLOT.pack_into(self.data, HEADER_SIZE + slot * SLOT_SIZE, offset, length)
+        self._set_slot_count(slot + 1)
+        self._set_heap_start(offset)
+        return slot
+
+    def read_record(self, slot: int) -> memoryview:
+        offset, length = self._slot(slot)
+        return memoryview(self.data)[offset : offset + length]
+
+    def patch_record(self, slot: int, record_offset: int, patch: bytes) -> None:
+        """Overwrite ``len(patch)`` bytes at ``record_offset`` within a
+        record — used to seal a version's ``end`` CSN in place."""
+        offset, length = self._slot(slot)
+        if record_offset + len(patch) > length:
+            raise StorageError(
+                f"page {self.page_id} slot {slot}: patch beyond record end"
+            )
+        start = offset + record_offset
+        self.data[start : start + len(patch)] = patch
+
+    def records(self):
+        """Iterate ``(slot, memoryview)`` over every record in the page."""
+        for slot in range(self.slot_count):
+            yield slot, self.read_record(slot)
+
+    def _slot(self, slot: int) -> tuple[int, int]:
+        if not (0 <= slot < self.slot_count):
+            raise StorageError(
+                f"page {self.page_id}: slot {slot} out of range "
+                f"(have {self.slot_count})"
+            )
+        return _SLOT.unpack_from(self.data, HEADER_SIZE + slot * SLOT_SIZE)
+
+    # -- overflow pages ---------------------------------------------------
+
+    @classmethod
+    def overflow_capacity(cls, page_size: int) -> int:
+        return page_size - OVERFLOW_DATA_START
+
+    def set_overflow(self, next_page: int | None, chunk: bytes) -> None:
+        if self.kind != KIND_OVERFLOW:
+            raise StorageError(f"page {self.page_id} is not an overflow page")
+        if len(chunk) > self.overflow_capacity(self.page_size):
+            raise StorageError(
+                f"page {self.page_id}: overflow chunk of {len(chunk)} bytes "
+                f"exceeds capacity"
+            )
+        _OVERFLOW_BODY.pack_into(
+            self.data, HEADER_SIZE, -1 if next_page is None else next_page, len(chunk)
+        )
+        self.data[OVERFLOW_DATA_START : OVERFLOW_DATA_START + len(chunk)] = chunk
+
+    def read_overflow(self) -> tuple[int | None, bytes]:
+        if self.kind != KIND_OVERFLOW:
+            raise StorageError(f"page {self.page_id} is not an overflow page")
+        next_page, length = _OVERFLOW_BODY.unpack_from(self.data, HEADER_SIZE)
+        chunk = bytes(self.data[OVERFLOW_DATA_START : OVERFLOW_DATA_START + length])
+        return (None if next_page == -1 else next_page), chunk
+
+    # -- free-list pages --------------------------------------------------
+
+    def set_free_next(self, next_page: int | None) -> None:
+        if self.kind != KIND_FREE:
+            raise StorageError(f"page {self.page_id} is not a free page")
+        _FREE_NEXT.pack_into(
+            self.data, HEADER_SIZE, -1 if next_page is None else next_page
+        )
+
+    def free_next(self) -> int | None:
+        if self.kind != KIND_FREE:
+            raise StorageError(f"page {self.page_id} is not a free page")
+        (next_page,) = _FREE_NEXT.unpack_from(self.data, HEADER_SIZE)
+        return None if next_page == -1 else next_page
+
+    # -- disk round trip --------------------------------------------------
+
+    def to_disk(self) -> bytes:
+        """Stamp the checksum and return the serialized page."""
+        crc = zlib.crc32(memoryview(self.data)[4:]) & 0xFFFFFFFF
+        _CRC.pack_into(self.data, 0, crc)
+        return bytes(self.data)
+
+    @classmethod
+    def from_disk(cls, page_id: int, raw: bytes, page_size: int) -> "Page":
+        if len(raw) != page_size:
+            raise PageCorruptError(
+                f"page {page_id}: short read ({len(raw)} of {page_size} bytes)"
+            )
+        stored = _CRC.unpack_from(raw, 0)[0]
+        actual = zlib.crc32(memoryview(raw)[4:]) & 0xFFFFFFFF
+        if stored != actual:
+            raise PageCorruptError(
+                f"page {page_id}: checksum mismatch "
+                f"(stored {stored:#010x}, computed {actual:#010x})"
+            )
+        header_id = struct.unpack_from("<I", raw, 4)[0]
+        if header_id != page_id:
+            raise PageCorruptError(
+                f"page {page_id}: header claims page id {header_id}"
+            )
+        kind = raw[8]
+        if kind not in _KINDS:
+            raise PageCorruptError(f"page {page_id}: unknown page kind {kind}")
+        return cls(page_id, page_size, data=bytearray(raw))

@@ -640,6 +640,23 @@ class ShardedDatabase:
                 totals[key] = totals.get(key, 0) + value
         return totals
 
+    @property
+    def storage_stats(self) -> dict[str, Any]:
+        """Storage-tier counters summed across all shards.
+
+        Numeric values add up (buffer-pool hits, page reads, live rows,
+        ...); non-numeric values — the backend name — are identical on
+        every shard and pass through from the first.
+        """
+        totals: dict[str, Any] = {}
+        for shard in self.shards:
+            for key, value in shard.storage_stats.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    totals.setdefault(key, value)
+                else:
+                    totals[key] = totals.get(key, 0) + value
+        return totals
+
     def snapshot_rows(self, table: str) -> list[tuple[int, tuple]]:
         """Latest committed ``(row_id, values)`` pairs across all shards.
 

@@ -100,6 +100,21 @@ class TableStore:
         #: so it does not move this.
         self.last_write_csn = 0
 
+    # -- version lifecycle (storage-backend hooks) ------------------------
+    #
+    # The paged backend subclasses TableStore and overrides only these
+    # two: where a version's bytes live (in-memory tuple vs. slotted
+    # page record) is decided here, while every apply_*/read method and
+    # all cache/epoch bookkeeping stays shared.
+
+    def _new_version(self, row_id: int, begin: int, values: tuple) -> RowVersion:
+        """Materialize a new live version (``end`` = infinity)."""
+        return RowVersion(row_id=row_id, begin=begin, end=None, values=values)
+
+    def _seal_version(self, version: RowVersion, end: int) -> None:
+        """Stamp the CSN at which ``version`` stopped being visible."""
+        version.end = end
+
     # -- cache maintenance -------------------------------------------------
 
     def _add_sorted(self, ids: list[int], row_id: int) -> None:
@@ -133,7 +148,7 @@ class TableStore:
                 raise DatabaseError(
                     f"{self.schema.name}: row {row_id} already live at insert"
                 )
-        version = RowVersion(row_id=row_id, begin=csn, end=None, values=values)
+        version = self._new_version(row_id, csn, values)
         chain = self._versions.get(row_id)
         if chain is None:
             self._versions[row_id] = [version]
@@ -151,27 +166,29 @@ class TableStore:
     def apply_update(self, row_id: int, values: tuple, csn: int) -> tuple:
         """Supersede the live version of ``row_id``; returns the old values."""
         current = self._live_version(row_id)
-        current.end = csn
-        version = RowVersion(row_id=row_id, begin=csn, end=None, values=values)
+        old_values = current.values
+        self._seal_version(current, csn)
+        version = self._new_version(row_id, csn, values)
         self._versions[row_id].append(version)
         self._live[row_id] = version
         self._scan_rows = None
         self._scan_values = None
         self.last_write_csn = csn
         self.write_epoch += 1
-        return current.values
+        return old_values
 
     def apply_delete(self, row_id: int, csn: int) -> tuple:
         """End the live version of ``row_id``; returns the deleted values."""
         current = self._live_version(row_id)
-        current.end = csn
+        old_values = current.values
+        self._seal_version(current, csn)
         del self._live[row_id]
         self._remove_sorted(self._live_ids, row_id)
         self._scan_rows = None
         self._scan_values = None
         self.last_write_csn = csn
         self.write_epoch += 1
-        return current.values
+        return old_values
 
     def _live_version(self, row_id: int) -> RowVersion:
         version = self._live.get(row_id)

@@ -106,6 +106,9 @@ class WriteAheadLog:
         #: Serialized commits awaiting their group's flush.
         self._pending: list[str] = []
         self.flush_stats = {"appends": 0, "flushes": 0}
+        #: Set by :meth:`load` when a truncated trailing record (crash
+        #: mid-append) was dropped to reach a clean recovery point.
+        self.torn_tail_dropped = False
 
     def append(self, commit: WalCommit) -> None:
         if self._commits and commit.csn <= self._commits[-1].csn:
@@ -155,15 +158,71 @@ class WriteAheadLog:
             self._file.close()
             self._file = None
 
+    @property
+    def path(self) -> str | None:
+        return self._path
+
     @staticmethod
-    def load(path: str) -> "WriteAheadLog":
-        """Read a JSONL WAL file back into memory (no file attached)."""
+    def load(
+        path: str,
+        *,
+        attach: bool = False,
+        group_size: int = 1,
+        fsync: bool = False,
+    ) -> "WriteAheadLog":
+        """Read a JSONL WAL file back into memory.
+
+        A crash can tear the final record (the process died mid-write),
+        leaving a truncated JSON line at the tail. That is a *clean
+        recovery point*, not corruption: every record before it replays
+        and the partial tail is dropped (``torn_tail_dropped`` is set on
+        the returned log). An unparsable record *followed by further
+        valid records* is genuine corruption and still raises
+        :class:`~repro.errors.WalError`.
+
+        With ``attach=True`` the log stays bound to ``path`` for
+        continued appends — the recovery path uses this so a reopened
+        database keeps writing the same file. A dropped torn tail is
+        physically truncated away first so the file never carries dead
+        bytes forward.
+        """
         wal = WriteAheadLog()
-        with open(path, encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if line:
-                    wal.append(WalCommit.from_json(json.loads(line)))
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        bad_at: int | None = None
+        valid_end = 0  # byte offset just past the last valid record
+        offset = 0
+        for raw_line in raw.split(b"\n"):
+            next_offset = offset + len(raw_line) + 1
+            stripped = raw_line.strip()
+            if stripped:
+                try:
+                    commit = WalCommit.from_json(
+                        json.loads(stripped.decode("utf-8"))
+                    )
+                except (ValueError, KeyError, TypeError):
+                    commit = None
+                if commit is None:
+                    if bad_at is None:
+                        bad_at = offset
+                else:
+                    if bad_at is not None:
+                        raise WalError(
+                            f"{path}: corrupt WAL record at byte {bad_at} "
+                            "is followed by valid records"
+                        )
+                    wal.append(commit)
+                    valid_end = min(next_offset, len(raw))
+            offset = next_offset
+        wal.torn_tail_dropped = bad_at is not None
+        if attach:
+            if bad_at is not None:
+                with open(path, "r+b") as handle:
+                    handle.truncate(valid_end)
+            wal._path = path
+            wal._file = open(path, "a", encoding="utf-8")
+            wal._group_size = group_size
+            wal._fsync = fsync
         return wal
 
 

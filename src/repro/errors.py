@@ -78,6 +78,19 @@ class WalError(DatabaseError):
     """The write-ahead log is corrupt or was used incorrectly."""
 
 
+class StorageError(DatabaseError):
+    """Base class for errors raised by the paged storage tier."""
+
+
+class PageCorruptError(StorageError):
+    """A page read from disk failed its checksum or structural checks."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool was driven into an invalid state (e.g. every
+    frame pinned when an eviction was required)."""
+
+
 class ReplicationError(DatabaseError):
     """A replica cannot (or may not) apply the shipped change stream."""
 

@@ -1,0 +1,280 @@
+"""End-to-end tests of ``Database(storage="paged")``.
+
+The paged tier must be contract-identical to the in-memory store: same
+SQL results, same MVCC/AS-OF semantics, same stats surfaces — plus
+durability (reopen from disk without full WAL replay) and a working set
+that can exceed the buffer pool.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.db import Database
+from repro.db.database import STORAGE_ENV_VAR
+from repro.db.pages import PAGE_FILE_SUFFIX, PagedTableStore
+from repro.db.sharding import ShardedDatabase
+from repro.errors import StorageError
+
+
+def make_paged(tmp_path, **kwargs):
+    return Database(storage="paged", data_dir=str(tmp_path / "data"), **kwargs)
+
+
+class TestBasicContract:
+    def test_sql_roundtrip(self, tmp_path):
+        db = make_paged(tmp_path)
+        db.execute("CREATE TABLE t (k TEXT, v INTEGER)")
+        db.execute("INSERT INTO t VALUES ('a', 1), ('b', 2)")
+        db.execute("UPDATE t SET v = 10 WHERE k = 'a'")
+        db.execute("DELETE FROM t WHERE k = 'b'")
+        assert db.execute("SELECT k, v FROM t").rows == [("a", 10)]
+        assert isinstance(db.store("t"), PagedTableStore)
+        db.close()
+
+    def test_as_of_reads_history_from_pages(self, tmp_path):
+        db = make_paged(tmp_path)
+        db.execute("CREATE TABLE t (k TEXT, v INTEGER)")
+        db.execute("INSERT INTO t VALUES ('a', 1)")
+        before = db.last_csn
+        db.execute("UPDATE t SET v = 2 WHERE k = 'a'")
+        assert db.execute(f"SELECT v FROM t AS OF {before}").scalar() == 1
+        assert db.execute("SELECT v FROM t").scalar() == 2
+        db.close()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(StorageError):
+            Database(storage="flash")
+
+    def test_env_knob_selects_backend(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORAGE_ENV_VAR, "paged")
+        db = Database()
+        assert db.storage == "paged"
+        db.close()
+        monkeypatch.delenv(STORAGE_ENV_VAR)
+        assert Database().storage == "memory"
+
+    def test_explicit_arg_beats_env(self, monkeypatch):
+        monkeypatch.setenv(STORAGE_ENV_VAR, "paged")
+        assert Database(storage="memory").storage == "memory"
+
+    def test_ephemeral_data_dir_cleaned_on_close(self):
+        db = Database(storage="paged")
+        data_dir = db.data_dir
+        db.execute("CREATE TABLE t (k TEXT)")
+        assert os.path.isdir(data_dir)
+        db.close()
+        assert not os.path.exists(data_dir)
+
+    def test_drop_table_removes_page_file(self, tmp_path):
+        db = make_paged(tmp_path)
+        db.execute("CREATE TABLE t (k TEXT)")
+        db.execute("INSERT INTO t VALUES ('a')")
+        [page_file] = [
+            f for f in os.listdir(db.data_dir) if f.endswith(PAGE_FILE_SUFFIX)
+        ]
+        db.execute("DROP TABLE t")
+        assert not os.path.exists(os.path.join(db.data_dir, page_file))
+        db.execute("CREATE TABLE t (k TEXT)")  # name is reusable
+        db.close()
+
+
+class TestWorkingSetExceedsPool:
+    def test_scans_lookups_asof_with_tiny_pool(self, tmp_path):
+        """Acceptance: a table much larger than the buffer pool completes
+        full scans, point lookups, and AS-OF reads, with eviction stats
+        proving the working set exceeded the pool."""
+        db = make_paged(tmp_path, buffer_pool_pages=4, page_size=512)
+        db.execute("CREATE TABLE t (k INTEGER, v TEXT)")
+        history = {}
+        for i in range(300):
+            db.execute("INSERT INTO t VALUES (?, ?)", (i, f"v{i}" * 8))
+            history[i] = db.last_csn
+        for i in range(0, 300, 3):
+            db.execute("UPDATE t SET v = ? WHERE k = ?", (f"u{i}", i))
+
+        stats = db.storage_stats
+        assert stats["file_pages_allocated"] > stats["pool_capacity"]
+        assert stats["pool_evictions"] > 0
+
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 300
+        assert db.execute("SELECT v FROM t WHERE k = 150").scalar() == "u150"
+        assert db.execute("SELECT v FROM t WHERE k = 151").scalar() == "v151" * 8
+        # Historical read far behind the current working set.
+        csn = history[10]
+        assert (
+            db.execute(f"SELECT COUNT(*) FROM t AS OF {csn}").scalar() == 11
+        )
+        db.close()
+
+
+class TestDurability:
+    def test_reopen_after_close_replays_nothing(self, tmp_path):
+        data_dir = str(tmp_path / "data")
+        db = Database(storage="paged", data_dir=data_dir)
+        db.execute("CREATE TABLE t (k TEXT, v INTEGER)")
+        db.execute("INSERT INTO t VALUES ('a', 1), ('b', 2)")
+        db.execute("UPDATE t SET v = 9 WHERE k = 'a'")
+        # Captured before any SELECT: read-only autocommits consume CSNs
+        # but are not durable (no WAL record), so recovery lands on the
+        # last *written* CSN.
+        last = db.last_csn
+        expected = db.execute("SELECT k, v FROM t ORDER BY k").rows
+        db.close()  # checkpoints: pages alone carry the state
+
+        db2 = Database(storage="paged", data_dir=data_dir)
+        assert db2.recovery_stats["mode"] == "paged"
+        assert db2.recovery_stats["changes_reconciled"] == 0
+        assert db2.last_csn == last
+        assert db2.execute("SELECT k, v FROM t ORDER BY k").rows == expected
+        # CSNs keep advancing from where they stopped.
+        db2.execute("INSERT INTO t VALUES ('c', 3)")
+        assert db2.last_csn > last
+        db2.close()
+
+    def test_reopen_without_checkpoint_replays_tail(self, tmp_path):
+        data_dir = str(tmp_path / "data")
+        db = Database(storage="paged", data_dir=data_dir)
+        db.execute("CREATE TABLE t (k TEXT, v INTEGER)")
+        db.execute("INSERT INTO t VALUES ('a', 1)")
+        db.execute("UPDATE t SET v = 2 WHERE k = 'a'")
+        expected = db.execute("SELECT k, v FROM t").rows
+        # Simulate a crash: WAL rows are flushed (group_size=1 default)
+        # but neither checkpoint() nor close() ran.
+        db.wal._file.flush()
+        db._page_manager.close_all()
+
+        db2 = Database(storage="paged", data_dir=data_dir)
+        assert db2.recovery_stats["tail_commits"] > 0
+        assert db2.recovery_stats["changes_reconciled"] > 0
+        assert db2.execute("SELECT k, v FROM t").rows == expected
+        db2.close()
+
+    def test_secondary_indexes_rebuilt_on_reopen(self, tmp_path):
+        data_dir = str(tmp_path / "data")
+        db = Database(storage="paged", data_dir=data_dir)
+        db.execute("CREATE TABLE t (k TEXT, v INTEGER)")
+        db.create_index("ix_t_k", "t", ["k"])
+        db.execute("INSERT INTO t VALUES ('a', 1)")
+        db.close()
+        db2 = Database(storage="paged", data_dir=data_dir)
+        assert "ix_t_k" in db2.index_set("t").indexes
+        assert db2.execute("SELECT v FROM t WHERE k = 'a'").scalar() == 1
+        db2.close()
+
+    def test_aliases_and_horizon_survive_reopen(self, tmp_path):
+        data_dir = str(tmp_path / "data")
+        db = Database(storage="paged", data_dir=data_dir)
+        db.execute("CREATE TABLE t (k TEXT)")
+        db.add_table_alias("alias_t", "t")
+        db.execute("INSERT INTO t VALUES ('a')")
+        db.execute("UPDATE t SET k = 'b'")
+        db.vacuum(db.last_csn)
+        horizon = db.history_horizon
+        db.close()
+        db2 = Database(storage="paged", data_dir=data_dir)
+        assert db2.execute("SELECT k FROM alias_t").scalar() == "b"
+        assert db2.history_horizon == horizon
+        db2.close()
+
+    def test_vacuum_compacts_file_and_preserves_reads(self, tmp_path):
+        db = make_paged(tmp_path, page_size=512)
+        db.execute("CREATE TABLE t (k INTEGER, v TEXT)")
+        for i in range(50):
+            db.execute("INSERT INTO t VALUES (?, ?)", (i, "x" * 64))
+        for _ in range(5):
+            db.execute("UPDATE t SET v = 'y' WHERE k < 25")
+        pages_before = db.store("t")._file.npages
+        removed = db.vacuum(db.last_csn)
+        assert removed > 0
+        assert db.store("t")._file.npages < pages_before
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 50
+        assert (
+            db.execute("SELECT COUNT(*) FROM t WHERE v = 'y'").scalar() == 25
+        )
+        db.close()
+
+
+class TestDifferential:
+    def test_randomized_workload_matches_memory_twin(self, tmp_path):
+        """The acceptance differential: an identical randomized workload
+        driven into a paged database and an in-memory twin must leave
+        byte-identical state at every captured CSN."""
+        rng = random.Random(20230427)
+        paged = make_paged(tmp_path, buffer_pool_pages=8, page_size=512)
+        twin = Database(storage="memory")
+        for db in (paged, twin):
+            db.execute("CREATE TABLE t (k INTEGER, v TEXT)")
+        live = []
+        checkpoints = []
+        for step in range(250):
+            op = rng.random()
+            if op < 0.5 or not live:
+                key = rng.randrange(10_000)
+                sql, params = "INSERT INTO t VALUES (?, ?)", (key, f"v{step}")
+                live.append(key)
+            elif op < 0.8:
+                key = rng.choice(live)
+                sql, params = (
+                    "UPDATE t SET v = ? WHERE k = ?",
+                    (f"u{step}", key),
+                )
+            else:
+                key = live.pop(rng.randrange(len(live)))
+                sql, params = "DELETE FROM t WHERE k = ?", (key,)
+            paged.execute(sql, params)
+            twin.execute(sql, params)
+            if step % 50 == 0:
+                checkpoints.append(paged.last_csn)
+        assert paged.last_csn == twin.last_csn
+        latest = "SELECT k, v FROM t ORDER BY k, v"
+        assert paged.execute(latest).rows == twin.execute(latest).rows
+        for csn in checkpoints:
+            historical = f"SELECT k, v FROM t AS OF {csn} ORDER BY k, v"
+            assert paged.execute(historical).rows == twin.execute(historical).rows
+        paged.close()
+
+
+class TestStorageStats:
+    def test_single_node_shape(self, tmp_path):
+        db = make_paged(tmp_path)
+        db.execute("CREATE TABLE t (k TEXT)")
+        db.execute("INSERT INTO t VALUES ('a')")
+        stats = db.storage_stats
+        assert stats["storage"] == "paged"
+        assert stats["tables"] == 1
+        assert stats["live_rows"] == 1
+        assert stats["pool_capacity"] > 0
+        assert stats["file_files"] == 1
+        db.close()
+
+    def test_memory_backend_has_no_pool_counters(self):
+        # Explicit: under REPRO_STORAGE=paged a bare Database() is paged.
+        stats = Database(storage="memory").storage_stats
+        assert stats["storage"] == "memory"
+        assert not any(k.startswith("pool_") for k in stats)
+
+    def test_sharded_sums_numeric_counters(self, tmp_path):
+        shards = [
+            Database(
+                name=f"s{i}",
+                storage="paged",
+                data_dir=str(tmp_path / f"shard{i}"),
+            )
+            for i in range(2)
+        ]
+        db = ShardedDatabase(databases=shards, shard_keys={"t": "k"})
+        db.execute("CREATE TABLE t (k INTEGER, v TEXT)")
+        for i in range(20):
+            db.execute("INSERT INTO t VALUES (?, ?)", (i, "x"))
+        stats = db.storage_stats
+        assert stats["storage"] == "paged"
+        assert stats["tables"] == 2  # one per shard
+        assert stats["live_rows"] == 20
+        assert stats["file_files"] == 2
+        assert stats["live_rows"] == sum(
+            s.storage_stats["live_rows"] for s in shards
+        )
+        for shard in shards:
+            shard.close()

@@ -1,0 +1,373 @@
+"""Unit tests for the paged storage tier's building blocks.
+
+Slotted pages (checksums, slot directory, in-place patches, overflow
+chains), page files (dual-slot atomic headers, free list, recovery
+scan), and the LRU buffer pool (pinning, eviction, dirty write-back).
+"""
+
+import os
+import struct
+
+import pytest
+
+from repro.db.pages.buffer import BufferPool
+from repro.db.pages.file_manager import (
+    HEADER_AREA,
+    HEADER_SLOT_SIZE,
+    PageFile,
+    PageFileManager,
+    table_file_name,
+)
+from repro.db.pages.page import (
+    KIND_DATA,
+    KIND_FREE,
+    KIND_OVERFLOW,
+    RECORD_END_OFFSET,
+    Page,
+    decode_record,
+    encode_record,
+    encode_values,
+)
+from repro.errors import BufferPoolError, PageCorruptError, StorageError
+
+
+class TestPage:
+    def test_insert_and_read_roundtrip(self):
+        page = Page(0, 512)
+        record = encode_record(7, 3, None, 0, encode_values(("a", 1)))
+        slot = page.insert_record(record)
+        assert slot == 0
+        row_id, begin, end, flags, payload = decode_record(page.read_record(slot))
+        assert (row_id, begin, end, flags) == (7, 3, None, 0)
+        assert payload == encode_values(("a", 1))
+
+    def test_fills_up_and_rejects_when_full(self):
+        page = Page(0, 512)
+        record = encode_record(1, 1, None, 0, b"x" * 40)
+        slots = []
+        while True:
+            slot = page.insert_record(record)
+            if slot is None:
+                break
+            slots.append(slot)
+        assert len(slots) > 1
+        assert page.free_space() < len(record)
+        # Every inserted record is still intact.
+        for slot in slots:
+            assert decode_record(page.read_record(slot))[4] == b"x" * 40
+
+    def test_patch_record_seals_end_in_place(self):
+        page = Page(0, 512)
+        slot = page.insert_record(encode_record(1, 5, None, 0, b"p"))
+        page.patch_record(slot, RECORD_END_OFFSET, struct.pack("<q", 9))
+        assert decode_record(page.read_record(slot))[2] == 9
+
+    def test_patch_beyond_record_rejected(self):
+        page = Page(0, 512)
+        slot = page.insert_record(encode_record(1, 1, None, 0, b""))
+        with pytest.raises(StorageError):
+            page.patch_record(slot, 24, b"x" * 64)
+
+    def test_disk_roundtrip_verifies_checksum(self):
+        page = Page(3, 512)
+        page.insert_record(encode_record(1, 1, None, 0, b"hello"))
+        raw = page.to_disk()
+        restored = Page.from_disk(3, raw, 512)
+        assert restored.slot_count == 1
+        corrupted = bytearray(raw)
+        corrupted[100] ^= 0xFF
+        with pytest.raises(PageCorruptError):
+            Page.from_disk(3, bytes(corrupted), 512)
+
+    def test_from_disk_rejects_wrong_id_and_short_read(self):
+        page = Page(2, 512)
+        raw = page.to_disk()
+        with pytest.raises(PageCorruptError):
+            Page.from_disk(5, raw, 512)  # header claims page 2
+        with pytest.raises(PageCorruptError):
+            Page.from_disk(2, raw[:100], 512)
+
+    def test_overflow_chain_fields(self):
+        page = Page(0, 512, kind=KIND_OVERFLOW)
+        page.set_overflow(9, b"chunk")
+        assert page.read_overflow() == (9, b"chunk")
+        page.set_overflow(None, b"tail")
+        assert page.read_overflow() == (None, b"tail")
+
+    def test_free_page_next_pointer(self):
+        page = Page(0, 512, kind=KIND_FREE)
+        page.set_free_next(4)
+        assert page.free_next() == 4
+        page.set_free_next(None)
+        assert page.free_next() is None
+
+    def test_kind_specific_accessors_guarded(self):
+        data = Page(0, 512, kind=KIND_DATA)
+        with pytest.raises(StorageError):
+            data.set_overflow(None, b"")
+        with pytest.raises(StorageError):
+            data.free_next()
+
+    def test_page_size_bounds(self):
+        with pytest.raises(StorageError):
+            Page(0, 128)
+        with pytest.raises(StorageError):
+            Page(0, 1 << 20)
+
+
+class TestPageFile:
+    def test_create_write_reopen(self, tmp_path):
+        path = str(tmp_path / "t.pages")
+        pf = PageFile.create(path, 512)
+        pid = pf.allocate()
+        page = Page(pid, 512)
+        page.insert_record(encode_record(1, 1, None, 0, b"v"))
+        pf.write_page(page)
+        pf.write_header(flushed_csn=1)
+        pf.close()
+
+        reopened = PageFile.open(path)
+        assert reopened.page_size == 512
+        assert reopened.npages == 1
+        assert reopened.meta["flushed_csn"] == 1
+        back = reopened.read_page(pid)
+        assert decode_record(back.read_record(0))[4] == b"v"
+        reopened.close()
+
+    def test_header_survives_torn_slot(self, tmp_path):
+        """A crash mid-header-write corrupts one slot; open falls back to
+        the other valid slot instead of failing."""
+        path = str(tmp_path / "t.pages")
+        pf = PageFile.create(path, 512)
+        pf.write_header(flushed_csn=10)  # version 2 -> slot 0
+        pf.write_header(flushed_csn=20)  # version 3 -> slot 1
+        version = pf._header_version
+        pf.close()
+        # Tear the most recent slot (the one version 3 landed in).
+        with open(path, "r+b") as fh:
+            fh.seek((version % 2) * HEADER_SLOT_SIZE)
+            fh.write(b"\x00" * 64)
+        reopened = PageFile.open(path)
+        assert reopened.meta["flushed_csn"] == 10
+        reopened.close()
+
+    def test_open_without_any_valid_header_fails(self, tmp_path):
+        path = str(tmp_path / "t.pages")
+        with open(path, "wb") as fh:
+            fh.write(b"\x00" * HEADER_AREA)
+        with pytest.raises(PageCorruptError):
+            PageFile.open(path)
+
+    def test_freelist_reuse(self, tmp_path):
+        pf = PageFile.create(str(tmp_path / "t.pages"), 512)
+        pids = [pf.allocate() for _ in range(3)]
+        for pid in pids:
+            pf.write_page(Page(pid, 512))
+        pf.free(pids[1])
+        pf.free(pids[2])
+        # LIFO pop order; no file growth while the list is non-empty.
+        assert pf.allocate() == pids[2]
+        assert pf.allocate() == pids[1]
+        assert pf.allocate() == 3
+        assert pf.stats["freelist_reuses"] == 2
+        pf.close()
+
+    def test_freelist_persists_via_header(self, tmp_path):
+        path = str(tmp_path / "t.pages")
+        pf = PageFile.create(path, 512)
+        pid = pf.allocate()
+        pf.write_page(Page(pid, 512))
+        pf.free(pid)
+        pf.write_header()
+        pf.close()
+        reopened = PageFile.open(path)
+        assert reopened.free_head == pid
+        assert reopened.allocate() == pid
+        reopened.close()
+
+    def test_scan_pages_skips_free_and_unflushed(self, tmp_path):
+        pf = PageFile.create(str(tmp_path / "t.pages"), 512)
+        kept = pf.allocate()
+        freed = pf.allocate()
+        pf.write_page(Page(kept, 512))
+        pf.write_page(Page(freed, 512))
+        pf.free(freed)
+        pf.allocate()  # allocated but never written: short tail
+        assert [p.page_id for p in pf.scan_pages()] == [kept]
+        pf.close()
+
+    def test_npages_trusts_file_size_over_stale_header(self, tmp_path):
+        """Pages flushed after the last checkpoint are real data even
+        though the durable header predates them."""
+        path = str(tmp_path / "t.pages")
+        pf = PageFile.create(path, 512)
+        pf.allocate()
+        pf.write_header()  # header says npages=1
+        pid = pf.allocate()  # grows the file past the header's count
+        pf.write_page(Page(pid, 512))
+        pf.flush()
+        pf.close()
+        reopened = PageFile.open(path)
+        assert reopened.npages == 2
+        reopened.close()
+
+    def test_crash_hook_fires_before_writes(self, tmp_path):
+        pf = PageFile.create(str(tmp_path / "t.pages"), 512)
+        seen = []
+        pf.crash_hook = lambda kind, pid: seen.append((kind, pid))
+        pid = pf.allocate()
+        pf.write_page(Page(pid, 512))
+        pf.write_header()
+        assert ("page", pid) in seen and ("header", None) in seen
+        pf.close()
+
+
+class TestPageFileManager:
+    def test_create_get_drop(self, tmp_path):
+        manager = PageFileManager(str(tmp_path), 512)
+        pf = manager.create("t")
+        assert manager.get("t") is pf
+        assert os.path.exists(os.path.join(str(tmp_path), table_file_name("t")))
+        manager.drop("t")
+        assert pf.defunct
+        assert not os.path.exists(
+            os.path.join(str(tmp_path), table_file_name("t"))
+        )
+
+    def test_double_create_rejected(self, tmp_path):
+        manager = PageFileManager(str(tmp_path), 512)
+        manager.create("t")
+        with pytest.raises(StorageError):
+            manager.create("t")
+
+    def test_rewrite_swaps_file_and_defuncts_old(self, tmp_path):
+        manager = PageFileManager(str(tmp_path), 512)
+        old = manager.create("t")
+        new = manager.start_rewrite("t")
+        assert new.path.endswith(".rewrite")
+        manager.commit_rewrite("t", new)
+        assert old.defunct and not new.defunct
+        assert manager.get("t") is new
+        assert new.path == os.path.join(str(tmp_path), table_file_name("t"))
+
+    def test_table_file_name_escapes(self):
+        assert "/" not in table_file_name("weird/名前")
+        assert table_file_name("t") == "t.pages"
+
+    def test_stats_aggregate(self, tmp_path):
+        manager = PageFileManager(str(tmp_path), 512)
+        for key in ("a", "b"):
+            pf = manager.create(key)
+            pf.write_page(Page(pf.allocate(), 512))
+        stats = manager.stats()
+        assert stats["files"] == 2
+        assert stats["pages_allocated"] == 2
+        assert stats["page_writes"] == 2
+
+
+class TestBufferPool:
+    def _file(self, tmp_path, name="t.pages"):
+        return PageFile.create(str(tmp_path / name), 512)
+
+    def test_hit_miss_accounting(self, tmp_path):
+        pf = self._file(tmp_path)
+        pid = pf.allocate()
+        pf.write_page(Page(pid, 512))
+        pool = BufferPool(4)
+        frame = pool.fetch(pf, pid)
+        pool.release(frame)
+        again = pool.fetch(pf, pid)
+        pool.release(again)
+        assert again is frame
+        assert pool.stats["misses"] == 1 and pool.stats["hits"] == 1
+        pf.close()
+
+    def test_eviction_writes_back_dirty_lru(self, tmp_path):
+        pf = self._file(tmp_path)
+        pool = BufferPool(2)
+        pids = []
+        for i in range(3):
+            pid = pf.allocate()
+            page = Page(pid, 512)
+            page.insert_record(encode_record(i, 1, None, 0, b"d"))
+            frame = pool.adopt(pf, page)
+            pool.release(frame, dirty=True)
+            pids.append(pid)
+        # Capacity 2: admitting the third evicted (and wrote back) the first.
+        assert pool.stats["evictions"] == 1
+        assert pool.stats["writebacks"] == 1
+        assert pool.cached_pages() == 2
+        # The evicted page's data really reached disk.
+        back = pool.fetch(pf, pids[0])
+        assert decode_record(back.page.read_record(0))[0] == 0
+        pool.release(back)
+        pf.close()
+
+    def test_pinned_frames_never_evicted(self, tmp_path):
+        pf = self._file(tmp_path)
+        pool = BufferPool(2)
+        first = pool.adopt(pf, Page(pf.allocate(), 512))  # stays pinned
+        second = pool.adopt(pf, Page(pf.allocate(), 512))
+        pool.release(second)
+        pool.adopt(pf, Page(pf.allocate(), 512))  # evicts `second`, not `first`
+        assert (pf.space_id, first.page.page_id) in pool._frames
+        # With everything pinned, admission must fail loudly.
+        with pytest.raises(BufferPoolError):
+            pool.adopt(pf, Page(pf.allocate(), 512))
+        pf.close()
+
+    def test_release_unpinned_rejected(self, tmp_path):
+        pf = self._file(tmp_path)
+        pool = BufferPool(2)
+        frame = pool.adopt(pf, Page(pf.allocate(), 512))
+        pool.release(frame)
+        with pytest.raises(BufferPoolError):
+            pool.release(frame)
+        pf.close()
+
+    def test_flush_file_clears_dirty(self, tmp_path):
+        pf = self._file(tmp_path)
+        pool = BufferPool(4)
+        frame = pool.adopt(pf, Page(pf.allocate(), 512))
+        pool.release(frame, dirty=True)
+        assert pool.flush_file(pf) == 1
+        assert not frame.dirty
+        assert pool.flush_file(pf) == 0  # idempotent
+        pf.close()
+
+    def test_drop_file_discards_without_writeback(self, tmp_path):
+        pf = self._file(tmp_path)
+        other = self._file(tmp_path, "o.pages")
+        pool = BufferPool(8)
+        doomed = pool.adopt(pf, Page(pf.allocate(), 512))
+        pool.release(doomed, dirty=True)
+        keeper = pool.adopt(other, Page(other.allocate(), 512))
+        pool.release(keeper)
+        writes_before = pf.stats["page_writes"]
+        pool.drop_file(pf)
+        assert pf.stats["page_writes"] == writes_before
+        assert pool.cached_pages() == 1  # the other file's frame survives
+        pf.close()
+        other.close()
+
+    def test_defunct_file_not_written_on_eviction(self, tmp_path):
+        pf = self._file(tmp_path)
+        pool = BufferPool(1)
+        frame = pool.adopt(pf, Page(pf.allocate(), 512))
+        pool.release(frame, dirty=True)
+        pf.defunct = True
+        pool.adopt(pf, Page(pf.allocate(), 512))  # evicts the dirty frame
+        assert pool.stats["writebacks"] == 0
+        pf.close()
+
+    def test_snapshot_stats_shape(self, tmp_path):
+        pf = self._file(tmp_path)
+        pool = BufferPool(4)
+        frame = pool.adopt(pf, Page(pf.allocate(), 512))
+        stats = pool.snapshot_stats()
+        assert stats["capacity"] == 4
+        assert stats["cached"] == 1
+        assert stats["pinned"] == 1
+        assert stats["dirty"] == 1
+        pool.release(frame)
+        pf.close()

@@ -72,6 +72,79 @@ class TestWal:
             )
 
 
+class TestTornTail:
+    """A crash mid-append leaves a truncated final record; ``load`` must
+    treat it as a clean recovery point, not corruption."""
+
+    def _write_commits(self, path: str, n: int) -> None:
+        wal = WriteAheadLog(path)
+        for csn in range(1, n + 1):
+            wal.append(
+                WalCommit(
+                    csn=csn,
+                    txn_id=csn,
+                    changes=(WalChange("insert", "t", csn, (csn,), None),),
+                )
+            )
+        wal.close()
+
+    def test_truncated_final_record_is_dropped(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        self._write_commits(path, 3)
+        with open(path, "ab") as fh:
+            fh.write(b'{"csn": 4, "txn_id": 4, "chan')  # torn mid-write
+        loaded = WriteAheadLog.load(path)
+        assert [c.csn for c in loaded.commits()] == [1, 2, 3]
+        assert loaded.torn_tail_dropped
+        # A clean file does not claim a drop.
+        clean = str(tmp_path / "clean.jsonl")
+        self._write_commits(clean, 2)
+        assert not WriteAheadLog.load(clean).torn_tail_dropped
+
+    def test_torn_json_but_complete_line_also_dropped(self, tmp_path):
+        """Truncation can land exactly on a newline boundary from a prior
+        buffered write — the partial record still parses as broken JSON."""
+        path = str(tmp_path / "wal.jsonl")
+        self._write_commits(path, 2)
+        with open(path, "ab") as fh:
+            fh.write(b'{"csn": 3}\n')  # missing required fields
+        loaded = WriteAheadLog.load(path)
+        assert [c.csn for c in loaded.commits()] == [1, 2]
+        assert loaded.torn_tail_dropped
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        """A bad record *followed by valid records* cannot be a torn tail
+        — dropping it would silently lose acknowledged commits."""
+        path = str(tmp_path / "wal.jsonl")
+        self._write_commits(path, 3)
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        lines[1] = b'{"broken\n'
+        with open(path, "wb") as fh:
+            fh.writelines(lines)
+        with pytest.raises(WalError, match="followed by valid records"):
+            WriteAheadLog.load(path)
+
+    def test_attach_truncates_tail_and_keeps_appending(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        self._write_commits(path, 2)
+        with open(path, "ab") as fh:
+            fh.write(b'{"torn')
+        wal = WriteAheadLog.load(path, attach=True)
+        assert wal.torn_tail_dropped
+        wal.append(
+            WalCommit(
+                csn=3,
+                txn_id=3,
+                changes=(WalChange("insert", "t", 3, (3,), None),),
+            )
+        )
+        wal.close()
+        # The dead bytes are physically gone; the file replays cleanly.
+        reread = WriteAheadLog.load(path)
+        assert [c.csn for c in reread.commits()] == [1, 2, 3]
+        assert not reread.torn_tail_dropped
+
+
 class TestCrashRecovery:
     def test_database_recover_from_wal_file(self, tmp_path):
         path = str(tmp_path / "wal.jsonl")
