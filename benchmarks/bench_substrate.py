@@ -27,6 +27,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro.cluster import reshard as cluster_reshard
 from repro.core.events import DataEvent
 from repro.core.provenance import ProvenanceStore
 from repro.db import ConnectionPool, Database, IsolationLevel, ShardedDatabase, connect
@@ -519,6 +520,51 @@ def test_substrate_throughput(benchmark, emit):
         elapsed += (time.perf_counter_ns() - start) / 1e9
     rows.append(["replication failover (promote)", failover_reps / elapsed])
 
+    # Quorum-acknowledged commits: each autocommit insert applies
+    # synchronously on the first 2 of 3 healthy replicas before the
+    # primary's execute returns — the durability guarantee priced
+    # against the plain async shipping measured by catch-up above.
+    q_primary = build_db()
+    ReplicaSet(q_primary, n_replicas=3, ack_quorum=2)
+    q_counter = iter(range(10**9))
+    rows.append(
+        [
+            "quorum commit (ack 2 of 3)",
+            _rate(
+                lambda: q_primary.execute(
+                    "INSERT INTO items VALUES (?, 'qx', 0.0)",
+                    (N_ROWS + next(q_counter),),
+                ),
+                _iters(200),
+            ),
+        ]
+    )
+
+    # Online resharding: rows/sec through the whole tap -> snapshot
+    # copy -> delta drain -> fence/swap pipeline on an idle cluster
+    # (the protocol's own cost; the chaos tests price the contended
+    # path). Fixed table size in smoke too — the rate scales with row
+    # count, so a smaller smoke table would be incomparable.
+    reshard_reps = 2 if SMOKE else 4
+    reshard_rows = 1_000
+    moved = 0
+    elapsed = 0.0
+    for _ in range(reshard_reps):
+        rs_db = ShardedDatabase(2, shard_keys={"items": "id"})
+        rs_db.execute("CREATE TABLE items (id INTEGER, grp TEXT, val FLOAT)")
+        rs_gtxn = rs_db.begin()
+        for i in range(reshard_rows):
+            rs_db.execute(
+                "INSERT INTO items VALUES (?, ?, ?)",
+                (i, f"g{i % 50}", float(i % 97)),
+                txn=rs_gtxn,
+            )
+        rs_gtxn.commit()
+        start = time.perf_counter_ns()
+        moved += cluster_reshard(rs_db, 4, chunk_size=256)["rows_copied"]
+        elapsed += (time.perf_counter_ns() - start) / 1e9
+    rows.append(["online reshard 2->4 (rows moved)", moved / elapsed])
+
     # Group commit: one real fsync per commit vs one per 64-commit batch.
     def wal_append_rate(group_size: int, n_commits: int) -> float:
         with tempfile.TemporaryDirectory() as scratch:
@@ -753,6 +799,13 @@ def test_substrate_throughput(benchmark, emit):
         > rates["wal commit (fsync each)"] * 1.5
     )
     assert rates["replication catch-up (records applied)"] > 100
+    # Cluster floors (ungated in CI — rep counts are tiny, so the rates
+    # are noisy; these conservative bounds flag only pathological
+    # regressions). Quorum commits pay two synchronous applies per
+    # insert; a reshard of 1k rows must clearly beat row-at-a-time
+    # re-insertion through the SQL front door.
+    assert rates["quorum commit (ack 2 of 3)"] > 50
+    assert rates["online reshard 2->4 (rows moved)"] > 500
     # Paged tier floors: cold start is catalog + header reads and an
     # index rebuild over the table — it must finish fast enough that
     # reopening is cheap relative to a full WAL replay (the "restore

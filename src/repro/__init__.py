@@ -8,6 +8,9 @@ The package is layered exactly like the paper's system:
   debugging, bug replay, and retroactive programming
 * :mod:`repro.apps` — the paper's case-study applications
 * :mod:`repro.workload` — workload generators and measurement harness
+* :mod:`repro.cluster` — the self-managing layer on top of
+  :mod:`repro.db`: heartbeat failure detection, automatic failover, and
+  online resharding
 
 The front door is :func:`repro.connect`: one Connection/Cursor API over
 single-node, sharded, and replicated engines, with TROD attachable to any
@@ -23,6 +26,7 @@ of them::
     print(conn.execute("SELECT v FROM t WHERE id = ?", (1,)).scalar())
 """
 
+from repro.cluster import Controller, HeartbeatDetector, reshard
 from repro.db.connection import (
     Connection,
     ConnectionPool,
@@ -31,13 +35,16 @@ from repro.db.connection import (
     connect,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Connection",
     "ConnectionPool",
+    "Controller",
     "Cursor",
     "Engine",
+    "HeartbeatDetector",
     "connect",
+    "reshard",
     "__version__",
 ]

@@ -1,0 +1,23 @@
+"""Self-managing cluster layer: failure detection, failover, resharding.
+
+The pieces sit on top of the replication and sharding tiers:
+
+* :class:`~repro.cluster.detector.HeartbeatDetector` — probes node
+  liveness (``Database.ping``) on a schedule and, after a configurable
+  run of consecutive missed heartbeats, confirms the failure and drives
+  the registered failover action (``ReplicaSet.promote`` /
+  ``ShardedDatabase.failover``).
+* :func:`~repro.cluster.reshard.reshard` — migrates a live sharded
+  cluster from N to M stores while 2PC writes continue: chunked snapshot
+  copy, delta catch-up from per-shard replication-log taps, and an
+  atomic router/coordinator swap under a brief write fence.
+* :class:`~repro.cluster.controller.Controller` — the facade owning the
+  background loops (replica shipping, heartbeat detection, migrations)
+  as cooperative-scheduler tasks, plus kill/revive chaos helpers.
+"""
+
+from repro.cluster.controller import Controller
+from repro.cluster.detector import HeartbeatDetector
+from repro.cluster.reshard import reshard
+
+__all__ = ["Controller", "HeartbeatDetector", "reshard"]

@@ -1,0 +1,166 @@
+"""Heartbeat failure detection driving automatic failover.
+
+A :class:`HeartbeatDetector` owns a set of named liveness probes. Each
+:meth:`~HeartbeatDetector.poll` runs every probe once; a probe that
+raises :class:`~repro.errors.UnavailableError` counts as one missed
+heartbeat. A target is *suspected* after its first miss and *confirmed
+failed* after ``suspicion_threshold`` consecutive misses — at which
+point its registered failover action runs (once per down/up cycle).
+
+The detector is deliberately passive: it never sleeps or schedules
+itself. The :class:`~repro.cluster.controller.Controller` runs it as a
+cooperative-scheduler loop, which keeps chaos tests deterministic — the
+probe cadence is the scheduler's interleaving, not wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ReplicationError, UnavailableError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.replication import ReplicaSet
+    from repro.db.sharding import ShardedDatabase
+
+
+class _Watch:
+    __slots__ = ("name", "probe", "on_confirmed", "misses", "confirmed")
+
+    def __init__(
+        self,
+        name: str,
+        probe: Callable[[], object],
+        on_confirmed: Callable[[str], object] | None,
+    ):
+        self.name = name
+        self.probe = probe
+        self.on_confirmed = on_confirmed
+        self.misses = 0
+        self.confirmed = False
+
+
+class HeartbeatDetector:
+    """Confirms node failures after consecutive missed heartbeats.
+
+    ``suspicion_threshold`` is the number of consecutive failed probes
+    before a failure is confirmed: one flaky probe suspects a node,
+    repeated misses convict it. A successful probe resets both the miss
+    count and the confirmed state, so a node that comes back (or is
+    replaced by a promoted replica behind the same probe) re-arms the
+    detector for the next outage.
+    """
+
+    def __init__(self, suspicion_threshold: int = 3):
+        if suspicion_threshold < 1:
+            raise ReplicationError(
+                f"suspicion threshold must be >= 1, got {suspicion_threshold}"
+            )
+        self.suspicion_threshold = suspicion_threshold
+        self._watches: dict[str, _Watch] = {}
+        self.stats = {
+            "probes": 0,
+            "misses": 0,
+            "confirmed_failures": 0,
+            "failovers": 0,
+            "failover_errors": 0,
+        }
+
+    # -- registration -----------------------------------------------------
+
+    def watch(
+        self,
+        name: str,
+        probe: Callable[[], object],
+        on_confirmed: Callable[[str], object] | None = None,
+    ) -> None:
+        """Register a liveness probe (replacing any previous ``name``).
+
+        ``probe`` should raise :class:`~repro.errors.UnavailableError`
+        when the target is down (``Database.ping`` does); resolve the
+        target *inside* the probe (e.g. ``lambda:
+        sharded.shard_named(store).ping()``) so a failover that swaps
+        the database behind a name is probed, not the corpse.
+        ``on_confirmed`` runs once per confirmed failure; if it raises
+        :class:`~repro.errors.ReplicationError` (say, a manual promote
+        is already in flight) the failure is left unconfirmed so the
+        next poll retries.
+        """
+        self._watches[name] = _Watch(name, probe, on_confirmed)
+
+    def unwatch(self, name: str) -> None:
+        self._watches.pop(name, None)
+
+    def watching(self) -> list[str]:
+        return sorted(self._watches)
+
+    def watch_replica_set(
+        self,
+        name: str,
+        replica_set: "ReplicaSet",
+        on_confirmed: Callable[[str], object] | None = None,
+    ) -> None:
+        """Watch a replica set's (live) primary; promote on confirmation."""
+        if on_confirmed is None:
+            def on_confirmed(_name: str) -> object:
+                return replica_set.promote()
+
+        self.watch(name, lambda: replica_set.primary.ping(), on_confirmed)
+
+    def watch_shard(self, sharded: "ShardedDatabase", store: str) -> None:
+        """Watch one shard's primary; drive ``sharded.failover`` on failure."""
+        self.watch(
+            f"primary:{store}",
+            lambda: sharded.shard_named(store).ping(),
+            lambda _name: sharded.failover(store),
+        )
+
+    # -- probing ----------------------------------------------------------
+
+    def poll(self) -> list[str]:
+        """Probe every watched target once; returns names confirmed now.
+
+        Confirmation fires the target's failover action. An action that
+        raises ReplicationError — promotion already in progress, no
+        healthy replica yet, no replica set attached — is counted in
+        ``stats['failover_errors']`` and the target stays unconfirmed,
+        so the next poll retries rather than wedging the topology.
+        """
+        confirmed_now: list[str] = []
+        for watch in list(self._watches.values()):
+            self.stats["probes"] += 1
+            try:
+                watch.probe()
+            except UnavailableError:
+                self.stats["misses"] += 1
+                watch.misses += 1
+                if watch.misses >= self.suspicion_threshold and not watch.confirmed:
+                    watch.confirmed = True
+                    self.stats["confirmed_failures"] += 1
+                    confirmed_now.append(watch.name)
+                    if watch.on_confirmed is not None:
+                        try:
+                            watch.on_confirmed(watch.name)
+                            self.stats["failovers"] += 1
+                        except ReplicationError:
+                            self.stats["failover_errors"] += 1
+                            watch.confirmed = False
+            else:
+                watch.misses = 0
+                watch.confirmed = False
+        return confirmed_now
+
+    def suspected(self) -> list[str]:
+        """Targets with missed heartbeats that are not yet confirmed."""
+        return sorted(
+            w.name for w in self._watches.values() if w.misses and not w.confirmed
+        )
+
+    def confirmed(self) -> list[str]:
+        return sorted(w.name for w in self._watches.values() if w.confirmed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<HeartbeatDetector watching={len(self._watches)} "
+            f"threshold={self.suspicion_threshold}>"
+        )

@@ -12,6 +12,9 @@ Public surface:
 * :class:`IsolationLevel` / :class:`Transaction` — transaction control
 * :class:`ResultSet` / :class:`Row` — query results
 * :class:`SimulatedBackend` and the latency profiles — backend cost models
+* :class:`FencedError` / :class:`UnavailableError` /
+  :class:`ReplicationError` — the failover-story exceptions surfaced by
+  :func:`connect`'s transparent retry (see ``docs/cluster.md``)
 """
 
 from repro.db.backend import (
@@ -53,6 +56,7 @@ from repro.db.txn.manager import (
     TransactionStatus,
 )
 from repro.db.types import ColumnType
+from repro.errors import FencedError, ReplicationError, UnavailableError
 
 __all__ = [
     "Applier",
@@ -66,6 +70,7 @@ __all__ = [
     "Cursor",
     "Database",
     "Engine",
+    "FencedError",
     "IsolationLevel",
     "LatencyProfile",
     "NULL_PROFILE",
@@ -76,6 +81,7 @@ __all__ = [
     "Replica",
     "ReplicaSet",
     "ReplicatedDatabase",
+    "ReplicationError",
     "ReplicationLog",
     "ResultSet",
     "Row",
@@ -91,6 +97,7 @@ __all__ = [
     "TimeTravel",
     "Transaction",
     "TransactionStatus",
+    "UnavailableError",
     "VOLTDB_PROFILE",
     "connect",
 ]

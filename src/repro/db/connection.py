@@ -46,7 +46,8 @@ from repro.db.sql.nodes import (
 )
 from repro.db.sql.parser import parse_sql
 from repro.db.txn.manager import IsolationLevel, TransactionStatus
-from repro.errors import InterfaceError
+from repro.errors import FencedError, InterfaceError, UnavailableError
+from repro.runtime.scheduler import CheckpointKind, maybe_checkpoint
 
 #: Read routing choices. ``replica`` serves SELECTs from replicas that
 #: satisfy the session's causal floor, falling back to the primary;
@@ -107,12 +108,18 @@ _ENGINE_SURFACE = (
 )
 
 
+#: Default bound on transparent statement retries after a node is fenced
+#: or crashes mid-statement (see :meth:`Connection._retry_routed`).
+_MAX_FAILOVER_RETRIES = 64
+
+
 def connect(
     engine: Any,
     *,
     session: Session | None = None,
     trod: Any = None,
     read_preference: str = "replica",
+    max_failover_retries: int = _MAX_FAILOVER_RETRIES,
 ) -> "Connection":
     """Open a :class:`Connection` over any :class:`Engine`.
 
@@ -146,7 +153,11 @@ def connect(
         if not trod.attached:
             trod.attach()
     return Connection(
-        engine, session=session, trod=trod, read_preference=read_preference
+        engine,
+        session=session,
+        trod=trod,
+        read_preference=read_preference,
+        max_failover_retries=max_failover_retries,
     )
 
 
@@ -166,6 +177,7 @@ class Connection:
         session: Session | None = None,
         trod: Any = None,
         read_preference: str = "replica",
+        max_failover_retries: int = _MAX_FAILOVER_RETRIES,
     ):
         if read_preference not in READ_PREFERENCES:
             raise InterfaceError(
@@ -181,7 +193,14 @@ class Connection:
         # Statement classification reuses the engine's parse cache when it
         # has one; a custom Engine without the private hook still works.
         self._parse = getattr(engine, "_parse", parse_sql)
-        self.stats = {"reads": 0, "writes": 0, "ddl": 0, "transactions": 0}
+        self.max_failover_retries = max_failover_retries
+        self.stats = {
+            "reads": 0,
+            "writes": 0,
+            "ddl": 0,
+            "transactions": 0,
+            "failover_retries": 0,
+        }
 
     # -- lifecycle --------------------------------------------------------
 
@@ -230,14 +249,42 @@ class Connection:
         stmt = self._parse(sql)
         if isinstance(stmt, SelectStmt):
             self.stats["reads"] += 1
-            return self._execute_read(stmt, sql, params, read_preference)
+            return self._retry_routed(
+                lambda: self._execute_read(stmt, sql, params, read_preference)
+            )
         if isinstance(
             stmt, (CreateTableStmt, DropTableStmt, CreateIndexStmt, DropIndexStmt)
         ):
             self.stats["ddl"] += 1
-            return self._execute_ddl(sql, params)
+            return self._retry_routed(lambda: self._execute_ddl(sql, params))
         self.stats["writes"] += 1
-        return self._execute_write(sql, params)
+        return self._retry_routed(lambda: self._execute_write(sql, params))
+
+    def _retry_routed(self, thunk: Any) -> ResultSet:
+        """Run one autocommit statement, retrying across failovers.
+
+        A statement that lands on a fenced (demoted) or crashed node
+        raises :class:`~repro.errors.FencedError` /
+        :class:`~repro.errors.UnavailableError` without having committed
+        anything, so it is safe to re-route: the retry re-resolves the
+        topology — the promoted primary, the post-failover shard map —
+        and yields the baton between attempts so the controller's
+        detection loop gets its turn to actually promote. Bounded by
+        ``max_failover_retries``: a cluster with nothing left to promote
+        re-raises rather than spinning. Explicit transactions
+        (:meth:`transaction`) are NOT retried — a multi-statement
+        transaction cannot be replayed transparently.
+        """
+        attempts = 0
+        while True:
+            try:
+                return thunk()
+            except (FencedError, UnavailableError):
+                attempts += 1
+                if attempts > self.max_failover_retries:
+                    raise
+                self.stats["failover_retries"] += 1
+                maybe_checkpoint(CheckpointKind.LOCK_WAIT, "failover-retry")
 
     def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
         return self.execute(sql, params)

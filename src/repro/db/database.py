@@ -60,6 +60,7 @@ from repro.errors import (
     ReadOnlyError,
     StorageError,
     TimeTravelError,
+    UnavailableError,
     WalError,
 )
 
@@ -227,6 +228,10 @@ class Database:
         #: no new transactions and no further commits, so a split brain
         #: cannot acknowledge writes the promoted replica never sees.
         self.fenced = False
+        #: Simulated node failure: a crashed database answers nothing —
+        #: not even reads — until revived. The cluster heartbeat detector
+        #: probes this via :meth:`ping` and drives failover from it.
+        self.crashed = False
         #: Set on replica databases. Writes and DDL through the SQL
         #: surface are rejected (changes arrive only via the shipped
         #: stream), and autocommitted SELECTs abort their transaction
@@ -527,7 +532,30 @@ class Database:
                 stats[f"pool_{key}"] = value
             for key, value in self._page_manager.stats().items():
                 stats[f"file_{key}"] = value
+            stats["orphan_pages_reclaimed"] = sum(
+                getattr(store, "orphan_pages_reclaimed", 0)
+                for store in self._stores.values()
+            )
         return stats
+
+    # -- availability ----------------------------------------------------------
+
+    def ping(self) -> bool:
+        """Liveness probe for the cluster heartbeat detector.
+
+        Raises :class:`UnavailableError` when the node is crashed; a
+        fenced or read-only database still answers (it is alive, just
+        demoted), so the detector can tell "dead" from "demoted".
+        """
+        self._check_available()
+        return True
+
+    def _check_available(self) -> None:
+        if self.crashed:
+            raise UnavailableError(
+                f"database {self.name!r} is down (simulated crash); "
+                "revive it or fail over"
+            )
 
     # -- transactions -----------------------------------------------------------
 
@@ -536,6 +564,7 @@ class Database:
         isolation: IsolationLevel = IsolationLevel.SERIALIZABLE,
         info: dict[str, Any] | None = None,
     ) -> Transaction:
+        self._check_available()
         if self.fenced:
             raise FencedError(
                 f"database {self.name!r} is fenced (demoted primary); "
@@ -635,6 +664,7 @@ class Database:
         statements.
         """
         stmt = self._parse(sql)
+        self._check_available()
         if self.read_only and not isinstance(stmt, SelectStmt):
             raise ReadOnlyError(
                 f"database {self.name!r} is a read-only replica; writes "

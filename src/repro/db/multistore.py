@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.db.database import Database
 from repro.db.result import ResultSet
@@ -54,6 +54,11 @@ class GlobalTransaction:
         self.info = dict(info or {})
         self.status = TransactionStatus.ACTIVE
         self._branches: dict[str, Transaction] = {}
+        #: Invoked exactly once when the transaction leaves ACTIVE
+        #: (commit or abort). The sharded facade counts in-flight write
+        #: transactions with it so a reshard's write fence can wait for
+        #: them to drain before swapping the topology.
+        self.on_finish: Callable[["GlobalTransaction"], None] | None = None
 
     @property
     def name(self) -> str:
@@ -100,7 +105,7 @@ class GlobalTransaction:
             # same cluster state as its predecessor.
             for _store, txn in branches:
                 txn.commit()
-            self.status = TransactionStatus.COMMITTED
+            self._finish(TransactionStatus.COMMITTED)
             return self._coordinator.global_csn
         prepared: list[tuple[str, Transaction]] = []
         try:
@@ -114,7 +119,7 @@ class GlobalTransaction:
                     TransactionStatus.PREPARED,
                 ):
                     txn.abort()
-            self.status = TransactionStatus.ABORTED
+            self._finish(TransactionStatus.ABORTED)
             raise
         local_csns: dict[str, int] = {}
         for store, txn in prepared:
@@ -122,13 +127,19 @@ class GlobalTransaction:
         for _store, txn in branches:
             if txn.status is TransactionStatus.ACTIVE:  # read-only branch
                 txn.commit()
-        self.status = TransactionStatus.COMMITTED
+        self._finish(TransactionStatus.COMMITTED)
         return self._coordinator._record_commit(self, local_csns)
 
     def abort(self) -> None:
         for txn in self._branches.values():
             txn.abort()
-        self.status = TransactionStatus.ABORTED
+        self._finish(TransactionStatus.ABORTED)
+
+    def _finish(self, status: TransactionStatus) -> None:
+        self.status = status
+        if self.on_finish is not None:
+            hook, self.on_finish = self.on_finish, None
+            hook(self)
 
     def _check_active(self) -> None:
         if self.status is not TransactionStatus.ACTIVE:
@@ -171,6 +182,42 @@ class MultiStoreCoordinator:
                 f"unknown store {name!r} (known: {sorted(self._stores)})"
             )
         self._stores[name] = database
+
+    def reshape(self, stores: dict[str, Database]) -> int:
+        """Replace the whole store map in place (online resharding).
+
+        The global CSN clock, the global transaction counter, and the
+        aligned log are all preserved: sessions bookmark global CSNs and
+        AS-OF reads bisect the aligned log, so swapping in a fresh
+        coordinator would rewind the clock every bookmark hangs off.
+        Aligned entries for departed stores stay in the log — they answer
+        ordering queries about pre-reshard history; reads that would need
+        the departed stores themselves are gated by the sharded engine's
+        reshard horizon.
+
+        A synthetic aligned commit (``txn_id=0`` — real transaction ids
+        start at 1) is stamped at the swap, mapping every new store to
+        its current local commit position. AS-OF reads at or above the
+        returned global CSN therefore translate correctly onto the new
+        topology; below it they would bisect to entries naming only the
+        departed stores (new stores map to local CSN 0 — empty history),
+        which is why the caller gates them.
+        """
+        if not stores:
+            raise TransactionError("coordinator needs at least one store")
+        self._stores = dict(stores)
+        self.global_csn += 1
+        self.aligned_log.append(
+            AlignedCommit(
+                global_csn=self.global_csn,
+                txn_id=0,
+                local_csns={
+                    name: database.last_commit_csn
+                    for name, database in self._stores.items()
+                },
+            )
+        )
+        return self.global_csn
 
     def begin(
         self,

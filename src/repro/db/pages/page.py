@@ -220,6 +220,14 @@ class Page:
         )
         self.data[OVERFLOW_DATA_START : OVERFLOW_DATA_START + len(chunk)] = chunk
 
+    def overflow_next(self) -> int | None:
+        """The next page id in the chain without copying the chunk —
+        used by the recovery scan to trace chain reachability."""
+        if self.kind != KIND_OVERFLOW:
+            raise StorageError(f"page {self.page_id} is not an overflow page")
+        next_page, _length = _OVERFLOW_BODY.unpack_from(self.data, HEADER_SIZE)
+        return None if next_page == -1 else next_page
+
     def read_overflow(self) -> tuple[int | None, bytes]:
         if self.kind != KIND_OVERFLOW:
             raise StorageError(f"page {self.page_id} is not an overflow page")

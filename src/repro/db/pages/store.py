@@ -49,10 +49,62 @@ from repro.db.pages.page import (
 from repro.db.schema import TableSchema
 from repro.db.storage import TableStore
 from repro.db.txn.wal import WalChange
-from repro.errors import StorageError, WalError
+from repro.errors import PageCorruptError, StorageError, WalError
 
 _BEGIN = attrgetter("begin")
 _END_PATCH = struct.Struct("<q")
+
+
+def _reclaim_orphan_pages(
+    file: PageFile,
+    data_pages: set[int],
+    overflow_refs: list[int],
+    overflow_next: dict[int, int | None],
+) -> int:
+    """Return crash-orphaned pages to the file's free list.
+
+    A checkpoint that crashes partway can flush an overflow chain whose
+    owning data record never reached disk; WAL replay then reconciles the
+    insert by writing a *fresh* chain, so the flushed one is permanently
+    unreferenced — invisible to ``load`` (which follows data records) and
+    absent from the free list. The same crash can leave all-zero holes
+    from out-of-order file extension, or ``KIND_FREE`` pages stamped after
+    the last durable header (unreachable from the recovered free head).
+
+    Called at the end of the recovery scan, before WAL replay: any
+    allocated page that is neither a data page, an overflow page reachable
+    from a data record, nor already on the free list is stamped free, so
+    the tail replay's allocations reuse it instead of growing the file.
+    """
+    referenced: set[int] = set()
+    stack = list(overflow_refs)
+    while stack:
+        page_id = stack.pop()
+        if page_id in referenced:
+            continue
+        referenced.add(page_id)
+        next_id = overflow_next.get(page_id)
+        if next_id is not None:
+            stack.append(next_id)
+    on_free_list: set[int] = set()
+    head = file.free_head
+    while head is not None and head not in on_free_list:
+        on_free_list.add(head)
+        try:
+            head = file.read_page(head).free_next()
+        except (PageCorruptError, StorageError):
+            break  # broken tail; the sweep below re-frees what it finds
+    reclaimed = 0
+    for page_id in range(file.npages):
+        if (
+            page_id in data_pages
+            or page_id in referenced
+            or page_id in on_free_list
+        ):
+            continue
+        file.free(page_id)
+        reclaimed += 1
+    return reclaimed
 
 
 class PagedVersion:
@@ -116,6 +168,8 @@ class PagedTableStore(TableStore):
         #: Every commit at or below this CSN is durable in the data pages
         #: (recorded in the file header at checkpoint).
         self.flushed_csn: int = file.meta.get("flushed_csn", 0)
+        #: Pages returned to the free list by the recovery orphan sweep.
+        self.orphan_pages_reclaimed: int = 0
 
     # -- version lifecycle hooks ------------------------------------------
 
@@ -251,12 +305,23 @@ class PagedTableStore(TableStore):
         max_row_id = 0
         max_csn = 0
         fill_pid = None
+        data_pages: set[int] = set()
+        overflow_refs: list[int] = []
+        overflow_next: dict[int, int | None] = {}
         for page in file.scan_pages():
+            if page.kind == KIND_OVERFLOW:
+                overflow_next[page.page_id] = page.overflow_next()
+                continue
             if page.kind != KIND_DATA:
                 continue
+            data_pages.add(page.page_id)
             for slot, record in page.records():
-                row_id, begin, enc_end, _flags = RECORD_HEADER.unpack_from(record, 0)
+                row_id, begin, enc_end, flags = RECORD_HEADER.unpack_from(record, 0)
                 end = None if enc_end == -1 else enc_end
+                if flags == FLAG_OVERFLOW:
+                    overflow_refs.append(
+                        OVERFLOW_REF.unpack_from(record, RECORD_HEADER.size)[0]
+                    )
                 version = PagedVersion(
                     row_id, begin, end, file, page.page_id, slot, store
                 )
@@ -281,6 +346,9 @@ class PagedTableStore(TableStore):
         )
         store.last_write_csn = max_csn
         store._fill_pid = fill_pid
+        store.orphan_pages_reclaimed = _reclaim_orphan_pages(
+            file, data_pages, overflow_refs, overflow_next
+        )
         store._rebuild_caches()
         store.write_epoch = 0
         return store
@@ -414,4 +482,5 @@ class PagedTableStore(TableStore):
         base = super().stats()
         base["file_pages"] = self._file.npages
         base["flushed_csn"] = self.flushed_csn
+        base["orphan_pages_reclaimed"] = self.orphan_pages_reclaimed
         return base

@@ -52,7 +52,7 @@ from repro.db.sql.nodes import (
     SelectStmt,
 )
 from repro.db.txn.manager import IsolationLevel, Transaction, TransactionStatus
-from repro.errors import ReplicationError
+from repro.errors import ReplicationError, UnavailableError
 from repro.runtime.scheduler import CheckpointKind, maybe_checkpoint
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -310,6 +310,19 @@ class ReplicaSet:
     :meth:`catch_up` (bounded staleness, cheap commits). Replicas
     bootstrapped mid-stream start from a snapshot of the primary's latest
     state, so their time-travel horizon is the bootstrap CSN.
+
+    ``ack_quorum=N`` (async mode) is the middle ground: every commit is
+    applied synchronously to the first N healthy replicas before the
+    primary's ``execute``/``commit`` returns, and the rest catch up in the
+    background — durability (quorum size) and read fan-out (replica
+    count) scale independently. A commit that cannot reach N replicas
+    raises :class:`ReplicationError` *after* the primary applied it: the
+    write is durable locally and in the ship log, but the caller learns
+    the quorum was not met.
+
+    Crashed replicas (``database.crashed``, the cluster failure model)
+    are skipped by shipping, routing, and quorum counting; they rejoin
+    via :meth:`catch_up` (or a retention-triggered resync) once revived.
     """
 
     def __init__(
@@ -318,22 +331,45 @@ class ReplicaSet:
         n_replicas: int = 0,
         mode: str = "async",
         log_retain: int | None = None,
+        ack_quorum: int = 0,
     ):
         if mode not in ("sync", "async"):
             raise ReplicationError(f"unknown ship mode {mode!r}")
+        if ack_quorum < 0:
+            raise ReplicationError(f"ack_quorum must be >= 0, got {ack_quorum}")
+        if ack_quorum and mode == "sync":
+            raise ReplicationError(
+                "ack_quorum is redundant with mode='sync' (every replica "
+                "already applies inside the commit); use mode='async'"
+            )
         self.primary = primary
         self.mode = mode
+        self.ack_quorum = ack_quorum
         self._log_retain = log_retain
         self.log = ReplicationLog(primary, retain=log_retain)
         self.replicas: list[Replica] = []
+        #: Cascading (replica-of-replica) sets, as (upstream, downstream)
+        #: pairs — see :meth:`chain`.
+        self.chains: list[tuple[Replica, "ReplicaSet"]] = []
         self._rr = 0  # round-robin cursor
         self._made = 0  # names stay unique across promote/resync
-        self.stats = {"shipped_records": 0, "resyncs": 0, "promotions": 0}
+        self._promoting = False
+        self.stats = {
+            "shipped_records": 0,
+            "resyncs": 0,
+            "promotions": 0,
+            "quorum_commits": 0,
+        }
         for _ in range(n_replicas):
             self.add_replica()
         self._unsub: Callable[[], None] | None = None
-        if mode == "sync":
+        self._subscribe_ship()
+
+    def _subscribe_ship(self) -> None:
+        if self.mode == "sync":
             self._unsub = self.log.subscribe(self._on_record)
+        elif self.ack_quorum > 0:
+            self._unsub = self.log.subscribe(self._on_record_quorum)
 
     # -- membership -------------------------------------------------------
 
@@ -420,10 +456,19 @@ class ReplicaSet:
     def max_lag(self) -> int:
         return max((self.lag(r) for r in self.replicas), default=0)
 
+    def healthy_replicas(self) -> list[Replica]:
+        """Replicas whose database answers (not crashed)."""
+        return [r for r in self.replicas if not r.database.crashed]
+
     def least_lagged(self) -> Replica:
-        if not self.replicas:
-            raise ReplicationError("replica set is empty")
-        return max(self.replicas, key=lambda r: r.csn)
+        healthy = self.healthy_replicas()
+        if not healthy:
+            raise ReplicationError(
+                "replica set is empty"
+                if not self.replicas
+                else "every replica is down"
+            )
+        return max(healthy, key=lambda r: r.csn)
 
     def covering_replica(self, csn: int) -> Replica | None:
         """A replica whose shipped history covers commit ``csn``, or None.
@@ -433,7 +478,7 @@ class ReplicaSet:
         qualification every AS-OF read uses, on routers, the replicated
         engine, and sharded time travel alike.
         """
-        for replica in self.replicas:
+        for replica in self.healthy_replicas():
             if (
                 replica.csn >= csn
                 and replica.database.history_horizon <= csn
@@ -442,12 +487,12 @@ class ReplicaSet:
         return None
 
     def pick(self, policy: str = "round_robin", min_csn: int = 0) -> Replica | None:
-        """A replica whose CSN is at/after ``min_csn``, or None.
+        """A healthy replica whose CSN is at/after ``min_csn``, or None.
 
         ``min_csn`` is the session-guarantee floor: a session that wrote
         at CSN *c* may only read from replicas that have applied *c*.
         """
-        eligible = [r for r in self.replicas if r.csn >= min_csn]
+        eligible = [r for r in self.healthy_replicas() if r.csn >= min_csn]
         if not eligible:
             return None
         if policy == "least_lagged":
@@ -460,10 +505,57 @@ class ReplicaSet:
     # -- shipping ---------------------------------------------------------
 
     def _on_record(self, record: ShipRecord) -> None:
-        """Sync mode: apply inside the primary's commit, on every replica."""
+        """Sync mode: apply inside the primary's commit, on every replica.
+
+        Crashed replicas are skipped — a dead node must not brick the
+        primary's commits; it drains the backlog via :meth:`catch_up`
+        when revived.
+        """
         for replica in self.replicas:
+            if replica.database.crashed:
+                continue
             replica.applier.apply(record)
             self.stats["shipped_records"] += 1
+
+    def _on_record_quorum(self, record: ShipRecord) -> None:
+        """Quorum mode: apply inside the commit until N replicas acked.
+
+        Replicas outside the quorum stay async. A replica that lagged out
+        of the quorum earlier (it was crashed or another replica was
+        ahead of it in the list) first drains its backlog so every apply
+        stays gap-free. Raises when fewer than ``ack_quorum`` replicas
+        could acknowledge — the commit is durable on the primary and in
+        the ship log, but the caller learns durability fell short.
+
+        Empty commits (read-only transactions, no-op DML) carry no data,
+        so they never block on the quorum: a primary that lost its
+        quorum must stay readable. Replicas pick the clock tick up from
+        the log with the next real commit or ``catch_up``.
+        """
+        if record.kind == "commit" and not record.changes:
+            return
+        acked = 0
+        for replica in self.replicas:
+            if acked >= self.ack_quorum:
+                break
+            if replica.database.crashed:
+                continue
+            try:
+                for pending in self.log.since(replica.applier.applied_seq):
+                    if pending.seq > record.seq:
+                        break
+                    replica.applier.apply(pending)
+                    self.stats["shipped_records"] += 1
+            except (ReplicationError, UnavailableError):
+                continue  # cannot ack (gap or died mid-apply); try the next
+            acked += 1
+        if acked < self.ack_quorum:
+            raise ReplicationError(
+                f"write quorum not met: {acked} of {self.ack_quorum} required "
+                f"replicas acknowledged csn {record.csn} (primary applied it; "
+                "retry once replicas recover, or fail over)"
+            )
+        self.stats["quorum_commits"] += 1
 
     def catch_up(
         self, replica: Replica | str | None = None, limit: int | None = None
@@ -481,6 +573,8 @@ class ReplicaSet:
         targets = [replica] if replica is not None else list(self.replicas)
         applied = 0
         for target in targets:
+            if target.database.crashed:
+                continue  # dead node: it drains after revival
             if target.applier.applied_seq + 1 < self.log.first_seq:
                 self.resync(target)
                 continue
@@ -493,6 +587,11 @@ class ReplicaSet:
                 target.applier.apply(record)
                 applied += 1
         self.stats["shipped_records"] += applied
+        if replica is None:
+            # Cascade: downstream sets drain from their (just-advanced)
+            # upstream replicas.
+            for _upstream, downstream in self.chains:
+                applied += downstream.catch_up(limit=limit)
         return applied
 
     def ship_loop(
@@ -540,6 +639,8 @@ class ReplicaSet:
 
         The :class:`Replica` wrapper keeps its identity so routers holding
         references keep working; only the database underneath is new.
+        Downstream chains fed from this replica are rebased onto the new
+        database (their replicas resync from it).
         """
         if isinstance(replica, str):
             replica = self.replica(replica)
@@ -547,6 +648,63 @@ class ReplicaSet:
         replica.applier = Applier(replica.database)
         replica.applier.applied_seq = self.log.last_seq
         self.stats["resyncs"] += 1
+        for upstream, downstream in self.chains:
+            if upstream is replica:
+                downstream.rebase(replica.database)
+
+    # -- cascading chains -------------------------------------------------
+
+    def chain(
+        self,
+        upstream: Replica | str,
+        n_replicas: int = 1,
+        mode: str = "async",
+        log_retain: int | None = None,
+    ) -> "ReplicaSet":
+        """Cascading replication: a downstream set fed from one replica.
+
+        The upstream replica applies shipped commits through real
+        transactions with the primary's CSNs and txn ids, so its own
+        observer stream is identical to the primary's — a second
+        :class:`ReplicaSet` tapped on it replicates the same history one
+        hop removed. Fan-out then scales by adding chain tiers without
+        widening the primary's ship (or quorum) set. :meth:`catch_up`
+        cascades into chains after draining the direct replicas; if the
+        upstream is ever resynced, the downstream set rebases onto its
+        replacement database automatically.
+        """
+        if isinstance(upstream, str):
+            upstream = self.replica(upstream)
+        if upstream not in self.replicas:
+            raise ReplicationError(
+                f"chain upstream {upstream.name!r} is not in this replica set"
+            )
+        downstream = ReplicaSet(
+            upstream.database,
+            n_replicas=n_replicas,
+            mode=mode,
+            log_retain=log_retain,
+        )
+        self.chains.append((upstream, downstream))
+        return downstream
+
+    def rebase(self, primary: Database) -> None:
+        """Re-point this set at a replacement primary database.
+
+        Used when a cascading upstream was resynced or promoted away: the
+        old tap is detached and every replica resyncs from the new
+        database (their shipped positions are meaningless against a fresh
+        log).
+        """
+        if self._unsub is not None:
+            self._unsub()
+            self._unsub = None
+        self.log.detach()
+        self.primary = primary
+        self.log = ReplicationLog(primary, retain=self._log_retain)
+        for replica in self.replicas:
+            self.resync(replica)
+        self._subscribe_ship()
 
     # -- failover ---------------------------------------------------------
 
@@ -559,12 +717,30 @@ class ReplicaSet:
         one) and re-points the remaining replicas at a fresh log on the
         new primary. All drained replicas sit at the same CSN at that
         moment, so the fresh log needs no history. A replica that cannot
-        drain (its position fell out of a retention-bounded log) is
-        resynced from the *new* primary. The old primary stays fenced:
-        it accepts no further transactions or commits.
+        drain (its position fell out of a retention-bounded log) — or is
+        itself crashed — is resynced (re-provisioned) from the *new*
+        primary. The old primary stays fenced: it accepts no further
+        transactions or commits.
+
+        Only one promotion may run at a time: a second call while one is
+        in flight (a heartbeat detector firing during a manual failover,
+        say) raises :class:`ReplicationError` immediately and leaves the
+        in-flight promotion untouched — no torn topology.
         """
+        if self._promoting:
+            raise ReplicationError(
+                "promotion already in progress on this replica set; "
+                "the topology will settle when it finishes"
+            )
         if not self.replicas:
             raise ReplicationError("cannot promote: replica set is empty")
+        self._promoting = True
+        try:
+            return self._promote_locked(target)
+        finally:
+            self._promoting = False
+
+    def _promote_locked(self, target: Replica | str | None) -> Database:
         # Resolve and sanity-check the target BEFORE fencing: a failed
         # promotion must not leave the cluster with a fenced primary and
         # no replacement.
@@ -572,6 +748,10 @@ class ReplicaSet:
             target = self.replica(target)
         if target is None:
             target = self.least_lagged()
+        if target.database.crashed:
+            raise ReplicationError(
+                f"replica {target.name!r} is down; promote a healthy replica"
+            )
         if target.applier.applied_seq + 1 < self.log.first_seq:
             raise ReplicationError(
                 f"replica {target.name!r} cannot drain the log (its position "
@@ -588,16 +768,18 @@ class ReplicaSet:
             # Unexpected apply failure: roll the fence back so the old
             # primary keeps serving rather than bricking the cluster.
             self.primary.fenced = False
-            if self.mode == "sync":
-                self._unsub = self.log.subscribe(self._on_record)
+            self._subscribe_ship()
             raise
         laggards: list[Replica] = []
         for replica in self.replicas:
             if replica is target:
                 continue
+            if replica.database.crashed:
+                laggards.append(replica)  # re-provision from the new primary
+                continue
             try:
                 self._drain(replica)
-            except ReplicationError:
+            except (ReplicationError, UnavailableError):
                 laggards.append(replica)
         self.log.detach()
         self.primary = target.database
@@ -605,11 +787,11 @@ class ReplicaSet:
         self.replicas = [r for r in self.replicas if r is not target]
         self.log = ReplicationLog(self.primary, retain=self._log_retain)
         for replica in self.replicas:
-            replica.applier.applied_seq = 0  # fresh log, drained position
+            if replica not in laggards:
+                replica.applier.applied_seq = 0  # fresh log, drained position
         for replica in laggards:
             self.resync(replica)
-        if self.mode == "sync":
-            self._unsub = self.log.subscribe(self._on_record)
+        self._subscribe_ship()
         self.stats["promotions"] += 1
         return self.primary
 
@@ -783,6 +965,7 @@ class ReplicatedDatabase:
         replica_set: ReplicaSet | None = None,
         policy: str = "round_robin",
         name: str = "replicated",
+        ack_quorum: int = 0,
     ):
         if replica_set is not None:
             self.replica_set = replica_set
@@ -792,6 +975,7 @@ class ReplicatedDatabase:
                 n_replicas=n_replicas,
                 mode=mode,
                 log_retain=log_retain,
+                ack_quorum=ack_quorum,
             )
         self.policy = policy
         self.stats = {

@@ -84,10 +84,16 @@ from repro.errors import (
     ReplicationError,
     SchemaError,
     TimeTravelError,
+    TransactionError,
     TypeCoercionError,
 )
+from repro.runtime.scheduler import CheckpointKind, maybe_checkpoint
 
 _STMT_CACHE_LIMIT = 1024
+
+#: Cooperative-wait bound for the reshard write fence: a parked writer
+#: yields this many times before concluding the migration is stuck.
+_FENCE_MAX_SPINS = 100_000
 
 #: store-name -> branch transaction, supplied lazily so read-only
 #: statements only join the shards they actually touch.
@@ -453,6 +459,15 @@ class ShardedDatabase:
         #: a :class:`~repro.db.replication.ShardedReadRouter` are then
         #: served by replicas while DML and 2PC stay on the primaries.
         self.replica_sets: dict[str, ReplicaSet] = {}
+        #: Online-resharding state. While a migration's brief write fence
+        #: is up, new write transactions park in a cooperative wait until
+        #: the topology swap completes; ``reshard_horizon`` is the global
+        #: CSN of the synthetic aligned commit stamped at the swap —
+        #: AS-OF reads below it would need the departed stores.
+        self._write_fence = False
+        self._active_gtxns = 0
+        self._resharding = False
+        self.reshard_horizon = 0
         if databases is not None:
             self._adopt_existing_tables()
         #: Counters for the distributed execution paths. Global 2PC
@@ -674,7 +689,10 @@ class ShardedDatabase:
         isolation: IsolationLevel = IsolationLevel.SERIALIZABLE,
         info: dict[str, Any] | None = None,
     ) -> GlobalTransaction:
+        self._fence_wait()
         gtxn = self.coordinator.begin(isolation=isolation, info=info)
+        self._active_gtxns += 1
+        gtxn.on_finish = self._gtxn_finished
         if isolation is IsolationLevel.SNAPSHOT:
             # SNAPSHOT consistency lives in each branch's snapshot CSN.
             # Begin every branch now, at one point in the global commit
@@ -854,6 +872,12 @@ class ShardedDatabase:
         whose shipped history covers the target CSN (replicas preserve
         CSNs, so their version stores answer AS-OF queries identically).
         """
+        if global_csn < self.reshard_horizon:
+            raise TimeTravelError(
+                f"global csn {global_csn} predates the reshard horizon "
+                f"({self.reshard_horizon}); that history lives only on "
+                "the pre-reshard stores"
+            )
         local_csns = self.time_travel.local_csns_at(global_csn)
         base = db_for if db_for is not None else self._by_name.__getitem__
         chosen: dict[str, Database] = {}
@@ -989,6 +1013,9 @@ class ShardedDatabase:
     def _execute_ddl(
         self, stmt: Statement, sql: str, params: Sequence[Any]
     ) -> ResultSet:
+        # DDL mid-migration would change the schema under the copier's
+        # feet; it parks behind the same fence as write transactions.
+        self._fence_wait()
         if isinstance(stmt, DropTableStmt):
             db0 = self.shards[0]
             canonical = None
@@ -1660,6 +1687,94 @@ class ShardedDatabase:
             rowcount += result.rowcount
             row_ids.extend(result.row_ids)
         return ResultSet(kind=kind, rowcount=rowcount, row_ids=row_ids)
+
+    # -- online resharding ---------------------------------------------------
+
+    def _gtxn_finished(self, _gtxn: GlobalTransaction) -> None:
+        self._active_gtxns -= 1
+
+    def _fence_wait(self) -> None:
+        """Park a new write transaction while the reshard fence is up.
+
+        The wait is cooperative: each spin yields a LOCK_WAIT checkpoint
+        so the scheduler can run the migration task that will lift the
+        fence. Off-scheduler the yield is a no-op, so the bound turns a
+        stuck fence into a loud error instead of a hang.
+        """
+        spins = 0
+        while self._write_fence:
+            maybe_checkpoint(CheckpointKind.LOCK_WAIT, "reshard-fence")
+            spins += 1
+            if spins >= _FENCE_MAX_SPINS:
+                raise TransactionError(
+                    "reshard write fence did not lift; the migration "
+                    "appears stuck"
+                )
+
+    def fence_writes(self) -> None:
+        """Raise the reshard write fence: new write transactions park.
+
+        Reads — scatter-gather SELECTs, AS-OF queries, replica-routed
+        reads — continue throughout; only :meth:`begin` (and therefore
+        autocommit DML) and DDL wait. Callers must pair this with
+        :meth:`unfence_writes`, fence or no swap.
+        """
+        self._write_fence = True
+
+    def unfence_writes(self) -> None:
+        self._write_fence = False
+
+    def drain_writers(self, max_spins: int = _FENCE_MAX_SPINS) -> None:
+        """Wait (cooperatively) until no write transaction is in flight.
+
+        Called with the fence up: transactions begun before the fence may
+        still be mid-commit, and their branches point at the pre-swap
+        stores — swapping under them would tear the topology.
+        """
+        spins = 0
+        while self._active_gtxns > 0:
+            maybe_checkpoint(CheckpointKind.LOCK_WAIT, "reshard-drain")
+            spins += 1
+            if spins >= max_spins:
+                raise TransactionError(
+                    f"{self._active_gtxns} write transaction(s) never "
+                    "finished while the reshard fence was up"
+                )
+
+    def apply_reshard(self, new_stores: dict[str, Database]) -> int:
+        """Swap in a post-reshard topology; returns the new horizon CSN.
+
+        The caller (:mod:`repro.cluster.reshard`) guarantees the write
+        fence is up, no write transaction is in flight, and
+        ``new_stores`` holds every row re-hashed onto its owner under
+        the new shard count. The global CSN clock and the aligned log
+        survive the swap (a synthetic aligned commit maps the new stores'
+        local positions); AS-OF reads below the returned horizon now
+        raise :class:`~repro.errors.TimeTravelError` because that
+        history lives only on the departed stores. Replica sets are
+        dropped — they follow the old primaries; re-attach after.
+        """
+        if not self._write_fence:
+            raise TransactionError(
+                "apply_reshard requires the write fence "
+                "(call fence_writes() and drain_writers() first)"
+            )
+        if self._active_gtxns > 0:
+            raise TransactionError(
+                f"{self._active_gtxns} write transaction(s) still in "
+                "flight; drain_writers() before swapping the topology"
+            )
+        key_registry = dict(self.router._keys)
+        self.shards = list(new_stores.values())
+        self.store_names = list(new_stores)
+        self._by_name = dict(new_stores)
+        self.router = ShardRouter(self.store_names)
+        self.router._keys = key_registry
+        self.reshard_horizon = self.coordinator.reshape(self._by_name)
+        self.replica_sets = {}
+        self._select_cache.clear()
+        self._agg_cache.clear()
+        return self.reshard_horizon
 
     # -- replication ---------------------------------------------------------
 

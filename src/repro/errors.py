@@ -103,6 +103,10 @@ class FencedError(TransactionError):
     """The database was fenced (demoted primary); it accepts no new commits."""
 
 
+class UnavailableError(DatabaseError):
+    """The database is crashed/unreachable (simulated node failure)."""
+
+
 class TimeTravelError(DatabaseError):
     """A time-travel request referenced an impossible point in history."""
 

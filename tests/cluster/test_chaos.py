@@ -1,0 +1,284 @@
+"""Chaos: kill a primary and reshard 2 -> 4 under a live workload.
+
+The end-state test for the self-managing cluster. On one cooperative
+scheduler, four tasks interleave deterministically:
+
+* a randomized ledger workload runs through the Connection API
+  (autocommit statements, transparent failover retry),
+* the controller's detection loop probes every primary and replica and
+  promotes on confirmed failure — no test code ever calls ``promote()``
+  or ``failover()``,
+* the controller's ship loop keeps replicas converging,
+* a director task injects the chaos: crashes a shard primary and a
+  replica, waits for the automatic promotion, probes pre-reshard
+  history, then reshards the cluster 2 -> 4 while the workload writes.
+
+Afterwards the identical statement stream replays on a single-node twin
+and every result fingerprint must match byte-for-byte; AS OF probes at
+bookmarked commits compare sharded-vs-twin history row-for-row, and
+bookmarks below the reshard horizon must raise TimeTravelError.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import Controller
+from repro.db.connection import connect
+from repro.db.database import Database
+from repro.db.sharding import ShardedDatabase
+from repro.errors import TimeTravelError
+from repro.runtime.scheduler import (
+    CheckpointKind,
+    CooperativeScheduler,
+    maybe_checkpoint,
+)
+
+REGIONS = ("north", "south", "east", "west")
+N_KEYS = 32
+PROBE_SQL = (
+    "SELECT acct, balance, region FROM ledger WHERE acct >= 0 AS OF ?"
+)
+
+
+def seed_rows(conn) -> None:
+    conn.execute(
+        "CREATE TABLE ledger (acct INTEGER, balance FLOAT, region TEXT)"
+    )
+    for key in range(N_KEYS):
+        conn.execute(
+            "INSERT INTO ledger VALUES (?, ?, ?)",
+            (key, 100.0, REGIONS[key % len(REGIONS)]),
+        )
+
+
+def make_statements(count: int, seed: int) -> list[tuple]:
+    """A deterministic (kind, sql, params) stream; no AS OF statements —
+    historical probes run under explicit control so the test can place
+    them on the correct side of the reshard horizon."""
+    rng = random.Random(seed)
+    out = []
+    for i in range(count):
+        roll = rng.randrange(100)
+        key = rng.randrange(N_KEYS)
+        if roll < 28:
+            out.append(
+                (
+                    "read",
+                    "SELECT balance, region FROM ledger WHERE acct = ?",
+                    (key,),
+                )
+            )
+        elif roll < 40:
+            out.append(
+                (
+                    "read",
+                    "SELECT acct, balance FROM ledger "
+                    "WHERE acct >= ? AND acct < ? ORDER BY acct",
+                    (key, key + 6),
+                )
+            )
+        elif roll < 50:
+            out.append(
+                (
+                    "read",
+                    "SELECT region, COUNT(*), SUM(balance) FROM ledger "
+                    "GROUP BY region ORDER BY region",
+                    (),
+                )
+            )
+        elif roll < 72:
+            out.append(
+                (
+                    "write",
+                    "UPDATE ledger SET balance = balance + ? WHERE acct = ?",
+                    (float(rng.randrange(50)), key),
+                )
+            )
+        elif roll < 86:
+            out.append(
+                (
+                    "write",
+                    "INSERT INTO ledger VALUES (?, ?, ?)",
+                    (
+                        N_KEYS + i,
+                        float(rng.randrange(500)),
+                        REGIONS[i % len(REGIONS)],
+                    ),
+                )
+            )
+        else:
+            out.append(
+                ("write", "DELETE FROM ledger WHERE acct = ?", (key,))
+            )
+    return out
+
+
+def replay_on_twin(statements: list[tuple]):
+    """The same stream on a single node: fingerprints + CSN bookmarks."""
+    twin = Database(name="twin")
+    conn = connect(twin)
+    seed_rows(conn)
+    fingerprints, bookmarks = [], []
+    for kind, sql, params in statements:
+        result = conn.execute(sql, params)
+        if kind == "write":
+            fingerprints.append((kind, result.rowcount))
+            bookmarks.append(twin.last_commit_csn)
+        else:
+            fingerprints.append((kind, sorted(result.rows)))
+    return conn, fingerprints, bookmarks
+
+
+class TestClusterChaos:
+    def test_kill_promote_reshard_differential(self):
+        sharded = ShardedDatabase(2, name="chaos", shard_keys={"ledger": "acct"})
+        controller = Controller(sharded, suspicion_threshold=2)
+        conn = connect(
+            sharded, read_preference="primary", max_failover_retries=500
+        )
+        seed_rows(conn)
+        sharded.attach_replicas(2)
+        controller.refresh_watches()
+
+        statements = make_statements(140, seed=23)
+        fingerprints: list = []
+        bookmarks: list[int] = []  # global CSN after each write
+        progress = {"done": 0, "finished": False}
+        events: dict = {}
+
+        def workload():
+            try:
+                for i, (kind, sql, params) in enumerate(statements):
+                    result = conn.execute(sql, params)
+                    if kind == "write":
+                        fingerprints.append((kind, result.rowcount))
+                        bookmarks.append(sharded.last_commit_csn)
+                    else:
+                        fingerprints.append((kind, sorted(result.rows)))
+                    progress["done"] = i + 1
+                    maybe_checkpoint(CheckpointKind.SCAN_BATCH, "workload")
+            finally:
+                # Set even on error so the director can wind down and
+                # stop the background loops — a failure must surface as
+                # this worker's outcome, not a scheduler hang.
+                progress["finished"] = True
+
+        probe_conn = connect(sharded, read_preference="primary")
+
+        def direct():
+            while progress["done"] < 20 and not progress["finished"]:
+                maybe_checkpoint(CheckpointKind.SCAN_BATCH, "director")
+            controller.kill("shard0")
+            controller.kill_replica("shard1", "chaos-shard1-r1")
+            # The detection loop must confirm and promote on its own.
+            while controller.detector.stats["failovers"] < 1:
+                maybe_checkpoint(CheckpointKind.SCAN_BATCH, "director")
+            events["failover_at"] = progress["done"]
+            while progress["done"] < 60 and not progress["finished"]:
+                maybe_checkpoint(CheckpointKind.SCAN_BATCH, "director")
+            # Pre-reshard history is probed here, while it is reachable.
+            pre_probes = []
+            for index in range(0, len(bookmarks), 7):
+                rows = sorted(
+                    probe_conn.execute(PROBE_SQL, (bookmarks[index],)).rows
+                )
+                pre_probes.append((index, rows))
+            events["pre_probes"] = pre_probes
+            events["reshard_stats"] = controller.reshard(4, chunk_size=16)
+            events["reshard_at"] = progress["done"]
+            while not progress["finished"]:
+                maybe_checkpoint(CheckpointKind.SCAN_BATCH, "director")
+
+        def director():
+            # stop() runs even if the director (or workload, observed
+            # through progress) fails: the background loops must exit so
+            # the error surfaces as an outcome, not a scheduler hang.
+            try:
+                direct()
+            finally:
+                controller.stop()
+
+        scheduler = CooperativeScheduler(seed=17, granularity="batch")
+        outcomes = scheduler.run(
+            [
+                workload,
+                director,
+                controller.detection_loop,
+                controller.ship_loop,
+            ]
+        )
+        errors = [o.error for o in outcomes if o.error is not None]
+        assert errors == []
+
+        # -- the chaos actually happened --------------------------------
+        assert controller.detector.stats["failovers"] >= 1
+        assert controller.detector.stats["confirmed_failures"] >= 2
+        assert conn.stats["failover_retries"] > 0
+        assert controller.stats["shipped_records"] > 0
+        assert events["failover_at"] <= events["reshard_at"]
+        assert events["reshard_stats"]["rows_copied"] > 0
+        assert sharded.n_shards == 4
+        assert progress["finished"]
+
+        # -- differential vs the single-node twin ------------------------
+        twin_conn, twin_fps, twin_bookmarks = replay_on_twin(statements)
+        assert fingerprints == twin_fps
+        assert len(bookmarks) == len(twin_bookmarks)
+        final_state = "SELECT acct, balance, region FROM ledger WHERE acct >= 0"
+        assert sorted(conn.execute(final_state).rows) == sorted(
+            twin_conn.execute(final_state).rows
+        )
+
+        # Pre-reshard probes (taken live, before the swap) match the
+        # twin's history at the same write indices.
+        assert events["pre_probes"]
+        for index, rows in events["pre_probes"]:
+            twin_rows = sorted(
+                twin_conn.execute(PROBE_SQL, (twin_bookmarks[index],)).rows
+            )
+            assert rows == twin_rows
+
+        # Post-reshard bookmarks stay probe-able and byte-identical;
+        # pre-reshard bookmarks now raise: that history lives only on
+        # the retired stores.
+        horizon = sharded.reshard_horizon
+        pre = [k for k, csn in enumerate(bookmarks) if csn < horizon]
+        post = [k for k, csn in enumerate(bookmarks) if csn >= horizon]
+        assert pre and post
+        for k in post[::3]:
+            sharded_rows = sorted(
+                conn.execute(PROBE_SQL, (bookmarks[k],)).rows
+            )
+            twin_rows = sorted(
+                twin_conn.execute(PROBE_SQL, (twin_bookmarks[k],)).rows
+            )
+            assert sharded_rows == twin_rows
+        for k in pre[:: max(1, len(pre) // 4)]:
+            with pytest.raises(TimeTravelError):
+                conn.execute(PROBE_SQL, (bookmarks[k],))
+
+    def test_revived_replica_heals_through_the_ship_loop(self):
+        """A replica that comes back after an outage converges from the
+        log (or a resync) without operator involvement."""
+        sharded = ShardedDatabase(2, name="heal", shard_keys={"kv": "k"})
+        controller = Controller(sharded, suspicion_threshold=2)
+        conn = connect(sharded, read_preference="primary")
+        conn.execute("CREATE TABLE kv (k INTEGER, v TEXT)")
+        for i in range(10):
+            conn.execute("INSERT INTO kv VALUES (?, ?)", (i, f"v{i}"))
+        sharded.attach_replicas(1)
+        controller.refresh_watches()
+
+        dead = controller.kill_replica("shard0", "heal-shard0-r1")
+        for i in range(10, 20):
+            conn.execute("INSERT INTO kv VALUES (?, ?)", (i, f"v{i}"))
+        controller.detection_loop(max_polls=3)
+        assert controller.detector.stats["misses"] >= 2
+        controller.revive(dead)
+        controller.ship_loop(max_rounds=20)
+        replica_set = sharded.replica_sets["shard0"]
+        assert all(
+            r.csn == replica_set.primary.last_csn
+            for r in replica_set.replicas
+        )

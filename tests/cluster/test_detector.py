@@ -1,0 +1,195 @@
+"""Heartbeat detection: suspicion, confirmation, automatic promotion.
+
+Includes the promote-race coverage: the detector firing while a manual
+``promote()`` is mid-flight, and a double failover of the same shard —
+both must be idempotent or fail loudly, never tear the topology.
+"""
+
+import pytest
+
+from repro.cluster import HeartbeatDetector
+from repro.db.database import Database
+from repro.db.replication import ReplicaSet
+from repro.db.sharding import ShardedDatabase
+from repro.errors import ReplicationError
+
+
+def make_replica_set(n_replicas: int = 2) -> tuple[Database, ReplicaSet]:
+    primary = Database(name="p")
+    primary.execute("CREATE TABLE kv (k INTEGER, v TEXT)")
+    for i in range(10):
+        primary.execute("INSERT INTO kv VALUES (?, ?)", (i, f"v{i}"))
+    return primary, ReplicaSet(primary, n_replicas=n_replicas)
+
+
+def make_sharded(n_replicas: int = 2) -> ShardedDatabase:
+    sharded = ShardedDatabase(2, name="s", shard_keys={"kv": "k"})
+    sharded.execute("CREATE TABLE kv (k INTEGER, v TEXT)")
+    for i in range(20):
+        sharded.execute("INSERT INTO kv VALUES (?, ?)", (i, f"v{i}"))
+    sharded.attach_replicas(n_replicas)
+    return sharded
+
+
+class TestHeartbeatBasics:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ReplicationError, match="threshold"):
+            HeartbeatDetector(suspicion_threshold=0)
+
+    def test_healthy_probe_counts_no_misses(self):
+        primary, _ = make_replica_set(0)
+        detector = HeartbeatDetector()
+        detector.watch("p", primary.ping)
+        assert detector.poll() == []
+        assert detector.stats["probes"] == 1
+        assert detector.stats["misses"] == 0
+        assert detector.suspected() == []
+
+    def test_suspected_before_threshold_confirmed_at_it(self):
+        primary, replica_set = make_replica_set()
+        detector = HeartbeatDetector(suspicion_threshold=3)
+        detector.watch_replica_set("p", replica_set)
+        primary.crashed = True
+        assert detector.poll() == []
+        assert detector.poll() == []
+        assert detector.suspected() == ["p"]
+        assert detector.confirmed() == []
+        # Third consecutive miss convicts and promotes automatically.
+        assert detector.poll() == ["p"]
+        assert detector.stats["failovers"] == 1
+        assert replica_set.primary is not primary
+        assert primary.fenced
+
+    def test_recovery_resets_the_miss_count(self):
+        primary, _ = make_replica_set(0)
+        detector = HeartbeatDetector(suspicion_threshold=3)
+        detector.watch("p", primary.ping)
+        primary.crashed = True
+        detector.poll()
+        detector.poll()
+        primary.crashed = False
+        detector.poll()  # heals: misses reset to zero
+        primary.crashed = True
+        detector.poll()
+        detector.poll()
+        # Still only suspected — the earlier misses did not accumulate.
+        assert detector.confirmed() == []
+        assert detector.suspected() == ["p"]
+
+    def test_promoted_primary_rearms_the_watch(self):
+        primary, replica_set = make_replica_set()
+        detector = HeartbeatDetector(suspicion_threshold=1)
+        detector.watch_replica_set("p", replica_set)
+        primary.crashed = True
+        assert detector.poll() == ["p"]
+        # The probe resolves the *current* primary, which is healthy, so
+        # the watch re-arms for the next outage instead of staying stuck
+        # on the corpse.
+        assert detector.poll() == []
+        assert detector.confirmed() == []
+        replica_set.primary.crashed = True
+        assert detector.poll() == ["p"]
+        assert detector.stats["failovers"] == 2
+
+    def test_unwatch_and_replace(self):
+        primary, _ = make_replica_set(0)
+        detector = HeartbeatDetector()
+        detector.watch("p", primary.ping)
+        detector.watch("p", primary.ping)  # replace, not duplicate
+        assert detector.watching() == ["p"]
+        detector.unwatch("p")
+        assert detector.watching() == []
+        detector.unwatch("p")  # idempotent
+
+
+class TestPromoteRaces:
+    def test_detector_fires_during_manual_promote(self):
+        """A confirmed failure while promote() is already in flight is
+        counted as a failover error and retried — never a second,
+        overlapping promotion."""
+        primary, replica_set = make_replica_set()
+        detector = HeartbeatDetector(suspicion_threshold=1)
+        detector.watch_replica_set("p", replica_set)
+        primary.crashed = True
+        replica_set._promoting = True  # a manual promote holds the guard
+        assert detector.poll() == ["p"]
+        assert detector.stats["failovers"] == 0
+        assert detector.stats["failover_errors"] == 1
+        # The failure is deliberately left unconfirmed so the next poll
+        # retries once the manual promote releases the guard.
+        assert detector.confirmed() == []
+        replica_set._promoting = False
+        assert detector.poll() == ["p"]
+        assert detector.stats["failovers"] == 1
+        assert replica_set.primary is not primary
+        assert detector.stats["confirmed_failures"] == 2
+
+    def test_detector_poll_during_manual_sharded_failover(self):
+        sharded = make_sharded()
+        store = sharded.store_names[0]
+        detector = HeartbeatDetector(suspicion_threshold=1)
+        detector.watch_shard(sharded, store)
+        sharded.replica_sets[store]._promoting = True
+        sharded.shard_named(store).crashed = True
+        detector.poll()
+        assert detector.stats["failover_errors"] == 1
+        # Topology untouched: the crashed primary still holds the slot.
+        assert sharded.shard_named(store).crashed
+        sharded.replica_sets[store]._promoting = False
+        detector.poll()
+        assert detector.stats["failovers"] == 1
+        assert not sharded.shard_named(store).crashed
+
+    def test_double_failover_same_shard_keeps_topology_whole(self):
+        """Two failovers of one shard promote two replicas in turn; the
+        shard keeps serving consistent data after each."""
+        sharded = make_sharded(n_replicas=2)
+        store = sharded.store_names[0]
+        before = sorted(
+            sharded.execute("SELECT k, v FROM kv").rows
+        )
+        sharded.shard_named(store).crashed = True
+        first = sharded.failover(store)
+        assert sorted(sharded.execute("SELECT k, v FROM kv").rows) == before
+        try:
+            second = sharded.failover(store)
+        except ReplicationError:
+            second = None  # failing loudly is acceptable; tearing is not
+        else:
+            assert second is not first
+        assert sorted(sharded.execute("SELECT k, v FROM kv").rows) == before
+        # Writes still route and commit through the surviving topology.
+        sharded.execute("INSERT INTO kv VALUES (?, ?)", (100, "post"))
+        assert (
+            sharded.execute(
+                "SELECT v FROM kv WHERE k = ?", (100,)
+            ).scalar()
+            == "post"
+        )
+
+    def test_manual_failover_preempts_the_detector(self):
+        """An operator beats the detector to the promote: the next poll
+        sees a healthy (new) primary and stands down."""
+        sharded = make_sharded()
+        store = sharded.store_names[0]
+        detector = HeartbeatDetector(suspicion_threshold=2)
+        detector.watch_shard(sharded, store)
+        sharded.shard_named(store).crashed = True
+        detector.poll()  # one miss: suspected, not confirmed
+        sharded.failover(store)  # manual promote lands first
+        assert detector.poll() == []
+        assert detector.stats["failovers"] == 0
+        assert detector.suspected() == []
+
+    def test_failover_without_replicas_fails_loudly_and_retries(self):
+        sharded = ShardedDatabase(2, name="bare", shard_keys={"kv": "k"})
+        sharded.execute("CREATE TABLE kv (k INTEGER, v TEXT)")
+        store = sharded.store_names[0]
+        detector = HeartbeatDetector(suspicion_threshold=1)
+        detector.watch_shard(sharded, store)
+        sharded.shard_named(store).crashed = True
+        detector.poll()
+        assert detector.stats["failover_errors"] == 1
+        assert detector.confirmed() == []  # retried on every later poll
+        detector.poll()
+        assert detector.stats["failover_errors"] == 2

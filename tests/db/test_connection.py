@@ -105,6 +105,7 @@ class TestConnectionExecution:
         conn.execute("SELECT * FROM kv")
         assert conn.stats == {
             "reads": 1, "writes": 1, "ddl": 1, "transactions": 0,
+            "failover_retries": 0,
         }
 
     def test_reads_consume_no_csns_on_any_engine(self):

@@ -196,6 +196,66 @@ class TestDurability:
         db.close()
 
 
+class TestOverflowReclamation:
+    def test_crash_orphaned_chain_is_reclaimed_on_recovery(self, tmp_path):
+        """A crash can strand a flushed overflow chain with no durable
+        record pointing at it: the chain pages get evicted to disk while
+        the data page holding the referencing record stays dirty in the
+        pool. Replay then writes a *fresh* chain, and before the recovery
+        sweep the old pages leaked forever."""
+        data_dir = str(tmp_path / "data")
+        db = Database(
+            storage="paged",
+            data_dir=data_dir,
+            page_size=512,
+            buffer_pool_pages=4,
+        )
+        db.execute("CREATE TABLE t (k INTEGER, v TEXT)")
+        db.execute("INSERT INTO t VALUES (1, 'small')")
+        db.checkpoint()
+        # ~25 chain pages stream through the 4-frame pool: the early
+        # ones are evicted (written) long before the record lands on its
+        # data page, which is still dirty when the "process" dies.
+        big = "x" * 12_000
+        db.execute("INSERT INTO t VALUES (?, ?)", (2, big))
+        db.wal._file.flush()
+        db._page_manager.close_all()
+        del db
+
+        db2 = Database(storage="paged", data_dir=data_dir)
+        store = db2.store("t")
+        assert store.orphan_pages_reclaimed > 0
+        # Replay's fresh chain reused the reclaimed pages instead of
+        # growing the file past one chain's worth.
+        assert store._file.stats["freelist_reuses"] > 0
+        assert db2.execute("SELECT v FROM t WHERE k = 1").scalar() == "small"
+        assert db2.execute("SELECT v FROM t WHERE k = 2").scalar() == big
+        assert store._file.npages <= 30  # ~1 chain + data, not 2 chains
+        assert db2.storage_stats["orphan_pages_reclaimed"] > 0
+        db2.close()
+
+        # A clean close leaves nothing to reclaim.
+        db3 = Database(storage="paged", data_dir=data_dir)
+        assert db3.store("t").orphan_pages_reclaimed == 0
+        assert db3.execute("SELECT v FROM t WHERE k = 2").scalar() == big
+        db3.close()
+
+    def test_large_record_churn_vacuums_dead_chains(self, tmp_path):
+        """Repeatedly updating a large row retires one overflow chain per
+        version; vacuum's compact rewrite must reclaim all of them."""
+        db = make_paged(tmp_path, page_size=512)
+        db.execute("CREATE TABLE t (k INTEGER, v TEXT)")
+        db.execute("INSERT INTO t VALUES (?, ?)", (1, "a" * 4_000))
+        for i in range(10):
+            db.execute("UPDATE t SET v = ? WHERE k = 1", (f"{i}" * 4_000,))
+        churned = db.store("t")._file.npages
+        db.vacuum(db.last_csn)
+        compacted = db.store("t")._file.npages
+        assert compacted < churned / 2  # ten dead chains gone
+        assert db.execute("SELECT v FROM t").scalar() == "9" * 4_000
+        db.close()
+
+
 class TestDifferential:
     def test_randomized_workload_matches_memory_twin(self, tmp_path):
         """The acceptance differential: an identical randomized workload
