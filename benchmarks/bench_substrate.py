@@ -28,14 +28,18 @@ import time
 from pathlib import Path
 
 from repro.cluster import reshard as cluster_reshard
+from repro.cluster.detector import HeartbeatDetector
 from repro.core.events import DataEvent
 from repro.core.provenance import ProvenanceStore
 from repro.db import ConnectionPool, Database, IsolationLevel, ShardedDatabase, connect
+from repro.db.multistore import MultiStoreCoordinator
 from repro.db.replication import ReplicaSet
 from repro.db.schema import Column, TableSchema
 from repro.db.storage import TableStore
 from repro.db.txn.wal import WalChange, WalCommit, WriteAheadLog
 from repro.db.types import ColumnType
+from repro.errors import CrashPoint
+from repro.faults import FaultInjector
 from repro.runtime.scheduler import CooperativeScheduler
 from repro.workload.generators import ConnectionWorkload
 from repro.workload.harness import render_table
@@ -565,6 +569,86 @@ def test_substrate_throughput(benchmark, emit):
         elapsed += (time.perf_counter_ns() - start) / 1e9
     rows.append(["online reshard 2->4 (rows moved)", moved / elapsed])
 
+    # Coordinator crash recovery: the full in-doubt resolution cycle.
+    # A cross-store 2PC commit over two paged stores is killed between
+    # the two phase-2 branch commits (decision logged, one branch left
+    # in doubt), the stores are hard-killed, and the timed region is
+    # restart-from-disk + recover_in_doubt — the time a cluster spends
+    # unavailable after a coordinator crash. Rate is in-doubt branches
+    # resolved per second.
+    recovery_reps = 2 if SMOKE else 5
+    recovery_elapsed = 0.0
+    recovery_resolved = 0
+    for _ in range(recovery_reps):
+        with tempfile.TemporaryDirectory() as crash_dir:
+            crash_dirs = {n: str(Path(crash_dir) / n) for n in ("a", "b")}
+            crash_log = str(Path(crash_dir) / "decisions.jsonl")
+            crash_stores = {
+                n: Database(name=n, storage="paged", data_dir=d)
+                for n, d in crash_dirs.items()
+            }
+            crash_coord = MultiStoreCoordinator(
+                crash_stores, decision_log=crash_log
+            )
+            for store in crash_stores.values():
+                store.execute("CREATE TABLE t (k INTEGER, v TEXT)")
+            crash_injector = FaultInjector()
+            crash_injector.fail("2pc.branch_commit", at=2)
+            crash_gtxn = crash_coord.begin()
+            crash_gtxn.execute("a", "INSERT INTO t VALUES (1, 'a')")
+            crash_gtxn.execute("b", "INSERT INTO t VALUES (1, 'b')")
+            with crash_injector.installed():
+                try:
+                    crash_gtxn.commit()
+                except CrashPoint:
+                    pass
+            for store in crash_stores.values():
+                store.wal._pending.clear()
+                store.wal._file.close()
+                store._page_manager.close_all()
+            crash_coord.decision_log.close()
+            start = time.perf_counter_ns()
+            reopened = {
+                n: Database(name=n, storage="paged", data_dir=d)
+                for n, d in crash_dirs.items()
+            }
+            recovered = MultiStoreCoordinator(reopened, decision_log=crash_log)
+            outcome = recovered.recover_in_doubt()
+            recovery_elapsed += (time.perf_counter_ns() - start) / 1e9
+            assert outcome["committed"] == 1
+            recovery_resolved += outcome["committed"] + outcome["aborted"]
+            for database in reopened.values():
+                database.close()
+            recovered.decision_log.close()
+    rows.append(
+        [
+            "coordinator crash recovery (in-doubt txns resolved)",
+            recovery_resolved / recovery_elapsed,
+        ]
+    )
+
+    # Probe timeout detection: how fast the detector convicts a node
+    # that answers, but too slowly to trust. Each cycle is a fresh
+    # detector paying suspicion_threshold slow probes (0.5ms each)
+    # plus the timeout bookkeeping, so the rate is dominated by the
+    # probe budget itself — the floor only flags pathological
+    # detector-side overhead.
+    def detect_slow_node() -> None:
+        detector = HeartbeatDetector(
+            suspicion_threshold=2, probe_timeout=0.0002
+        )
+        detector.watch("slow", lambda: time.sleep(0.0005))
+        detector.poll()
+        detector.poll()
+        assert detector.confirmed() == ["slow"]
+
+    rows.append(
+        [
+            "probe timeout detection latency",
+            _rate(detect_slow_node, _iters(50)),
+        ]
+    )
+
     # Group commit: one real fsync per commit vs one per 64-commit batch.
     def wal_append_rate(group_size: int, n_commits: int) -> float:
         with tempfile.TemporaryDirectory() as scratch:
@@ -806,6 +890,12 @@ def test_substrate_throughput(benchmark, emit):
     # re-insertion through the SQL front door.
     assert rates["quorum commit (ack 2 of 3)"] > 50
     assert rates["online reshard 2->4 (rows moved)"] > 500
+    # Robustness floors (ungated in CI for the same noise reason): a
+    # coordinator crash recovery cycle reopens two paged stores and
+    # resolves the in-doubt branch well under a second, and convicting
+    # a slow node costs two ~0.5ms probes plus bookkeeping.
+    assert rates["coordinator crash recovery (in-doubt txns resolved)"] > 1
+    assert rates["probe timeout detection latency"] > 5
     # Paged tier floors: cold start is catalog + header reads and an
     # index rebuild over the table — it must finish fast enough that
     # reopening is cheap relative to a full WAL replay (the "restore

@@ -71,6 +71,8 @@ UNGATED_CASES = frozenset(
         "replication failover (promote)",
         "quorum commit (ack 2 of 3)",
         "online reshard 2->4 (rows moved)",
+        "coordinator crash recovery (in-doubt txns resolved)",
+        "probe timeout detection latency",
     }
 )
 

@@ -34,17 +34,21 @@ from repro.db.connection import (
     Engine,
     connect,
 )
+from repro.faults import BackoffPolicy, FaultInjector, injected
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
+    "BackoffPolicy",
     "Connection",
     "ConnectionPool",
     "Controller",
     "Cursor",
     "Engine",
+    "FaultInjector",
     "HeartbeatDetector",
     "connect",
+    "injected",
     "reshard",
     "__version__",
 ]

@@ -27,6 +27,7 @@ from repro.cluster.reshard import reshard as _reshard
 from repro.db.database import Database
 from repro.db.sharding import ShardedDatabase
 from repro.errors import ReplicationError
+from repro.faults import BackoffPolicy
 from repro.runtime.scheduler import CheckpointKind, maybe_checkpoint
 
 
@@ -38,9 +39,15 @@ class Controller:
         sharded: ShardedDatabase,
         suspicion_threshold: int = 3,
         ship_batch: int = 32,
+        probe_timeout: float | None = None,
+        probe_backoff: "BackoffPolicy | None" = None,
     ):
         self.sharded = sharded
-        self.detector = HeartbeatDetector(suspicion_threshold)
+        self.detector = HeartbeatDetector(
+            suspicion_threshold,
+            probe_timeout=probe_timeout,
+            backoff=probe_backoff,
+        )
         self.ship_batch = ship_batch
         self.stop_requested = False
         self.stats = {
@@ -48,6 +55,7 @@ class Controller:
             "ship_rounds": 0,
             "shipped_records": 0,
             "reshards": 0,
+            "reprovisions": 0,
         }
 
     # -- topology-tracking watch set --------------------------------------
@@ -94,6 +102,7 @@ class Controller:
         while not self.stop_requested:
             self.refresh_watches()
             confirmed += len(self.detector.poll())
+            self.stats["reprovisions"] += self.reprovision()
             self.stats["detection_polls"] += 1
             polls += 1
             if max_polls is not None and polls >= max_polls:
@@ -133,6 +142,41 @@ class Controller:
         self.stats["reshards"] += 1
         self.refresh_watches()
         return result
+
+    def reprovision(self) -> int:
+        """Rejoin every revived retired node as a fresh replica.
+
+        A primary demoted by failover sits in its replica set's
+        ``retired`` list; once revived (``crashed`` cleared) the next
+        detection tick re-provisions it from the current primary's
+        snapshot — the node rejoins the fleet automatically, no operator
+        action. Returns the number of nodes rejoined this call.
+        """
+        rejoined = 0
+        for replica_set in list(self.sharded.replica_sets.values()):
+            rejoined += replica_set.reprovision()
+        if rejoined:
+            self.refresh_watches()
+        return rejoined
+
+    @property
+    def cluster_stats(self) -> dict[str, int]:
+        """One unified robustness-counter surface for the whole cluster.
+
+        Mirrors ``executor_stats``/``storage_stats``: detector counters,
+        per-replica-set replication counters (summed across shards), the
+        coordinator's 2PC decision-log counters, and the controller's own
+        loop counters, in one flat dict.
+        """
+        return self.sharded.cluster_stats | {
+            f"detector_{key}": value for key, value in self.detector.stats.items()
+        } | {
+            "detection_polls": self.stats["detection_polls"],
+            "ship_rounds": self.stats["ship_rounds"],
+            "controller_shipped_records": self.stats["shipped_records"],
+            "reshards": self.stats["reshards"],
+            "controller_reprovisions": self.stats["reprovisions"],
+        }
 
     def stop(self) -> None:
         """Ask both loops to exit at their next tick."""

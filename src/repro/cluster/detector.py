@@ -15,9 +15,11 @@ probe cadence is the scheduler's interleaving, not wall-clock time.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Callable
 
-from repro.errors import ReplicationError, UnavailableError
+from repro.errors import ProbeTimeoutError, ReplicationError, UnavailableError
+from repro.faults import BackoffPolicy, fault_point
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.db.replication import ReplicaSet
@@ -25,7 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class _Watch:
-    __slots__ = ("name", "probe", "on_confirmed", "misses", "confirmed")
+    __slots__ = ("name", "probe", "on_confirmed", "misses", "confirmed", "skip")
 
     def __init__(
         self,
@@ -38,6 +40,8 @@ class _Watch:
         self.on_confirmed = on_confirmed
         self.misses = 0
         self.confirmed = False
+        #: Polls to sit out before probing again (backoff after misses).
+        self.skip = 0
 
 
 class HeartbeatDetector:
@@ -51,16 +55,35 @@ class HeartbeatDetector:
     detector for the next outage.
     """
 
-    def __init__(self, suspicion_threshold: int = 3):
+    def __init__(
+        self,
+        suspicion_threshold: int = 3,
+        probe_timeout: float | None = None,
+        backoff: BackoffPolicy | None = None,
+    ):
         if suspicion_threshold < 1:
             raise ReplicationError(
                 f"suspicion threshold must be >= 1, got {suspicion_threshold}"
             )
+        if probe_timeout is not None and probe_timeout <= 0:
+            raise ReplicationError(
+                f"probe_timeout must be > 0, got {probe_timeout}"
+            )
         self.suspicion_threshold = suspicion_threshold
+        #: Wall-clock budget (seconds) for one probe call. A probe that
+        #: answers but takes longer counts as a missed heartbeat — an
+        #: overloaded node and a dead one look the same to its clients.
+        self.probe_timeout = probe_timeout
+        #: Optional per-target probe backoff: after a miss, the target
+        #: sits out ``backoff.ticks(misses)`` polls before being probed
+        #: again, so a long outage is not hammered at full cadence.
+        self.backoff = backoff
         self._watches: dict[str, _Watch] = {}
         self.stats = {
             "probes": 0,
             "misses": 0,
+            "probe_timeouts": 0,
+            "backoff_skips": 0,
             "confirmed_failures": 0,
             "failovers": 0,
             "failover_errors": 0,
@@ -128,10 +151,31 @@ class HeartbeatDetector:
         """
         confirmed_now: list[str] = []
         for watch in list(self._watches.values()):
+            if watch.skip > 0:
+                watch.skip -= 1
+                self.stats["backoff_skips"] += 1
+                continue
             self.stats["probes"] += 1
+            missed = False
             try:
+                fault_point("detector.probe", target=watch.name)
+                started = time.monotonic()
                 watch.probe()
+                if (
+                    self.probe_timeout is not None
+                    and time.monotonic() - started > self.probe_timeout
+                ):
+                    # The target answered, but too slowly to trust: a
+                    # node this overloaded is indistinguishable from a
+                    # dead one to its clients.
+                    self.stats["probe_timeouts"] += 1
+                    missed = True
+            except ProbeTimeoutError:
+                self.stats["probe_timeouts"] += 1
+                missed = True
             except UnavailableError:
+                missed = True
+            if missed:
                 self.stats["misses"] += 1
                 watch.misses += 1
                 if watch.misses >= self.suspicion_threshold and not watch.confirmed:
@@ -145,9 +189,15 @@ class HeartbeatDetector:
                         except ReplicationError:
                             self.stats["failover_errors"] += 1
                             watch.confirmed = False
+                elif self.backoff is not None and not watch.confirmed:
+                    # Back off a suspected-but-unconfirmed target;
+                    # confirmed targets keep full probe cadence so
+                    # recovery is noticed promptly.
+                    watch.skip = self.backoff.ticks(watch.misses)
             else:
                 watch.misses = 0
                 watch.confirmed = False
+                watch.skip = 0
         return confirmed_now
 
     def suspected(self) -> list[str]:

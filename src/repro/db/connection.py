@@ -47,6 +47,7 @@ from repro.db.sql.nodes import (
 from repro.db.sql.parser import parse_sql
 from repro.db.txn.manager import IsolationLevel, TransactionStatus
 from repro.errors import FencedError, InterfaceError, UnavailableError
+from repro.faults import BackoffPolicy
 from repro.runtime.scheduler import CheckpointKind, maybe_checkpoint
 
 #: Read routing choices. ``replica`` serves SELECTs from replicas that
@@ -120,6 +121,7 @@ def connect(
     trod: Any = None,
     read_preference: str = "replica",
     max_failover_retries: int = _MAX_FAILOVER_RETRIES,
+    retry_backoff: "BackoffPolicy | None" = None,
 ) -> "Connection":
     """Open a :class:`Connection` over any :class:`Engine`.
 
@@ -158,6 +160,7 @@ def connect(
         trod=trod,
         read_preference=read_preference,
         max_failover_retries=max_failover_retries,
+        retry_backoff=retry_backoff,
     )
 
 
@@ -178,6 +181,7 @@ class Connection:
         trod: Any = None,
         read_preference: str = "replica",
         max_failover_retries: int = _MAX_FAILOVER_RETRIES,
+        retry_backoff: "BackoffPolicy | None" = None,
     ):
         if read_preference not in READ_PREFERENCES:
             raise InterfaceError(
@@ -194,6 +198,15 @@ class Connection:
         # has one; a custom Engine without the private hook still works.
         self._parse = getattr(engine, "_parse", parse_sql)
         self.max_failover_retries = max_failover_retries
+        #: Cooperative-scheduler backoff between failover retries: retry
+        #: N waits ``ticks(N-1)`` checkpoints before re-resolving the
+        #: topology, so a long outage is not hammered at full cadence.
+        #: The default grows 1 -> 2 -> 4 and caps at 4 ticks.
+        self.retry_backoff = (
+            retry_backoff
+            if retry_backoff is not None
+            else BackoffPolicy(base=1, factor=2, cap=4, jitter=0.0)
+        )
         self.stats = {
             "reads": 0,
             "writes": 0,
@@ -284,7 +297,16 @@ class Connection:
                 if attempts > self.max_failover_retries:
                     raise
                 self.stats["failover_retries"] += 1
-                maybe_checkpoint(CheckpointKind.LOCK_WAIT, "failover-retry")
+                engine_stats = getattr(self.engine, "stats", None)
+                if engine_stats is not None and "failover_retries" in engine_stats:
+                    # Mirror onto the engine so the cluster-wide
+                    # robustness surface (cluster_stats) sees retries
+                    # from every connection, not just this handle.
+                    engine_stats["failover_retries"] += 1
+                # Exponential backoff in scheduler ticks: each tick hands
+                # the baton over so the detection loop can promote.
+                for _ in range(self.retry_backoff.ticks(attempts - 1)):
+                    maybe_checkpoint(CheckpointKind.LOCK_WAIT, "failover-retry")
 
     def query(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
         return self.execute(sql, params)
@@ -667,7 +689,13 @@ class ConnectionPool:
         self._idle: list[Connection] = []
         self._in_use = 0
         self._closed = False
-        self.stats = {"checkouts": 0, "creates": 0, "reuses": 0, "discarded": 0}
+        self.stats = {
+            "checkouts": 0,
+            "creates": 0,
+            "reuses": 0,
+            "discarded": 0,
+            "retired_dead": 0,
+        }
 
     # -- checkout / checkin ----------------------------------------------
 
@@ -699,12 +727,28 @@ class ConnectionPool:
         return conn
 
     def checkin(self, conn: Connection) -> None:
-        """Return a connection for reuse (closed/overflow ones discarded)."""
+        """Return a connection for reuse (closed/overflow ones discarded).
+
+        A connection whose engine was fenced (demoted by failover) or
+        killed is retired rather than recycled: handing it to a later
+        checkout would serve a statement from a node the cluster already
+        voted out, and the error would surface far from its cause.
+        """
         if conn in self._idle:
             # A double checkin would hand the same connection to two
             # later checkouts, silently sharing its session and cursors.
             raise InterfaceError("connection is already checked in")
         self._in_use = max(0, self._in_use - 1)
+        engine = conn.engine
+        engine_dead = isinstance(engine, Database) and (
+            engine.fenced or engine.crashed
+        )
+        if engine_dead:
+            if not conn.closed:
+                conn.close()
+            self.stats["retired_dead"] += 1
+            self.stats["discarded"] += 1
+            return
         if self._closed or conn.closed or len(self._idle) >= self.size:
             if not conn.closed:
                 conn.close()

@@ -15,7 +15,7 @@ import shutil
 import tempfile
 import weakref
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.db.backend import SimulatedBackend
 from repro.db.cdc import CdcStream
@@ -52,8 +52,9 @@ from repro.db.txn.manager import (
     ReadRecord,
     Transaction,
     TransactionManager,
+    TransactionStatus,
 )
-from repro.db.txn.wal import WriteAheadLog, recover_into
+from repro.db.txn.wal import WalAbort, WriteAheadLog, recover_into
 from repro.errors import (
     ExecutionError,
     FencedError,
@@ -238,6 +239,11 @@ class Database:
         #: instead of committing it — a commit would consume a CSN and
         #: desynchronize the replica's clock from the primary's.
         self.read_only = False
+        #: Why the database is read-only, when the default "is a replica"
+        #: explanation is wrong — e.g. a quorum-degraded primary sets
+        #: this so rejected writers learn the quorum is lost (and that
+        #: the condition is temporary), not that they hit a replica.
+        self.read_only_reason: str | None = None
         #: When True, SELECTs record per-row read provenance on their
         #: transaction. TROD switches this on when it attaches.
         self.track_reads = False
@@ -459,6 +465,13 @@ class Database:
                 manager._next_txn_id = max(
                     manager._next_txn_id, commit.txn_id + 1
                 )
+            # Prepared-but-undecided branches hold txn ids too; the
+            # counter must clear them or a post-recovery transaction
+            # could collide with an in-doubt branch's identity.
+            for prepare in self.wal._prepares:
+                manager._next_txn_id = max(
+                    manager._next_txn_id, prepare.txn_id + 1
+                )
             stats["wal_commits"] = len(self.wal)
             last = self.wal.last_csn()
             for key, store in self._stores.items():
@@ -476,6 +489,47 @@ class Database:
                 )
         finally:
             self._recovering = False
+
+    def in_doubt_prepares(self) -> list[Any]:
+        """Durably prepared 2PC branches with no commit/abort record.
+
+        Non-empty only after reopening a database that crashed between a
+        coordinator's prepare and phase-2; the coordinator's
+        :meth:`~repro.db.multistore.MultiStoreCoordinator.recover_in_doubt`
+        resolves them against its decision log.
+        """
+        return self.wal.in_doubt()
+
+    def resolve_in_doubt(self, decide: Callable[[Any], bool]) -> dict[str, int]:
+        """Resolve every in-doubt prepared branch (presumed abort).
+
+        ``decide`` is called with each in-doubt
+        :class:`~repro.db.txn.wal.WalPrepare` (in WAL order) and returns
+        True to commit — the branch's prepared changes are applied at the
+        next CSN and re-logged as a normal commit — or False to abort,
+        which appends a WAL abort record so the prepare never reads as
+        in-doubt again. Returns ``{"committed": n, "aborted": n}``.
+        """
+        resolved = {"committed": 0, "aborted": 0}
+        for prepare in self.in_doubt_prepares():
+            # Same-process recovery (the simulated crash never actually
+            # killed this interpreter): the prepared branch may still
+            # sit in the active table holding its locks. Release the
+            # zombie first — after a real restart this finds nothing.
+            zombie = self.txn_manager.active.pop(prepare.txn_id, None)
+            if zombie is not None:
+                self.txn_manager.locks.release_all(prepare.txn_id)
+                zombie.status = TransactionStatus.ABORTED
+            if decide(prepare):
+                self.txn_manager.commit_recovered(prepare)
+                resolved["committed"] += 1
+            else:
+                self.wal.append_abort(
+                    WalAbort(txn_id=prepare.txn_id, gtxn_id=prepare.gtxn_id)
+                )
+                resolved["aborted"] += 1
+        self.wal.flush()
+        return resolved
 
     def checkpoint(self) -> int:
         """Flush the WAL and (paged) every dirty page, then advance each
@@ -667,8 +721,12 @@ class Database:
         self._check_available()
         if self.read_only and not isinstance(stmt, SelectStmt):
             raise ReadOnlyError(
-                f"database {self.name!r} is a read-only replica; writes "
-                "and DDL arrive only through the replication stream"
+                f"database {self.name!r} is read-only: "
+                + (
+                    self.read_only_reason
+                    or "writes and DDL arrive only through the replication "
+                    "stream (this is a read-only replica)"
+                )
             )
         if isinstance(stmt, SelectStmt) and stmt.as_of is not None:
             # ``SELECT ... AS OF <csn>``: a historical read, independent
@@ -808,7 +866,8 @@ class Database:
         """Programmatic INSERT used by tooling (bypasses SQL parsing)."""
         if self.read_only:
             raise ReadOnlyError(
-                f"database {self.name!r} is a read-only replica"
+                f"database {self.name!r} is read-only: "
+                + (self.read_only_reason or "this is a read-only replica")
             )
         schema = self.catalog.get(table)
         coerced = schema.coerce_row(values)

@@ -19,6 +19,8 @@ exactly what lets TROD order events across stores.
 
 from __future__ import annotations
 
+import json
+import os
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
@@ -26,7 +28,8 @@ from typing import Any, Callable, Sequence
 from repro.db.database import Database
 from repro.db.result import ResultSet
 from repro.db.txn.manager import IsolationLevel, Transaction, TransactionStatus
-from repro.errors import TransactionError
+from repro.errors import CrashPoint, TransactionError
+from repro.faults import fault_point
 
 
 @dataclass(frozen=True)
@@ -36,6 +39,110 @@ class AlignedCommit:
     global_csn: int
     txn_id: int  # global transaction id
     local_csns: dict[str, int] = field(hash=False, default_factory=dict)
+
+
+class DecisionLog:
+    """The coordinator's durable commit decisions (presumed abort).
+
+    Two record kinds, both JSONL. A *decision* is written — and flushed —
+    after every writing branch is durably prepared and before any branch
+    commits: it names the global transaction and each branch's local
+    txn_id, and is the coordinator's point of no return. An *end* record
+    is written after phase 2 completes, carrying the aligned commit
+    (global CSN -> per-store local CSNs) so a reopened coordinator can
+    rebuild its clock and aligned log.
+
+    Recovery semantics are presumed abort: an in-doubt prepared branch
+    found in a store's WAL commits if (and only if) its global
+    transaction has a decision record here; with no decision, the crash
+    happened before the point of no return and the branch aborts.
+
+    ``path=None`` keeps the log in memory — correct for single-process
+    clusters that never restart, and free.
+    """
+
+    def __init__(self, path: str | None = None):
+        self._path = path
+        #: gtxn id -> {store name: branch txn_id}
+        self.decisions: dict[int, dict[str, int]] = {}
+        #: gtxn id -> (global_csn, {store name: local csn})
+        self.ends: dict[int, tuple[int, dict[str, int]]] = {}
+        self._file = None
+        if path is not None:
+            if os.path.exists(path):
+                self._load(path)
+            self._file = open(path, "a", encoding="utf-8")
+
+    def _load(self, path: str) -> None:
+        """Replay an existing log file; a torn final line (crash during
+        append) is dropped and physically truncated, exactly like the
+        WAL's torn-tail handling."""
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        valid_end = 0
+        offset = 0
+        bad_at: int | None = None
+        for raw_line in raw.split(b"\n"):
+            next_offset = offset + len(raw_line) + 1
+            stripped = raw_line.strip()
+            if stripped:
+                try:
+                    data = json.loads(stripped.decode("utf-8"))
+                    gtxn_id = int(data["gtxn"])
+                    if "end" in data:
+                        self.ends[gtxn_id] = (
+                            int(data["end"]),
+                            {k: int(v) for k, v in data["local_csns"].items()},
+                        )
+                    else:
+                        self.decisions[gtxn_id] = {
+                            k: int(v) for k, v in data["branches"].items()
+                        }
+                except (ValueError, KeyError, TypeError):
+                    if bad_at is None:
+                        bad_at = offset
+                else:
+                    if bad_at is not None:
+                        raise TransactionError(
+                            f"{path}: corrupt decision record at byte "
+                            f"{bad_at} is followed by valid records"
+                        )
+                    valid_end = min(next_offset, len(raw))
+            offset = next_offset
+        if bad_at is not None:
+            with open(path, "r+b") as handle:
+                handle.truncate(valid_end)
+
+    def _write(self, record: dict[str, Any]) -> None:
+        if self._file is not None:
+            self._file.write(json.dumps(record) + "\n")
+            self._file.flush()
+
+    def record_commit(self, gtxn_id: int, branches: dict[str, int]) -> None:
+        """Log (durably) that ``gtxn_id`` decided to commit."""
+        self.decisions[gtxn_id] = dict(branches)
+        self._write({"gtxn": gtxn_id, "branches": dict(branches)})
+
+    def record_end(
+        self, gtxn_id: int, global_csn: int, local_csns: dict[str, int]
+    ) -> None:
+        """Log that phase 2 completed, with the aligned commit positions."""
+        self.ends[gtxn_id] = (global_csn, dict(local_csns))
+        self._write(
+            {"gtxn": gtxn_id, "end": global_csn, "local_csns": dict(local_csns)}
+        )
+
+    def decided_commit(self, gtxn_id: int) -> bool:
+        return gtxn_id in self.decisions
+
+    @property
+    def path(self) -> str | None:
+        return self._path
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
 
 
 class GlobalTransaction:
@@ -84,16 +191,31 @@ class GlobalTransaction:
         return sorted(self._branches)
 
     def commit(self) -> int:
-        """Two-phase commit across every store branch that wrote.
+        """Crash-consistent two-phase commit across every writing branch.
 
-        Phase 1 prepares (validates) every writing branch; any failure
-        aborts all branches and re-raises, leaving no store changed.
-        Phase 2 commits writers in deterministic store order and records
-        the aligned commit under a new global CSN. Read-only branches
-        commit locally (observers see the outcome the global transaction
-        had) but are excluded from the aligned record — an empty commit
-        maps to the same cluster state as its predecessor, so logging it
-        would only pollute the alignment history.
+        Phase 1 *durably* prepares (validates + WAL prepare record) every
+        writing branch; any failure aborts all branches — closing out
+        durable prepares with WAL abort records — and re-raises, leaving
+        no store changed. The coordinator then logs its commit decision
+        to the :class:`DecisionLog` — the point of no return. Phase 2
+        commits writers in deterministic store order and records the
+        aligned commit under a new global CSN, followed by an end record.
+
+        A crash (:class:`~repro.errors.CrashPoint`) anywhere in this
+        sequence leaves in-doubt prepared branches on disk; a reopened
+        coordinator's :meth:`MultiStoreCoordinator.recover_in_doubt`
+        resolves each one against the decision log — commit if the
+        decision was logged, abort otherwise (presumed abort) — so no
+        schedule can surface a global commit on some stores but not
+        others. Crash exceptions propagate without cleanup: a real crash
+        runs nothing, and recovery must see exactly the state the fault
+        point left behind.
+
+        Read-only branches commit locally (observers see the outcome the
+        global transaction had) but are excluded from the aligned
+        record — an empty commit maps to the same cluster state as its
+        predecessor, so logging it would only pollute the alignment
+        history.
         """
         self._check_active()
         branches = sorted(self._branches.items())
@@ -110,8 +232,13 @@ class GlobalTransaction:
         prepared: list[tuple[str, Transaction]] = []
         try:
             for store, txn in writers:
-                self._coordinator.store(store).txn_manager.prepare(txn)
+                fault_point("2pc.prepare", store=store, gtxn=self.txn_id)
+                self._coordinator.store(store).txn_manager.prepare(
+                    txn, gtxn_id=self.txn_id
+                )
                 prepared.append((store, txn))
+        except CrashPoint:
+            raise  # simulated process death: no cleanup runs
         except Exception:
             for _store, txn in branches:
                 if txn.status in (
@@ -121,14 +248,20 @@ class GlobalTransaction:
                     txn.abort()
             self._finish(TransactionStatus.ABORTED)
             raise
+        fault_point("2pc.decision", gtxn=self.txn_id)
+        self._coordinator._log_decision(self, prepared)
         local_csns: dict[str, int] = {}
         for store, txn in prepared:
+            fault_point("2pc.branch_commit", store=store, gtxn=self.txn_id)
             local_csns[store] = txn.commit()
         for _store, txn in branches:
             if txn.status is TransactionStatus.ACTIVE:  # read-only branch
                 txn.commit()
         self._finish(TransactionStatus.COMMITTED)
-        return self._coordinator._record_commit(self, local_csns)
+        global_csn = self._coordinator._record_commit(self, local_csns)
+        fault_point("2pc.end", gtxn=self.txn_id)
+        self._coordinator._log_end(self, global_csn, local_csns)
+        return global_csn
 
     def abort(self) -> None:
         for txn in self._branches.values():
@@ -151,13 +284,27 @@ class GlobalTransaction:
 class MultiStoreCoordinator:
     """Coordinates transactions and aligned logs across named stores."""
 
-    def __init__(self, stores: dict[str, Database]):
+    def __init__(
+        self,
+        stores: dict[str, Database],
+        decision_log: "DecisionLog | str | None" = None,
+    ):
         if not stores:
             raise TransactionError("coordinator needs at least one store")
         self._stores = dict(stores)
         self._next_txn_id = 1
         self.global_csn = 0
         self.aligned_log: list[AlignedCommit] = []
+        if isinstance(decision_log, str):
+            decision_log = DecisionLog(decision_log)
+        #: Durable commit decisions; in-memory unless a path was given.
+        self.decision_log = decision_log if decision_log is not None else DecisionLog()
+        self.stats = {
+            "decisions_logged": 0,
+            "ends_logged": 0,
+            "in_doubt_committed": 0,
+            "in_doubt_aborted": 0,
+        }
 
     def store(self, name: str) -> Database:
         try:
@@ -240,6 +387,98 @@ class MultiStoreCoordinator:
             )
         )
         return self.global_csn
+
+    def _log_decision(
+        self, gtxn: GlobalTransaction, prepared: list[tuple[str, Transaction]]
+    ) -> None:
+        self.decision_log.record_commit(
+            gtxn.txn_id, {store: txn.txn_id for store, txn in prepared}
+        )
+        self.stats["decisions_logged"] += 1
+
+    def _log_end(
+        self, gtxn: GlobalTransaction, global_csn: int, local_csns: dict[str, int]
+    ) -> None:
+        self.decision_log.record_end(gtxn.txn_id, global_csn, local_csns)
+        self.stats["ends_logged"] += 1
+
+    # -- crash recovery ----------------------------------------------------
+
+    def recover_in_doubt(self) -> dict[str, int]:
+        """Resolve every in-doubt prepared branch after a restart.
+
+        Presumed abort against the decision log: an in-doubt prepare
+        whose global transaction has a logged commit decision is applied
+        (phase-2 repair via
+        :meth:`~repro.db.txn.manager.TransactionManager.commit_recovered`);
+        without a decision it is aborted. The aligned log and global CSN
+        clock are rebuilt from durable end records first, and decided
+        commits that crashed before their end record get a repaired
+        aligned entry once every surviving branch is resolved — so AS-OF
+        translation keeps working across the crash.
+
+        Returns ``{"committed": n, "aborted": n, "repaired_ends": n}``.
+        Idempotent: a second call finds nothing in doubt.
+        """
+        log = self.decision_log
+        if not self.aligned_log and log.ends:
+            for gtxn_id, (global_csn, local_csns) in sorted(
+                log.ends.items(), key=lambda kv: kv[1][0]
+            ):
+                self.aligned_log.append(
+                    AlignedCommit(
+                        global_csn=global_csn,
+                        txn_id=gtxn_id,
+                        local_csns=dict(local_csns),
+                    )
+                )
+            self.global_csn = max(self.global_csn, self.aligned_log[-1].global_csn)
+        known = set(log.decisions) | set(log.ends)
+        if known:
+            self._next_txn_id = max(self._next_txn_id, max(known) + 1)
+
+        resolved = {"committed": 0, "aborted": 0, "repaired_ends": 0}
+        for name in sorted(self._stores):
+            outcome = self._stores[name].resolve_in_doubt(
+                lambda prep: log.decided_commit(prep.gtxn_id)
+            )
+            resolved["committed"] += outcome["committed"]
+            resolved["aborted"] += outcome["aborted"]
+
+        # Decided commits that never logged an end record: every branch
+        # is now applied (pre-crash via the WAL, or just above), so stamp
+        # the missing aligned entry. Decision-log insertion order is
+        # commit-decision order, preserving the original global ordering.
+        for gtxn_id in [g for g in log.decisions if g not in log.ends]:
+            branches = log.decisions[gtxn_id]
+            local_csns: dict[str, int] = {}
+            complete = True
+            for store, branch_txn_id in branches.items():
+                database = self._stores.get(store)
+                csn = (
+                    database.txn_manager.commit_index.get(branch_txn_id)
+                    if database is not None
+                    else None
+                )
+                if csn is None:
+                    complete = False  # store departed or branch lost
+                else:
+                    local_csns[store] = csn
+            if not complete or not local_csns:
+                continue
+            self.global_csn += 1
+            self.aligned_log.append(
+                AlignedCommit(
+                    global_csn=self.global_csn,
+                    txn_id=gtxn_id,
+                    local_csns=local_csns,
+                )
+            )
+            log.record_end(gtxn_id, self.global_csn, local_csns)
+            resolved["repaired_ends"] += 1
+        self.stats["in_doubt_committed"] += resolved["committed"]
+        self.stats["in_doubt_aborted"] += resolved["aborted"]
+        return resolved
 
     # -- cross-store ordering queries (the provenance-alignment surface) --
 

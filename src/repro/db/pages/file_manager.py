@@ -44,6 +44,7 @@ from repro.db.pages.page import (
     check_page_size,
 )
 from repro.errors import PageCorruptError, StorageError
+from repro.faults import fault_point
 
 #: Fixed size of each header slot; the data area starts after both.
 HEADER_SLOT_SIZE = 4096
@@ -191,6 +192,7 @@ class PageFile:
         self.meta["page_size"] = self.page_size
         self.meta["npages"] = self.npages
         self.meta["free_head"] = self._free_head
+        fault_point("page.header", table=self.meta.get("table"))
         if self.crash_hook is not None:
             self.crash_hook("header", None)
         self._header_version += 1
@@ -218,6 +220,9 @@ class PageFile:
         return Page.from_disk(page_id, raw, self.page_size)
 
     def write_page(self, page: Page) -> None:
+        fault_point(
+            "page.write", table=self.meta.get("table"), page_id=page.page_id
+        )
         if self.crash_hook is not None:
             self.crash_hook("page", page.page_id)
         self._fh.seek(self._offset(page.page_id))
@@ -225,6 +230,7 @@ class PageFile:
         self.stats["page_writes"] += 1
 
     def flush(self) -> None:
+        fault_point("page.fsync", table=self.meta.get("table"))
         self._fh.flush()
         if self.fsync:
             os.fsync(self._fh.fileno())

@@ -53,6 +53,7 @@ from repro.db.sql.nodes import (
 )
 from repro.db.txn.manager import IsolationLevel, Transaction, TransactionStatus
 from repro.errors import ReplicationError, UnavailableError
+from repro.faults import fault_point
 from repro.runtime.scheduler import CheckpointKind, maybe_checkpoint
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -148,6 +149,9 @@ class ReplicationLog:
         changes: tuple[ChangeRecord, ...] = (),
         ddl: tuple | None = None,
     ) -> None:
+        fault_point(
+            "repl.ship", primary=self.primary.name, seq=self._next_seq, kind=kind
+        )
         record = ShipRecord(
             seq=self._next_seq,
             kind=kind,
@@ -208,6 +212,7 @@ class Applier:
         self.applied_seq = 0
 
     def apply(self, record: ShipRecord) -> None:
+        fault_point("repl.apply", replica=self.replica.name, seq=record.seq)
         if record.kind == "commit":
             self._apply_commit(record)
         elif record.kind == "ddl":
@@ -354,11 +359,21 @@ class ReplicaSet:
         self._rr = 0  # round-robin cursor
         self._made = 0  # names stay unique across promote/resync
         self._promoting = False
+        #: Databases removed from active duty (the demoted primary after a
+        #: failover). :meth:`reprovision` rejoins them as fresh replicas.
+        self.retired: list[Database] = []
+        #: True while the primary has fewer than ``ack_quorum`` healthy
+        #: replicas and has been degraded to read-only.
+        self.degraded = False
         self.stats = {
             "shipped_records": 0,
             "resyncs": 0,
             "promotions": 0,
             "quorum_commits": 0,
+            "quorum_misses": 0,
+            "degradations": 0,
+            "restorations": 0,
+            "reprovisions": 0,
         }
         for _ in range(n_replicas):
             self.add_replica()
@@ -550,12 +565,45 @@ class ReplicaSet:
                 continue  # cannot ack (gap or died mid-apply); try the next
             acked += 1
         if acked < self.ack_quorum:
+            self.stats["quorum_misses"] += 1
+            self._degrade(acked)
             raise ReplicationError(
                 f"write quorum not met: {acked} of {self.ack_quorum} required "
                 f"replicas acknowledged csn {record.csn} (primary applied it; "
                 "retry once replicas recover, or fail over)"
             )
         self.stats["quorum_commits"] += 1
+
+    def _degrade(self, acked: int) -> None:
+        """Quorum lost: degrade the primary to read-only.
+
+        The commit that detected the miss is already durable locally and
+        in the ship log (its ReplicationError says so); what degradation
+        prevents is *piling up* further writes that no quorum has seen.
+        Reads keep flowing — a quorum-less primary must stay readable.
+        :meth:`_maybe_restore` lifts the fence once enough replicas are
+        healthy and caught up again.
+        """
+        if self.degraded:
+            return
+        self.degraded = True
+        self.primary.read_only = True
+        self.primary.read_only_reason = (
+            f"write quorum lost ({acked} of {self.ack_quorum} replicas "
+            "acknowledging); writes resume when the quorum is restored"
+        )
+        self.stats["degradations"] += 1
+
+    def _maybe_restore(self) -> None:
+        """Lift a quorum degradation once enough replicas are healthy."""
+        if not self.degraded:
+            return
+        if len(self.healthy_replicas()) < self.ack_quorum:
+            return
+        self.degraded = False
+        self.primary.read_only = False
+        self.primary.read_only_reason = None
+        self.stats["restorations"] += 1
 
     def catch_up(
         self, replica: Replica | str | None = None, limit: int | None = None
@@ -592,6 +640,7 @@ class ReplicaSet:
             # upstream replicas.
             for _upstream, downstream in self.chains:
                 applied += downstream.catch_up(limit=limit)
+        self._maybe_restore()
         return applied
 
     def ship_loop(
@@ -782,8 +831,16 @@ class ReplicaSet:
             except (ReplicationError, UnavailableError):
                 laggards.append(replica)
         self.log.detach()
+        old_primary = self.primary
         self.primary = target.database
         self.primary.read_only = False  # promoted: it now takes writes
+        self.primary.read_only_reason = None
+        # The new primary starts with a full healthy replica set view; any
+        # quorum degradation belonged to the old topology.
+        self.degraded = False
+        #: The demoted primary is retired, not forgotten — once revived it
+        #: rejoins as a fresh replica via :meth:`reprovision`.
+        self.retired.append(old_primary)
         self.replicas = [r for r in self.replicas if r is not target]
         self.log = ReplicationLog(self.primary, retain=self._log_retain)
         for replica in self.replicas:
@@ -794,6 +851,31 @@ class ReplicaSet:
         self._subscribe_ship()
         self.stats["promotions"] += 1
         return self.primary
+
+    def reprovision(self) -> int:
+        """Rejoin retired nodes (demoted primaries) as fresh replicas.
+
+        A retired database that is no longer crashed is replaced by a
+        brand-new replica bootstrapped from the current primary — its old
+        state may have diverged (writes the failover never shipped), so
+        rejoining is always a fresh snapshot, never a rewind. Crashed
+        nodes stay retired until revived. Returns the number of nodes
+        re-provisioned; restores a quorum degradation if the rejoins
+        completed it.
+        """
+        rejoined = 0
+        still_retired: list[Database] = []
+        for node in self.retired:
+            if node.crashed:
+                still_retired.append(node)
+                continue
+            self.add_replica(name=f"{node.name}-rejoin{self._made + 1}")
+            self.stats["reprovisions"] += 1
+            rejoined += 1
+        self.retired = still_retired
+        if rejoined:
+            self._maybe_restore()
+        return rejoined
 
     def _drain(self, replica: Replica) -> None:
         """Apply every retained record to ``replica`` (no truncation gap)."""

@@ -46,6 +46,7 @@ from repro.db.expr import (
     split_conjuncts,
 )
 from repro.db.multistore import GlobalTransaction, MultiStoreCoordinator
+from repro.faults import active as faults_active
 from repro.db.replication import ReplicaSet
 from repro.db.result import ResultSet
 from repro.db.schema import TableSchema
@@ -428,6 +429,7 @@ class ShardedDatabase:
         name: str = "sharded",
         shard_keys: dict[str, str] | None = None,
         databases: Sequence[Database] | None = None,
+        decision_log: "str | None" = None,
     ):
         if databases is not None:
             shards = list(databases)
@@ -439,7 +441,12 @@ class ShardedDatabase:
         self.shards = shards
         self.store_names = [f"shard{i}" for i in range(len(shards))]
         self._by_name = dict(zip(self.store_names, shards))
-        self.coordinator = MultiStoreCoordinator(self._by_name)
+        #: ``decision_log`` names a JSONL file for the coordinator's 2PC
+        #: decision log — pass the same path on reopen and
+        #: :meth:`recover_in_doubt` resolves crashed-mid-commit branches.
+        self.coordinator = MultiStoreCoordinator(
+            self._by_name, decision_log=decision_log
+        )
         self.router = ShardRouter(self.store_names)
         #: Explicit shard-key choices (table -> column), consulted before
         #: falling back to the primary key / first column at CREATE TABLE.
@@ -489,6 +496,10 @@ class ShardedDatabase:
             # already satisfied the limit.
             "limit_pushdown_queries": 0,
             "limit_shards_skipped": 0,
+            # Failover retries burned by connections routed through this
+            # cluster (mirrored here by Connection._retry_routed so the
+            # cluster-wide robustness surface sees them).
+            "failover_retries": 0,
         }
 
     # -- plumbing -----------------------------------------------------------
@@ -671,6 +682,39 @@ class ShardedDatabase:
                 else:
                     totals[key] = totals.get(key, 0) + value
         return totals
+
+    @property
+    def cluster_stats(self) -> dict[str, int]:
+        """Robustness counters in one flat surface.
+
+        Mirrors :attr:`executor_stats`/:attr:`storage_stats`: replication
+        counters summed across every shard's replica set, the 2PC
+        coordinator's decision-log counters, connection failover retries,
+        and — when a fault injector is installed — how many faults fired.
+        """
+        totals: dict[str, int] = {}
+        for replica_set in self.replica_sets.values():
+            for key, value in replica_set.stats.items():
+                totals[key] = totals.get(key, 0) + value
+        for key, value in self.coordinator.stats.items():
+            totals[key] = totals.get(key, 0) + value
+        totals["failover_retries"] = self.stats["failover_retries"]
+        injector = faults_active()
+        if injector is not None:
+            totals["faults_injected"] = injector.stats["fired"]
+        return totals
+
+    def recover_in_doubt(self) -> dict[str, int]:
+        """Resolve 2PC branches left in doubt by a coordinator crash.
+
+        Delegates to :meth:`MultiStoreCoordinator.recover_in_doubt`:
+        every shard's durably prepared but undecided branch commits if
+        the decision log recorded a commit for its global transaction
+        and aborts otherwise (presumed abort), and partially-applied
+        phase 2 is repaired. Call once after reopening a cluster from
+        disk with the same ``decision_log`` path.
+        """
+        return self.coordinator.recover_in_doubt()
 
     def snapshot_rows(self, table: str) -> list[tuple[int, tuple]]:
         """Latest committed ``(row_id, values)`` pairs across all shards.

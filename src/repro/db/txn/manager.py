@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 from repro.db.txn.locks import LockManager, LockMode
-from repro.db.txn.wal import WalChange, WalCommit
+from repro.db.txn.wal import WalAbort, WalChange, WalCommit, WalPrepare
 from repro.errors import (
     FencedError,
     IntegrityError,
@@ -102,6 +102,10 @@ class Transaction:
         self._statement_reads: list[ReadRecord] = []
         self._statement_csn = snapshot_csn
         self.commit_csn: int | None = None
+        #: Set when this branch was durably prepared on behalf of a
+        #: global transaction; an abort must then write a WAL abort
+        #: record so the prepare never reads as in-doubt after a crash.
+        self.prepared_gtxn: int | None = None
 
     # -- naming --------------------------------------------------------------
 
@@ -394,13 +398,19 @@ class TransactionManager:
         self.database.notify("txn_began", txn)
         return txn
 
-    def prepare(self, txn: Transaction) -> None:
+    def prepare(self, txn: Transaction, *, gtxn_id: int | None = None) -> None:
         """First phase of two-phase commit: validate without applying.
 
         A PREPARED transaction is guaranteed to commit successfully (its
         conflicts and constraints were checked); the cross-store
         coordinator uses this to make multi-database commits atomic.
         Validation failure aborts the transaction.
+
+        With ``gtxn_id`` the prepare is also made *durable*: the branch's
+        buffered changes land in the WAL as a flushed prepare record, so
+        a crash between prepare and the coordinator's phase-2 leaves an
+        in-doubt record that recovery resolves against the coordinator's
+        decision log instead of silently losing the branch.
         """
         if txn.status is not TransactionStatus.ACTIVE:
             raise TransactionError(
@@ -412,6 +422,24 @@ class TransactionManager:
             self.abort(txn)
             raise
         txn.status = TransactionStatus.PREPARED
+        if gtxn_id is not None and txn.write_ops:
+            self.database.wal.append_prepare(
+                WalPrepare(
+                    gtxn_id=gtxn_id,
+                    txn_id=txn.txn_id,
+                    changes=tuple(
+                        WalChange(
+                            op=op.op,
+                            table=op.table,
+                            row_id=op.row_id,
+                            values=op.values,
+                            old_values=None,
+                        )
+                        for op in txn.write_ops
+                    ),
+                )
+            )
+            txn.prepared_gtxn = gtxn_id
 
     def commit(self, txn: Transaction) -> int:
         if txn.status is TransactionStatus.COMMITTED:
@@ -484,8 +512,45 @@ class TransactionManager:
         txn.status = TransactionStatus.ABORTED
         self.active.pop(txn.txn_id, None)
         self.locks.release_all(txn.txn_id)
+        if txn.prepared_gtxn is not None:
+            self.database.wal.append_abort(
+                WalAbort(txn_id=txn.txn_id, gtxn_id=txn.prepared_gtxn)
+            )
         self.stats["aborted"] += 1
         self.database.notify("txn_aborted", txn)
+
+    def commit_recovered(self, prepare: WalPrepare) -> int:
+        """Apply an in-doubt prepared branch whose coordinator logged a
+        commit decision before the crash (recovery-only phase-2 repair).
+
+        The prepare record carries the branch's full change list; it is
+        applied at the next CSN, stamped into the commit/CSN indexes
+        under its original txn_id, and re-logged as a normal WAL commit
+        record so the prepare stops reading as in-doubt on later opens.
+        """
+        csn = self.last_csn + 1
+        for change in prepare.changes:
+            store = self.database.store(change.table)
+            indexes = self.database.index_set(change.table)
+            if change.op == "insert":
+                store.apply_insert(change.values, csn, row_id=change.row_id)
+                indexes.on_insert(change.row_id, change.values)
+            elif change.op == "update":
+                old = store.apply_update(change.row_id, change.values, csn)
+                indexes.on_update(change.row_id, old, change.values)
+            else:
+                old = store.apply_delete(change.row_id, csn)
+                indexes.on_delete(change.row_id, old)
+        self.last_csn = csn
+        self.commit_index[prepare.txn_id] = csn
+        self.csn_index[csn] = prepare.txn_id
+        self._next_txn_id = max(self._next_txn_id, prepare.txn_id + 1)
+        self.database.wal.append(
+            WalCommit(csn=csn, txn_id=prepare.txn_id, changes=prepare.changes)
+        )
+        self.database.wal.flush()
+        self.stats["committed"] += 1
+        return csn
 
     # -- commit internals ---------------------------------------------------------
 

@@ -1,10 +1,21 @@
-"""Write-ahead log (redo-only).
+"""Write-ahead log (redo-only, plus two-phase-commit bookkeeping).
 
-The engine buffers all writes privately until commit, so the WAL only needs
-commit records: each :class:`WalCommit` carries the commit sequence number
-and the full ordered list of row changes. Replaying commits in CSN order
-reconstructs the database exactly — :func:`recover_into` does this and is
-exercised by the crash-recovery tests.
+The engine buffers all writes privately until commit, so the WAL mostly
+needs commit records: each :class:`WalCommit` carries the commit sequence
+number and the full ordered list of row changes. Replaying commits in CSN
+order reconstructs the database exactly — :func:`recover_into` does this
+and is exercised by the crash-recovery tests.
+
+Two-phase commit adds two typed records. A :class:`WalPrepare` persists a
+branch's buffered changes at prepare time (flushed immediately — the
+coordinator may only log its decision once every branch is durably
+prepared), and a :class:`WalAbort` closes out a durably prepared branch
+that was rolled back. A prepare with no matching commit or abort record
+is *in doubt* (:meth:`WriteAheadLog.in_doubt`); recovery resolves it by
+consulting the coordinator's decision log — commit if a decision was
+logged, abort otherwise (presumed abort). Commit records keep their
+original untagged JSON shape, so WAL files written before this existed
+replay unchanged; the new records carry a ``"kind"`` discriminator.
 
 The log lives in memory and can optionally mirror to a JSONL file, which is
 how the durability simulation (the "Postgres-like" backend profile) models
@@ -29,6 +40,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
 from repro.errors import WalError
+from repro.faults import fault_point
 
 
 @dataclass(frozen=True)
@@ -80,11 +92,64 @@ class WalCommit:
 
     @staticmethod
     def from_json(data: dict[str, Any]) -> "WalCommit":
+        if "kind" in data:
+            raise ValueError(f"not a commit record: kind={data['kind']!r}")
         return WalCommit(
             csn=data["csn"],
             txn_id=data["txn_id"],
             changes=tuple(WalChange.from_json(c) for c in data["changes"]),
         )
+
+
+@dataclass(frozen=True)
+class WalPrepare:
+    """A 2PC branch's durably prepared (but not yet decided) changes."""
+
+    gtxn_id: int  # the coordinator's global transaction id
+    txn_id: int  # this branch's local transaction id
+    changes: tuple[WalChange, ...]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "kind": "prepare",
+            "gtxn": self.gtxn_id,
+            "txn_id": self.txn_id,
+            "changes": [c.to_json() for c in self.changes],
+        }
+
+    @staticmethod
+    def from_json(data: dict[str, Any]) -> "WalPrepare":
+        return WalPrepare(
+            gtxn_id=data["gtxn"],
+            txn_id=data["txn_id"],
+            changes=tuple(WalChange.from_json(c) for c in data["changes"]),
+        )
+
+
+@dataclass(frozen=True)
+class WalAbort:
+    """Closes out a durably prepared branch that rolled back."""
+
+    txn_id: int
+    gtxn_id: int
+
+    def to_json(self) -> dict[str, Any]:
+        return {"kind": "abort", "txn_id": self.txn_id, "gtxn": self.gtxn_id}
+
+    @staticmethod
+    def from_json(data: dict[str, Any]) -> "WalAbort":
+        return WalAbort(txn_id=data["txn_id"], gtxn_id=data["gtxn"])
+
+
+def _record_from_json(data: Any) -> "WalCommit | WalPrepare | WalAbort":
+    kind = data.get("kind") if isinstance(data, dict) else None
+    if kind is None:
+        return WalCommit.from_json(data)
+    if kind == "prepare":
+        return WalPrepare.from_json(data)
+    if kind == "abort":
+        return WalAbort.from_json(data)
+    raise ValueError(f"unknown WAL record kind {kind!r}")
 
 
 class WriteAheadLog:
@@ -109,6 +174,12 @@ class WriteAheadLog:
         #: Set by :meth:`load` when a truncated trailing record (crash
         #: mid-append) was dropped to reach a clean recovery point.
         self.torn_tail_dropped = False
+        #: 2PC bookkeeping: durably prepared branches and how each was
+        #: resolved. A prepare whose txn_id appears in neither set is in
+        #: doubt after a crash.
+        self._prepares: list[WalPrepare] = []
+        self._committed_txns: set[int] = set()
+        self._aborted_txns: set[int] = set()
 
     def append(self, commit: WalCommit) -> None:
         if self._commits and commit.csn <= self._commits[-1].csn:
@@ -117,17 +188,49 @@ class WriteAheadLog:
                 f"{self._commits[-1].csn}"
             )
         self._commits.append(commit)
+        self._committed_txns.add(commit.txn_id)
         if self._file is not None:
             self._pending.append(json.dumps(commit.to_json()))
             self.flush_stats["appends"] += 1
             if len(self._pending) >= self._group_size:
                 self.flush()
 
+    def append_prepare(self, prepare: WalPrepare) -> None:
+        """Persist a 2PC branch's prepare record, flushed immediately:
+        the coordinator must not log a commit decision until every
+        branch's prepared changes are durable."""
+        self._prepares.append(prepare)
+        if self._file is not None:
+            self._pending.append(json.dumps(prepare.to_json()))
+            self.flush_stats["appends"] += 1
+            self.flush()
+
+    def append_abort(self, abort: WalAbort) -> None:
+        """Close out a durably prepared branch that rolled back (group
+        buffered — losing an abort record is harmless under presumed
+        abort; recovery re-aborts the undecided prepare)."""
+        self._aborted_txns.add(abort.txn_id)
+        if self._file is not None:
+            self._pending.append(json.dumps(abort.to_json()))
+            self.flush_stats["appends"] += 1
+            if len(self._pending) >= self._group_size:
+                self.flush()
+
+    def in_doubt(self) -> list[WalPrepare]:
+        """Durably prepared branches with no commit or abort record."""
+        return [
+            p
+            for p in self._prepares
+            if p.txn_id not in self._committed_txns
+            and p.txn_id not in self._aborted_txns
+        ]
+
     def flush(self) -> None:
         """Drain buffered commits with one write + flush (the group's
         single fsync-equivalent)."""
         if self._file is None or not self._pending:
             return
+        fault_point("wal.flush", path=self._path, pending=len(self._pending))
         self._file.write("\n".join(self._pending) + "\n")
         self._file.flush()
         if self._fsync:
@@ -197,12 +300,12 @@ class WriteAheadLog:
             stripped = raw_line.strip()
             if stripped:
                 try:
-                    commit = WalCommit.from_json(
+                    record = _record_from_json(
                         json.loads(stripped.decode("utf-8"))
                     )
                 except (ValueError, KeyError, TypeError):
-                    commit = None
-                if commit is None:
+                    record = None
+                if record is None:
                     if bad_at is None:
                         bad_at = offset
                 else:
@@ -211,7 +314,12 @@ class WriteAheadLog:
                             f"{path}: corrupt WAL record at byte {bad_at} "
                             "is followed by valid records"
                         )
-                    wal.append(commit)
+                    if isinstance(record, WalCommit):
+                        wal.append(record)
+                    elif isinstance(record, WalPrepare):
+                        wal._prepares.append(record)
+                    else:
+                        wal._aborted_txns.add(record.txn_id)
                     valid_end = min(next_offset, len(raw))
             offset = next_offset
         wal.torn_tail_dropped = bad_at is not None

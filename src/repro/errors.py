@@ -107,6 +107,34 @@ class UnavailableError(DatabaseError):
     """The database is crashed/unreachable (simulated node failure)."""
 
 
+class ProbeTimeoutError(UnavailableError):
+    """A liveness probe exceeded the detector's timeout budget."""
+
+
+class FaultInjected(ReproError):
+    """An error raised on purpose by the deterministic fault injector.
+
+    Deliberately *not* a :class:`DatabaseError`: subsystem handlers that
+    catch and absorb their own error types must not accidentally swallow
+    an injected fault unless the schedule asked for a subsystem error
+    (in which case the injector raises that subsystem type directly).
+    """
+
+    def __init__(self, point: str, hit: int, message: str | None = None):
+        super().__init__(message or f"injected fault at {point!r} (hit {hit})")
+        self.point = point
+        self.hit = hit
+
+
+class CrashPoint(FaultInjected):
+    """A simulated whole-process crash at a named fault point.
+
+    Code under test must let this propagate without running cleanup —
+    a real crash runs nothing — so recovery paths are exercised from
+    exactly the on-disk state the fault point left behind.
+    """
+
+
 class TimeTravelError(DatabaseError):
     """A time-travel request referenced an impossible point in history."""
 

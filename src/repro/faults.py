@@ -1,0 +1,256 @@
+"""Deterministic fault injection — failures, the TROD way.
+
+The paper's thesis is that transactions make debugging easy because
+every failure is replayable. That only holds if failures themselves are
+deterministic, so this module provides the one sanctioned way to break
+things: a seeded, schedule-driven :class:`FaultInjector` that fires at
+*named fault points* threaded through the substrate's riskiest writes —
+page writes and fsyncs, WAL flushes, replication ship/apply, detector
+probes, and both phases of two-phase commit.
+
+Sites call :func:`fault_point`, which is a no-op unless an injector is
+installed (a module-level check; production pays one ``is None`` test).
+Tests arm the injector::
+
+    inj = FaultInjector(seed=7)
+    inj.fail("2pc.decision", exc=CrashPoint)     # crash before the
+    with inj.installed():                        # decision is logged
+        gtxn.commit()        # raises CrashPoint at the armed point
+
+Every firing is recorded in ``inj.trace``; the same seed + schedule +
+workload replays the identical failure, byte for byte. Probabilistic
+faults (``fail_every``) draw from the injector's own seeded RNG, never
+from global randomness.
+
+:class:`BackoffPolicy` lives here too: deterministic exponential backoff
+with seeded jitter, measured in cooperative-scheduler ticks rather than
+wall-clock seconds, shared by detector probes and connection failover
+retry so chaos tests stay replayable.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.errors import CrashPoint, FaultInjected
+
+__all__ = [
+    "BackoffPolicy",
+    "FAULT_POINTS",
+    "FaultInjector",
+    "active",
+    "fault_point",
+    "install",
+    "injected",
+    "uninstall",
+]
+
+#: Registry of the named fault points the substrate exposes. ``arm``-ing
+#: an unknown name raises, catching typos before a test silently injects
+#: nothing. Each value documents where in the write path the point sits.
+FAULT_POINTS: dict[str, str] = {
+    "page.write": "before a data page is written to its page file",
+    "page.header": "before a page-file header slot is written",
+    "page.fsync": "before a page file flushes/fsyncs to disk",
+    "wal.flush": "before the WAL drains its pending group to disk",
+    "repl.ship": "before a record is published to the replication log",
+    "repl.apply": "before a shipped record is applied to a replica",
+    "detector.probe": "around a heartbeat liveness probe",
+    "2pc.prepare": "before a branch is prepared (phase 1)",
+    "2pc.decision": "before the coordinator logs its commit decision",
+    "2pc.branch_commit": "before a prepared branch commits (phase 2)",
+    "2pc.end": "before the coordinator logs the end-of-commit record",
+}
+
+
+class _Arm:
+    """One scheduled fault: fire at an absolute hit number of a point."""
+
+    __slots__ = ("point", "at", "count", "exc")
+
+    def __init__(self, point: str, at: int, count: int, exc: Any):
+        self.point = point
+        self.at = at
+        self.count = count
+        self.exc = exc
+
+
+class FaultInjector:
+    """Seeded, schedule-driven fault injection with a replayable trace.
+
+    Two scheduling modes compose freely:
+
+    * ``fail(point, at=N)`` — fire on the Nth hit of the point (1-based;
+      default: the next hit), ``count`` consecutive times.
+    * ``fail_every(point, p)`` — fire each hit with probability ``p``
+      drawn from the injector's own seeded RNG.
+
+    The raised exception defaults to :class:`CrashPoint` (a simulated
+    process kill); pass ``exc=`` an exception class or instance to
+    inject a subsystem error (``UnavailableError`` for a probe,
+    ``WalError`` for a flush...) instead.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.hits: dict[str, int] = {}
+        self.trace: list[tuple[str, int, dict[str, Any]]] = []
+        self.stats = {"hits": 0, "fired": 0}
+        self._arms: list[_Arm] = []
+        self._rates: dict[str, tuple[float, Any]] = {}
+
+    # -- scheduling -----------------------------------------------------
+
+    def _check_point(self, point: str) -> None:
+        if point not in FAULT_POINTS:
+            known = ", ".join(sorted(FAULT_POINTS))
+            raise FaultInjected(
+                point, 0, f"unknown fault point {point!r} (known: {known})"
+            )
+
+    def fail(
+        self,
+        point: str,
+        *,
+        at: int | None = None,
+        count: int = 1,
+        exc: Any = None,
+    ) -> "FaultInjector":
+        """Arm ``point`` to raise on its ``at``-th hit (default: next)."""
+        self._check_point(point)
+        if at is None:
+            at = self.hits.get(point, 0) + 1
+        if at < 1 or count < 1:
+            raise FaultInjected(point, at, "at and count must be >= 1")
+        self._arms.append(_Arm(point, at, count, exc))
+        return self
+
+    def fail_every(self, point: str, p: float, *, exc: Any = None) -> "FaultInjector":
+        """Arm ``point`` to raise each hit with seeded probability ``p``."""
+        self._check_point(point)
+        if not 0.0 <= p <= 1.0:
+            raise FaultInjected(point, 0, "probability must be in [0, 1]")
+        self._rates[point] = (p, exc)
+        return self
+
+    def clear(self, point: str | None = None) -> None:
+        """Disarm every schedule entry (or just ``point``'s)."""
+        if point is None:
+            self._arms.clear()
+            self._rates.clear()
+        else:
+            self._arms = [a for a in self._arms if a.point != point]
+            self._rates.pop(point, None)
+
+    # -- firing ---------------------------------------------------------
+
+    def _raise(self, point: str, hit: int, exc: Any, ctx: dict[str, Any]) -> None:
+        self.stats["fired"] += 1
+        self.trace.append((point, hit, ctx))
+        if exc is None:
+            raise CrashPoint(point, hit)
+        if isinstance(exc, type):
+            if issubclass(exc, FaultInjected):
+                raise exc(point, hit)
+            raise exc(f"injected fault at {point!r} (hit {hit})")
+        if isinstance(exc, BaseException):
+            raise exc
+        raise exc(point, hit)  # factory callable
+
+    def fire(self, point: str, **ctx: Any) -> None:
+        """Count a hit of ``point``; raise if the schedule says so."""
+        hit = self.hits.get(point, 0) + 1
+        self.hits[point] = hit
+        self.stats["hits"] += 1
+        for arm in self._arms:
+            if arm.point == point and arm.at <= hit < arm.at + arm.count:
+                self._raise(point, hit, arm.exc, ctx)
+        if point in self._rates:
+            p, exc = self._rates[point]
+            if self.rng.random() < p:
+                self._raise(point, hit, exc, ctx)
+
+    def installed(self) -> Any:
+        """``with inj.installed():`` — ambient-install for the block."""
+        return injected(self)
+
+
+class BackoffPolicy:
+    """Deterministic exponential backoff with seeded jitter.
+
+    Delays are measured in *cooperative-scheduler ticks* (checkpoint
+    yields), not wall-clock seconds: retry pacing then interleaves
+    deterministically with the rest of a chaos schedule and replays
+    byte-identically. Jitter is stateless per attempt — attempt ``k``
+    always gets the same jittered delay for a given seed, regardless of
+    how many other callers share the policy.
+    """
+
+    def __init__(
+        self,
+        base: float = 1.0,
+        factor: float = 2.0,
+        cap: float = 16.0,
+        jitter: float = 0.0,
+        seed: int = 0,
+    ):
+        if base <= 0 or factor < 1 or cap < base or not 0 <= jitter < 1:
+            raise ValueError("invalid backoff parameters")
+        self.base = base
+        self.factor = factor
+        self.cap = cap
+        self.jitter = jitter
+        self.seed = seed
+
+    def delay(self, attempt: int) -> float:
+        """Jittered delay (in ticks) before retry number ``attempt`` (0-based)."""
+        raw = min(self.cap, self.base * self.factor ** max(0, attempt))
+        if not self.jitter:
+            return raw
+        rng = random.Random((self.seed << 20) ^ (attempt + 1))
+        return raw * (1.0 - self.jitter * rng.random())
+
+    def ticks(self, attempt: int) -> int:
+        """``delay`` rounded to whole scheduler ticks, at least one."""
+        return max(1, round(self.delay(attempt)))
+
+
+# -- ambient installation ----------------------------------------------
+
+_ACTIVE: FaultInjector | None = None
+
+
+def install(injector: FaultInjector) -> None:
+    """Make ``injector`` the ambient injector every fault point consults."""
+    global _ACTIVE
+    _ACTIVE = injector
+
+
+def uninstall() -> None:
+    """Remove the ambient injector; fault points go back to no-ops."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> FaultInjector | None:
+    """The currently installed injector, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def injected(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Install ``injector`` for the duration of the ``with`` block."""
+    install(injector)
+    try:
+        yield injector
+    finally:
+        uninstall()
+
+
+def fault_point(point: str, **ctx: Any) -> None:
+    """Hit a named fault point (no-op unless an injector is installed)."""
+    if _ACTIVE is not None:
+        _ACTIVE.fire(point, **ctx)

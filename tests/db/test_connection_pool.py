@@ -39,6 +39,7 @@ class TestPoolBasics:
         pool.checkin(again)
         assert pool.stats == {
             "checkouts": 2, "creates": 1, "reuses": 1, "discarded": 0,
+            "retired_dead": 0,
         }
 
     def test_burst_grows_then_caps_idle_retention(self):
@@ -78,6 +79,28 @@ class TestPoolBasics:
         assert not fresh.closed and fresh is not conn
         assert pool.stats["discarded"] == 1
         assert pool.stats["creates"] == 2 and pool.stats["reuses"] == 0
+
+    def test_checkin_retires_connection_to_fenced_engine(self):
+        """A failover fences the node behind a checked-out connection;
+        checkin must retire it, not recycle a handle to a demoted node."""
+        db = seeded_db()
+        pool = ConnectionPool(db, size=2)
+        conn = pool.checkout()
+        db.fenced = True  # demoted behind the pool's back
+        pool.checkin(conn)
+        assert conn.closed
+        assert pool.idle == 0
+        assert pool.stats["retired_dead"] == 1
+        assert pool.stats["discarded"] == 1
+
+    def test_checkin_retires_connection_to_killed_engine(self):
+        db = seeded_db()
+        pool = ConnectionPool(db, size=2)
+        conn = pool.checkout()
+        db.crashed = True
+        pool.checkin(conn)
+        assert conn.closed and pool.idle == 0
+        assert pool.stats["retired_dead"] == 1
 
     def test_close_refuses_further_checkouts(self):
         pool = ConnectionPool(seeded_db(), size=2)

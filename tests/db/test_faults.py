@@ -1,0 +1,205 @@
+"""FaultInjector and BackoffPolicy: the deterministic-failure substrate."""
+
+import pytest
+
+import repro
+from repro.db import Database
+from repro.db.txn.wal import WriteAheadLog, WalChange, WalCommit
+from repro.errors import CrashPoint, FaultInjected, UnavailableError, WalError
+from repro.faults import (
+    FAULT_POINTS,
+    BackoffPolicy,
+    FaultInjector,
+    active,
+    fault_point,
+    injected,
+    install,
+    uninstall,
+)
+
+
+class TestInjectorScheduling:
+    def test_unknown_point_rejected_at_arm_time(self):
+        injector = FaultInjector()
+        with pytest.raises(FaultInjected, match="unknown fault point"):
+            injector.fail("wal.flsh")  # typo must not silently no-op
+
+    def test_fail_fires_on_the_armed_hit_only(self):
+        injector = FaultInjector()
+        injector.fail("wal.flush", at=3)
+        injector.fire("wal.flush")
+        injector.fire("wal.flush")
+        with pytest.raises(CrashPoint) as exc:
+            injector.fire("wal.flush")
+        assert exc.value.point == "wal.flush" and exc.value.hit == 3
+        injector.fire("wal.flush")  # past the arm: quiet again
+        assert injector.stats == {"hits": 4, "fired": 1}
+
+    def test_fail_default_arms_the_next_hit(self):
+        injector = FaultInjector()
+        injector.fire("2pc.prepare")
+        injector.fail("2pc.prepare")  # next hit is #2
+        with pytest.raises(CrashPoint):
+            injector.fire("2pc.prepare")
+
+    def test_count_fires_consecutive_hits(self):
+        injector = FaultInjector()
+        injector.fail("repl.apply", at=1, count=2, exc=UnavailableError)
+        for _ in range(2):
+            with pytest.raises(UnavailableError):
+                injector.fire("repl.apply")
+        injector.fire("repl.apply")
+
+    def test_exception_class_instance_and_factory(self):
+        injector = FaultInjector()
+        injector.fail("page.fsync", at=1, exc=WalError)
+        with pytest.raises(WalError, match="injected fault"):
+            injector.fire("page.fsync")
+        sentinel = WalError("exact instance")
+        injector.fail("page.fsync", at=2, exc=sentinel)
+        with pytest.raises(WalError) as exc:
+            injector.fire("page.fsync")
+        assert exc.value is sentinel
+
+    def test_fail_every_is_seed_deterministic(self):
+        def firings(seed: int) -> list[int]:
+            injector = FaultInjector(seed=seed)
+            injector.fail_every("repl.ship", 0.3, exc=UnavailableError)
+            out = []
+            for i in range(50):
+                try:
+                    injector.fire("repl.ship")
+                except UnavailableError:
+                    out.append(i)
+            return out
+
+        assert firings(7) == firings(7)
+        assert firings(7) != firings(8)
+
+    def test_trace_records_every_firing_with_context(self):
+        injector = FaultInjector()
+        injector.fail("2pc.decision", at=1)
+        with pytest.raises(CrashPoint):
+            injector.fire("2pc.decision", gtxn=42)
+        assert injector.trace == [("2pc.decision", 1, {"gtxn": 42})]
+
+    def test_clear_disarms(self):
+        injector = FaultInjector()
+        injector.fail("wal.flush").fail_every("repl.ship", 1.0)
+        injector.clear("repl.ship")
+        injector.fire("repl.ship")
+        injector.clear()
+        injector.fire("wal.flush")
+
+
+class TestAmbientInstallation:
+    def test_fault_point_is_noop_without_injector(self):
+        assert active() is None
+        fault_point("wal.flush")  # must not raise, must not count
+
+    def test_injected_context_installs_and_uninstalls(self):
+        injector = FaultInjector()
+        with injected(injector):
+            assert active() is injector
+            fault_point("detector.probe", target="x")
+        assert active() is None
+        assert injector.hits == {"detector.probe": 1}
+
+    def test_install_uninstall(self):
+        injector = FaultInjector()
+        install(injector)
+        try:
+            assert active() is injector
+        finally:
+            uninstall()
+        assert active() is None
+
+    def test_exported_at_top_level(self):
+        assert repro.FaultInjector is FaultInjector
+        assert repro.BackoffPolicy is BackoffPolicy
+        assert repro.injected is injected
+
+    def test_registry_covers_the_substrate(self):
+        for expected in (
+            "page.write", "page.fsync", "wal.flush", "repl.ship",
+            "repl.apply", "detector.probe", "2pc.prepare", "2pc.decision",
+            "2pc.branch_commit", "2pc.end",
+        ):
+            assert expected in FAULT_POINTS
+
+
+class TestFaultPointsAreThreaded:
+    def test_wal_flush_point_fires(self):
+        wal = WriteAheadLog()  # in-memory: flush() is a no-op, no hit
+        injector = FaultInjector()
+        with injected(injector):
+            wal.append(
+                WalCommit(
+                    csn=1,
+                    txn_id=1,
+                    changes=(
+                        WalChange("insert", "t", 1, (1, "v"), None),
+                    ),
+                )
+            )
+        assert injector.hits.get("wal.flush") is None
+
+    def test_injected_wal_fault_surfaces_through_commit(self, tmp_path):
+        """A wal.flush fault escapes mid-commit — after the store apply,
+        before the lock release — exactly where a real fsync failure
+        would strand the process. No cleanup is attempted: the crash
+        model says this process is done; recovery happens on reopen."""
+        db = Database(wal_path=str(tmp_path / "wal.jsonl"))
+        db.execute("CREATE TABLE t (k INTEGER)")
+        injector = FaultInjector()
+        injector.fail("wal.flush", exc=WalError)
+        with injected(injector):
+            with pytest.raises(WalError, match="injected fault"):
+                db.execute("INSERT INTO t VALUES (1)")
+        assert injector.stats["fired"] == 1
+        assert injector.trace[0][0] == "wal.flush"
+
+    def test_paged_write_points_fire_on_checkpoint(self, tmp_path):
+        db = Database(storage="paged", data_dir=str(tmp_path / "d"))
+        db.execute("CREATE TABLE t (k INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        injector = FaultInjector()
+        with injected(injector):
+            db.checkpoint()
+        assert injector.hits.get("page.write", 0) >= 1
+        assert injector.hits.get("page.header", 0) >= 1
+        assert injector.hits.get("page.fsync", 0) >= 1
+        db.close()
+
+
+class TestBackoffPolicy:
+    def test_exponential_growth_and_cap(self):
+        policy = BackoffPolicy(base=1, factor=2, cap=8)
+        assert [policy.delay(a) for a in range(5)] == [1, 2, 4, 8, 8]
+
+    def test_ticks_round_and_floor_at_one(self):
+        policy = BackoffPolicy(base=0.2, factor=2, cap=4)
+        assert policy.ticks(0) == 1
+        assert policy.ticks(4) == 3  # 0.2 * 16 = 3.2 -> 3
+
+    def test_jitter_is_deterministic_per_attempt(self):
+        a = BackoffPolicy(base=1, factor=2, cap=64, jitter=0.5, seed=9)
+        b = BackoffPolicy(base=1, factor=2, cap=64, jitter=0.5, seed=9)
+        assert [a.delay(k) for k in range(6)] == [b.delay(k) for k in range(6)]
+        other = BackoffPolicy(base=1, factor=2, cap=64, jitter=0.5, seed=10)
+        assert [a.delay(k) for k in range(6)] != [
+            other.delay(k) for k in range(6)
+        ]
+        # Jitter only ever shortens, never lengthens, the raw delay.
+        raw = BackoffPolicy(base=1, factor=2, cap=64)
+        assert all(a.delay(k) <= raw.delay(k) for k in range(6))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(cap=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.0)

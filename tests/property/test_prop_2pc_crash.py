@@ -1,0 +1,117 @@
+"""Property test: no 2PC kill point can tear a global commit.
+
+Hypothesis drives a randomized cross-store workload over two paged
+stores, then kills the coordinator at a randomized phase boundary of the
+final commit — before/after each branch's prepare, around the decision
+log, between the two phase-2 branch commits, and before the end record.
+After restart + recovery the invariant is checked at *every* AS-OF
+point the aligned log can name: a global transaction's rows are visible
+on both stores or on neither, never on one.
+"""
+
+import os
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Database
+from repro.db.multistore import MultiStoreCoordinator
+from repro.errors import CrashPoint
+from repro.faults import FaultInjector
+
+#: (fault point, 1-based hit) for every boundary of a two-branch commit.
+BOUNDARIES = [
+    ("2pc.prepare", 1),
+    ("2pc.prepare", 2),
+    ("2pc.decision", 1),
+    ("2pc.branch_commit", 1),
+    ("2pc.branch_commit", 2),
+    ("2pc.end", 1),
+]
+
+#: Kill points at which the commit decision is already durable — the
+#: transaction must survive recovery; at the others it must vanish.
+DECIDED = {("2pc.branch_commit", 1), ("2pc.branch_commit", 2), ("2pc.end", 1)}
+
+
+def cross_store_insert(coordinator: MultiStoreCoordinator, key: int):
+    gtxn = coordinator.begin()
+    gtxn.execute("a", "INSERT INTO t VALUES (?, ?)", (key, f"a{key}"))
+    gtxn.execute("b", "INSERT INTO t VALUES (?, ?)", (key, f"b{key}"))
+    return gtxn
+
+
+def keys_as_of(database: Database, csn: int) -> set:
+    return {
+        row[0]
+        for row in database.execute(f"SELECT k FROM t AS OF {csn}").rows
+    }
+
+
+class TestNoTornGlobalCommit:
+    @given(
+        n_before=st.integers(0, 4),
+        kill=st.sampled_from(BOUNDARIES),
+        injector_seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_every_as_of_sees_whole_transactions(
+        self, n_before, kill, injector_seed
+    ):
+        point, hit = kill
+        base = tempfile.mkdtemp(prefix="repro-2pc-prop-")
+        try:
+            dirs = {n: os.path.join(base, n) for n in ("a", "b")}
+            log_path = os.path.join(base, "decisions.jsonl")
+            stores = {
+                n: Database(name=n, storage="paged", data_dir=d)
+                for n, d in dirs.items()
+            }
+            coordinator = MultiStoreCoordinator(stores, decision_log=log_path)
+            for store in stores.values():
+                store.execute("CREATE TABLE t (k INTEGER, v TEXT)")
+            for key in range(n_before):
+                cross_store_insert(coordinator, key).commit()
+
+            injector = FaultInjector(seed=injector_seed)
+            injector.fail(point, at=hit)
+            doomed = cross_store_insert(coordinator, n_before)
+            with injector.installed():
+                with pytest.raises(CrashPoint):
+                    doomed.commit()
+            for store in stores.values():
+                store.wal._pending.clear()
+                store.wal._file.close()
+                store._page_manager.close_all()
+            coordinator.decision_log.close()
+
+            reopened = {
+                n: Database(name=n, storage="paged", data_dir=d)
+                for n, d in dirs.items()
+            }
+            recovered = MultiStoreCoordinator(reopened, decision_log=log_path)
+            recovered.recover_in_doubt()
+
+            survives = n_before + 1 if kill in DECIDED else n_before
+            expected = set(range(survives))
+            assert keys_as_of(reopened["a"], reopened["a"].last_csn) == expected
+            assert keys_as_of(reopened["b"], reopened["b"].last_csn) == expected
+
+            # The core invariant, at every aligned point in history: any
+            # AS-OF translation the coordinator can hand out shows each
+            # global transaction on both stores or on neither.
+            for commit in recovered.aligned_log:
+                local = recovered.local_csns_at(commit.global_csn)
+                seen_a = keys_as_of(reopened["a"], local["a"])
+                seen_b = keys_as_of(reopened["b"], local["b"])
+                assert seen_a == seen_b, (
+                    f"torn view at global csn {commit.global_csn} after "
+                    f"kill at {point} hit {hit}: a={seen_a} b={seen_b}"
+                )
+            for database in reopened.values():
+                database.close()
+            recovered.decision_log.close()
+        finally:
+            shutil.rmtree(base, ignore_errors=True)
